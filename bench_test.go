@@ -1,0 +1,309 @@
+package onion_test
+
+// One benchmark per table and figure of the paper (scaled-down parameters
+// so `go test -bench=.` terminates quickly; run cmd/onionbench without
+// -quick for paper-scale numbers) plus micro-benchmarks for the curve
+// mappings, the clustering counters, range decomposition and the B+-tree.
+
+import (
+	"testing"
+
+	onion "github.com/onioncurve/onion"
+	"github.com/onioncurve/onion/internal/bptree"
+	"github.com/onioncurve/onion/internal/experiments"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+var benchCfg = experiments.Config{Quick: true, Seed: 1, Side2D: 128, Side3D: 32, Samples2D: 20, Samples3D: 8}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table1(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table2()
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5a(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5b(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6a(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6b(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7a(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7b(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLemma5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Lemma5(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThm1(b *testing.B) {
+	cfg := benchCfg
+	cfg.Side2D = 64
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Thm1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowerBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LowerBounds(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexSeeks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Seeks(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fanout(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLayerOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpread(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SpreadExp(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Eta(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks ---
+
+func benchCurveIndex(b *testing.B, c onion.Curve) {
+	u := c.Universe()
+	p := make(onion.Point, u.Dims())
+	dst := make(onion.Point, u.Dims())
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := uint64(i) % u.Size()
+		c.Coords(h, p)
+		sink += c.Index(p)
+		c.Coords(sink%u.Size(), dst)
+	}
+	_ = sink
+}
+
+func BenchmarkCurveMap(b *testing.B) {
+	o2, _ := onion.NewOnion2D(1 << 10)
+	o3, _ := onion.NewOnion3D(1 << 9)
+	h2, _ := onion.NewHilbert(2, 1<<10)
+	h3, _ := onion.NewHilbert(3, 1<<9)
+	z2, _ := onion.NewZCurve(2, 1<<10)
+	g2, _ := onion.NewGrayCode(2, 1<<10)
+	nd4, _ := onion.NewOnionND(4, 64)
+	for _, tc := range []struct {
+		name string
+		c    onion.Curve
+	}{
+		{"onion2d-1024", o2}, {"onion3d-512", o3},
+		{"hilbert2d-1024", h2}, {"hilbert3d-512", h3},
+		{"zcurve2d-1024", z2}, {"gray2d-1024", g2}, {"onionnd4-64", nd4},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchCurveIndex(b, tc.c) })
+	}
+}
+
+func BenchmarkClusterCount(b *testing.B) {
+	o, _ := onion.NewOnion2D(1 << 10)
+	h, _ := onion.NewHilbert(2, 1<<10)
+	o3, _ := onion.NewOnion3D(1 << 8)
+	q2, _ := onion.RectAt(onion.Point{30, 40}, []uint32{900, 900})
+	q3, _ := onion.RectAt(onion.Point{10, 10, 10}, []uint32{200, 200, 200})
+	b.Run("onion2d-900sq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.ClusterCount(o, q2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hilbert2d-900sq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.ClusterCount(h, q2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("onion3d-200cube", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.ClusterCount(o3, q3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAverageClusteringExact(b *testing.B) {
+	o, _ := onion.NewOnion2D(256)
+	for i := 0; i < b.N; i++ {
+		if _, err := onion.AverageClustering(o, []uint32{100, 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	o, _ := onion.NewOnion2D(1 << 10)
+	z, _ := onion.NewZCurve(2, 1<<10)
+	q, _ := onion.RectAt(onion.Point{100, 100}, []uint32{300, 300})
+	b.Run("onion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.Decompose(o, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("zcurve-recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.Decompose(z, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBPTree(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		tr, _ := bptree.New(64)
+		for i := 0; i < b.N; i++ {
+			tr.Insert(uint64(i*2654435761)%1_000_000, uint64(i))
+		}
+	})
+	b.Run("get", func(b *testing.B) {
+		tr, _ := bptree.New(64)
+		for i := 0; i < 100_000; i++ {
+			tr.Insert(uint64(i), uint64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Get(uint64(i) % 100_000)
+		}
+	})
+	b.Run("rangescan1000", func(b *testing.B) {
+		tr, _ := bptree.New(64)
+		for i := 0; i < 100_000; i++ {
+			tr.Insert(uint64(i), uint64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := uint64(i) % 99_000
+			tr.RangeScan(lo, lo+999, func(k, v uint64) bool { return true })
+		}
+	})
+}
+
+func BenchmarkIndexQuery(b *testing.B) {
+	u := geom.MustUniverse(2, 512)
+	pts, err := workload.ClusteredPoints(u, 5, 50_000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, _ := onion.NewOnion2D(512)
+	ix, _ := onion.NewIndex(o)
+	for _, p := range pts {
+		if _, err := ix.Insert(onion.Point(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q, _ := onion.RectAt(onion.Point{50, 50}, []uint32{100, 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command sfcviz draws space filling curves and query clusterings on small
+// grids, reproducing the style of the paper's Figures 1-3.
+//
+// Usage:
+//
+//	sfcviz -curve onion -side 8                 # numbered curve order
+//	sfcviz -curve hilbert -side 8 -query 1,1,4,6  # cluster letters
+//	sfcviz -list                                # available curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	onion "github.com/onioncurve/onion"
+)
+
+func curveByName(name string, side uint32) (onion.Curve, error) {
+	switch name {
+	case "onion":
+		return onion.NewOnion2D(side)
+	case "onionnd":
+		return onion.NewOnionND(2, side)
+	case "layerlex":
+		return onion.NewLayerLex(2, side)
+	case "hilbert":
+		return onion.NewHilbert(2, side)
+	case "zcurve", "z", "morton":
+		return onion.NewZCurve(2, side)
+	case "gray", "graycode":
+		return onion.NewGrayCode(2, side)
+	case "peano":
+		return onion.NewPeano(2, side)
+	case "rowmajor":
+		return onion.NewRowMajor(2, side)
+	case "colmajor":
+		return onion.NewColumnMajor(2, side)
+	case "snake":
+		return onion.NewSnake(2, side)
+	default:
+		return nil, fmt.Errorf("unknown curve %q", name)
+	}
+}
+
+func main() {
+	var (
+		name   = flag.String("curve", "onion", "curve name")
+		side   = flag.Uint("side", 8, "universe side")
+		query  = flag.String("query", "", "x0,y0,x1,y1 — draw this query's clusters instead of the order")
+		list   = flag.Bool("list", false, "list available curves")
+		slices = flag.Bool("3d", false, "render the 3D curve (onion/hilbert/zcurve only) as z-slices")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println("onion onionnd layerlex hilbert zcurve graycode peano rowmajor colmajor snake")
+		return
+	}
+	if *slices {
+		var c onion.Curve
+		var err error
+		switch *name {
+		case "onion":
+			c, err = onion.NewOnion3D(uint32(*side))
+		case "hilbert":
+			c, err = onion.NewHilbert(3, uint32(*side))
+		case "zcurve", "z", "morton":
+			c, err = onion.NewZCurve(3, uint32(*side))
+		default:
+			err = fmt.Errorf("no 3D constructor for %q", *name)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out, err := onion.DrawCurveSlices(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s on %v:\n%s", c.Name(), c.Universe(), out)
+		return
+	}
+	c, err := curveByName(*name, uint32(*side))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *query == "" {
+		grid, err := onion.DrawCurve(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s on %v (y grows upward):\n%s", c.Name(), c.Universe(), grid)
+		return
+	}
+	parts := strings.Split(*query, ",")
+	if len(parts) != 4 {
+		fmt.Fprintln(os.Stderr, "query must be x0,y0,x1,y1")
+		os.Exit(2)
+	}
+	var v [4]uint32
+	for i, p := range parts {
+		x, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad query coordinate %q\n", p)
+			os.Exit(2)
+		}
+		v[i] = uint32(x)
+	}
+	r, err := onion.NewRect(onion.Point{v[0], v[1]}, onion.Point{v[2], v[3]})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pic, n, err := onion.DrawQuery(c, r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: query %v has %d cluster(s)\n%s", c.Name(), r, n, pic)
+}

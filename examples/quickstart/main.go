@@ -1,0 +1,62 @@
+// Quickstart: map cells to curve keys, compare clustering across curves,
+// and decompose a query into scan ranges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	onion "github.com/onioncurve/onion"
+)
+
+func main() {
+	const side = 1 << 10 // the paper's 2D universe: 1024 x 1024
+
+	o, err := onion.NewOnion2D(side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := onion.NewHilbert(2, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, err := onion.NewZCurve(2, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Forward and inverse mapping.
+	p := onion.Point{300, 700}
+	key := o.Index(p)
+	fmt.Printf("onion key of %v = %d; inverse -> %v\n\n", p, key, o.Coords(key, nil))
+
+	// Clustering number of a large square query (Figure 5a territory):
+	// how many disk seeks would a clustered table pay?
+	q, err := onion.RectAt(onion.Point{25, 40}, []uint32{974, 974})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range []onion.Curve{o, h, z} {
+		n, err := onion.ClusterCount(c, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s clusters for a 974x974 query: %d\n", c.Name(), n)
+	}
+
+	// Decompose a small query into its scan ranges.
+	small, _ := onion.RectAt(onion.Point{100, 100}, []uint32{8, 8})
+	rs, err := onion.Decompose(o, small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nonion ranges for an 8x8 query (%d):\n", len(rs))
+	for _, r := range rs {
+		fmt.Printf("  %v (%d cells)\n", r, r.Cells())
+	}
+
+	// The paper's headline constants.
+	_, eta2 := onion.OnionCubeRatio2D()
+	_, eta3 := onion.OnionCubeRatio3D()
+	fmt.Printf("\nonion approximation ratio for cubes: %.2f (2D), %.2f (3D)\n", eta2, eta3)
+}

@@ -1,0 +1,111 @@
+package onion_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	onion "github.com/onioncurve/onion"
+)
+
+func TestSortPoints(t *testing.T) {
+	o, _ := onion.NewOnion2D(64)
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]onion.Point, 200)
+	for i := range pts {
+		pts[i] = onion.Point{uint32(rng.Int31n(64)), uint32(rng.Int31n(64))}
+	}
+	onion.SortPoints(o, pts)
+	for i := 1; i < len(pts); i++ {
+		if o.Index(pts[i-1]) > o.Index(pts[i]) {
+			t.Fatalf("points %d and %d out of curve order", i-1, i)
+		}
+	}
+}
+
+func TestSortPointsEmptyAndSingle(t *testing.T) {
+	o, _ := onion.NewOnion2D(8)
+	onion.SortPoints(o, nil)
+	one := []onion.Point{{3, 3}}
+	onion.SortPoints(o, one)
+	if !one[0].Equal(onion.Point{3, 3}) {
+		t.Fatal("single point changed")
+	}
+}
+
+func TestSpreadAndStretchFacade(t *testing.T) {
+	o, _ := onion.NewOnion2D(64)
+	r, _ := onion.RectAt(onion.Point{4, 4}, []uint32{16, 16})
+	sp, err := onion.ClusterSpread(o, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Clusters < 1 || sp.Span < r.Cells() {
+		t.Fatalf("spread = %+v", sp)
+	}
+	st, err := onion.Stretch(o, 1, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean != 1 {
+		t.Fatalf("continuous curve stretch = %v", st.Mean)
+	}
+}
+
+// TestRoundTripQuick property-tests the public curves on random cells.
+func TestRoundTripQuick(t *testing.T) {
+	o2, _ := onion.NewOnion2D(1 << 12)
+	o3, _ := onion.NewOnion3D(1 << 8)
+	h2, _ := onion.NewHilbert(2, 1<<12)
+	z3, _ := onion.NewZCurve(3, 1<<8)
+	type tc struct {
+		c    onion.Curve
+		side uint32
+		dims int
+	}
+	for _, c := range []tc{{o2, 1 << 12, 2}, {o3, 1 << 8, 3}, {h2, 1 << 12, 2}, {z3, 1 << 8, 3}} {
+		c := c
+		f := func(raw [3]uint32) bool {
+			p := make(onion.Point, c.dims)
+			for i := range p {
+				p[i] = raw[i] % c.side
+			}
+			h := c.c.Index(p)
+			return c.c.Coords(h, nil).Equal(p)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.c.Name(), err)
+		}
+	}
+}
+
+// TestDecomposeCoversQuick property-tests the decomposition contract
+// through the public API.
+func TestDecomposeCoversQuick(t *testing.T) {
+	o, _ := onion.NewOnion2D(32)
+	z, _ := onion.NewZCurve(2, 32)
+	for _, c := range []onion.Curve{o, z} {
+		c := c
+		f := func(x0, y0, w, h uint8) bool {
+			lo := onion.Point{uint32(x0 % 32), uint32(y0 % 32)}
+			shape := []uint32{uint32(w%8) + 1, uint32(h%8) + 1}
+			r, err := onion.RectAt(lo, shape)
+			if err != nil || r.Hi[0] >= 32 || r.Hi[1] >= 32 {
+				return true
+			}
+			rs, err := onion.Decompose(c, r)
+			if err != nil {
+				return false
+			}
+			var cells uint64
+			for _, kr := range rs {
+				cells += kr.Cells()
+			}
+			n, err := onion.ClusterCount(c, r)
+			return err == nil && cells == r.Cells() && uint64(len(rs)) == n
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package onion_test
+
+// Native fuzz targets. `go test` runs the seed corpus as regular tests;
+// `go test -fuzz=FuzzX` explores further. Each target asserts a total
+// correctness property, not example-specific values.
+
+import (
+	"testing"
+
+	onion "github.com/onioncurve/onion"
+)
+
+func FuzzOnion2DRoundTrip(f *testing.F) {
+	o, err := onion.NewOnion2D(1 << 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(1023), uint32(1023))
+	f.Add(uint32(511), uint32(512))
+	f.Add(uint32(37), uint32(999))
+	f.Fuzz(func(t *testing.T, x, y uint32) {
+		p := onion.Point{x % 1024, y % 1024}
+		h := o.Index(p)
+		if h >= 1<<20 {
+			t.Fatalf("Index(%v) = %d out of range", p, h)
+		}
+		if back := o.Coords(h, nil); !back.Equal(p) {
+			t.Fatalf("round trip %v -> %d -> %v", p, h, back)
+		}
+	})
+}
+
+func FuzzOnion3DRoundTrip(f *testing.F) {
+	o, err := onion.NewOnion3D(1 << 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(63), uint32(63), uint32(63))
+	f.Add(uint32(31), uint32(32), uint32(33))
+	f.Fuzz(func(t *testing.T, x, y, z uint32) {
+		p := onion.Point{x % 64, y % 64, z % 64}
+		h := o.Index(p)
+		if back := o.Coords(h, nil); !back.Equal(p) {
+			t.Fatalf("round trip %v -> %d -> %v", p, h, back)
+		}
+	})
+}
+
+func FuzzDecomposeExact(f *testing.F) {
+	o, _ := onion.NewOnion2D(64)
+	z, _ := onion.NewZCurve(2, 64)
+	h, _ := onion.NewHilbert(2, 64)
+	f.Add(uint32(0), uint32(0), uint32(5), uint32(5), uint8(0))
+	f.Add(uint32(10), uint32(20), uint32(30), uint32(40), uint8(1))
+	f.Add(uint32(63), uint32(63), uint32(63), uint32(63), uint8(2))
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1 uint32, which uint8) {
+		lo := onion.Point{x0 % 64, y0 % 64}
+		hi := onion.Point{x1 % 64, y1 % 64}
+		for i := range lo {
+			if lo[i] > hi[i] {
+				lo[i], hi[i] = hi[i], lo[i]
+			}
+		}
+		r, err := onion.NewRect(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c onion.Curve
+		switch which % 3 {
+		case 0:
+			c = o
+		case 1:
+			c = z
+		default:
+			c = h
+		}
+		rs, err := onion.Decompose(c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cells uint64
+		var prevHi uint64
+		for i, kr := range rs {
+			if kr.Lo > kr.Hi {
+				t.Fatalf("inverted range %v", kr)
+			}
+			if i > 0 && kr.Lo <= prevHi+1 {
+				t.Fatalf("ranges not minimal/sorted at %d", i)
+			}
+			prevHi = kr.Hi
+			cells += kr.Cells()
+		}
+		if cells != r.Cells() {
+			t.Fatalf("%s %v: ranges cover %d cells, want %d", c.Name(), r, cells, r.Cells())
+		}
+		n, err := onion.ClusterCount(c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(rs)) != n {
+			t.Fatalf("%s %v: %d ranges vs clustering number %d", c.Name(), r, len(rs), n)
+		}
+	})
+}
+
+func FuzzAverageClusteringBounds(f *testing.F) {
+	o, _ := onion.NewOnion2D(32)
+	u, _ := onion.NewUniverse(2, 32)
+	f.Add(uint32(4), uint32(4))
+	f.Add(uint32(31), uint32(2))
+	f.Add(uint32(16), uint32(16))
+	f.Fuzz(func(t *testing.T, w, h uint32) {
+		shape := []uint32{w%32 + 1, h%32 + 1}
+		avg, err := onion.AverageClustering(o, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg < 1 {
+			t.Fatalf("shape %v: average %.4f below 1", shape, avg)
+		}
+		lb, err := onion.LowerBoundGeneral(u, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg < lb-1e-9 {
+			t.Fatalf("shape %v: average %.4f below general lower bound %.4f", shape, avg, lb)
+		}
+		// No query can have more clusters than cells.
+		if maxCells := float64(shape[0]) * float64(shape[1]); avg > maxCells {
+			t.Fatalf("shape %v: average %.4f exceeds cell count", shape, avg)
+		}
+	})
+}

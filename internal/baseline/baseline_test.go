@@ -1,0 +1,316 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewHilbert(1, 8); err == nil {
+		t.Error("hilbert accepted dims=1")
+	}
+	if _, err := NewHilbert(2, 12); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Errorf("hilbert accepted non power-of-two side: %v", err)
+	}
+	if _, err := NewMorton(2, 10); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("morton accepted non power-of-two side")
+	}
+	if _, err := NewGray(2, 7); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("gray accepted non power-of-two side")
+	}
+	if _, err := NewRowMajor(0, 8); err == nil {
+		t.Error("rowmajor accepted dims=0")
+	}
+	if _, err := NewSnake(2, 0); err == nil {
+		t.Error("snake accepted side=0")
+	}
+	if _, err := NewHilbert(4, 1<<16); !errors.Is(err, geom.ErrTooLarge) {
+		t.Error("oversized universe accepted")
+	}
+}
+
+func allSmallCurves(t *testing.T, dims int, side uint32) []curve.Curve {
+	t.Helper()
+	var cs []curve.Curve
+	type ctor struct {
+		name string
+		fn   func() (curve.Curve, error)
+	}
+	ctors := []ctor{
+		{"rowmajor", func() (curve.Curve, error) { return NewRowMajor(dims, side) }},
+		{"colmajor", func() (curve.Curve, error) { return NewColumnMajor(dims, side) }},
+		{"snake", func() (curve.Curve, error) { return NewSnake(dims, side) }},
+	}
+	if side&(side-1) == 0 {
+		ctors = append(ctors,
+			ctor{"morton", func() (curve.Curve, error) { return NewMorton(dims, side) }},
+			ctor{"gray", func() (curve.Curve, error) { return NewGray(dims, side) }},
+		)
+		if dims >= 2 {
+			ctors = append(ctors, ctor{"hilbert", func() (curve.Curve, error) { return NewHilbert(dims, side) }})
+		}
+	}
+	for _, c := range ctors {
+		cv, err := c.fn()
+		if err != nil {
+			t.Fatalf("%s(%d,%d): %v", c.name, dims, side, err)
+		}
+		cs = append(cs, cv)
+	}
+	return cs
+}
+
+func TestBijectionExhaustiveSmall(t *testing.T) {
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{
+		{1, 1}, {1, 7}, {1, 8},
+		{2, 1}, {2, 2}, {2, 3}, {2, 4}, {2, 5}, {2, 8}, {2, 16}, {2, 32},
+		{3, 2}, {3, 3}, {3, 4}, {3, 8}, {3, 16},
+		{4, 2}, {4, 4}, {4, 8},
+		{5, 2}, {5, 4},
+	} {
+		for _, c := range allSmallCurves(t, cfg.dims, cfg.side) {
+			t.Run(c.Name()+"/"+c.Universe().String(), func(t *testing.T) {
+				curvetest.CheckBijectionExhaustive(t, c)
+			})
+		}
+	}
+}
+
+func TestBijectionSampledLarge(t *testing.T) {
+	h2, err := NewHilbert(2, 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, h2, 2000, 1)
+	h3, err := NewHilbert(3, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, h3, 2000, 2)
+	m, err := NewMorton(3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, m, 2000, 3)
+	g, err := NewGray(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, g, 2000, 4)
+	s, err := NewSnake(3, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, s, 2000, 5)
+}
+
+func TestContinuity(t *testing.T) {
+	// Hilbert and snake are continuous; verify exhaustively on small
+	// grids and sampled on larger ones.
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{{2, 2}, {2, 4}, {2, 16}, {2, 64}, {3, 4}, {3, 16}, {4, 4}} {
+		h, err := NewHilbert(cfg.dims, cfg.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckContinuityExhaustive(t, h)
+	}
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{{1, 9}, {2, 3}, {2, 4}, {2, 5}, {2, 17}, {3, 3}, {3, 4}, {3, 6}, {4, 3}, {4, 5}} {
+		s, err := NewSnake(cfg.dims, cfg.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckContinuityExhaustive(t, s)
+	}
+	hBig, err := NewHilbert(2, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckContinuitySampled(t, hBig, 3000, 7)
+	h3Big, err := NewHilbert(3, 1<<9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckContinuitySampled(t, h3Big, 3000, 8)
+}
+
+func TestContinuityFlags(t *testing.T) {
+	h, _ := NewHilbert(2, 8)
+	s, _ := NewSnake(2, 8)
+	r, _ := NewRowMajor(2, 8)
+	cmaj, _ := NewColumnMajor(2, 8)
+	m, _ := NewMorton(2, 8)
+	g, _ := NewGray(2, 8)
+	if !curve.IsContinuous(h) || !curve.IsContinuous(s) {
+		t.Error("hilbert/snake must be continuous")
+	}
+	if curve.IsContinuous(r) || curve.IsContinuous(m) || curve.IsContinuous(g) || curve.IsContinuous(cmaj) {
+		t.Error("rowmajor/colmajor/morton/gray must not be continuous")
+	}
+}
+
+func TestRowMajorKnownOrder(t *testing.T) {
+	r, _ := NewRowMajor(2, 3)
+	// (x,y) -> y*3+x
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0, {1, 0}: 1, {2, 0}: 2,
+		{0, 1}: 3, {1, 1}: 4, {2, 1}: 5,
+		{0, 2}: 6, {2, 2}: 8,
+	}
+	for xy, h := range want {
+		if got := r.Index(geom.Point{xy[0], xy[1]}); got != h {
+			t.Errorf("rowmajor(%v) = %d, want %d", xy, got, h)
+		}
+	}
+	c, _ := NewColumnMajor(2, 3)
+	if c.Index(geom.Point{1, 0}) != 3 || c.Index(geom.Point{0, 1}) != 1 {
+		t.Error("colmajor order wrong")
+	}
+}
+
+func TestSnakeKnownOrder(t *testing.T) {
+	s, _ := NewSnake(2, 3)
+	// Row 0 left-to-right, row 1 right-to-left, row 2 left-to-right.
+	want := []geom.Point{
+		{0, 0}, {1, 0}, {2, 0},
+		{2, 1}, {1, 1}, {0, 1},
+		{0, 2}, {1, 2}, {2, 2},
+	}
+	for h, p := range want {
+		if got := s.Index(p); got != uint64(h) {
+			t.Errorf("snake(%v) = %d, want %d", p, got, h)
+		}
+	}
+}
+
+func TestMortonKnownOrder(t *testing.T) {
+	m, _ := NewMorton(2, 4)
+	// Z curve quadrant order: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3 (2,0)=4.
+	cases := map[[2]uint32]uint64{
+		{0, 0}: 0, {1, 0}: 1, {0, 1}: 2, {1, 1}: 3,
+		{2, 0}: 4, {3, 0}: 5, {2, 1}: 6, {3, 1}: 7,
+		{0, 2}: 8, {3, 3}: 15,
+	}
+	for xy, h := range cases {
+		if got := m.Index(geom.Point{xy[0], xy[1]}); got != h {
+			t.Errorf("morton(%v) = %d, want %d", xy, got, h)
+		}
+	}
+}
+
+func TestGraySingleBitSteps(t *testing.T) {
+	g, _ := NewGray(2, 8)
+	// Consecutive positions along the Gray curve differ in exactly one
+	// bit of the interleaved key, i.e. one bit of one coordinate.
+	a := make(geom.Point, 2)
+	b := make(geom.Point, 2)
+	for h := uint64(0); h < g.Universe().Size()-1; h++ {
+		g.Coords(h, a)
+		g.Coords(h+1, b)
+		diffBits := 0
+		for i := range a {
+			x := a[i] ^ b[i]
+			for ; x != 0; x &= x - 1 {
+				diffBits++
+			}
+		}
+		if diffBits != 1 {
+			t.Fatalf("gray steps from %v to %v (h=%d) flip %d bits", a, b, h, diffBits)
+		}
+	}
+}
+
+func TestHilbertOrder1Snapshot(t *testing.T) {
+	// Pin the orientation of our Hilbert implementation so accidental
+	// changes are caught. For order 1 (2x2), Skilling's algorithm visits
+	// (0,0) (1,0) (1,1) (0,1) or a fixed rotation thereof; assert the
+	// exact order observed at construction time of this test suite.
+	h, _ := NewHilbert(2, 2)
+	var order []geom.Point
+	for k := uint64(0); k < 4; k++ {
+		order = append(order, h.Coords(k, nil).Clone())
+	}
+	// Whatever the orientation, it must start at a corner and be
+	// continuous; pin the exact sequence for stability.
+	want := []geom.Point{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for i := range want {
+		if !order[i].Equal(want[i]) {
+			t.Fatalf("hilbert 2x2 order = %v, want %v (orientation changed?)", order, want)
+		}
+	}
+}
+
+func TestHilbertLocality(t *testing.T) {
+	// Classic sanity check: on a 8x8 grid the average grid distance
+	// between consecutive keys is exactly 1 (continuity), and the curve
+	// visits all 4 quadrants in contiguous blocks of 16.
+	h, _ := NewHilbert(2, 8)
+	quadrant := func(p geom.Point) int {
+		q := 0
+		if p[0] >= 4 {
+			q |= 1
+		}
+		if p[1] >= 4 {
+			q |= 2
+		}
+		return q
+	}
+	seen := map[int]bool{}
+	for block := 0; block < 4; block++ {
+		q0 := quadrant(h.Coords(uint64(block*16), nil))
+		for k := 0; k < 16; k++ {
+			p := h.Coords(uint64(block*16+k), nil)
+			if quadrant(p) != q0 {
+				t.Fatalf("block %d leaves its quadrant at offset %d", block, k)
+			}
+		}
+		if seen[q0] {
+			t.Fatalf("quadrant %d visited twice", q0)
+		}
+		seen[q0] = true
+	}
+}
+
+func TestPanicBehavior(t *testing.T) {
+	for _, c := range allSmallCurves(t, 2, 8) {
+		curvetest.CheckPanicsOnBadInput(t, c)
+	}
+}
+
+func TestCoordsDstReuse(t *testing.T) {
+	h, _ := NewHilbert(2, 8)
+	dst := make(geom.Point, 2)
+	got := h.Coords(17, dst)
+	if &got[0] != &dst[0] {
+		t.Error("Coords did not reuse dst of correct length")
+	}
+	got2 := h.Coords(17, nil)
+	if !got2.Equal(got) {
+		t.Error("Coords(nil) differs from Coords(dst)")
+	}
+}
+
+func TestHilbertOneCellUniverse(t *testing.T) {
+	h, err := NewHilbert(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Index(geom.Point{0, 0}) != 0 {
+		t.Error("1-cell index")
+	}
+	if !h.Coords(0, nil).Equal(geom.Point{0, 0}) {
+		t.Error("1-cell coords")
+	}
+}

@@ -1,0 +1,146 @@
+// Package baseline implements the space filling curves the paper compares
+// the onion curve against or discusses: the Hilbert curve, the Z (Morton)
+// curve, the Gray-code curve, and the row-major / column-major / snake
+// orders of Section V-C.
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// linearKind distinguishes the three lexicographic-style curves.
+type linearKind int
+
+const (
+	kindRowMajor linearKind = iota
+	kindColMajor
+	kindSnake
+)
+
+// Linear is a row-major, column-major or snake (boustrophedon) order over a
+// universe of any side length. Row-major and column-major are discontinuous
+// (the curve jumps when a row ends); the snake order is continuous.
+type Linear struct {
+	curve.Base
+	kind linearKind
+	// pow[i] = side^i, precomputed strides.
+	pow []uint64
+}
+
+// NewRowMajor returns the row-major order: dimension 0 varies fastest. In
+// two dimensions cell (x, y) gets key y*side + x, scanning row by row.
+func NewRowMajor(dims int, side uint32) (*Linear, error) {
+	return newLinear(dims, side, kindRowMajor, "rowmajor", false)
+}
+
+// NewColumnMajor returns the column-major order: dimension d-1 varies
+// fastest. In two dimensions cell (x, y) gets key x*side + y.
+func NewColumnMajor(dims int, side uint32) (*Linear, error) {
+	return newLinear(dims, side, kindColMajor, "colmajor", false)
+}
+
+// NewSnake returns the boustrophedon order: row-major but with alternate
+// rows (recursively, alternate hyperplanes) reversed so that consecutive
+// cells are always grid neighbors. It is the simplest continuous SFC and a
+// useful control for the continuous-curve lower bounds of Theorem 2.
+func NewSnake(dims int, side uint32) (*Linear, error) {
+	return newLinear(dims, side, kindSnake, "snake", true)
+}
+
+func newLinear(dims int, side uint32, kind linearKind, name string, cont bool) (*Linear, error) {
+	u, err := geom.NewUniverse(dims, side)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	pow := make([]uint64, dims+1)
+	pow[0] = 1
+	for i := 1; i <= dims; i++ {
+		pow[i] = pow[i-1] * uint64(side)
+	}
+	return &Linear{
+		Base: curve.Base{U: u, Id: name, Cont: cont},
+		kind: kind,
+		pow:  pow,
+	}, nil
+}
+
+// Index implements curve.Curve.
+func (l *Linear) Index(p geom.Point) uint64 {
+	l.CheckPoint(p)
+	d := l.U.Dims()
+	switch l.kind {
+	case kindRowMajor:
+		var h uint64
+		for i := d - 1; i >= 0; i-- {
+			h = h*uint64(l.U.Side()) + uint64(p[i])
+		}
+		return h
+	case kindColMajor:
+		var h uint64
+		for i := 0; i < d; i++ {
+			h = h*uint64(l.U.Side()) + uint64(p[i])
+		}
+		return h
+	default: // snake
+		return l.snakeIndex(p, d)
+	}
+}
+
+// snakeIndex computes the boustrophedon key over the first dims dimensions:
+// the highest dimension selects a hyperplane; odd hyperplanes traverse their
+// (dims-1)-dimensional snake in reverse.
+func (l *Linear) snakeIndex(p geom.Point, dims int) uint64 {
+	if dims == 1 {
+		return uint64(p[0])
+	}
+	v := p[dims-1]
+	sub := l.snakeIndex(p, dims-1)
+	if v&1 == 1 {
+		sub = l.pow[dims-1] - 1 - sub
+	}
+	return uint64(v)*l.pow[dims-1] + sub
+}
+
+// Coords implements curve.Curve.
+func (l *Linear) Coords(h uint64, dst geom.Point) geom.Point {
+	l.CheckIndex(h)
+	d := l.U.Dims()
+	p := curve.Dst(dst, d)
+	side := uint64(l.U.Side())
+	switch l.kind {
+	case kindRowMajor:
+		for i := 0; i < d; i++ {
+			p[i] = uint32(h % side)
+			h /= side
+		}
+	case kindColMajor:
+		for i := d - 1; i >= 0; i-- {
+			p[i] = uint32(h % side)
+			h /= side
+		}
+	default:
+		l.snakeCoords(h, p, d)
+	}
+	return p
+}
+
+func (l *Linear) snakeCoords(h uint64, p geom.Point, dims int) {
+	if dims == 1 {
+		p[0] = uint32(h)
+		return
+	}
+	v := h / l.pow[dims-1]
+	r := h % l.pow[dims-1]
+	if v&1 == 1 {
+		r = l.pow[dims-1] - 1 - r
+	}
+	p[dims-1] = uint32(v)
+	l.snakeCoords(r, p, dims-1)
+}
+
+var (
+	_ curve.Curve = (*Linear)(nil)
+)

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// Morton is the Z curve of Orenstein and Merrett: the key of a cell is the
+// bit-interleaving of its coordinates. It requires a power-of-two side and
+// is not continuous (consecutive cells may be arbitrarily far apart in the
+// grid), but its recursive quadrant structure admits efficient range
+// decomposition (see internal/ranges).
+type Morton struct {
+	curve.Base
+	order int
+}
+
+// NewMorton constructs the Z curve over a dims-dimensional universe whose
+// side must be a power of two.
+func NewMorton(dims int, side uint32) (*Morton, error) {
+	u, err := geom.NewUniverse(dims, side)
+	if err != nil {
+		return nil, fmt.Errorf("morton: %w", err)
+	}
+	order, err := curve.PowerOfTwoOrder(side)
+	if err != nil {
+		return nil, fmt.Errorf("morton: %w", err)
+	}
+	return &Morton{Base: curve.Base{U: u, Id: "zcurve", Cont: false}, order: order}, nil
+}
+
+// Order returns the number of bits per dimension.
+func (m *Morton) Order() int { return m.order }
+
+// Index implements curve.Curve.
+func (m *Morton) Index(p geom.Point) uint64 {
+	m.CheckPoint(p)
+	return curve.Interleave(p, m.order, m.U.Dims())
+}
+
+// Coords implements curve.Curve.
+func (m *Morton) Coords(h uint64, dst geom.Point) geom.Point {
+	m.CheckIndex(h)
+	p := curve.Dst(dst, m.U.Dims())
+	curve.Deinterleave(h, m.order, m.U.Dims(), p)
+	return p
+}
+
+// Gray is the Gray-code curve suggested by Faloutsos for partial-match and
+// range queries: cell coordinates are bit-interleaved and the result is
+// interpreted as a binary-reflected Gray code; the key is the rank of that
+// code. Consecutive cells differ in exactly one interleaved bit (a single
+// coordinate bit), which improves over the Z curve but does not make the
+// curve continuous in the grid sense.
+type Gray struct {
+	curve.Base
+	order int
+}
+
+// NewGray constructs the Gray-code curve over a power-of-two universe.
+func NewGray(dims int, side uint32) (*Gray, error) {
+	u, err := geom.NewUniverse(dims, side)
+	if err != nil {
+		return nil, fmt.Errorf("gray: %w", err)
+	}
+	order, err := curve.PowerOfTwoOrder(side)
+	if err != nil {
+		return nil, fmt.Errorf("gray: %w", err)
+	}
+	return &Gray{Base: curve.Base{U: u, Id: "graycode", Cont: false}, order: order}, nil
+}
+
+// Order returns the number of bits per dimension.
+func (g *Gray) Order() int { return g.order }
+
+// Index implements curve.Curve.
+func (g *Gray) Index(p geom.Point) uint64 {
+	g.CheckPoint(p)
+	return curve.GrayInverse(curve.Interleave(p, g.order, g.U.Dims()))
+}
+
+// Coords implements curve.Curve.
+func (g *Gray) Coords(h uint64, dst geom.Point) geom.Point {
+	g.CheckIndex(h)
+	p := curve.Dst(dst, g.U.Dims())
+	curve.Deinterleave(curve.Gray(h), g.order, g.U.Dims(), p)
+	return p
+}
+
+var (
+	_ curve.Curve = (*Morton)(nil)
+	_ curve.Curve = (*Gray)(nil)
+)

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// Peano is the classic Peano curve (1890) generalized to d dimensions (the
+// "serpentine" curve family): the universe is divided into 3^d sub-blocks
+// visited in boustrophedon order, with sub-blocks reflected so that the
+// path stays continuous; because the base is odd, the recursion preserves
+// continuity at every level. Requires side = 3^k.
+//
+// Peano predates Hilbert's curve and completes the set of classic
+// continuous baselines (hilbert, snake, peano) used by the lower-bound
+// experiments.
+type Peano struct {
+	curve.Base
+	levels int
+	pow3   []uint64 // 3^i
+	blockP []uint64 // (3^d)^i
+}
+
+// NewPeano constructs the d-dimensional Peano curve; side must be a power
+// of three.
+func NewPeano(dims int, side uint32) (*Peano, error) {
+	u, err := geom.NewUniverse(dims, side)
+	if err != nil {
+		return nil, fmt.Errorf("peano: %w", err)
+	}
+	levels := 0
+	for s := side; s > 1; s /= 3 {
+		if s%3 != 0 {
+			return nil, fmt.Errorf("peano: %w: side %d is not a power of three",
+				curve.ErrSideUnsupported, side)
+		}
+		levels++
+	}
+	pow3 := make([]uint64, levels+1)
+	pow3[0] = 1
+	for i := 1; i <= levels; i++ {
+		pow3[i] = pow3[i-1] * 3
+	}
+	blockP := make([]uint64, levels+1)
+	blockP[0] = 1
+	block := uint64(1)
+	for i := 0; i < dims; i++ {
+		block *= 3
+	}
+	for i := 1; i <= levels; i++ {
+		blockP[i] = blockP[i-1] * block
+	}
+	return &Peano{
+		Base:   curve.Base{U: u, Id: "peano", Cont: true},
+		levels: levels,
+		pow3:   pow3,
+		blockP: blockP,
+	}, nil
+}
+
+// blockSnakeIndex returns the position of the digit vector eff (values in
+// 0..2, dimension 0 fastest) along the continuous boustrophedon order of
+// the 3^d block.
+func blockSnakeIndex(eff []int) uint64 {
+	var idx uint64
+	span := uint64(1)
+	for j := 0; j < len(eff); j++ {
+		v := uint64(eff[j])
+		sub := idx
+		if v%2 == 1 {
+			sub = span - 1 - sub
+		}
+		idx = v*span + sub
+		span *= 3
+	}
+	return idx
+}
+
+// blockSnakeCoords inverts blockSnakeIndex.
+func blockSnakeCoords(idx uint64, d int, eff []int) {
+	span := uint64(1)
+	for j := 0; j < d-1; j++ {
+		span *= 3
+	}
+	for j := d - 1; j >= 0; j-- {
+		v := idx / span
+		rem := idx % span
+		if v%2 == 1 {
+			rem = span - 1 - rem
+		}
+		eff[j] = int(v)
+		idx = rem
+		span /= 3
+	}
+}
+
+// Index implements curve.Curve.
+func (pc *Peano) Index(p geom.Point) uint64 {
+	pc.CheckPoint(p)
+	d := pc.U.Dims()
+	var key uint64
+	flips := make([]bool, d)
+	eff := make([]int, d)
+	for i := pc.levels - 1; i >= 0; i-- {
+		for j := 0; j < d; j++ {
+			dj := int(uint64(p[j]) / pc.pow3[i] % 3)
+			if flips[j] {
+				dj = 2 - dj
+			}
+			eff[j] = dj
+		}
+		key = key*pc.blockP[1] + blockSnakeIndex(eff)
+		pc.updateFlips(flips, eff)
+	}
+	return key
+}
+
+// Coords implements curve.Curve.
+func (pc *Peano) Coords(h uint64, dst geom.Point) geom.Point {
+	pc.CheckIndex(h)
+	d := pc.U.Dims()
+	p := curve.Dst(dst, d)
+	for j := range p {
+		p[j] = 0
+	}
+	flips := make([]bool, d)
+	eff := make([]int, d)
+	for i := pc.levels - 1; i >= 0; i-- {
+		local := h / pc.blockP[i]
+		h %= pc.blockP[i]
+		blockSnakeCoords(local, d, eff)
+		for j := 0; j < d; j++ {
+			dj := eff[j]
+			if flips[j] {
+				dj = 2 - dj
+			}
+			p[j] += uint32(uint64(dj) * pc.pow3[i])
+		}
+		pc.updateFlips(flips, eff)
+	}
+	return p
+}
+
+// updateFlips advances the reflection state after consuming one digit
+// level: axis j's direction flips iff the effective digits of the other
+// axes sum to an odd value (the serpentine rule that keeps odd-base
+// boustrophedon recursion continuous).
+func (pc *Peano) updateFlips(flips []bool, eff []int) {
+	total := 0
+	for _, v := range eff {
+		total += v
+	}
+	for j := range flips {
+		if (total-eff[j])%2 == 1 {
+			flips[j] = !flips[j]
+		}
+	}
+}
+
+var _ curve.Curve = (*Peano)(nil)

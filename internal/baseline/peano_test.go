@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func TestPeanoValidation(t *testing.T) {
+	if _, err := NewPeano(2, 8); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("side 8 accepted")
+	}
+	if _, err := NewPeano(2, 0); err == nil {
+		t.Error("side 0 accepted")
+	}
+	if _, err := NewPeano(0, 9); err == nil {
+		t.Error("dims 0 accepted")
+	}
+	for _, side := range []uint32{1, 3, 9, 27, 81} {
+		if _, err := NewPeano(2, side); err != nil {
+			t.Errorf("side %d rejected: %v", side, err)
+		}
+	}
+}
+
+func TestPeanoBijectionAndContinuity(t *testing.T) {
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{{1, 27}, {2, 3}, {2, 9}, {2, 27}, {3, 3}, {3, 9}, {4, 3}} {
+		p, err := NewPeano(cfg.dims, cfg.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckBijectionExhaustive(t, p)
+		curvetest.CheckContinuityExhaustive(t, p)
+	}
+	big, err := NewPeano(2, 3*3*3*3*3*3*3) // 3^7 = 2187
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, big, 2000, 31)
+	curvetest.CheckContinuitySampled(t, big, 2000, 32)
+}
+
+func TestPeanoKnownOrder3x3(t *testing.T) {
+	// Peano's 3x3 curve: columns traversed boustrophedon, so the path is
+	// (0,0)(0,1)(0,2)(1,2)(1,1)(1,0)(2,0)(2,1)(2,2) with dimension 0
+	// slowest in our block order... assert whatever the construction
+	// yields is the column snake with dim 0 fastest instead:
+	// (0,0)(1,0)(2,0)(2,1)(1,1)(0,1)(0,2)(1,2)(2,2).
+	p, _ := NewPeano(2, 3)
+	want := []geom.Point{
+		{0, 0}, {1, 0}, {2, 0},
+		{2, 1}, {1, 1}, {0, 1},
+		{0, 2}, {1, 2}, {2, 2},
+	}
+	for h, w := range want {
+		if got := p.Coords(uint64(h), nil); !got.Equal(w) {
+			t.Fatalf("peano 3x3 position %d = %v, want %v", h, got, w)
+		}
+	}
+}
+
+func TestPeanoIsContinuousFlag(t *testing.T) {
+	p, _ := NewPeano(2, 9)
+	if !curve.IsContinuous(p) {
+		t.Error("peano must declare continuity")
+	}
+}
+
+func TestPeanoPanics(t *testing.T) {
+	p, _ := NewPeano(2, 9)
+	curvetest.CheckPanicsOnBadInput(t, p)
+}

@@ -1,0 +1,559 @@
+// Package bptree implements an in-memory B+-tree keyed by uint64 space
+// filling curve positions. It is the storage substrate behind the SFC
+// spatial index (internal/index): all entries live in leaves, leaves are
+// chained for sequential range scans, and the tree supports duplicate keys
+// (several points may fall in the same grid cell).
+//
+// The implementation uses preemptive splitting on the way down for inserts
+// and recursive borrow/merge rebalancing for deletes; every structural
+// invariant is checkable via CheckInvariants, which the tests run after
+// randomized operation sequences.
+package bptree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOrder reports an unsupported branching factor.
+var ErrOrder = errors.New("bptree: order must be at least 4")
+
+// Tree is a B+-tree mapping uint64 keys to uint64 values.
+type Tree struct {
+	root  *node
+	order int // max children of an internal node; max entries of a leaf is order-1
+	size  int
+}
+
+type node struct {
+	leaf     bool
+	keys     []uint64
+	children []*node  // internal nodes only
+	vals     []uint64 // leaves only
+	next     *node    // leaf chain
+}
+
+// New returns an empty tree with the given order (maximum children per
+// internal node). Odd orders are rounded down to the nearest even value so
+// that node splits always produce two legal halves (minimum-degree
+// arithmetic: t = order/2, nodes hold between t-1 and 2t-1 entries). Order
+// 64 is a reasonable default for in-memory use.
+func New(order int) (*Tree, error) {
+	if order < 4 {
+		return nil, fmt.Errorf("%w (got %d)", ErrOrder, order)
+	}
+	return &Tree{root: &node{leaf: true}, order: order &^ 1}, nil
+}
+
+// ErrUnsorted reports keys passed to BulkLoad out of order.
+var ErrUnsorted = errors.New("bptree: bulk load requires keys in ascending order")
+
+// BulkLoad builds a tree bottom-up from entries already sorted by key —
+// the standard way to load a clustered index, O(n) instead of O(n log n)
+// and producing maximally packed leaves.
+func BulkLoad(order int, keys, vals []uint64) (*Tree, error) {
+	t, err := New(order)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("bptree: %d keys but %d values", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return t, nil
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return nil, fmt.Errorf("%w: key %d after %d", ErrUnsorted, keys[i], keys[i-1])
+		}
+	}
+	// Build the leaf level: full leaves, with the tail rebalanced so the
+	// last leaf never underflows.
+	max := t.maxEntries()
+	var leaves []*node
+	for off := 0; off < len(keys); {
+		take := max
+		rest := len(keys) - off
+		if rest < take {
+			take = rest
+		}
+		// If taking `take` would leave a non-empty underfull tail,
+		// equalize the final two leaves.
+		if rem := rest - take; rem > 0 && rem < t.minEntries() {
+			take = (rest + 1) / 2
+		}
+		leaf := &node{
+			leaf: true,
+			keys: append([]uint64(nil), keys[off:off+take]...),
+			vals: append([]uint64(nil), vals[off:off+take]...),
+		}
+		if n := len(leaves); n > 0 {
+			leaves[n-1].next = leaf
+		}
+		leaves = append(leaves, leaf)
+		off += take
+	}
+	// Build internal levels until a single root remains.
+	level := leaves
+	maxChildren := 2 * t.degree()
+	for len(level) > 1 {
+		var parents []*node
+		for off := 0; off < len(level); {
+			take := maxChildren
+			rest := len(level) - off
+			if rest < take {
+				take = rest
+			}
+			if rem := rest - take; rem > 0 && rem < t.degree() {
+				take = (rest + 1) / 2
+			}
+			p := &node{children: append([]*node(nil), level[off:off+take]...)}
+			for i := 1; i < take; i++ {
+				p.keys = append(p.keys, minKey(level[off+i]))
+			}
+			parents = append(parents, p)
+			off += take
+		}
+		level = parents
+	}
+	t.root = level[0]
+	t.size = len(keys)
+	return t, nil
+}
+
+// minKey returns the smallest key in the subtree.
+func minKey(n *node) uint64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// degree is the minimum degree t: non-root nodes keep at least t-1 entries
+// (leaves) or t children (internal nodes), at most 2t-1 entries.
+func (t *Tree) degree() int     { return t.order / 2 }
+func (t *Tree) maxEntries() int { return 2*t.degree() - 1 }
+func (t *Tree) minEntries() int { return t.degree() - 1 }
+
+// Insert adds the entry (key, value). Duplicate keys are allowed; entries
+// with equal keys are adjacent in scan order.
+func (t *Tree) Insert(key, value uint64) {
+	if t.full(t.root) {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, value)
+	t.size++
+}
+
+func (t *Tree) full(n *node) bool {
+	return len(n.keys) >= t.maxEntries()
+}
+
+// splitChild splits the full child i of parent p, copying (leaf) or moving
+// (internal) the median key up.
+func (t *Tree) splitChild(p *node, i int) {
+	child := p.children[i]
+	var sep uint64
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		mid := len(child.keys) / 2
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.vals = child.vals[:mid:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		mid := len(child.keys) / 2
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	p.keys = append(p.keys, 0)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = sep
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+}
+
+func (t *Tree) insertNonFull(n *node, key, value uint64) {
+	for !n.leaf {
+		// Rightmost child whose separator admits the key: first i with
+		// keys[i] > key.
+		i := upperBound(n.keys, key)
+		if t.full(n.children[i]) {
+			t.splitChild(n, i)
+			if key >= n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	i := upperBound(n.keys, key)
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = value
+}
+
+// upperBound returns the first index i with keys[i] > key.
+func upperBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first index i with keys[i] >= key.
+func lowerBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value of the first entry with the given key in scan
+// order.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	l, i := t.seek(key)
+	if l == nil || i >= len(l.keys) || l.keys[i] != key {
+		return 0, false
+	}
+	return l.vals[i], true
+}
+
+// Has reports whether any entry has the given key.
+func (t *Tree) Has(key uint64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// seek returns the leaf and position of the first entry with key >= the
+// argument, or (nil, 0) when no such entry exists.
+func (t *Tree) seek(key uint64) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[lowerBound(n.keys, key)]
+	}
+	i := lowerBound(n.keys, key)
+	if i == len(n.keys) {
+		if n.next == nil {
+			return nil, 0
+		}
+		return n.next, 0
+	}
+	return n, i
+}
+
+// RangeScan calls fn for every entry with lo <= key <= hi in ascending key
+// order; fn returning false stops the scan. It returns the number of
+// entries visited.
+func (t *Tree) RangeScan(lo, hi uint64, fn func(key, value uint64) bool) int {
+	n, i := t.seek(lo)
+	visited := 0
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return visited
+			}
+			visited++
+			if !fn(n.keys[i], n.vals[i]) {
+				return visited
+			}
+		}
+		n = n.next
+		i = 0
+	}
+	return visited
+}
+
+// Delete removes the first entry with the given key and returns its value.
+func (t *Tree) Delete(key uint64) (uint64, bool) {
+	val, ok := t.delete(t.root, key, 0, false)
+	if ok {
+		t.size--
+	}
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return val, ok
+}
+
+// DeleteValue removes the first entry matching both key and value,
+// reporting whether one existed. Needed when duplicate keys carry distinct
+// payloads (several points in the same grid cell).
+func (t *Tree) DeleteValue(key, value uint64) bool {
+	_, ok := t.delete(t.root, key, value, true)
+	if ok {
+		t.size--
+	}
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return ok
+}
+
+// delete removes the first occurrence of key (and, if matchVal is set, of
+// value) from the subtree rooted at n.
+func (t *Tree) delete(n *node, key, value uint64, matchVal bool) (uint64, bool) {
+	if n.leaf {
+		for i := lowerBound(n.keys, key); i < len(n.keys) && n.keys[i] == key; i++ {
+			if matchVal && n.vals[i] != value {
+				continue
+			}
+			val := n.vals[i]
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			return val, true
+		}
+		return 0, false
+	}
+	// The matching entry is in the first child that may hold the key; a
+	// run of duplicates equal to consecutive separators may force trying
+	// the children to the right as well.
+	i := lowerBound(n.keys, key)
+	for {
+		val, ok := t.delete(n.children[i], key, value, matchVal)
+		if ok {
+			t.fixUnderflow(n, i)
+			return val, true
+		}
+		if i >= len(n.keys) || n.keys[i] != key {
+			return 0, false
+		}
+		i++
+	}
+}
+
+// fixUnderflow rebalances child i of parent p if it dropped below the
+// minimum occupancy.
+func (t *Tree) fixUnderflow(p *node, i int) {
+	c := p.children[i]
+	var under bool
+	if c.leaf {
+		under = len(c.keys) < t.minEntries()
+	} else {
+		under = len(c.children) < t.degree()
+	}
+	if !under {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if i > 0 && t.canLend(p.children[i-1]) {
+		left := p.children[i-1]
+		if c.leaf {
+			last := len(left.keys) - 1
+			c.keys = prepend(c.keys, left.keys[last])
+			c.vals = prepend(c.vals, left.vals[last])
+			left.keys = left.keys[:last]
+			left.vals = left.vals[:last]
+			p.keys[i-1] = c.keys[0]
+		} else {
+			c.keys = prepend(c.keys, p.keys[i-1])
+			p.keys[i-1] = left.keys[len(left.keys)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			c.children = prependNode(c.children, left.children[len(left.children)-1])
+			left.children = left.children[:len(left.children)-1]
+		}
+		return
+	}
+	// Try borrowing from the right sibling.
+	if i+1 < len(p.children) && t.canLend(p.children[i+1]) {
+		right := p.children[i+1]
+		if c.leaf {
+			c.keys = append(c.keys, right.keys[0])
+			c.vals = append(c.vals, right.vals[0])
+			right.keys = right.keys[1:]
+			right.vals = right.vals[1:]
+			p.keys[i] = right.keys[0]
+		} else {
+			c.keys = append(c.keys, p.keys[i])
+			p.keys[i] = right.keys[0]
+			right.keys = right.keys[1:]
+			c.children = append(c.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.merge(p, i-1)
+	} else {
+		t.merge(p, i)
+	}
+}
+
+// canLend reports whether a sibling can give up an entry/child.
+func (t *Tree) canLend(n *node) bool {
+	if n.leaf {
+		return len(n.keys) > t.minEntries()
+	}
+	return len(n.children) > t.degree()
+}
+
+// merge combines children i and i+1 of p into child i.
+func (t *Tree) merge(p *node, i int) {
+	left, right := p.children[i], p.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, p.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	p.keys = append(p.keys[:i], p.keys[i+1:]...)
+	p.children = append(p.children[:i+1], p.children[i+2:]...)
+}
+
+func prepend(s []uint64, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[1:], s)
+	s[0] = v
+	return s
+}
+
+func prependNode(s []*node, v *node) []*node {
+	s = append(s, nil)
+	copy(s[1:], s)
+	s[0] = v
+	return s
+}
+
+// Leaves visits the leaf chain in order, calling fn with each leaf's entry
+// count; used by the disk simulator to lay out pages.
+func (t *Tree) Leaves(fn func(entries int) bool) {
+	for n := t.leftmostLeaf(); n != nil; n = n.next {
+		if !fn(len(n.keys)) {
+			return
+		}
+	}
+}
+
+func (t *Tree) leftmostLeaf() *node {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n
+}
+
+// CheckInvariants validates the structural invariants of the tree; it is
+// exported for tests and returns a descriptive error on the first
+// violation found.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var prevKey uint64
+	hasPrev := false
+	// Walk the leaf chain and confirm global ordering.
+	for n := t.leftmostLeaf(); n != nil; n = n.next {
+		if len(n.keys) != len(n.vals) {
+			return errors.New("leaf keys/vals length mismatch")
+		}
+		for _, k := range n.keys {
+			if hasPrev && k < prevKey {
+				return fmt.Errorf("leaf chain out of order: %d after %d", k, prevKey)
+			}
+			prevKey, hasPrev = k, true
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d but %d entries in leaves", t.size, count)
+	}
+	var depth int
+	return t.checkNode(t.root, true, &depth, 0)
+}
+
+func (t *Tree) checkNode(n *node, isRoot bool, leafDepth *int, depth int) error {
+	if n.leaf {
+		if *leafDepth == 0 {
+			*leafDepth = depth + 1
+		} else if *leafDepth != depth+1 {
+			return fmt.Errorf("leaves at different depths: %d vs %d", *leafDepth, depth+1)
+		}
+		if !isRoot && len(n.keys) < t.minEntries() {
+			return fmt.Errorf("leaf underflow: %d < %d", len(n.keys), t.minEntries())
+		}
+		if len(n.keys) > t.maxEntries() {
+			return fmt.Errorf("leaf overflow: %d", len(n.keys))
+		}
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("internal node with %d keys, %d children", len(n.keys), len(n.children))
+	}
+	if !isRoot && len(n.children) < t.degree() {
+		return fmt.Errorf("internal underflow: %d children", len(n.children))
+	}
+	if len(n.keys) > t.maxEntries() {
+		return fmt.Errorf("internal overflow: %d keys", len(n.keys))
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] > n.keys[i] {
+			return errors.New("separators out of order")
+		}
+	}
+	for i, c := range n.children {
+		// Child keys must respect separators (duplicates may equal the
+		// separator on either side).
+		if i > 0 {
+			if err := checkMin(c, n.keys[i-1]); err != nil {
+				return err
+			}
+		}
+		if i < len(n.keys) {
+			if err := checkMax(c, n.keys[i]); err != nil {
+				return err
+			}
+		}
+		if err := t.checkNode(c, false, leafDepth, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkMin(n *node, min uint64) error {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) > 0 && n.keys[0] < min {
+		return fmt.Errorf("subtree key %d below separator %d", n.keys[0], min)
+	}
+	return nil
+}
+
+func checkMax(n *node, max uint64) error {
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) > 0 && n.keys[len(n.keys)-1] > max {
+		return fmt.Errorf("subtree key %d above separator %d", n.keys[len(n.keys)-1], max)
+	}
+	return nil
+}

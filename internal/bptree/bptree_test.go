@@ -1,0 +1,433 @@
+package bptree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustTree(t *testing.T, order int) *Tree {
+	t.Helper()
+	tr, err := New(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); !errors.Is(err, ErrOrder) {
+		t.Error("order 3 accepted")
+	}
+	if _, err := New(4); err != nil {
+		t.Errorf("order 4 rejected: %v", err)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i*2, i*100)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		v, ok := tr.Get(i * 2)
+		if !ok || v != i*100 {
+			t.Fatalf("Get(%d) = %d, %v", i*2, v, ok)
+		}
+		if tr.Has(i*2 + 1) {
+			t.Fatalf("Has(%d) true", i*2+1)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDescending(t *testing.T) {
+	tr := mustTree(t, 5)
+	for i := 1000; i > 0; i-- {
+		tr.Insert(uint64(i), uint64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	n := tr.RangeScan(0, ^uint64(0), func(k, v uint64) bool {
+		if k < prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := uint64(0); i < 50; i++ {
+		tr.Insert(7, i)
+		tr.Insert(9, i+1000)
+	}
+	if tr.Len() != 100 {
+		t.Fatal("len")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	count7 := 0
+	tr.RangeScan(7, 7, func(k, v uint64) bool {
+		if k != 7 {
+			t.Fatalf("scan leaked key %d", k)
+		}
+		count7++
+		return true
+	})
+	if count7 != 50 {
+		t.Fatalf("found %d entries for key 7", count7)
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr := mustTree(t, 6)
+	for i := uint64(0); i < 100; i += 10 {
+		tr.Insert(i, i)
+	}
+	var got []uint64
+	tr.RangeScan(15, 55, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Early stop.
+	visits := 0
+	tr.RangeScan(0, 100, func(k, v uint64) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+	// Empty range.
+	if n := tr.RangeScan(41, 49, func(k, v uint64) bool { return true }); n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+	// Range past the end.
+	if n := tr.RangeScan(1000, 2000, func(k, v uint64) bool { return true }); n != 0 {
+		t.Fatalf("past-end range visited %d", n)
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := uint64(0); i < 200; i++ {
+		tr.Insert(i, i*3)
+	}
+	for i := uint64(0); i < 200; i += 2 {
+		v, ok := tr.Delete(i)
+		if !ok || v != i*3 {
+			t.Fatalf("Delete(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		want := i%2 == 1
+		if tr.Has(i) != want {
+			t.Fatalf("Has(%d) = %v", i, !want)
+		}
+	}
+	if _, ok := tr.Delete(1000); ok {
+		t.Fatal("deleted missing key")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := mustTree(t, 4)
+	const n = 500
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Insert(uint64(i), uint64(i))
+	}
+	perm2 := rand.New(rand.NewSource(2)).Perm(n)
+	for idx, i := range perm2 {
+		if _, ok := tr.Delete(uint64(i)); !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+		if idx%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", idx+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree must remain usable.
+	tr.Insert(42, 7)
+	if v, ok := tr.Get(42); !ok || v != 7 {
+		t.Fatal("tree unusable after full drain")
+	}
+}
+
+func TestDeleteDuplicates(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := uint64(0); i < 30; i++ {
+		tr.Insert(5, i)
+	}
+	for i := 0; i < 30; i++ {
+		if _, ok := tr.Delete(5); !ok {
+			t.Fatalf("delete dup %d failed", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after %d dup deletes: %v", i+1, err)
+		}
+	}
+	if tr.Has(5) || tr.Len() != 0 {
+		t.Fatal("duplicates not fully removed")
+	}
+}
+
+// opModel runs a randomized sequence of operations against both the tree
+// and a reference multimap, verifying agreement and invariants.
+func TestRandomizedAgainstModel(t *testing.T) {
+	for _, order := range []int{4, 5, 8, 32} {
+		tr := mustTree(t, order)
+		model := map[uint64][]uint64{} // key -> multiset of values
+		rng := rand.New(rand.NewSource(int64(order)))
+		size := 0
+		for op := 0; op < 4000; op++ {
+			k := uint64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0, 1: // insert twice as often as delete
+				v := uint64(rng.Int63())
+				tr.Insert(k, v)
+				model[k] = append(model[k], v)
+				size++
+			case 2:
+				_, ok := tr.Delete(k)
+				if ok != (len(model[k]) > 0) {
+					t.Fatalf("order %d op %d: delete(%d) disagreement", order, op, k)
+				}
+				if ok {
+					model[k] = model[k][1:] // tree deletes one occurrence
+					size--
+				}
+			}
+			if tr.Len() != size {
+				t.Fatalf("order %d: len %d vs model %d", order, tr.Len(), size)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		// Full scan must produce exactly the model's keys, sorted.
+		var wantKeys []uint64
+		for k, vs := range model {
+			for range vs {
+				wantKeys = append(wantKeys, k)
+			}
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		var gotKeys []uint64
+		tr.RangeScan(0, ^uint64(0), func(k, v uint64) bool {
+			gotKeys = append(gotKeys, k)
+			return true
+		})
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("order %d: scan %d keys, model %d", order, len(gotKeys), len(wantKeys))
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("order %d: key %d: %d vs %d", order, i, gotKeys[i], wantKeys[i])
+			}
+		}
+	}
+}
+
+func TestRandomRangeScansAgainstModel(t *testing.T) {
+	tr := mustTree(t, 8)
+	var keys []uint64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(5000))
+		tr.Insert(k, k)
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for trial := 0; trial < 200; trial++ {
+		lo := uint64(rng.Intn(5200))
+		hi := lo + uint64(rng.Intn(1000))
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := tr.RangeScan(lo, hi, func(k, v uint64) bool {
+			if k < lo || k > hi {
+				t.Fatalf("scan [%d,%d] leaked %d", lo, hi, k)
+			}
+			return true
+		})
+		if got != want {
+			t.Fatalf("scan [%d,%d] = %d entries, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	total := 0
+	leaves := 0
+	tr.Leaves(func(entries int) bool {
+		total += entries
+		leaves++
+		return true
+	})
+	if total != 100 {
+		t.Fatalf("leaf entries sum to %d", total)
+	}
+	if leaves < 100/3 {
+		t.Fatalf("implausibly few leaves: %d", leaves)
+	}
+	// Early stop.
+	count := 0
+	tr.Leaves(func(int) bool { count++; return false })
+	if count != 1 {
+		t.Fatal("early stop ignored")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := mustTree(t, 4)
+	if tr.Len() != 0 {
+		t.Fatal("len")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("get on empty")
+	}
+	if _, ok := tr.Delete(1); ok {
+		t.Fatal("delete on empty")
+	}
+	if n := tr.RangeScan(0, 100, func(k, v uint64) bool { return true }); n != 0 {
+		t.Fatal("scan on empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeKeys(t *testing.T) {
+	tr := mustTree(t, 4)
+	tr.Insert(0, 1)
+	tr.Insert(^uint64(0), 2)
+	if v, ok := tr.Get(0); !ok || v != 1 {
+		t.Fatal("key 0")
+	}
+	if v, ok := tr.Get(^uint64(0)); !ok || v != 2 {
+		t.Fatal("max key")
+	}
+	n := tr.RangeScan(0, ^uint64(0), func(k, v uint64) bool { return true })
+	if n != 2 {
+		t.Fatalf("full scan = %d", n)
+	}
+}
+
+func TestDeleteValue(t *testing.T) {
+	tr := mustTree(t, 4)
+	for i := uint64(0); i < 40; i++ {
+		tr.Insert(7, i)
+	}
+	tr.Insert(6, 100)
+	tr.Insert(8, 200)
+	// Delete specific values out of the duplicate run.
+	for _, v := range []uint64{39, 0, 20, 21} {
+		if !tr.DeleteValue(7, v) {
+			t.Fatalf("DeleteValue(7, %d) failed", v)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.DeleteValue(7, 39) {
+		t.Fatal("re-delete succeeded")
+	}
+	if tr.DeleteValue(9, 1) {
+		t.Fatal("missing key deleted")
+	}
+	remaining := map[uint64]bool{}
+	tr.RangeScan(7, 7, func(k, v uint64) bool {
+		remaining[v] = true
+		return true
+	})
+	if len(remaining) != 36 {
+		t.Fatalf("%d values remain, want 36", len(remaining))
+	}
+	for _, v := range []uint64{39, 0, 20, 21} {
+		if remaining[v] {
+			t.Fatalf("value %d still present", v)
+		}
+	}
+	if v, ok := tr.Get(6); !ok || v != 100 {
+		t.Fatal("neighbor keys disturbed")
+	}
+}
+
+func TestDeleteValueRandomizedAgainstModel(t *testing.T) {
+	tr := mustTree(t, 4)
+	type entry struct{ k, v uint64 }
+	var model []entry
+	rng := rand.New(rand.NewSource(77))
+	for op := 0; op < 3000; op++ {
+		k := uint64(rng.Intn(40)) // few keys -> long duplicate runs
+		if rng.Intn(3) != 0 {
+			v := uint64(rng.Intn(50))
+			tr.Insert(k, v)
+			model = append(model, entry{k, v})
+		} else {
+			v := uint64(rng.Intn(50))
+			got := tr.DeleteValue(k, v)
+			want := false
+			for i, e := range model {
+				if e.k == k && e.v == v {
+					model = append(model[:i], model[i+1:]...)
+					want = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("op %d: DeleteValue(%d,%d) = %v, want %v", op, k, v, got, want)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: len %d vs model %d", op, tr.Len(), len(model))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

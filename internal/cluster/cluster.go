@@ -1,0 +1,224 @@
+// Package cluster computes clustering numbers, the paper's central metric:
+// the clustering number c(q, pi) of a query q under an SFC pi is the
+// minimum number of runs of consecutive curve positions that exactly cover
+// the cells of q (Section I).
+//
+// Three strategies are provided and cross-validated by the test suite:
+//
+//   - CountSorted enumerates all cells, sorts their keys and counts runs.
+//     Works for every curve but costs O(|q| log |q|) time and O(|q|) space.
+//   - CountContinuous implements Lemma 1 for continuous curves: every
+//     cluster boundary is a curve edge crossing the query boundary, so only
+//     the O(surface) inside/outside neighbor pairs need to be inspected.
+//     This is what makes 10^8-cell queries (Figure 5b) countable.
+//   - AverageExact computes the exact average clustering number over the
+//     query set of all translates of a shape, for any curve, continuous or
+//     not, by walking the curve once and applying a generalization of
+//     Lemma 2 to arbitrary directed edges.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+var (
+	// ErrNotContinuous reports that a continuous-only strategy was asked
+	// to handle a discontinuous curve.
+	ErrNotContinuous = errors.New("cluster: curve is not continuous")
+	// ErrRectOutside reports a query rectangle not fully inside the
+	// curve's universe.
+	ErrRectOutside = errors.New("cluster: rectangle outside universe")
+	// ErrTooManyCells reports a query too large for the sorted strategy.
+	ErrTooManyCells = errors.New("cluster: query exceeds cell budget for sorted counting")
+	// ErrShape reports an invalid translate shape.
+	ErrShape = errors.New("cluster: invalid query shape")
+)
+
+// DefaultMaxSortedCells bounds the memory used by CountSorted when invoked
+// through Count: 2^24 cells is 128 MiB of keys.
+const DefaultMaxSortedCells = 1 << 24
+
+// Count returns the exact clustering number of r under c, choosing the
+// cheapest correct strategy: the Lemma 1 boundary method for continuous
+// curves, sorted run counting otherwise.
+func Count(c curve.Curve, r geom.Rect) (uint64, error) {
+	if curve.IsContinuous(c) {
+		return CountContinuous(c, r)
+	}
+	return CountSorted(c, r, DefaultMaxSortedCells)
+}
+
+// CountSorted enumerates the cells of r, sorts their curve keys and counts
+// maximal runs of consecutive keys. maxCells guards memory; pass 0 for the
+// default budget.
+func CountSorted(c curve.Curve, r geom.Rect, maxCells uint64) (uint64, error) {
+	if maxCells == 0 {
+		maxCells = DefaultMaxSortedCells
+	}
+	if !r.In(c.Universe()) {
+		return 0, fmt.Errorf("%w: %v in %v", ErrRectOutside, r, c.Universe())
+	}
+	cells := r.Cells()
+	if cells > maxCells {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooManyCells, cells, maxCells)
+	}
+	keys := make([]uint64, 0, cells)
+	r.ForEach(func(p geom.Point) bool {
+		keys = append(keys, c.Index(p))
+		return true
+	})
+	slices.Sort(keys)
+	var runs uint64
+	for i, k := range keys {
+		if i == 0 || keys[i-1]+1 != k {
+			runs++
+		}
+	}
+	return runs, nil
+}
+
+// CountContinuous counts clusters via Lemma 1: for a continuous SFC,
+// c(q, pi) = (gamma(q, pi) + I(q, pi_s) + I(q, pi_e)) / 2 where gamma
+// counts curve edges crossing the boundary of q. Because the curve is
+// continuous, every crossing edge is a grid-neighbor pair straddling a face
+// of q, so only O(surface(q)) pairs need checking, each with two forward
+// curve evaluations.
+func CountContinuous(c curve.Curve, r geom.Rect) (uint64, error) {
+	if !curve.IsContinuous(c) {
+		return 0, fmt.Errorf("%w: %s", ErrNotContinuous, c.Name())
+	}
+	u := c.Universe()
+	if !r.In(u) {
+		return 0, fmt.Errorf("%w: %v in %v", ErrRectOutside, r, u)
+	}
+	var gamma uint64
+	r.Faces(u, func(in, out geom.Point) bool {
+		hi, ho := c.Index(in), c.Index(out)
+		if hi+1 == ho || ho+1 == hi {
+			gamma++
+		}
+		return true
+	})
+	var ends uint64
+	p := make(geom.Point, u.Dims())
+	if r.Contains(c.Coords(0, p)) {
+		ends++
+	}
+	if r.Contains(c.Coords(u.Size()-1, p)) {
+		ends++
+	}
+	return (gamma + ends) / 2, nil
+}
+
+// CoverCount returns the number of translates of a query of the given
+// shape (inside universe u) that contain the cell p — the paper's I(Q, p)
+// summed over the whole translate family.
+func CoverCount(u geom.Universe, shape []uint32, p geom.Point) uint64 {
+	prod := uint64(1)
+	for i := range shape {
+		prod *= coverCount1(u.Side(), shape[i], p[i])
+	}
+	return prod
+}
+
+// coverCount1 counts positions pos in [0, side-l] with pos <= x <= pos+l-1.
+func coverCount1(side, l, x uint32) uint64 {
+	lo := int64(x) - int64(l) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int64(x)
+	if m := int64(side) - int64(l); hi > m {
+		hi = m
+	}
+	if hi < lo {
+		return 0
+	}
+	return uint64(hi - lo + 1)
+}
+
+// coverPair1 counts positions covering both coordinates a and b.
+func coverPair1(side, l, a, b uint32) uint64 {
+	mn, mx := a, b
+	if mn > mx {
+		mn, mx = mx, mn
+	}
+	lo := int64(mx) - int64(l) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int64(mn)
+	if m := int64(side) - int64(l); hi > m {
+		hi = m
+	}
+	if hi < lo {
+		return 0
+	}
+	return uint64(hi - lo + 1)
+}
+
+// GammaTranslates returns gamma(Q, e) for the directed edge e = (alpha,
+// beta) and the query set Q of all translates of the given shape: the
+// number of translates containing exactly one endpoint. This generalizes
+// Lemma 2 to arbitrary (not necessarily neighboring) cell pairs, which is
+// what discontinuous curves like the Z curve require.
+func GammaTranslates(u geom.Universe, shape []uint32, alpha, beta geom.Point) uint64 {
+	a := uint64(1)
+	b := uint64(1)
+	both := uint64(1)
+	for i := range shape {
+		a *= coverCount1(u.Side(), shape[i], alpha[i])
+		b *= coverCount1(u.Side(), shape[i], beta[i])
+		both *= coverPair1(u.Side(), shape[i], alpha[i], beta[i])
+	}
+	return a + b - 2*both
+}
+
+// AverageExact returns the exact average clustering number of c over the
+// query set formed by all translates of the given shape, using Lemma 1:
+//
+//	avg = (sum_e gamma(Q, e) + I(Q, pi_s) + I(Q, pi_e)) / (2 |Q|)
+//
+// The curve is walked once (n-1 edges); each edge contributes its
+// GammaTranslates value. Cost is O(n * d) time and O(d) space.
+func AverageExact(c curve.Curve, shape []uint32) (float64, error) {
+	u := c.Universe()
+	count, err := TranslateCount(u, shape)
+	if err != nil {
+		return 0, err
+	}
+	n := u.Size()
+	prev := c.Coords(0, nil)
+	cur := make(geom.Point, u.Dims())
+	var gamma float64
+	for h := uint64(1); h < n; h++ {
+		c.Coords(h, cur)
+		gamma += float64(GammaTranslates(u, shape, prev, cur))
+		prev, cur = cur, prev
+	}
+	// prev now holds pi_e; recompute pi_s.
+	gamma += float64(CoverCount(u, shape, c.Coords(0, cur)))
+	gamma += float64(CoverCount(u, shape, c.Coords(n-1, cur)))
+	return gamma / (2 * float64(count)), nil
+}
+
+// TranslateCount returns |Q|, the number of distinct translates of the
+// shape inside the universe.
+func TranslateCount(u geom.Universe, shape []uint32) (uint64, error) {
+	if len(shape) != u.Dims() {
+		return 0, fmt.Errorf("%w: %d dims for universe %v", ErrShape, len(shape), u)
+	}
+	count := uint64(1)
+	for _, l := range shape {
+		if l == 0 || l > u.Side() {
+			return 0, fmt.Errorf("%w: side %d in universe %v", ErrShape, l, u)
+		}
+		count *= uint64(u.Side()-l) + 1
+	}
+	return count, nil
+}

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// curves2d returns a mixed bag of continuous and discontinuous 2D curves on
+// a power-of-two side.
+func curves2d(t *testing.T, side uint32) []curve.Curve {
+	t.Helper()
+	o, err := core.NewOnion2D(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := baseline.NewHilbert(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := baseline.NewMorton(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := baseline.NewGray(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.NewSnake(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := baseline.NewRowMajor(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []curve.Curve{o, h, z, g, s, r}
+}
+
+func TestCountFigure1(t *testing.T) {
+	// Figure 1 shows a query where the Hilbert curve needs 2 clusters and
+	// the Z curve 4. The centered 2x2 query at (1,1) on a 4x4 grid
+	// realizes exactly those numbers: Hilbert keys form 2 runs, Z keys
+	// {3,6,9,12} form 4 singleton runs.
+	h, _ := baseline.NewHilbert(2, 4)
+	z, _ := baseline.NewMorton(2, 4)
+	r := geom.Rect{Lo: geom.Point{1, 1}, Hi: geom.Point{2, 2}}
+	ch, err := Count(h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cz, err := Count(z, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cz != 4 {
+		t.Errorf("z curve centered 2x2 clusters = %d, want 4", cz)
+	}
+	if ch >= cz {
+		t.Errorf("hilbert (%d) should beat z curve (%d); exact hilbert count depends on orientation", ch, cz)
+	}
+	// Queries realizing Figure 1's exact pair (hilbert 2, z 4) exist on
+	// the 8x8 grid; the 1x4 window at the origin is one of them.
+	h8, _ := baseline.NewHilbert(2, 8)
+	z8, _ := baseline.NewMorton(2, 8)
+	fig1 := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{0, 3}}
+	chh, _ := Count(h8, fig1)
+	czz, _ := Count(z8, fig1)
+	if chh != 2 || czz != 4 {
+		t.Errorf("1x4 at origin: hilbert=%d z=%d, want 2 and 4", chh, czz)
+	}
+}
+
+func TestCountWholeUniverse(t *testing.T) {
+	for _, c := range curves2d(t, 8) {
+		got, err := Count(c, c.Universe().Rect())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if got != 1 {
+			t.Errorf("%s: whole universe clusters = %d, want 1", c.Name(), got)
+		}
+	}
+}
+
+func TestCountSingleCell(t *testing.T) {
+	for _, c := range curves2d(t, 8) {
+		r := geom.Rect{Lo: geom.Point{3, 5}, Hi: geom.Point{3, 5}}
+		got, err := Count(c, r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if got != 1 {
+			t.Errorf("%s: single cell clusters = %d, want 1", c.Name(), got)
+		}
+	}
+}
+
+func TestCountSingleRowUnderRowMajor(t *testing.T) {
+	r, _ := baseline.NewRowMajor(2, 16)
+	cmaj, _ := baseline.NewColumnMajor(2, 16)
+	row := geom.Rect{Lo: geom.Point{0, 7}, Hi: geom.Point{15, 7}}
+	if got, _ := Count(r, row); got != 1 {
+		t.Errorf("row under rowmajor = %d, want 1", got)
+	}
+	if got, _ := Count(cmaj, row); got != 16 {
+		t.Errorf("row under colmajor = %d, want 16 (Section V-C)", got)
+	}
+}
+
+// TestContinuousMatchesSorted is the key cross-validation: the Lemma 1
+// boundary method must agree with brute-force sorted counting on random
+// queries for every continuous curve.
+func TestContinuousMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	side := uint32(32)
+	o, _ := core.NewOnion2D(side)
+	h, _ := baseline.NewHilbert(2, side)
+	s, _ := baseline.NewSnake(2, side)
+	for _, c := range []curve.Curve{o, h, s} {
+		for trial := 0; trial < 200; trial++ {
+			r := randRect(rng, 2, side)
+			want, err := CountSorted(c, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CountContinuous(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s on %v: boundary=%d sorted=%d", c.Name(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestContinuousMatchesSorted3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	o3, _ := core.NewOnion3D(16)
+	h3, _ := baseline.NewHilbert(3, 16)
+	s3, _ := baseline.NewSnake(3, 16)
+	for _, c := range []curve.Curve{h3, s3} {
+		for trial := 0; trial < 100; trial++ {
+			r := randRect(rng, 3, 16)
+			want, _ := CountSorted(c, r, 0)
+			got, err := CountContinuous(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s on %v: boundary=%d sorted=%d", c.Name(), r, got, want)
+			}
+		}
+	}
+	// Onion3D is not continuous; Count must fall back to sorted and the
+	// continuous method must refuse it.
+	if _, err := CountContinuous(o3, geom.Rect{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{3, 3, 3}}); !errors.Is(err, ErrNotContinuous) {
+		t.Error("onion3d accepted by CountContinuous")
+	}
+}
+
+func randRect(rng *rand.Rand, dims int, side uint32) geom.Rect {
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := 0; i < dims; i++ {
+		a := uint32(rng.Int31n(int32(side)))
+		b := uint32(rng.Int31n(int32(side)))
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+func TestCountErrors(t *testing.T) {
+	h, _ := baseline.NewHilbert(2, 8)
+	outside := geom.Rect{Lo: geom.Point{5, 5}, Hi: geom.Point{9, 9}}
+	if _, err := CountContinuous(h, outside); !errors.Is(err, ErrRectOutside) {
+		t.Error("rect outside universe accepted by CountContinuous")
+	}
+	if _, err := CountSorted(h, outside, 0); !errors.Is(err, ErrRectOutside) {
+		t.Error("rect outside universe accepted by CountSorted")
+	}
+	big := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{7, 7}}
+	if _, err := CountSorted(h, big, 8); !errors.Is(err, ErrTooManyCells) {
+		t.Error("cell budget not enforced")
+	}
+}
+
+// bruteAverage computes the average clustering number over all translates
+// by explicit enumeration — the oracle for AverageExact.
+func bruteAverage(t *testing.T, c curve.Curve, shape []uint32) float64 {
+	t.Helper()
+	u := c.Universe()
+	var total, count uint64
+	pos := make(geom.Point, u.Dims())
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == u.Dims() {
+			r, err := geom.RectAt(pos, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := CountSorted(c, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += n
+			count++
+			return
+		}
+		for v := uint32(0); v+shape[dim] <= u.Side(); v++ {
+			pos[dim] = v
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return float64(total) / float64(count)
+}
+
+func TestAverageExactMatchesBruteForce2D(t *testing.T) {
+	for _, c := range curves2d(t, 16) {
+		for _, shape := range [][]uint32{{1, 1}, {2, 2}, {3, 2}, {5, 5}, {7, 3}, {16, 16}, {15, 1}, {9, 12}} {
+			want := bruteAverage(t, c, shape)
+			got, err := AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s shape %v: exact=%.12f brute=%.12f", c.Name(), shape, got, want)
+			}
+		}
+	}
+}
+
+func TestAverageExactMatchesBruteForce3D(t *testing.T) {
+	o3, _ := core.NewOnion3D(8)
+	h3, _ := baseline.NewHilbert(3, 8)
+	z3, _ := baseline.NewMorton(3, 8)
+	for _, c := range []curve.Curve{o3, h3, z3} {
+		for _, shape := range [][]uint32{{2, 2, 2}, {3, 5, 2}, {8, 8, 8}, {7, 7, 7}} {
+			want := bruteAverage(t, c, shape)
+			got, err := AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s shape %v: exact=%.12f brute=%.12f", c.Name(), shape, got, want)
+			}
+		}
+	}
+}
+
+func TestAverageExactShapeValidation(t *testing.T) {
+	h, _ := baseline.NewHilbert(2, 8)
+	if _, err := AverageExact(h, []uint32{0, 2}); !errors.Is(err, ErrShape) {
+		t.Error("zero side accepted")
+	}
+	if _, err := AverageExact(h, []uint32{9, 2}); !errors.Is(err, ErrShape) {
+		t.Error("oversized side accepted")
+	}
+	if _, err := AverageExact(h, []uint32{2}); !errors.Is(err, ErrShape) {
+		t.Error("wrong dims accepted")
+	}
+}
+
+func TestGammaTranslatesBruteForce(t *testing.T) {
+	// Compare the closed form against explicit translate enumeration for
+	// random (not necessarily neighboring) cell pairs.
+	u := geom.MustUniverse(2, 12)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		shape := []uint32{uint32(rng.Int31n(12)) + 1, uint32(rng.Int31n(12)) + 1}
+		alpha := geom.Point{uint32(rng.Int31n(12)), uint32(rng.Int31n(12))}
+		beta := geom.Point{uint32(rng.Int31n(12)), uint32(rng.Int31n(12))}
+		if alpha.Equal(beta) {
+			continue
+		}
+		var want uint64
+		for x := uint32(0); x+shape[0] <= 12; x++ {
+			for y := uint32(0); y+shape[1] <= 12; y++ {
+				r, _ := geom.RectAt(geom.Point{x, y}, shape)
+				ina, inb := r.Contains(alpha), r.Contains(beta)
+				if ina != inb {
+					want++
+				}
+			}
+		}
+		if got := GammaTranslates(u, shape, alpha, beta); got != want {
+			t.Fatalf("shape %v alpha %v beta %v: got %d want %d", shape, alpha, beta, got, want)
+		}
+	}
+}
+
+func TestCoverCountBruteForce(t *testing.T) {
+	u := geom.MustUniverse(2, 10)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		shape := []uint32{uint32(rng.Int31n(10)) + 1, uint32(rng.Int31n(10)) + 1}
+		p := geom.Point{uint32(rng.Int31n(10)), uint32(rng.Int31n(10))}
+		var want uint64
+		for x := uint32(0); x+shape[0] <= 10; x++ {
+			for y := uint32(0); y+shape[1] <= 10; y++ {
+				r, _ := geom.RectAt(geom.Point{x, y}, shape)
+				if r.Contains(p) {
+					want++
+				}
+			}
+		}
+		if got := CoverCount(u, shape, p); got != want {
+			t.Fatalf("shape %v p %v: got %d want %d", shape, p, got, want)
+		}
+	}
+}
+
+func TestTranslateCount(t *testing.T) {
+	u := geom.MustUniverse(2, 10)
+	n, err := TranslateCount(u, []uint32{3, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("got %d want 8", n)
+	}
+	if _, err := TranslateCount(u, []uint32{11, 1}); err == nil {
+		t.Error("oversize shape accepted")
+	}
+}
+
+// TestLemma1Identity verifies the paper's Lemma 1 on random queries for a
+// continuous curve: clusters == (crossing edges + endpoint terms) / 2,
+// counting crossing edges by brute force over the whole curve.
+func TestLemma1Identity(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	rng := rand.New(rand.NewSource(9))
+	n := o.Universe().Size()
+	for trial := 0; trial < 50; trial++ {
+		r := randRect(rng, 2, 16)
+		var gamma uint64
+		prev := o.Coords(0, nil).Clone()
+		cur := make(geom.Point, 2)
+		for h := uint64(1); h < n; h++ {
+			o.Coords(h, cur)
+			if r.Contains(prev) != r.Contains(cur) {
+				gamma++
+			}
+			copy(prev, cur)
+		}
+		var ends uint64
+		if r.Contains(o.Coords(0, cur)) {
+			ends++
+		}
+		if r.Contains(o.Coords(n-1, cur)) {
+			ends++
+		}
+		want, _ := CountSorted(o, r, 0)
+		if got := (gamma + ends) / 2; got != want {
+			t.Fatalf("Lemma 1 violated on %v: (%d+%d)/2 != %d", r, gamma, ends, want)
+		}
+	}
+}

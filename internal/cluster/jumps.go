@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// JumpLister is implemented by curves that are continuous except at an
+// explicitly enumerable set of positions ("almost continuous", like the 3D
+// onion curve). Jumps must return, sorted, every h for which the step
+// h -> h+1 is not a grid-neighbor move.
+type JumpLister interface {
+	Jumps() []uint64
+}
+
+// ErrNoJumps reports a curve that neither is continuous nor enumerates its
+// discontinuities.
+var ErrNoJumps = fmt.Errorf("cluster: curve does not enumerate jumps")
+
+// CountNearContinuous counts clusters of r for an almost-continuous curve:
+// a run of the query starts either at the global curve start, after a
+// grid-neighbor boundary crossing (found among the O(surface) face pairs),
+// or after one of the curve's enumerated jumps. Cost is
+// O(surface(r) + jumps).
+func CountNearContinuous(c curve.Curve, r geom.Rect) (uint64, error) {
+	u := c.Universe()
+	if !r.In(u) {
+		return 0, fmt.Errorf("%w: %v in %v", ErrRectOutside, r, u)
+	}
+	var jumps []uint64
+	if jl, ok := c.(JumpLister); ok {
+		jumps = jl.Jumps()
+	} else if !curve.IsContinuous(c) {
+		return 0, fmt.Errorf("%w: %s", ErrNoJumps, c.Name())
+	}
+	var starts uint64
+	r.Faces(u, func(in, out geom.Point) bool {
+		hi, ho := c.Index(in), c.Index(out)
+		if ho+1 == hi {
+			// out is the predecessor of in; but if that step is one of
+			// the enumerated jumps it is handled in the jump pass below
+			// (it cannot be: a jump step is not a neighbor move, and
+			// face pairs are neighbors). Count it.
+			starts++
+		}
+		return true
+	})
+	p := make(geom.Point, u.Dims())
+	q := make(geom.Point, u.Dims())
+	for _, h := range jumps {
+		// Successor cell of the jump starts a run iff it is inside and
+		// the jump cell itself is outside.
+		c.Coords(h+1, p)
+		if !r.Contains(p) {
+			continue
+		}
+		c.Coords(h, q)
+		if !r.Contains(q) {
+			starts++
+		}
+	}
+	if r.Contains(c.Coords(0, p)) {
+		starts++
+	}
+	return starts, nil
+}
+
+// ScanJumps walks the whole curve and returns every discontinuity — the
+// brute-force counterpart of JumpLister for tests and for small curves
+// that do not enumerate their jumps analytically.
+func ScanJumps(c curve.Curve) []uint64 {
+	u := c.Universe()
+	n := u.Size()
+	var jumps []uint64
+	prev := c.Coords(0, nil)
+	cur := make(geom.Point, u.Dims())
+	for h := uint64(1); h < n; h++ {
+		c.Coords(h, cur)
+		if !areNeighbors(prev, cur) {
+			jumps = append(jumps, h-1)
+		}
+		prev, cur = cur, prev
+	}
+	return jumps
+}
+
+func areNeighbors(a, b geom.Point) bool {
+	diff := 0
+	for i := range a {
+		switch {
+		case a[i] == b[i]:
+		case a[i]+1 == b[i] || b[i]+1 == a[i]:
+			diff++
+		default:
+			return false
+		}
+	}
+	return diff == 1
+}

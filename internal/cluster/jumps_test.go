@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// TestOnion3DJumpsMatchScan verifies the analytic jump enumeration of the
+// 3D onion curve against a brute-force curve walk.
+func TestOnion3DJumpsMatchScan(t *testing.T) {
+	for _, side := range []uint32{2, 4, 6, 8, 16, 32} {
+		o, err := core.NewOnion3D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ScanJumps(o)
+		got := o.Jumps()
+		if len(got) != len(want) {
+			t.Fatalf("side %d: %d analytic jumps, %d scanned", side, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("side %d: jump %d: %d vs %d", side, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOnion3DJumpCountIsSmall(t *testing.T) {
+	// O(m) jumps: the almost-continuity that makes huge queries countable.
+	o, _ := core.NewOnion3D(64)
+	jumps := o.Jumps()
+	if len(jumps) == 0 {
+		t.Fatal("expected some jumps (onion3d is not continuous)")
+	}
+	if len(jumps) > 11*32 {
+		t.Fatalf("too many jumps: %d", len(jumps))
+	}
+}
+
+func TestScanJumpsContinuousCurveEmpty(t *testing.T) {
+	h, _ := baseline.NewHilbert(2, 16)
+	if js := ScanJumps(h); len(js) != 0 {
+		t.Fatalf("hilbert has %d jumps", len(js))
+	}
+	o, _ := core.NewOnion2D(15)
+	if js := ScanJumps(o); len(js) != 0 {
+		t.Fatalf("onion2d has %d jumps", len(js))
+	}
+}
+
+// TestCountNearContinuousMatchesSorted is the correctness proof of the
+// jump-aware counter on the 3D onion curve.
+func TestCountNearContinuousMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, side := range []uint32{8, 16} {
+		o, err := core.NewOnion3D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 120; trial++ {
+			r := randRect(rng, 3, side)
+			want, err := CountSorted(o, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CountNearContinuous(o, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("side %d %v: jump counter %d, sorted %d", side, r, got, want)
+			}
+		}
+	}
+}
+
+// TestCountNearContinuousOnContinuousCurve: with no jumps the method
+// degenerates to the Lemma 1 boundary counter.
+func TestCountNearContinuousOnContinuousCurve(t *testing.T) {
+	h, _ := baseline.NewHilbert(2, 32)
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 60; trial++ {
+		r := randRect(rng, 2, 32)
+		want, _ := CountSorted(h, r, 0)
+		got, err := CountNearContinuous(h, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: %d vs %d", r, got, want)
+		}
+	}
+}
+
+func TestCountNearContinuousRejectsUnknownCurves(t *testing.T) {
+	z, _ := baseline.NewMorton(2, 8)
+	r := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{3, 3}}
+	if _, err := CountNearContinuous(z, r); !errors.Is(err, ErrNoJumps) {
+		t.Error("morton accepted without jump list")
+	}
+	o, _ := core.NewOnion3D(8)
+	outside := geom.Rect{Lo: geom.Point{4, 4, 4}, Hi: geom.Point{8, 8, 8}}
+	if _, err := CountNearContinuous(o, outside); !errors.Is(err, ErrRectOutside) {
+		t.Error("outside rect accepted")
+	}
+}
+
+func TestCountNearContinuousWholeUniverse(t *testing.T) {
+	o, _ := core.NewOnion3D(16)
+	got, err := CountNearContinuous(o, o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("whole universe = %d clusters", got)
+	}
+}
+
+func TestOnion3DPermutedJumpsMatchScan(t *testing.T) {
+	perm := [10]int{9, 1, 3, 4, 5, 2, 6, 7, 8, 10}
+	for _, side := range []uint32{4, 8, 16} {
+		o, err := core.NewOnion3DWithSegmentOrder(side, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ScanJumps(o)
+		got := o.Jumps()
+		if len(got) != len(want) {
+			t.Fatalf("side %d: %d analytic jumps, %d scanned", side, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("side %d: jump %d: %d vs %d", side, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewOnion2D(0); err == nil {
+		t.Error("onion2d accepted side=0")
+	}
+	if _, err := NewOnion3D(7); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("onion3d accepted odd side")
+	}
+	if _, err := NewOnion3D(0); err == nil {
+		t.Error("onion3d accepted side=0")
+	}
+	if _, err := NewOnionND(0, 4); err == nil {
+		t.Error("onionnd accepted dims=0")
+	}
+	if _, err := NewLayerLex(2, 0); err == nil {
+		t.Error("layerlex accepted side=0")
+	}
+	if _, err := NewOnionND(3, 1<<21); !errors.Is(err, geom.ErrTooLarge) {
+		t.Error("oversized onionnd accepted")
+	}
+}
+
+// TestOnion2DFigure3 pins the exact orders shown in Figure 3 of the paper
+// for the 2x2 and 4x4 universes.
+func TestOnion2DFigure3(t *testing.T) {
+	o2, err := NewOnion2D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O2(0,0)=0, O2(1,0)=1, O2(1,1)=2, O2(0,1)=3.
+	want2 := map[[2]uint32]uint64{{0, 0}: 0, {1, 0}: 1, {1, 1}: 2, {0, 1}: 3}
+	for xy, h := range want2 {
+		if got := o2.Index(geom.Point{xy[0], xy[1]}); got != h {
+			t.Errorf("O2(%v) = %d, want %d", xy, got, h)
+		}
+	}
+
+	o4, err := NewOnion2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived from the five-case definition for j=4 plus the recursive
+	// interior O2: bottom row 0-3, right column 4-6, top row 7-9, left
+	// column 10-11, then the 2x2 interior 12-15.
+	want4 := map[[2]uint32]uint64{
+		{0, 0}: 0, {1, 0}: 1, {2, 0}: 2, {3, 0}: 3,
+		{3, 1}: 4, {3, 2}: 5, {3, 3}: 6,
+		{2, 3}: 7, {1, 3}: 8, {0, 3}: 9,
+		{0, 2}: 10, {0, 1}: 11,
+		{1, 1}: 12, {2, 1}: 13, {2, 2}: 14, {1, 2}: 15,
+	}
+	for xy, h := range want4 {
+		if got := o4.Index(geom.Point{xy[0], xy[1]}); got != h {
+			t.Errorf("O4(%v) = %d, want %d", xy, got, h)
+		}
+	}
+}
+
+// TestOnion2DMatchesRecursiveDefinition checks the closed form against a
+// direct implementation of the paper's recursive five-case definition.
+func TestOnion2DMatchesRecursiveDefinition(t *testing.T) {
+	var recursive func(j, x, y uint32) uint64
+	recursive = func(j, x, y uint32) uint64 {
+		if j == 1 {
+			return 0
+		}
+		switch {
+		case y == 0:
+			return uint64(x)
+		case x == j-1:
+			return uint64(j) - 1 + uint64(y)
+		case y == j-1:
+			return uint64(3*(j-1)) - uint64(x)
+		case x == 0:
+			return uint64(4*(j-1)) - uint64(y)
+		default:
+			return uint64(4*(j-1)) + recursive(j-2, x-1, y-1)
+		}
+	}
+	for _, side := range []uint32{1, 2, 3, 4, 5, 6, 7, 8, 16, 17, 32} {
+		o, err := NewOnion2D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Universe().Rect().ForEach(func(p geom.Point) bool {
+			want := recursive(side, p[0], p[1])
+			if got := o.Index(p); got != want {
+				t.Fatalf("side %d: Index(%v) = %d, recursive def = %d", side, p, got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestOnionBijection(t *testing.T) {
+	for _, side := range []uint32{1, 2, 3, 4, 5, 8, 15, 16, 31, 64, 101} {
+		o, err := NewOnion2D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckBijectionExhaustive(t, o)
+	}
+	for _, side := range []uint32{2, 4, 6, 8, 10, 16, 32} {
+		o, err := NewOnion3D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckBijectionExhaustive(t, o)
+	}
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{{1, 1}, {1, 9}, {2, 6}, {2, 7}, {3, 5}, {3, 6}, {4, 4}, {4, 5}, {5, 3}, {5, 4}} {
+		o, err := NewOnionND(cfg.dims, cfg.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckBijectionExhaustive(t, o)
+	}
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{{1, 8}, {2, 5}, {2, 8}, {3, 4}, {3, 7}, {4, 4}} {
+		o, err := NewLayerLex(cfg.dims, cfg.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckBijectionExhaustive(t, o)
+	}
+}
+
+func TestOnionBijectionSampledLarge(t *testing.T) {
+	o2, err := NewOnion2D(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, o2, 3000, 11)
+	o3, err := NewOnion3D(1 << 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, o3, 3000, 12)
+	ond, err := NewOnionND(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, ond, 1500, 13)
+	ll, err := NewLayerLex(3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckBijectionSampled(t, ll, 1500, 14)
+}
+
+func TestOnion2DContinuity(t *testing.T) {
+	for _, side := range []uint32{2, 3, 4, 5, 8, 16, 33, 64} {
+		o, err := NewOnion2D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckContinuityExhaustive(t, o)
+	}
+	oBig, err := NewOnion2D(1 << 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckContinuitySampled(t, oBig, 3000, 21)
+	if !curve.IsContinuous(oBig) {
+		t.Error("onion2d must declare continuity")
+	}
+}
+
+// layerMonotone asserts the defining onion invariant: the layer number of
+// pi^-1(h) never decreases as h grows.
+func layerMonotone(t *testing.T, c curve.Curve, layer func(geom.Point) uint32) {
+	t.Helper()
+	n := c.Universe().Size()
+	p := make(geom.Point, c.Universe().Dims())
+	prev := uint32(0)
+	for h := uint64(0); h < n; h++ {
+		c.Coords(h, p)
+		l := layer(p)
+		if l < prev {
+			t.Fatalf("%s: layer drops from %d to %d at h=%d (%v)", c.Name(), prev, l, h, p)
+		}
+		prev = l
+	}
+}
+
+func TestLayerMonotonicity(t *testing.T) {
+	o2, _ := NewOnion2D(32)
+	layerMonotone(t, o2, func(p geom.Point) uint32 { return o2.Ring(p) })
+	o3, _ := NewOnion3D(16)
+	layerMonotone(t, o3, func(p geom.Point) uint32 { return o3.Layer(p) })
+	o4, _ := NewOnionND(4, 8)
+	layerMonotone(t, o4, func(p geom.Point) uint32 { return o4.Layer(p) })
+	ll, _ := NewLayerLex(3, 12)
+	layerMonotone(t, ll, func(p geom.Point) uint32 { return layerND(12, p, 0) })
+}
+
+// TestOnion3DLayerSizes checks K1 against the paper's closed form and the
+// segment sizes against Vt'.
+func TestOnion3DLayerSizes(t *testing.T) {
+	o, _ := NewOnion3D(16)
+	m := uint64(8)
+	for t1 := uint32(1); t1 <= 8; t1++ {
+		tau := uint64(t1 - 1)
+		paper := 24*m*m*tau - 24*m*tau*tau + 8*tau*tau*tau
+		if got := o.k1(t1); got != paper {
+			t.Errorf("K1(%d) = %d, paper closed form %d", t1, got, paper)
+		}
+	}
+	// Sum of segment sizes must equal the shell size for each layer.
+	s := uint64(16)
+	for t1 := uint32(1); t1 <= 8; t1++ {
+		w := uint32(s) - 2*(t1-1)
+		var sum uint64
+		for g := 1; g <= 10; g++ {
+			sum += segSize(g, w)
+		}
+		shell := uint64(w)*uint64(w)*uint64(w) - uint64(w-2)*uint64(w-2)*uint64(w-2)
+		if w == 2 {
+			shell = 8
+		}
+		if sum != shell {
+			t.Errorf("layer %d: segment sizes sum to %d, shell has %d", t1, sum, shell)
+		}
+	}
+}
+
+// TestOnion3DSegmentOrder verifies the curve indexes segments in the
+// S1..S10 order within each layer: positions are grouped by segment.
+func TestOnion3DSegmentOrder(t *testing.T) {
+	o, _ := NewOnion3D(8)
+	n := o.Universe().Size()
+	p := make(geom.Point, 3)
+	prevLayer, prevSeg := uint32(1), 0
+	for h := uint64(0); h < n; h++ {
+		o.Coords(h, p)
+		l := o.Layer(p)
+		lo := l - 1
+		w := o.Universe().Side() - 2*(l-1)
+		g, _ := segmentOf(w, p[0]-lo, p[1]-lo, p[2]-lo)
+		if l == prevLayer && g < prevSeg {
+			t.Fatalf("segment order violated at h=%d: layer %d segment %d after %d", h, l, g, prevSeg)
+		}
+		if l != prevLayer {
+			prevSeg = 0
+		}
+		prevLayer, prevSeg = l, g
+	}
+}
+
+func TestOnionNDMatches1D(t *testing.T) {
+	// The 1-dimensional onion orders cells endpoints-inward:
+	// 0, s-1, 1, s-2, 2, ...
+	o, _ := NewOnionND(1, 7)
+	want := []uint32{0, 6, 1, 5, 2, 4, 3}
+	for h, x := range want {
+		if got := o.Coords(uint64(h), nil); got[0] != x {
+			t.Fatalf("onion1d Coords(%d) = %v, want %d", h, got, x)
+		}
+	}
+}
+
+func TestOnionNDLayerCounts(t *testing.T) {
+	// The number of cells in layers < t must be s^d - (s-2t)^d.
+	for _, cfg := range []struct {
+		dims int
+		side uint32
+	}{{2, 8}, {3, 6}, {4, 4}} {
+		o, _ := NewOnionND(cfg.dims, cfg.side)
+		counts := map[uint32]uint64{}
+		o.Universe().Rect().ForEach(func(p geom.Point) bool {
+			counts[o.Layer(p)]++
+			return true
+		})
+		var cum uint64
+		for t0 := uint32(0); t0 <= (cfg.side-1)/2; t0++ {
+			want := powU(cfg.side, cfg.dims) - powU(cfg.side-2*t0, cfg.dims)
+			if cum != want {
+				t.Errorf("dims %d side %d: cells before layer %d = %d, want %d",
+					cfg.dims, cfg.side, t0, cum, want)
+			}
+			cum += counts[t0]
+		}
+	}
+}
+
+func TestPanicBehavior(t *testing.T) {
+	o2, _ := NewOnion2D(8)
+	o3, _ := NewOnion3D(8)
+	ond, _ := NewOnionND(3, 8)
+	ll, _ := NewLayerLex(2, 8)
+	for _, c := range []curve.Curve{o2, o3, ond, ll} {
+		curvetest.CheckPanicsOnBadInput(t, c)
+	}
+}
+
+func TestRingFromIndexBoundaries(t *testing.T) {
+	// Exact boundaries: first and last index of every ring.
+	for _, s := range []uint32{4, 5, 64, 1024} {
+		for tt := uint32(0); tt <= (s-1)/2; tt++ {
+			first := cellsBeforeRing2(s, tt)
+			if got := ringFromIndex2(s, first); got != tt {
+				t.Fatalf("side %d: ringFromIndex(first=%d) = %d, want %d", s, first, got, tt)
+			}
+			var last uint64
+			if tt == (s-1)/2 {
+				last = uint64(s)*uint64(s) - 1
+			} else {
+				last = cellsBeforeRing2(s, tt+1) - 1
+			}
+			if got := ringFromIndex2(s, last); got != tt {
+				t.Fatalf("side %d: ringFromIndex(last=%d) = %d, want %d", s, last, got, tt)
+			}
+		}
+	}
+}
+
+func TestCoordsDstReuse(t *testing.T) {
+	o, _ := NewOnion3D(8)
+	dst := make(geom.Point, 3)
+	got := o.Coords(100, dst)
+	if &got[0] != &dst[0] {
+		t.Error("Coords did not reuse dst")
+	}
+}

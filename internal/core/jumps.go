@@ -1,0 +1,55 @@
+package core
+
+import (
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// Jumps returns, in increasing order, every curve position h such that the
+// step from pi^-1(h) to pi^-1(h+1) is NOT a grid-neighbor move. The 3D
+// onion curve is "almost continuous" (Section VI-C): discontinuities can
+// only occur at segment boundaries (at most 10 per layer) and at layer
+// boundaries, so the list has O(m) entries. This powers the boundary-based
+// clustering counter for queries far too large to enumerate.
+func (o *Onion3D) Jumps() []uint64 {
+	var jumps []uint64
+	s := o.U.Side()
+	n := o.U.Size()
+	a := make(geom.Point, 3)
+	b := make(geom.Point, 3)
+	for t := uint32(1); t <= o.m; t++ {
+		w := s - 2*(t-1)
+		base := o.k1(t)
+		cum := base
+		for pos := 0; pos < 10; pos++ {
+			sz := segSize(o.perm[pos], w)
+			if sz == 0 {
+				continue
+			}
+			cum += sz
+			// cum-1 is the last cell of segment g; check its transition.
+			if cum-1+1 >= n {
+				continue
+			}
+			o.Coords(cum-1, a)
+			o.Coords(cum, b)
+			if !neighbors3(a, b) {
+				jumps = append(jumps, cum-1)
+			}
+		}
+	}
+	return jumps
+}
+
+func neighbors3(a, b geom.Point) bool {
+	diff := 0
+	for i := range a {
+		switch {
+		case a[i] == b[i]:
+		case a[i]+1 == b[i] || b[i]+1 == a[i]:
+			diff++
+		default:
+			return false
+		}
+	}
+	return diff == 1
+}

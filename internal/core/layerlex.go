@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// LayerLex is an ablation curve: like the onion curve it numbers layers
+// (L-infinity boundary distance classes) sequentially, but inside each
+// layer it simply orders cells lexicographically (dimension d-1 most
+// significant). The paper argues the "essential rule" behind the onion
+// curve's near-optimal clustering is only the layer-sequential structure
+// (Section VI-A); comparing LayerLex against the real onion curves measures
+// exactly how much the careful within-layer traversal contributes.
+type LayerLex struct {
+	curve.Base
+}
+
+// NewLayerLex constructs the layer-lexicographic curve for any dims >= 1
+// and side >= 1.
+func NewLayerLex(dims int, side uint32) (*LayerLex, error) {
+	u, err := geom.NewUniverse(dims, side)
+	if err != nil {
+		return nil, fmt.Errorf("layerlex: %w", err)
+	}
+	return &LayerLex{Base: curve.Base{U: u, Id: "layerlex", Cont: false}}, nil
+}
+
+// Index implements curve.Curve: cells before this layer, plus the rank of
+// the cell among shell cells in row-major order (dimension 0 fastest).
+func (l *LayerLex) Index(p geom.Point) uint64 {
+	l.CheckPoint(p)
+	s := l.U.Side()
+	d := l.U.Dims()
+	t := layerND(s, p, 0)
+	w := s - 2*t
+	before := powU(s, d) - powU(w, d)
+	// Rank within the shell = row-major rank within the layer cube minus
+	// the number of interior cells with a smaller row-major key.
+	var rm uint64
+	for i := d - 1; i >= 0; i-- {
+		rm = rm*uint64(w) + uint64(p[i]-t)
+	}
+	return before + rm - interiorBelow(w, d, rm)
+}
+
+// interiorBelow counts cells z of the open interior [1, w-2]^d whose
+// row-major key (dimension 0 fastest, d-1 most significant) is strictly
+// below rm. Digits of rm are the local coordinates of the cell at that key.
+func interiorBelow(w uint32, d int, rm uint64) uint64 {
+	if w <= 2 {
+		return 0
+	}
+	// Extract digits: digit i = coordinate of dimension i.
+	digits := make([]uint64, d)
+	for i := 0; i < d; i++ {
+		digits[i] = rm % uint64(w)
+		rm /= uint64(w)
+	}
+	in := uint64(w) - 2 // interior choices per digit
+	var count uint64
+	// Scan from most significant digit (dimension d-1) downward.
+	for i := d - 1; i >= 0; i-- {
+		y := digits[i]
+		// Choices for z_i in [1, w-2] with z_i < y.
+		var below uint64
+		if y > 1 {
+			below = y - 1
+			if below > in {
+				below = in
+			}
+		}
+		count += below * powU(uint32(in), i)
+		// Continue only if z_i == y_i is possible for an interior z.
+		if y < 1 || y > uint64(w)-2 {
+			return count
+		}
+	}
+	return count
+}
+
+// Coords implements curve.Curve by binary searching the layer and then the
+// shell rank.
+func (l *LayerLex) Coords(h uint64, dst geom.Point) geom.Point {
+	l.CheckIndex(h)
+	s := l.U.Side()
+	d := l.U.Dims()
+	p := curve.Dst(dst, d)
+	total := powU(s, d)
+	// Find layer t: largest with total - (s-2t)^d <= h.
+	loT, hiT := uint32(0), (s-1)/2
+	for loT < hiT {
+		mid := (loT + hiT + 1) / 2
+		if total-powU(s-2*mid, d) <= h {
+			loT = mid
+		} else {
+			hiT = mid - 1
+		}
+	}
+	t := loT
+	w := s - 2*t
+	target := h - (total - powU(w, d)) // shell rank within the layer
+	// Binary search the row-major key k of the shell cell with rank
+	// target. shellRank(k) = k - interiorBelow(k) counts shell cells with
+	// key < k; the wanted cell is the smallest k with
+	// shellRank(k+1) == target+1, which is necessarily on the shell.
+	loK, hiK := uint64(0), powU(w, d)-1
+	for loK < hiK {
+		mid := (loK + hiK) / 2
+		if mid+1-interiorBelow(w, d, mid+1) < target+1 {
+			loK = mid + 1
+		} else {
+			hiK = mid
+		}
+	}
+	k := loK
+	for i := 0; i < d; i++ {
+		p[i] = uint32(k%uint64(w)) + t
+		k /= uint64(w)
+	}
+	return p
+}
+
+var _ curve.Curve = (*LayerLex)(nil)

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// Onion3D is the three-dimensional onion curve of Section VI-A. Writing
+// s = 2m for the (even) side, layer t (1-based, t in [1, m]) consists of
+// the cells whose L-infinity distance to the universe boundary is t-1. The
+// curve numbers layer 1 completely, then layer 2, and so on; within a layer
+// the ten segments S1..S10 of the paper are numbered in order, squares by
+// the two-dimensional onion curve and lines by their natural order.
+//
+// The paper notes the within-layer segment order is immaterial ("we can
+// actually adopt any permutation"); this implementation fixes the paper's
+// S1..S10 sequence with the local coordinate conventions documented on
+// segmentOf.
+type Onion3D struct {
+	curve.Base
+	m uint32 // half side
+	// perm[i] is the i-th segment (1..10) visited within each layer; the
+	// paper proves any permutation preserves the clustering guarantees
+	// ("we can actually adopt any permutation on that", Section VI-A).
+	perm [10]int
+	// rank[g-1] is the visit position of segment g.
+	rank [10]int
+}
+
+// NewOnion3D constructs the three-dimensional onion curve with the paper's
+// S1..S10 segment order; the side must be even and at least 2 (the paper's
+// model).
+func NewOnion3D(side uint32) (*Onion3D, error) {
+	return NewOnion3DWithSegmentOrder(side, [10]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+}
+
+// NewOnion3DWithSegmentOrder constructs a 3D onion curve that visits the
+// ten within-layer segments in the given order — the ablation knob for the
+// paper's claim that the segment permutation is immaterial.
+func NewOnion3DWithSegmentOrder(side uint32, perm [10]int) (*Onion3D, error) {
+	if side < 2 || side%2 != 0 {
+		return nil, fmt.Errorf("onion3d: %w: side must be even and >= 2, got %d",
+			curve.ErrSideUnsupported, side)
+	}
+	u, err := geom.NewUniverse(3, side)
+	if err != nil {
+		return nil, fmt.Errorf("onion3d: %w", err)
+	}
+	var seen [10]bool
+	var rank [10]int
+	for pos, g := range perm {
+		if g < 1 || g > 10 || seen[g-1] {
+			return nil, fmt.Errorf("onion3d: %w: invalid segment permutation %v",
+				curve.ErrSideUnsupported, perm)
+		}
+		seen[g-1] = true
+		rank[g-1] = pos
+	}
+	return &Onion3D{
+		Base: curve.Base{U: u, Id: "onion", Cont: false},
+		m:    side / 2,
+		perm: perm,
+		rank: rank,
+	}, nil
+}
+
+// Layer returns the paper's 1-based layer number of cell p.
+func (o *Onion3D) Layer(p geom.Point) uint32 {
+	o.CheckPoint(p)
+	return o.layerOf(p) + 1
+}
+
+// layerOf returns the 0-based distance to the boundary.
+func (o *Onion3D) layerOf(p geom.Point) uint32 {
+	s := o.U.Side()
+	t := p[0]
+	for _, v := range p {
+		if s-1-v < t {
+			t = s - 1 - v
+		}
+		if v < t {
+			t = v
+		}
+	}
+	return t
+}
+
+// k1 returns the number of cells in layers 1..t-1 (t is 1-based): the total
+// cube minus the sub-cube of side w = s-2(t-1), equal to the paper's
+// K1(t) = 24 m^2 (t-1) - 24 m (t-1)^2 + 8 (t-1)^3.
+func (o *Onion3D) k1(t uint32) uint64 {
+	s := uint64(o.U.Side())
+	w := s - 2*uint64(t-1)
+	return s*s*s - w*w*w
+}
+
+// Segment sizes within a layer of cube side w (w >= 2):
+//
+//	V1 = V2 = w^2          (full faces i = lo and i = hi)
+//	V3 = V5 = V6 = V8 = w-2  (the four lines along i)
+//	V4 = V7 = V9 = V10 = (w-2)^2 (the four side squares)
+func segSize(g int, w uint32) uint64 {
+	in := uint64(w) - 2
+	switch g {
+	case 1, 2:
+		return uint64(w) * uint64(w)
+	case 3, 5, 6, 8:
+		return in
+	default: // 4, 7, 9, 10
+		return in * in
+	}
+}
+
+// Index implements curve.Curve.
+func (o *Onion3D) Index(p geom.Point) uint64 {
+	o.CheckPoint(p)
+	t0 := o.layerOf(p) // 0-based
+	s := o.U.Side()
+	lo := t0
+	w := s - 2*t0
+	li, lj, lk := p[0]-lo, p[1]-lo, p[2]-lo
+	g, r := segmentOf(w, li, lj, lk)
+	base := o.k1(t0 + 1)
+	for pos := 0; pos < o.rank[g-1]; pos++ {
+		base += segSize(o.perm[pos], w)
+	}
+	return base + r
+}
+
+// segmentOf classifies the local cell (li, lj, lk) of a layer cube of side
+// w into its segment 1..10 and position within the segment.
+//
+// Local coordinate conventions: S1/S2 squares use (lj, lk) under the 2D
+// onion curve of side w; S4/S7 squares use (li-1, lk-1) of side w-2; S9/S10
+// squares use (li-1, lj-1) of side w-2; lines S3/S5/S6/S8 are ordered by
+// increasing li.
+func segmentOf(w, li, lj, lk uint32) (int, uint64) {
+	switch {
+	case li == 0:
+		return 1, onionIndex2(w, lj, lk)
+	case li == w-1:
+		return 2, onionIndex2(w, lj, lk)
+	case lj == 0 && lk == 0:
+		return 3, uint64(li - 1)
+	case lj == 0 && lk == w-1:
+		return 5, uint64(li - 1)
+	case lj == 0:
+		return 4, onionIndex2(w-2, li-1, lk-1)
+	case lj == w-1 && lk == 0:
+		return 6, uint64(li - 1)
+	case lj == w-1 && lk == w-1:
+		return 8, uint64(li - 1)
+	case lj == w-1:
+		return 7, onionIndex2(w-2, li-1, lk-1)
+	case lk == 0:
+		return 9, onionIndex2(w-2, li-1, lj-1)
+	default: // lk == w-1
+		return 10, onionIndex2(w-2, li-1, lj-1)
+	}
+}
+
+// Coords implements curve.Curve.
+func (o *Onion3D) Coords(h uint64, dst geom.Point) geom.Point {
+	o.CheckIndex(h)
+	p := curve.Dst(dst, 3)
+	// Binary search the 1-based layer t with k1(t) <= h < k1(t+1).
+	loT, hiT := uint32(1), o.m
+	for loT < hiT {
+		mid := (loT + hiT + 1) / 2
+		if o.k1(mid) <= h {
+			loT = mid
+		} else {
+			hiT = mid - 1
+		}
+	}
+	t := loT
+	s := o.U.Side()
+	lo := t - 1
+	w := s - 2*(t-1)
+	r := h - o.k1(t)
+	g := o.perm[9]
+	for pos := 0; pos < 10; pos++ {
+		sz := segSize(o.perm[pos], w)
+		if r < sz {
+			g = o.perm[pos]
+			break
+		}
+		r -= sz
+	}
+	li, lj, lk := segmentCoords(g, w, r)
+	p[0], p[1], p[2] = li+lo, lj+lo, lk+lo
+	return p
+}
+
+// segmentCoords inverts segmentOf.
+func segmentCoords(g int, w uint32, r uint64) (li, lj, lk uint32) {
+	switch g {
+	case 1, 2:
+		a, b := onionCoords2(w, r)
+		li = 0
+		if g == 2 {
+			li = w - 1
+		}
+		return li, a, b
+	case 3:
+		return uint32(r) + 1, 0, 0
+	case 5:
+		return uint32(r) + 1, 0, w - 1
+	case 6:
+		return uint32(r) + 1, w - 1, 0
+	case 8:
+		return uint32(r) + 1, w - 1, w - 1
+	case 4, 7:
+		a, b := onionCoords2(w-2, r)
+		lj = 0
+		if g == 7 {
+			lj = w - 1
+		}
+		return a + 1, lj, b + 1
+	default: // 9, 10
+		a, b := onionCoords2(w-2, r)
+		lk = 0
+		if g == 10 {
+			lk = w - 1
+		}
+		return a + 1, b + 1, lk
+	}
+}
+
+var _ curve.Curve = (*Onion3D)(nil)

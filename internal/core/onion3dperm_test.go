@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func TestOnion3DSegmentOrderValidation(t *testing.T) {
+	if _, err := NewOnion3DWithSegmentOrder(8, [10]int{1, 1, 2, 3, 4, 5, 6, 7, 8, 9}); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("duplicate segment accepted")
+	}
+	if _, err := NewOnion3DWithSegmentOrder(8, [10]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("segment 0 accepted")
+	}
+	if _, err := NewOnion3DWithSegmentOrder(8, [10]int{11, 1, 2, 3, 4, 5, 6, 7, 8, 9}); !errors.Is(err, curve.ErrSideUnsupported) {
+		t.Error("segment 11 accepted")
+	}
+}
+
+func TestOnion3DPermutedBijection(t *testing.T) {
+	perms := [][10]int{
+		{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{9, 1, 3, 4, 5, 2, 6, 7, 8, 10},
+		{2, 4, 6, 8, 10, 1, 3, 5, 7, 9},
+	}
+	for _, perm := range perms {
+		for _, side := range []uint32{2, 4, 8, 16} {
+			o, err := NewOnion3DWithSegmentOrder(side, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			curvetest.CheckBijectionExhaustive(t, o)
+		}
+	}
+}
+
+func TestOnion3DPermutedLayerMonotone(t *testing.T) {
+	o, err := NewOnion3DWithSegmentOrder(12, [10]int{10, 9, 8, 7, 6, 5, 4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := o.Universe().Size()
+	p := make(geom.Point, 3)
+	prev := uint32(0)
+	for h := uint64(0); h < n; h++ {
+		o.Coords(h, p)
+		l := o.Layer(p)
+		if l < prev {
+			t.Fatalf("layer drops from %d to %d at h=%d", prev, l, h)
+		}
+		prev = l
+	}
+}
+
+func TestOnion3DPermutedSameLayerContents(t *testing.T) {
+	// Whatever the permutation, each layer occupies the same contiguous
+	// key span.
+	a, _ := NewOnion3D(8)
+	b, _ := NewOnion3DWithSegmentOrder(8, [10]int{5, 6, 7, 8, 9, 10, 1, 2, 3, 4})
+	p := make(geom.Point, 3)
+	q := make(geom.Point, 3)
+	for h := uint64(0); h < a.Universe().Size(); h++ {
+		a.Coords(h, p)
+		b.Coords(h, q)
+		if a.Layer(p) != b.Layer(q) {
+			t.Fatalf("position %d: layer %d vs %d", h, a.Layer(p), b.Layer(q))
+		}
+	}
+}

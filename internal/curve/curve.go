@@ -1,0 +1,107 @@
+// Package curve defines the space filling curve (SFC) abstraction shared by
+// the onion curve and every baseline curve in this repository, plus the bit
+// manipulation utilities (Morton interleaving, Gray codes) that the
+// power-of-two curves are built from.
+//
+// In the paper's model an SFC pi over a universe U of n cells is a bijection
+// pi : U -> {0, ..., n-1}. Curve.Index is pi and Curve.Coords is pi^-1.
+package curve
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// ErrSideUnsupported reports a side length a curve cannot fill (for example
+// a non power of two side for the Hilbert curve, or an odd side for the
+// paper's three-dimensional onion curve).
+var ErrSideUnsupported = errors.New("curve: unsupported universe side for this curve")
+
+// Curve is a bijection between the cells of a d-dimensional universe and
+// the key range [0, Size()).
+//
+// Index panics if p is not a valid cell of the universe, and Coords panics
+// if h >= Universe().Size(); both conditions are programmer errors,
+// analogous to slice index violations.
+type Curve interface {
+	// Name returns a short stable identifier such as "onion" or "hilbert".
+	Name() string
+	// Universe returns the grid the curve fills.
+	Universe() geom.Universe
+	// Index maps a cell to its position along the curve.
+	Index(p geom.Point) uint64
+	// Coords maps a position back to its cell. If dst has the right
+	// length it is filled and returned without allocating; otherwise a
+	// fresh Point is returned.
+	Coords(h uint64, dst geom.Point) geom.Point
+}
+
+// continuity is implemented by curves that know whether consecutive cells
+// along the curve are always grid neighbors (the paper's Definition 1).
+type continuity interface {
+	Continuous() bool
+}
+
+// IsContinuous reports whether c declares itself continuous in the sense of
+// Definition 1: pi^-1(i) and pi^-1(i+1) are neighboring cells for all i.
+// Curves that do not implement the marker are treated as discontinuous.
+func IsContinuous(c Curve) bool {
+	if m, ok := c.(continuity); ok {
+		return m.Continuous()
+	}
+	return false
+}
+
+// Base carries the universe and name shared by curve implementations and
+// provides the standard validation helpers.
+type Base struct {
+	U    geom.Universe
+	Id   string
+	Cont bool
+}
+
+// Name implements Curve.
+func (b Base) Name() string { return b.Id }
+
+// Universe implements Curve.
+func (b Base) Universe() geom.Universe { return b.U }
+
+// Continuous reports the continuity flag recorded at construction.
+func (b Base) Continuous() bool { return b.Cont }
+
+// CheckPoint panics unless p is a valid cell of the universe.
+func (b Base) CheckPoint(p geom.Point) {
+	if !b.U.Contains(p) {
+		panic(fmt.Sprintf("curve %s: point %v outside universe %v", b.Id, p, b.U))
+	}
+}
+
+// CheckIndex panics unless h < Size().
+func (b Base) CheckIndex(h uint64) {
+	if h >= b.U.Size() {
+		panic(fmt.Sprintf("curve %s: index %d outside universe %v", b.Id, h, b.U))
+	}
+}
+
+// Dst returns dst if it has length dims, else a fresh point.
+func Dst(dst geom.Point, dims int) geom.Point {
+	if len(dst) == dims {
+		return dst
+	}
+	return make(geom.Point, dims)
+}
+
+// PowerOfTwoOrder returns k such that side == 2^k, or an error if side is
+// not a power of two (required by Hilbert, Z and Gray-code curves).
+func PowerOfTwoOrder(side uint32) (int, error) {
+	if side == 0 || side&(side-1) != 0 {
+		return 0, fmt.Errorf("%w: side %d is not a power of two", ErrSideUnsupported, side)
+	}
+	k := 0
+	for s := side; s > 1; s >>= 1 {
+		k++
+	}
+	return k, nil
+}

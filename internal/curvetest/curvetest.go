@@ -1,0 +1,153 @@
+// Package curvetest provides reusable conformance checks for space filling
+// curve implementations: bijectivity, continuity (Definition 1 of the
+// paper), and round-trip properties. Both the baseline curves and the onion
+// curves run this suite.
+package curvetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// CheckBijectionExhaustive verifies Index and Coords are mutually inverse
+// over the entire universe. Intended for universes up to ~10^6 cells.
+func CheckBijectionExhaustive(t *testing.T, c curve.Curve) {
+	t.Helper()
+	u := c.Universe()
+	n := u.Size()
+	if n > 1<<21 {
+		t.Fatalf("universe %v too large for exhaustive check", u)
+	}
+	seen := make([]bool, n)
+	p := make(geom.Point, u.Dims())
+	u.Rect().ForEach(func(q geom.Point) bool {
+		h := c.Index(q)
+		if h >= n {
+			t.Fatalf("%s: Index(%v) = %d out of range", c.Name(), q, h)
+		}
+		if seen[h] {
+			t.Fatalf("%s: Index(%v) = %d already used", c.Name(), q, h)
+		}
+		seen[h] = true
+		back := c.Coords(h, p)
+		if !back.Equal(q) {
+			t.Fatalf("%s: Coords(Index(%v)) = %v", c.Name(), q, back)
+		}
+		return true
+	})
+	for h, ok := range seen {
+		if !ok {
+			t.Fatalf("%s: index %d never produced", c.Name(), h)
+		}
+	}
+}
+
+// CheckBijectionSampled verifies the round trip on random indices and random
+// points; suitable for large universes.
+func CheckBijectionSampled(t *testing.T, c curve.Curve, samples int, seed int64) {
+	t.Helper()
+	u := c.Universe()
+	rng := rand.New(rand.NewSource(seed))
+	n := u.Size()
+	p := make(geom.Point, u.Dims())
+	q := make(geom.Point, u.Dims())
+	for i := 0; i < samples; i++ {
+		h := uint64(rng.Int63n(int64(n)))
+		c.Coords(h, p)
+		if got := c.Index(p); got != h {
+			t.Fatalf("%s: Index(Coords(%d)) = %d", c.Name(), h, got)
+		}
+		for j := range q {
+			q[j] = uint32(rng.Int63n(int64(u.Side())))
+		}
+		h2 := c.Index(q)
+		back := c.Coords(h2, p)
+		if !back.Equal(q) {
+			t.Fatalf("%s: Coords(Index(%v)) = %v (h=%d)", c.Name(), q, back, h2)
+		}
+	}
+}
+
+// CheckContinuityExhaustive verifies that consecutive positions along the
+// curve map to grid neighbors (Definition 1), for the entire key range.
+func CheckContinuityExhaustive(t *testing.T, c curve.Curve) {
+	t.Helper()
+	u := c.Universe()
+	n := u.Size()
+	if n > 1<<21 {
+		t.Fatalf("universe %v too large for exhaustive continuity check", u)
+	}
+	prev := c.Coords(0, nil)
+	cur := make(geom.Point, u.Dims())
+	for h := uint64(1); h < n; h++ {
+		c.Coords(h, cur)
+		if !AreNeighbors(prev, cur) {
+			t.Fatalf("%s: cells %v (h=%d) and %v (h=%d) are not neighbors",
+				c.Name(), prev, h-1, cur, h)
+		}
+		copy(prev, cur)
+	}
+}
+
+// CheckContinuitySampled spot-checks continuity at random positions in a
+// large universe.
+func CheckContinuitySampled(t *testing.T, c curve.Curve, samples int, seed int64) {
+	t.Helper()
+	u := c.Universe()
+	rng := rand.New(rand.NewSource(seed))
+	n := u.Size()
+	a := make(geom.Point, u.Dims())
+	b := make(geom.Point, u.Dims())
+	for i := 0; i < samples; i++ {
+		h := uint64(rng.Int63n(int64(n - 1)))
+		c.Coords(h, a)
+		c.Coords(h+1, b)
+		if !AreNeighbors(a, b) {
+			t.Fatalf("%s: cells %v (h=%d) and %v not neighbors", c.Name(), a, h, b)
+		}
+	}
+}
+
+// AreNeighbors reports whether two cells differ by exactly 1 in exactly one
+// dimension.
+func AreNeighbors(a, b geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	diff := 0
+	for i := range a {
+		switch {
+		case a[i] == b[i]:
+		case a[i]+1 == b[i] || b[i]+1 == a[i]:
+			diff++
+		default:
+			return false
+		}
+	}
+	return diff == 1
+}
+
+// CheckPanicsOnBadInput verifies the documented panic behavior for invalid
+// points and out-of-range indices.
+func CheckPanicsOnBadInput(t *testing.T, c curve.Curve) {
+	t.Helper()
+	u := c.Universe()
+	bad := make(geom.Point, u.Dims())
+	bad[0] = u.Side() // one past the edge
+	mustPanic(t, c.Name()+"/Index-out-of-range", func() { c.Index(bad) })
+	mustPanic(t, c.Name()+"/Index-wrong-dims", func() { c.Index(make(geom.Point, u.Dims()+1)) })
+	mustPanic(t, c.Name()+"/Coords-out-of-range", func() { c.Coords(u.Size(), nil) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

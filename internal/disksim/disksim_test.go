@@ -1,0 +1,100 @@
+package disksim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(0); !errors.Is(err, ErrPageSize) {
+		t.Error("page size 0 accepted")
+	}
+	s, err := NewStore(16)
+	if err != nil || s.PageSize() != 16 {
+		t.Fatalf("NewStore: %v", err)
+	}
+}
+
+func TestExecuteSingleRange(t *testing.T) {
+	s, _ := NewStore(10)
+	tally := s.Execute([]ranges.KeyRange{{Lo: 5, Hi: 34}})
+	// Pages 0..3: 4 pages, one seek, 30 cells.
+	if tally.Seeks != 1 || tally.PagesRead != 4 || tally.Cells != 30 {
+		t.Fatalf("tally = %+v", tally)
+	}
+}
+
+func TestExecuteDistantRanges(t *testing.T) {
+	s, _ := NewStore(10)
+	tally := s.Execute([]ranges.KeyRange{{Lo: 0, Hi: 9}, {Lo: 100, Hi: 109}, {Lo: 300, Hi: 309}})
+	if tally.Seeks != 3 {
+		t.Fatalf("seeks = %d, want 3", tally.Seeks)
+	}
+	if tally.PagesRead != 3 || tally.Cells != 30 {
+		t.Fatalf("tally = %+v", tally)
+	}
+}
+
+func TestExecuteSamePageRanges(t *testing.T) {
+	s, _ := NewStore(100)
+	// Two ranges on the same page: one seek, one page.
+	tally := s.Execute([]ranges.KeyRange{{Lo: 0, Hi: 9}, {Lo: 50, Hi: 59}})
+	if tally.Seeks != 1 || tally.PagesRead != 1 {
+		t.Fatalf("tally = %+v", tally)
+	}
+	if tally.Cells != 20 {
+		t.Fatalf("cells = %d", tally.Cells)
+	}
+}
+
+func TestExecuteAdjacentPages(t *testing.T) {
+	s, _ := NewStore(10)
+	// Second range starts on the page right after the first ends:
+	// sequential continuation, no extra seek.
+	tally := s.Execute([]ranges.KeyRange{{Lo: 0, Hi: 9}, {Lo: 10, Hi: 29}})
+	if tally.Seeks != 1 || tally.PagesRead != 3 {
+		t.Fatalf("tally = %+v", tally)
+	}
+}
+
+func TestExecuteEmpty(t *testing.T) {
+	s, _ := NewStore(10)
+	tally := s.Execute(nil)
+	if tally != (Tally{}) {
+		t.Fatalf("empty tally = %+v", tally)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := Model{SeekMillis: 10, PageMillis: 1}
+	tl := Tally{Seeks: 3, PagesRead: 7}
+	if got := tl.Cost(m); got != 37 {
+		t.Fatalf("cost = %v", got)
+	}
+	d := DefaultModel()
+	if d.SeekMillis <= d.PageMillis {
+		t.Fatal("seeks must dominate page transfers in the default model")
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{Seeks: 1, PagesRead: 2, Cells: 3}
+	a.Add(Tally{Seeks: 10, PagesRead: 20, Cells: 30})
+	if a != (Tally{Seeks: 11, PagesRead: 22, Cells: 33}) {
+		t.Fatalf("add = %+v", a)
+	}
+}
+
+func TestSeeksNeverExceedRanges(t *testing.T) {
+	s, _ := NewStore(7)
+	rs := []ranges.KeyRange{{Lo: 3, Hi: 5}, {Lo: 9, Hi: 20}, {Lo: 22, Hi: 22}, {Lo: 90, Hi: 95}}
+	tally := s.Execute(rs)
+	if tally.Seeks > uint64(len(rs)) {
+		t.Fatalf("seeks %d > ranges %d", tally.Seeks, len(rs))
+	}
+	if tally.Cells != ranges.TotalCells(rs) {
+		t.Fatal("cells mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSV renderers for plotting the reproduction data externally. Every
+// distribution figure shares one schema; the scalar tables have their own.
+
+// DistRowsCSV renders distribution rows (figures 5-7) as CSV with the
+// schema: group,curve,n,min,q1,median,q3,max,mean.
+func DistRowsCSV(rows []DistRow) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"group", "curve", "n", "min", "q1", "median", "q3", "max", "mean"})
+	for _, r := range rows {
+		s := r.Summary
+		_ = w.Write([]string{
+			r.Group, r.Curve,
+			fmt.Sprint(s.Count),
+			fmt.Sprintf("%g", s.Min),
+			fmt.Sprintf("%g", s.Q1),
+			fmt.Sprintf("%g", s.Median),
+			fmt.Sprintf("%g", s.Q3),
+			fmt.Sprintf("%g", s.Max),
+			fmt.Sprintf("%g", s.Mean),
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Lemma5CSV renders the growth experiment as CSV.
+func Lemma5CSV(rows []Lemma5Row) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"dims", "side", "onion", "hilbert", "hilbert_growth"})
+	for _, r := range rows {
+		_ = w.Write([]string{
+			fmt.Sprint(r.Dims), fmt.Sprint(r.Side),
+			fmt.Sprintf("%g", r.Onion), fmt.Sprintf("%g", r.Hilbert),
+			fmt.Sprintf("%g", r.HilbertRate),
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// EtaCSV renders the empirical ratio sweep as CSV.
+func EtaCSV(rows []EtaRow) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"phi", "l", "onion_eta", "hilbert_eta", "paper_bound"})
+	for _, r := range rows {
+		_ = w.Write([]string{
+			fmt.Sprintf("%g", r.Phi), fmt.Sprint(r.L),
+			fmt.Sprintf("%g", r.OnionRatio), fmt.Sprintf("%g", r.HilbertRatio),
+			fmt.Sprintf("%g", r.TheoryBound),
+		})
+	}
+	w.Flush()
+	return b.String()
+}

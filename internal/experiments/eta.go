@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/stats"
+	"github.com/onioncurve/onion/internal/theory"
+)
+
+// EtaRow is one cube scale phi = l/side of the empirical approximation
+// ratio sweep.
+type EtaRow struct {
+	Phi          float64
+	L            uint32
+	OnionRatio   float64 // measured onion avg / exact general lower bound
+	HilbertRatio float64
+	TheoryBound  float64 // the paper's case III / IV bound at this phi
+}
+
+// Eta sweeps cube query scales and compares each curve's measured
+// average clustering against the exact any-SFC lower bound of Theorem 3 —
+// the empirical counterpart of Table II's eta(Q, pi). The onion ratios
+// must stay below the paper's constants (2.32 for phi <= 1/2, 2 beyond)
+// up to finite-size slack; Hilbert's ratio grows with phi.
+func Eta(cfg Config) ([]EtaRow, error) {
+	cfg = cfg.withDefaults()
+	side := uint32(128)
+	if cfg.Quick {
+		side = 64
+	}
+	cs, err := curves2D(side)
+	if err != nil {
+		return nil, err
+	}
+	u := geom.MustUniverse(2, side)
+	var rows []EtaRow
+	for _, num := range []uint32{1, 2, 3, 4, 5, 6, 7} {
+		l := side * num / 8
+		phi := float64(num) / 8
+		shape := []uint32{l, l}
+		lb, err := theory.LowerBoundGeneral(u, shape)
+		if err != nil {
+			return nil, err
+		}
+		oAvg, err := cluster.AverageExact(cs[0], shape)
+		if err != nil {
+			return nil, err
+		}
+		hAvg, err := cluster.AverageExact(cs[1], shape)
+		if err != nil {
+			return nil, err
+		}
+		var bound float64
+		if phi <= 0.5 {
+			bound, err = theory.EtaOnion2DCube(phi)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			bound = 2 // case IV with phi1 = phi2
+		}
+		rows = append(rows, EtaRow{
+			Phi:          phi,
+			L:            l,
+			OnionRatio:   oAvg / lb,
+			HilbertRatio: hAvg / lb,
+			TheoryBound:  bound,
+		})
+	}
+	return rows, nil
+}
+
+// RenderEta renders the ratio sweep.
+func RenderEta(rows []EtaRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.3f", r.Phi),
+			fmt.Sprint(r.L),
+			fmt.Sprintf("%.3f", r.OnionRatio),
+			fmt.Sprintf("%.3f", r.HilbertRatio),
+			fmt.Sprintf("%.3f", r.TheoryBound),
+		})
+	}
+	return "Empirical approximation ratios for cube queries (measured avg / exact any-SFC LB)\n" +
+		stats.FormatTable([]string{"phi", "l", "onion eta", "hilbert eta", "paper bound (onion)"}, out)
+}

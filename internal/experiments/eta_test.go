@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEta(t *testing.T) {
+	rows, err := Eta(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OnionRatio < 1-1e-9 {
+			t.Errorf("phi=%.3f: onion ratio %.3f below 1 — lower bound violated", r.Phi, r.OnionRatio)
+		}
+		// The exact LB is weaker than the asymptotic one on finite
+		// grids, so allow generous slack over the paper bound; what must
+		// never happen is a blow-up.
+		if r.OnionRatio > r.TheoryBound*2 {
+			t.Errorf("phi=%.3f: onion ratio %.3f far above paper bound %.3f",
+				r.Phi, r.OnionRatio, r.TheoryBound)
+		}
+		if r.HilbertRatio < r.OnionRatio*0.5 {
+			t.Errorf("phi=%.3f: hilbert ratio %.3f implausibly below onion %.3f",
+				r.Phi, r.HilbertRatio, r.OnionRatio)
+		}
+	}
+	// Hilbert's ratio at the largest phi must exceed the onion's.
+	last := rows[len(rows)-1]
+	if last.HilbertRatio <= last.OnionRatio {
+		t.Errorf("phi=%.3f: hilbert %.3f should exceed onion %.3f",
+			last.Phi, last.HilbertRatio, last.OnionRatio)
+	}
+	if !strings.Contains(RenderEta(rows), "paper bound") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/viz"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: the same query region clustered by the Hilbert
+// curve (2 clusters) and the Z curve (4 clusters), rendered as ASCII.
+func Fig1() (string, error) {
+	h, err := baseline.NewHilbert(2, 8)
+	if err != nil {
+		return "", err
+	}
+	z, err := baseline.NewMorton(2, 8)
+	if err != nil {
+		return "", err
+	}
+	q := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{0, 3}}
+	var b strings.Builder
+	for _, c := range []curve.Curve{h, z} {
+		pic, n, err := viz.QueryClusters(c, q)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s: clustering number %d for query %v\n%s\n", c.Name(), n, q, pic)
+	}
+	return b.String(), nil
+}
+
+// Fig2Row is one cell of the Figure 2 reproduction: the exact average
+// clustering number over all translates of an l x l query.
+type Fig2Row struct {
+	Side    uint32
+	L       uint32
+	Curve   string
+	Average float64
+}
+
+// Fig2 reproduces Figure 2's claim: for 7x7 (and generally l x l) query
+// shapes the Hilbert curve's average clustering number is much higher than
+// the onion curve's. It computes exact averages over all translates for a
+// series of universe sides.
+func Fig2(cfg Config) ([]Fig2Row, error) {
+	cfg = cfg.withDefaults()
+	maxSide := uint32(128)
+	if cfg.Quick {
+		maxSide = 32
+	}
+	var rows []Fig2Row
+	for side := uint32(16); side <= maxSide; side *= 2 {
+		cs, err := curves2D(side)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range []uint32{7, side - 1} {
+			for _, c := range cs {
+				avg, err := cluster.AverageExact(c, []uint32{l, l})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Fig2Row{Side: side, L: l, Curve: c.Name(), Average: avg})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig2 renders Fig2 rows plus the illustrative single-query picture.
+func RenderFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: exact average clustering over all translates of an l x l query\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "side=%-5d l=%-4d %-8s avg=%.3f\n", r.Side, r.L, r.Curve, r.Average)
+	}
+	// Single-query illustration on a 16x16 grid: a 7x7 query.
+	o, _ := core.NewOnion2D(16)
+	h, _ := baseline.NewHilbert(2, 16)
+	q := geom.Rect{Lo: geom.Point{4, 4}, Hi: geom.Point{10, 10}}
+	for _, c := range []curve.Curve{h, o} {
+		pic, n, err := viz.QueryClusters(c, q)
+		if err == nil {
+			fmt.Fprintf(&b, "\n%s: 7x7 query at (4,4): %d clusters\n%s", c.Name(), n, pic)
+		}
+	}
+	return b.String()
+}
+
+// Fig5a reproduces Figure 5a: distribution of clustering numbers of random
+// squares of side l = side - 50k (k odd), 2D, onion vs Hilbert.
+func Fig5a(cfg Config) ([]DistRow, error) {
+	cfg = cfg.withDefaults()
+	cs, err := curves2D(cfg.Side2D)
+	if err != nil {
+		return nil, err
+	}
+	u := geom.MustUniverse(2, cfg.Side2D)
+	var rows []DistRow
+	for i, l := range workload.Figure5Sides2D(cfg.Side2D) {
+		qs, err := workload.RandomTranslates(u, []uint32{l, l}, cfg.Samples2D, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		rs, err := distribution(fmt.Sprintf("l=%d", l), cs, qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// Fig5b reproduces Figure 5b: random cubes in 3D with the paper's side
+// list, onion vs Hilbert. Counting uses the boundary methods, so the
+// 472^3-cell queries cost only O(surface).
+func Fig5b(cfg Config) ([]DistRow, error) {
+	cfg = cfg.withDefaults()
+	cs, err := curves3D(cfg.Side3D)
+	if err != nil {
+		return nil, err
+	}
+	u := geom.MustUniverse(3, cfg.Side3D)
+	sides := workload.Figure5Sides3D(cfg.Side3D)
+	if len(sides) == 0 {
+		// Universe smaller than the paper's side list: scale it.
+		sides = []uint32{cfg.Side3D - cfg.Side3D/8, cfg.Side3D / 2, cfg.Side3D / 4}
+	}
+	var rows []DistRow
+	for i, l := range sides {
+		qs, err := workload.RandomTranslates(u, []uint32{l, l, l}, cfg.Samples3D, cfg.Seed+100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		rs, err := distribution(fmt.Sprintf("l=%d", l), cs, qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// Fig6a reproduces Figure 6a: rectangles with fixed side-length ratios
+// (Algorithm 1) in 2D.
+func Fig6a(cfg Config) ([]DistRow, error) {
+	cfg = cfg.withDefaults()
+	return fig6(cfg, 2)
+}
+
+// Fig6b is the 3D analogue (Figure 6b): the first two sides are
+// floor(l3 / rho), the third sweeps downward, matching the paper's
+// description of "a similar experiment for the case d = 3".
+func Fig6b(cfg Config) ([]DistRow, error) {
+	cfg = cfg.withDefaults()
+	return fig6(cfg, 3)
+}
+
+func fig6(cfg Config, dims int) ([]DistRow, error) {
+	var (
+		cs   []curve.Curve
+		side uint32
+		err  error
+	)
+	if dims == 2 {
+		side = cfg.Side2D
+		cs, err = curves2D(side)
+	} else {
+		side = cfg.Side3D
+		cs, err = curves3D(side)
+	}
+	if err != nil {
+		return nil, err
+	}
+	u := geom.MustUniverse(dims, side)
+	step := uint32(50)
+	if side < 512 {
+		step = side / 8
+	}
+	perStep := 20
+	if cfg.Quick {
+		perStep = 4
+	}
+	var rows []DistRow
+	for i, rho := range workload.Figure6Ratios() {
+		qs, err := workload.FixedRatio(u, rho, step, perStep, cfg.Seed+200+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if len(qs) == 0 {
+			continue
+		}
+		rs, err := distribution(fmt.Sprintf("rho=%.4g", rho), cs, qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}
+
+// Fig7a reproduces Figure 7a: rectangles with uniformly random corner
+// points in 2D.
+func Fig7a(cfg Config) ([]DistRow, error) {
+	cfg = cfg.withDefaults()
+	cs, err := curves2D(cfg.Side2D)
+	if err != nil {
+		return nil, err
+	}
+	u := geom.MustUniverse(2, cfg.Side2D)
+	qs, err := workload.RandomCorners(u, cfg.Samples2D, cfg.Seed+300)
+	if err != nil {
+		return nil, err
+	}
+	return distribution("random", cs, qs)
+}
+
+// Fig7b is the 3D analogue (Figure 7b).
+func Fig7b(cfg Config) ([]DistRow, error) {
+	cfg = cfg.withDefaults()
+	cs, err := curves3D(cfg.Side3D)
+	if err != nil {
+		return nil, err
+	}
+	u := geom.MustUniverse(3, cfg.Side3D)
+	qs, err := workload.RandomCorners(u, cfg.Samples3D, cfg.Seed+301)
+	if err != nil {
+		return nil, err
+	}
+	return distribution("random", cs, qs)
+}

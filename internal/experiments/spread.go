@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/metrics"
+	"github.com/onioncurve/onion/internal/stats"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+// SpreadRow summarizes the inter-cluster layout per curve and query size.
+type SpreadRow struct {
+	L           uint32
+	Curve       string
+	AvgClusters float64
+	AvgGapCells float64
+	AvgSpanFrac float64 // span / key-space size
+	StretchK1   float64 // mean grid distance of consecutive curve steps
+}
+
+// SpreadExp measures the metric the paper's conclusion explicitly defers:
+// "the distance between different clusters of the same query region, which
+// tends to be important in fetching data from the disk". The onion curve
+// wins on cluster count but pays key-space spread on small off-center
+// queries; the table quantifies both sides.
+func SpreadExp(cfg Config) ([]SpreadRow, error) {
+	cfg = cfg.withDefaults()
+	side := uint32(256)
+	samples := 50
+	if cfg.Quick {
+		side = 64
+		samples = 15
+	}
+	cs, err := allCurves2D(side)
+	if err != nil {
+		return nil, err
+	}
+	cs = cs[:3] // onion, hilbert, z
+	u := geom.MustUniverse(2, side)
+	n := float64(u.Size())
+	var rows []SpreadRow
+	for i, l := range []uint32{side / 16, side / 4, side - side/8} {
+		qs, err := workload.RandomTranslates(u, []uint32{l, l}, samples, cfg.Seed+700+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cs {
+			row := SpreadRow{L: l, Curve: c.Name()}
+			for _, q := range qs {
+				sp, err := metrics.ClusterSpread(c, q)
+				if err != nil {
+					return nil, err
+				}
+				row.AvgClusters += float64(sp.Clusters)
+				row.AvgGapCells += float64(sp.GapCells)
+				row.AvgSpanFrac += float64(sp.Span) / n
+			}
+			fn := float64(len(qs))
+			row.AvgClusters /= fn
+			row.AvgGapCells /= fn
+			row.AvgSpanFrac /= fn
+			st, err := metrics.Stretch(c, 1, 2000, cfg.Seed+800)
+			if err != nil {
+				return nil, err
+			}
+			row.StretchK1 = st.Mean
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderSpread renders the spread experiment.
+func RenderSpread(rows []SpreadRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.L), r.Curve,
+			fmt.Sprintf("%.1f", r.AvgClusters),
+			fmt.Sprintf("%.0f", r.AvgGapCells),
+			fmt.Sprintf("%.3f", r.AvgSpanFrac),
+			fmt.Sprintf("%.2f", r.StretchK1),
+		})
+	}
+	return "Inter-cluster spread (the paper's future-work metric) and k=1 stretch\n" +
+		stats.FormatTable([]string{"l", "curve", "avg clusters", "avg gap cells", "avg span frac", "stretch k=1"}, out)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpreadExp(t *testing.T) {
+	rows, err := SpreadExp(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // 3 sizes x 3 curves
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[[2]interface{}]SpreadRow{}
+	var smallL, largeL uint32 = ^uint32(0), 0
+	for _, r := range rows {
+		byKey[[2]interface{}{r.L, r.Curve}] = r
+		if r.L < smallL {
+			smallL = r.L
+		}
+		if r.L > largeL {
+			largeL = r.L
+		}
+	}
+	// Continuous curves have k=1 stretch exactly 1; the Z curve exceeds it.
+	for _, r := range rows {
+		switch r.Curve {
+		case "onion", "hilbert":
+			if r.StretchK1 != 1 {
+				t.Errorf("%s stretch %.3f != 1", r.Curve, r.StretchK1)
+			}
+		case "zcurve":
+			if r.StretchK1 <= 1 {
+				t.Errorf("zcurve stretch %.3f should exceed 1", r.StretchK1)
+			}
+		}
+	}
+	// On near-full queries the onion curve has both fewer clusters and
+	// less spread.
+	oBig := byKey[[2]interface{}{largeL, "onion"}]
+	hBig := byKey[[2]interface{}{largeL, "hilbert"}]
+	if oBig.AvgClusters >= hBig.AvgClusters {
+		t.Errorf("large query: onion clusters %.1f should beat hilbert %.1f",
+			oBig.AvgClusters, hBig.AvgClusters)
+	}
+	// On small queries onion's gap cells exceed Hilbert's — the
+	// inter-cluster-distance tradeoff.
+	oSmall := byKey[[2]interface{}{smallL, "onion"}]
+	hSmall := byKey[[2]interface{}{smallL, "hilbert"}]
+	if oSmall.AvgGapCells <= hSmall.AvgGapCells {
+		t.Errorf("small query: onion gaps %.0f expected to exceed hilbert %.0f",
+			oSmall.AvgGapCells, hSmall.AvgGapCells)
+	}
+	if !strings.Contains(RenderSpread(rows), "stretch") {
+		t.Error("render")
+	}
+}

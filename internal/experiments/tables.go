@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/stats"
+	"github.com/onioncurve/onion/internal/theory"
+)
+
+// Table1Row is one universe size of the Table I demonstration: the
+// theoretical ratios are constants for the onion curve and grow like
+// n^((d-1)/d) for the Hilbert curve; the measured columns show exact
+// average clustering numbers for near-full-size cubes (l = side - 7),
+// where the growth is starkest.
+type Table1Row struct {
+	Dims       int
+	Side       uint32
+	OnionAvg   float64
+	HilbertAvg float64
+}
+
+// Table1 reproduces Table I: the analytic bounds (2.32 / 3.4 for the onion
+// curve; Omega(sqrt(n)) / Omega(n^(2/3)) for Hilbert) plus a doubling
+// experiment that makes the Hilbert blow-up measurable.
+func Table1(cfg Config) (string, []Table1Row, error) {
+	cfg = cfg.withDefaults()
+	phi2, eta2 := theory.MaxEtaOnion2DCube()
+	phi3, eta3 := theory.MaxEtaOnion3DCube()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: clustering approximation ratio for cube queries\n")
+	fmt.Fprintf(&b, "  onion 2D: <= %.2f (max at phi=%.3f)   hilbert 2D: Omega(sqrt(n))\n", eta2, phi2)
+	fmt.Fprintf(&b, "  onion 3D: <= %.2f (max at phi=%.4f)  hilbert 3D: Omega(n^(2/3))\n\n", eta3, phi3)
+	b.WriteString("Doubling demonstration, exact averages for l = side-7 (2D), side-3 (3D):\n")
+
+	var rows []Table1Row
+	max2 := cfg.Side2D
+	if max2 > 256 && cfg.Quick {
+		max2 = 256
+	}
+	for side := uint32(16); side <= max2; side *= 2 {
+		cs, err := curves2D(side)
+		if err != nil {
+			return "", nil, err
+		}
+		l := side - 7
+		oAvg, err := cluster.AverageExact(cs[0], []uint32{l, l})
+		if err != nil {
+			return "", nil, err
+		}
+		hAvg, err := cluster.AverageExact(cs[1], []uint32{l, l})
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, Table1Row{Dims: 2, Side: side, OnionAvg: oAvg, HilbertAvg: hAvg})
+	}
+	max3 := uint32(64)
+	if !cfg.Quick {
+		max3 = 128
+	}
+	for side := uint32(8); side <= max3; side *= 2 {
+		cs, err := curves3D(side)
+		if err != nil {
+			return "", nil, err
+		}
+		l := side - 3
+		oAvg, err := cluster.AverageExact(cs[0], []uint32{l, l, l})
+		if err != nil {
+			return "", nil, err
+		}
+		hAvg, err := cluster.AverageExact(cs[1], []uint32{l, l, l})
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, Table1Row{Dims: 3, Side: side, OnionAvg: oAvg, HilbertAvg: hAvg})
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%dD", r.Dims),
+			fmt.Sprint(r.Side),
+			fmt.Sprintf("%.2f", r.OnionAvg),
+			fmt.Sprintf("%.2f", r.HilbertAvg),
+			fmt.Sprintf("%.1fx", r.HilbertAvg/r.OnionAvg),
+		})
+	}
+	b.WriteString(stats.FormatTable([]string{"dims", "side", "onion avg", "hilbert avg", "gap"}, out))
+	return b.String(), rows, nil
+}
+
+// Table2 renders the paper's Table II from the theory formulas.
+func Table2() string {
+	rows := theory.TableII()
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Case, r.Eta2D, r.Eta2DCube, r.Eta3DCube, r.EtaHilbert})
+	}
+	return "Table II: eta(Q,O) and eta(Q,H) for near-cube query sets\n" +
+		stats.FormatTable([]string{"case", "eta2D (l1<=l2)", "eta2D cube", "eta3D cube", "hilbert"}, out)
+}
+
+// Lemma5Row records the exact average clustering number for near-full
+// cubes as the universe doubles: Hilbert roughly doubles (2D) per doubling
+// of the side while the onion curve stays constant.
+type Lemma5Row struct {
+	Dims        int
+	Side        uint32
+	Onion       float64
+	Hilbert     float64
+	HilbertRate float64 // ratio vs previous row of the same dims
+}
+
+// Lemma5 runs the growth experiment behind Lemma 5 and Table I.
+func Lemma5(cfg Config) ([]Lemma5Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Lemma5Row
+	maxSide2 := cfg.Side2D
+	prev := map[int]float64{}
+	for side := uint32(16); side <= maxSide2; side *= 2 {
+		cs, err := curves2D(side)
+		if err != nil {
+			return nil, err
+		}
+		l := side - 7 // L = 8 fixed as the universe grows
+		o, err := cluster.AverageExact(cs[0], []uint32{l, l})
+		if err != nil {
+			return nil, err
+		}
+		h, err := cluster.AverageExact(cs[1], []uint32{l, l})
+		if err != nil {
+			return nil, err
+		}
+		rate := 0.0
+		if prev[2] > 0 {
+			rate = h / prev[2]
+		}
+		prev[2] = h
+		rows = append(rows, Lemma5Row{Dims: 2, Side: side, Onion: o, Hilbert: h, HilbertRate: rate})
+	}
+	maxSide3 := uint32(64)
+	if !cfg.Quick {
+		maxSide3 = 128
+	}
+	for side := uint32(8); side <= maxSide3; side *= 2 {
+		cs, err := curves3D(side)
+		if err != nil {
+			return nil, err
+		}
+		l := side - 3
+		o, err := cluster.AverageExact(cs[0], []uint32{l, l, l})
+		if err != nil {
+			return nil, err
+		}
+		h, err := cluster.AverageExact(cs[1], []uint32{l, l, l})
+		if err != nil {
+			return nil, err
+		}
+		rate := 0.0
+		if prev[3] > 0 {
+			rate = h / prev[3]
+		}
+		prev[3] = h
+		rows = append(rows, Lemma5Row{Dims: 3, Side: side, Onion: o, Hilbert: h, HilbertRate: rate})
+	}
+	return rows, nil
+}
+
+// RenderLemma5 renders the growth table.
+func RenderLemma5(rows []Lemma5Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		rate := "-"
+		if r.HilbertRate > 0 {
+			rate = fmt.Sprintf("%.2fx", r.HilbertRate)
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%dD", r.Dims), fmt.Sprint(r.Side),
+			fmt.Sprintf("%.3f", r.Onion), fmt.Sprintf("%.2f", r.Hilbert), rate,
+		})
+	}
+	return "Lemma 5: exact average clustering for near-full cubes (onion stays Theta(1), hilbert grows as n^((d-1)/d))\n" +
+		stats.FormatTable([]string{"dims", "side", "onion", "hilbert", "hilbert growth"}, out)
+}
+
+// Thm1Row compares Theorem 1's prediction against the exact measurement.
+type Thm1Row struct {
+	L1, L2    uint32
+	Predicted float64
+	Eps       float64
+	Measured  float64
+}
+
+// Thm1 validates Theorem 1 on a real grid.
+func Thm1(cfg Config) ([]Thm1Row, error) {
+	cfg = cfg.withDefaults()
+	side := cfg.Side2D
+	if side > 256 {
+		side = 256 // exact averages at 1024^2 are slow for a sweep
+	}
+	cs, err := curves2D(side)
+	if err != nil {
+		return nil, err
+	}
+	onion := cs[0]
+	m := side / 2
+	shapes := [][2]uint32{
+		{2, 2}, {4, 8}, {m / 2, m / 2}, {m / 2, m}, {m, m},
+		{m + 2, m + 2}, {m + m/2, m + m/2}, {side - 3, side - 1}, {side, side},
+	}
+	var rows []Thm1Row
+	for _, ll := range shapes {
+		mean, eps, ok := theory.Theorem1(side, ll[0], ll[1])
+		if !ok {
+			continue
+		}
+		got, err := cluster.AverageExact(onion, []uint32{ll[0], ll[1]})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Thm1Row{L1: ll[0], L2: ll[1], Predicted: mean, Eps: eps, Measured: got})
+	}
+	return rows, nil
+}
+
+// RenderThm1 renders the validation table.
+func RenderThm1(rows []Thm1Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%dx%d", r.L1, r.L2),
+			fmt.Sprintf("%.3f", r.Predicted),
+			fmt.Sprintf("%.0f", r.Eps),
+			fmt.Sprintf("%.3f", r.Measured),
+			fmt.Sprintf("%+.3f", r.Measured-r.Predicted),
+		})
+	}
+	return "Theorem 1 validation: onion 2D average clustering, prediction vs exact measurement\n" +
+		stats.FormatTable([]string{"query", "theorem", "eps", "measured", "deviation"}, out)
+}
+
+// LBRow compares the exact lower bounds with per-curve measurements.
+type LBRow struct {
+	Shape        string
+	LBContinuous float64
+	LBGeneral    float64
+	Measured     map[string]float64
+}
+
+// LowerBounds evaluates Theorems 2/3 numerically against every curve
+// family on a moderate grid.
+func LowerBounds(cfg Config) ([]LBRow, error) {
+	cfg = cfg.withDefaults()
+	side := uint32(32)
+	u := geom.MustUniverse(2, side)
+	cs, err := allCurves2D(side)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LBRow
+	for _, shape := range [][]uint32{{2, 2}, {4, 4}, {8, 8}, {4, 12}, {16, 16}, {20, 24}, {28, 28}, {31, 31}} {
+		lbC, err := theory.LowerBoundContinuous(u, shape)
+		if err != nil {
+			return nil, err
+		}
+		lbG, err := theory.LowerBoundGeneral(u, shape)
+		if err != nil {
+			return nil, err
+		}
+		row := LBRow{
+			Shape:        fmt.Sprintf("%dx%d", shape[0], shape[1]),
+			LBContinuous: lbC,
+			LBGeneral:    lbG,
+			Measured:     map[string]float64{},
+		}
+		for _, c := range cs {
+			avg, err := cluster.AverageExact(c, shape)
+			if err != nil {
+				return nil, err
+			}
+			row.Measured[c.Name()] = avg
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderLowerBounds renders the bound table.
+func RenderLowerBounds(rows []LBRow, curveNames []string) string {
+	headers := append([]string{"shape", "LB-cont", "LB-any"}, curveNames...)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells := []string{r.Shape, fmt.Sprintf("%.2f", r.LBContinuous), fmt.Sprintf("%.2f", r.LBGeneral)}
+		for _, n := range curveNames {
+			cells = append(cells, fmt.Sprintf("%.2f", r.Measured[n]))
+		}
+		out = append(out, cells)
+	}
+	return "Theorems 2/3: exact lower bounds vs measured average clustering (side 32)\n" +
+		stats.FormatTable(headers, out)
+}

@@ -1,0 +1,378 @@
+// Package geom provides the discrete geometry primitives shared by every
+// space filling curve in this repository: cell coordinates (Point),
+// axis-aligned inclusive rectangles (Rect) and the d-dimensional universe
+// they live in (Universe).
+//
+// The model follows the paper exactly: a universe U is a discrete
+// d-dimensional grid of n cells with side length s along every dimension
+// (n = s^d), and a query is a hyper-rectangle of cells. All rectangle
+// bounds are inclusive.
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxKeyBits bounds the total number of addressable cells: a universe must
+// satisfy side^dims <= 2^MaxKeyBits so that cell indices fit comfortably in
+// a uint64 with headroom for arithmetic.
+const MaxKeyBits = 62
+
+var (
+	// ErrDims reports an unsupported number of dimensions.
+	ErrDims = errors.New("geom: dims must be >= 1")
+	// ErrSide reports an unsupported universe side length.
+	ErrSide = errors.New("geom: side must be >= 1")
+	// ErrTooLarge reports a universe whose cell count overflows MaxKeyBits.
+	ErrTooLarge = errors.New("geom: universe exceeds 2^62 cells")
+	// ErrBounds reports rectangle bounds that are malformed or outside the
+	// universe.
+	ErrBounds = errors.New("geom: invalid rectangle bounds")
+)
+
+// Point is the coordinate vector of a single cell. Element i is the
+// coordinate along dimension i, in [0, side).
+type Point []uint32
+
+// Clone returns a fresh copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical length and coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x0,x1,...)".
+func (p Point) String() string {
+	s := "("
+	for i, v := range p {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(v)
+	}
+	return s + ")"
+}
+
+// Universe is a d-dimensional grid of side^dims cells.
+type Universe struct {
+	dims int
+	side uint32
+}
+
+// NewUniverse validates and constructs a universe with the given number of
+// dimensions and per-dimension side length.
+func NewUniverse(dims int, side uint32) (Universe, error) {
+	if dims < 1 {
+		return Universe{}, fmt.Errorf("%w (got %d)", ErrDims, dims)
+	}
+	if side < 1 {
+		return Universe{}, fmt.Errorf("%w (got %d)", ErrSide, side)
+	}
+	// Check side^dims <= 2^MaxKeyBits without overflow.
+	size := uint64(1)
+	for i := 0; i < dims; i++ {
+		if size > (uint64(1)<<MaxKeyBits)/uint64(side) {
+			return Universe{}, fmt.Errorf("%w (side %d, dims %d)", ErrTooLarge, side, dims)
+		}
+		size *= uint64(side)
+	}
+	return Universe{dims: dims, side: side}, nil
+}
+
+// MustUniverse is NewUniverse for parameters known to be valid; it panics on
+// error. Intended for tests and package-internal constants.
+func MustUniverse(dims int, side uint32) Universe {
+	u, err := NewUniverse(dims, side)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Dims returns the number of dimensions d.
+func (u Universe) Dims() int { return u.dims }
+
+// Side returns the per-dimension side length (the paper's d-th root of n).
+func (u Universe) Side() uint32 { return u.side }
+
+// Size returns the total number of cells n = side^dims.
+func (u Universe) Size() uint64 {
+	size := uint64(1)
+	for i := 0; i < u.dims; i++ {
+		size *= uint64(u.side)
+	}
+	return size
+}
+
+// Contains reports whether p is a valid cell of u.
+func (u Universe) Contains(p Point) bool {
+	if len(p) != u.dims {
+		return false
+	}
+	for _, v := range p {
+		if v >= u.side {
+			return false
+		}
+	}
+	return true
+}
+
+// Rect returns the rectangle covering the whole universe.
+func (u Universe) Rect() Rect {
+	lo := make(Point, u.dims)
+	hi := make(Point, u.dims)
+	for i := range hi {
+		hi[i] = u.side - 1
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// String renders the universe as "side^dims".
+func (u Universe) String() string {
+	return fmt.Sprintf("%d^%d", u.side, u.dims)
+}
+
+// Rect is an axis-aligned box of cells with inclusive bounds:
+// it contains every cell p with Lo[i] <= p[i] <= Hi[i] for all i.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// NewRect validates lo <= hi pointwise and equal dimensionality.
+func NewRect(lo, hi Point) (Rect, error) {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		return Rect{}, fmt.Errorf("%w: lo %v hi %v", ErrBounds, lo, hi)
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("%w: lo %v > hi %v in dim %d", ErrBounds, lo, hi, i)
+		}
+	}
+	return Rect{Lo: lo.Clone(), Hi: hi.Clone()}, nil
+}
+
+// RectAt constructs the rectangle with lower corner lo and the given side
+// lengths (shape[i] >= 1 cells along dimension i).
+func RectAt(lo Point, shape []uint32) (Rect, error) {
+	if len(lo) != len(shape) || len(lo) == 0 {
+		return Rect{}, fmt.Errorf("%w: corner %v shape %v", ErrBounds, lo, shape)
+	}
+	hi := make(Point, len(lo))
+	for i := range lo {
+		if shape[i] == 0 {
+			return Rect{}, fmt.Errorf("%w: zero side in dim %d", ErrBounds, i)
+		}
+		hi[i] = lo[i] + shape[i] - 1
+		if hi[i] < lo[i] { // overflow
+			return Rect{}, fmt.Errorf("%w: overflow in dim %d", ErrBounds, i)
+		}
+	}
+	return Rect{Lo: lo.Clone(), Hi: hi}, nil
+}
+
+// Dims returns the dimensionality of the rectangle.
+func (r Rect) Dims() int { return len(r.Lo) }
+
+// Side returns the number of cells along dimension i.
+func (r Rect) Side(i int) uint32 { return r.Hi[i] - r.Lo[i] + 1 }
+
+// Shape returns the side lengths of all dimensions.
+func (r Rect) Shape() []uint32 {
+	s := make([]uint32, r.Dims())
+	for i := range s {
+		s[i] = r.Side(i)
+	}
+	return s
+}
+
+// Cells returns the number of cells contained in the rectangle.
+func (r Rect) Cells() uint64 {
+	n := uint64(1)
+	for i := 0; i < r.Dims(); i++ {
+		n *= uint64(r.Side(i))
+	}
+	return n
+}
+
+// Contains reports whether the cell p lies inside the rectangle.
+func (r Rect) Contains(p Point) bool {
+	if len(p) != len(r.Lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// In reports whether the rectangle lies fully inside the universe.
+func (r Rect) In(u Universe) bool {
+	if r.Dims() != u.Dims() {
+		return false
+	}
+	for i := range r.Hi {
+		if r.Hi[i] >= u.Side() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two rectangles have identical bounds.
+func (r Rect) Equal(o Rect) bool {
+	return r.Lo.Equal(o.Lo) && r.Hi.Equal(o.Hi)
+}
+
+// String renders the rectangle as "[lo..hi]".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%v..%v]", r.Lo, r.Hi)
+}
+
+// ForEach visits every cell of the rectangle in row-major order (dimension 0
+// fastest) and stops early if fn returns false. The Point passed to fn is
+// reused between calls; clone it if it must be retained.
+func (r Rect) ForEach(fn func(Point) bool) {
+	d := r.Dims()
+	p := r.Lo.Clone()
+	for {
+		if !fn(p) {
+			return
+		}
+		i := 0
+		for i < d {
+			if p[i] < r.Hi[i] {
+				p[i]++
+				break
+			}
+			p[i] = r.Lo[i]
+			i++
+		}
+		if i == d {
+			return
+		}
+	}
+}
+
+// Faces visits, for every boundary face of the rectangle that has a neighbor
+// cell inside the universe, each (inside, outside) pair of neighboring cells
+// straddling that face. Every such unordered pair is visited exactly once.
+// The points passed to fn are reused between calls. fn returning false stops
+// the iteration.
+//
+// This is the access pattern needed by the Lemma 1 boundary-crossing
+// clustering counter: for a continuous SFC every cluster boundary is such a
+// pair.
+func (r Rect) Faces(u Universe, fn func(inside, outside Point) bool) {
+	d := r.Dims()
+	in := make(Point, d)
+	out := make(Point, d)
+	for dim := 0; dim < d; dim++ {
+		// Face at the low side: inside cell has coordinate Lo[dim],
+		// outside neighbor Lo[dim]-1.
+		if r.Lo[dim] > 0 {
+			if !r.faceScan(dim, r.Lo[dim], r.Lo[dim]-1, in, out, fn) {
+				return
+			}
+		}
+		// Face at the high side.
+		if r.Hi[dim]+1 < u.Side() {
+			if !r.faceScan(dim, r.Hi[dim], r.Hi[dim]+1, in, out, fn) {
+				return
+			}
+		}
+	}
+}
+
+// faceScan iterates all cells of the face of r with fixed coordinate inCoord
+// along dimension dim, pairing each with its outside neighbor at outCoord.
+func (r Rect) faceScan(dim int, inCoord, outCoord uint32, in, out Point, fn func(inside, outside Point) bool) bool {
+	d := r.Dims()
+	copy(in, r.Lo)
+	in[dim] = inCoord
+	for {
+		copy(out, in)
+		out[dim] = outCoord
+		if !fn(in, out) {
+			return false
+		}
+		i := 0
+		for i < d {
+			if i == dim {
+				i++
+				continue
+			}
+			if in[i] < r.Hi[i] {
+				in[i]++
+				break
+			}
+			in[i] = r.Lo[i]
+			i++
+		}
+		if i == d {
+			return true
+		}
+	}
+}
+
+// SurfaceCells returns the number of cells of r that lie on its boundary
+// (cells with at least one coordinate equal to a bound).
+func (r Rect) SurfaceCells() uint64 {
+	inner := uint64(1)
+	for i := 0; i < r.Dims(); i++ {
+		s := uint64(r.Side(i))
+		if s <= 2 {
+			inner = 0
+			break
+		}
+		inner *= s - 2
+	}
+	return r.Cells() - inner
+}
+
+// Intersect returns the intersection of two rectangles and whether it is
+// non-empty.
+func (r Rect) Intersect(o Rect) (Rect, bool) {
+	if r.Dims() != o.Dims() {
+		return Rect{}, false
+	}
+	lo := make(Point, r.Dims())
+	hi := make(Point, r.Dims())
+	for i := range lo {
+		lo[i] = max32(r.Lo[i], o.Lo[i])
+		hi[i] = min32(r.Hi[i], o.Hi[i])
+		if lo[i] > hi[i] {
+			return Rect{}, false
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}, true
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,335 @@
+package geom
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUniverseValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		dims int
+		side uint32
+		err  error
+	}{
+		{"zero dims", 0, 4, ErrDims},
+		{"negative dims", -1, 4, ErrDims},
+		{"zero side", 2, 0, ErrSide},
+		{"ok 2d", 2, 1024, nil},
+		{"ok 3d", 3, 512, nil},
+		{"ok 1d", 1, 1, nil},
+		{"too large 2d", 4, 1 << 31, ErrTooLarge},
+		{"too large 3d", 3, 1 << 21, ErrTooLarge},
+		{"max 2d", 2, 1 << 31, nil},
+		{"max 3d", 3, 1 << 20, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewUniverse(tc.dims, tc.side)
+			if tc.err == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tc.err != nil && !errors.Is(err, tc.err) {
+				t.Fatalf("want %v, got %v", tc.err, err)
+			}
+		})
+	}
+}
+
+func TestUniverseSize(t *testing.T) {
+	u := MustUniverse(3, 8)
+	if got := u.Size(); got != 512 {
+		t.Fatalf("Size() = %d, want 512", got)
+	}
+	if u.Dims() != 3 || u.Side() != 8 {
+		t.Fatalf("accessors wrong: %v", u)
+	}
+	if u.String() != "8^3" {
+		t.Fatalf("String() = %q", u.String())
+	}
+}
+
+func TestUniverseContains(t *testing.T) {
+	u := MustUniverse(2, 4)
+	if !u.Contains(Point{0, 0}) || !u.Contains(Point{3, 3}) {
+		t.Fatal("corner cells should be contained")
+	}
+	if u.Contains(Point{4, 0}) || u.Contains(Point{0, 4}) {
+		t.Fatal("out-of-range cell contained")
+	}
+	if u.Contains(Point{1}) || u.Contains(Point{1, 1, 1}) {
+		t.Fatal("wrong dimensionality contained")
+	}
+}
+
+func TestUniverseRect(t *testing.T) {
+	u := MustUniverse(2, 5)
+	r := u.Rect()
+	if r.Cells() != 25 {
+		t.Fatalf("full rect cells = %d", r.Cells())
+	}
+	if !r.In(u) {
+		t.Fatal("full rect must be inside its universe")
+	}
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect(Point{1, 2}, Point{3, 4}); err != nil {
+		t.Fatalf("valid rect rejected: %v", err)
+	}
+	if _, err := NewRect(Point{3, 2}, Point{1, 4}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("lo>hi accepted: %v", err)
+	}
+	if _, err := NewRect(Point{1}, Point{1, 2}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("dim mismatch accepted: %v", err)
+	}
+	if _, err := NewRect(Point{}, Point{}); !errors.Is(err, ErrBounds) {
+		t.Fatalf("empty accepted: %v", err)
+	}
+}
+
+func TestRectAt(t *testing.T) {
+	r, err := RectAt(Point{2, 3}, []uint32{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rect{Lo: Point{2, 3}, Hi: Point{5, 3}}
+	if !r.Equal(want) {
+		t.Fatalf("got %v want %v", r, want)
+	}
+	if _, err := RectAt(Point{0}, []uint32{0}); !errors.Is(err, ErrBounds) {
+		t.Fatal("zero-side shape accepted")
+	}
+	if _, err := RectAt(Point{^uint32(0)}, []uint32{2}); !errors.Is(err, ErrBounds) {
+		t.Fatal("overflow accepted")
+	}
+	if _, err := RectAt(Point{0, 0}, []uint32{2}); !errors.Is(err, ErrBounds) {
+		t.Fatal("shape dim mismatch accepted")
+	}
+}
+
+func TestRectAccessors(t *testing.T) {
+	r := Rect{Lo: Point{1, 2, 3}, Hi: Point{4, 2, 7}}
+	if r.Dims() != 3 {
+		t.Fatal("dims")
+	}
+	if r.Side(0) != 4 || r.Side(1) != 1 || r.Side(2) != 5 {
+		t.Fatalf("sides: %v", r.Shape())
+	}
+	if r.Cells() != 20 {
+		t.Fatalf("cells = %d", r.Cells())
+	}
+	if !r.Contains(Point{1, 2, 3}) || !r.Contains(Point{4, 2, 7}) {
+		t.Fatal("corners not contained")
+	}
+	if r.Contains(Point{0, 2, 3}) || r.Contains(Point{1, 3, 3}) {
+		t.Fatal("outside cell contained")
+	}
+}
+
+func TestRectForEachCount(t *testing.T) {
+	r := Rect{Lo: Point{1, 1}, Hi: Point{3, 2}}
+	var seen []Point
+	r.ForEach(func(p Point) bool {
+		seen = append(seen, p.Clone())
+		return true
+	})
+	if uint64(len(seen)) != r.Cells() {
+		t.Fatalf("visited %d cells, want %d", len(seen), r.Cells())
+	}
+	// Row-major: dim 0 fastest.
+	want := []Point{{1, 1}, {2, 1}, {3, 1}, {1, 2}, {2, 2}, {3, 2}}
+	for i := range want {
+		if !seen[i].Equal(want[i]) {
+			t.Fatalf("cell %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestRectForEachEarlyStop(t *testing.T) {
+	r := Rect{Lo: Point{0, 0}, Hi: Point{9, 9}}
+	count := 0
+	r.ForEach(func(Point) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("visited %d cells after early stop", count)
+	}
+}
+
+func TestRectForEachSingleCell(t *testing.T) {
+	r := Rect{Lo: Point{7}, Hi: Point{7}}
+	count := 0
+	r.ForEach(func(p Point) bool {
+		if p[0] != 7 {
+			t.Fatalf("wrong cell %v", p)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestFacesPairCount2D(t *testing.T) {
+	u := MustUniverse(2, 8)
+	// Interior rect: 4 faces exposed, perimeter pairs = 2*(w+h).
+	r := Rect{Lo: Point{2, 3}, Hi: Point{4, 5}} // 3x3
+	pairs := 0
+	r.Faces(u, func(in, out Point) bool {
+		if !r.Contains(in) {
+			t.Fatalf("inside point %v not in rect", in)
+		}
+		if r.Contains(out) {
+			t.Fatalf("outside point %v in rect", out)
+		}
+		if !u.Contains(out) {
+			t.Fatalf("outside point %v not in universe", out)
+		}
+		pairs++
+		return true
+	})
+	if pairs != 12 {
+		t.Fatalf("pairs = %d, want 12", pairs)
+	}
+}
+
+func TestFacesAtUniverseBoundary(t *testing.T) {
+	u := MustUniverse(2, 8)
+	// Rect touching the universe corner: two faces have no outside neighbor.
+	r := Rect{Lo: Point{0, 0}, Hi: Point{2, 2}}
+	pairs := 0
+	r.Faces(u, func(in, out Point) bool { pairs++; return true })
+	if pairs != 6 { // only the two high faces: 3+3
+		t.Fatalf("pairs = %d, want 6", pairs)
+	}
+	// Whole universe: no pairs at all.
+	pairs = 0
+	u.Rect().Faces(u, func(in, out Point) bool { pairs++; return true })
+	if pairs != 0 {
+		t.Fatalf("whole-universe pairs = %d", pairs)
+	}
+}
+
+func TestFacesPairCount3D(t *testing.T) {
+	u := MustUniverse(3, 16)
+	r := Rect{Lo: Point{4, 4, 4}, Hi: Point{7, 8, 9}} // 4x5x6
+	pairs := 0
+	r.Faces(u, func(in, out Point) bool { pairs++; return true })
+	want := 2 * (4*5 + 5*6 + 4*6)
+	if pairs != want {
+		t.Fatalf("pairs = %d, want %d", pairs, want)
+	}
+}
+
+func TestFacesEarlyStop(t *testing.T) {
+	u := MustUniverse(2, 8)
+	r := Rect{Lo: Point{2, 2}, Hi: Point{5, 5}}
+	count := 0
+	r.Faces(u, func(in, out Point) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSurfaceCells(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want uint64
+	}{
+		{Rect{Lo: Point{0, 0}, Hi: Point{4, 4}}, 25 - 9},
+		{Rect{Lo: Point{0, 0}, Hi: Point{1, 1}}, 4},
+		{Rect{Lo: Point{3}, Hi: Point{9}}, 2},
+		{Rect{Lo: Point{0, 0, 0}, Hi: Point{3, 3, 3}}, 64 - 8},
+		{Rect{Lo: Point{5, 5}, Hi: Point{5, 9}}, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.r.SurfaceCells(); got != tc.want {
+			t.Errorf("SurfaceCells(%v) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Rect{Lo: Point{0, 0}, Hi: Point{5, 5}}
+	b := Rect{Lo: Point{3, 4}, Hi: Point{9, 9}}
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	want := Rect{Lo: Point{3, 4}, Hi: Point{5, 5}}
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	c := Rect{Lo: Point{6, 6}, Hi: Point{7, 7}}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint rects intersected")
+	}
+	if _, ok := a.Intersect(Rect{Lo: Point{0}, Hi: Point{0}}); ok {
+		t.Fatal("dim mismatch intersected")
+	}
+}
+
+func TestPointCloneEqualString(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if p.Equal(q) || !p.Equal(Point{1, 2, 3}) || p.Equal(Point{1, 2}) {
+		t.Fatal("Equal broken")
+	}
+	if p.String() != "(1,2,3)" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+// Property: Faces pair count equals the analytic exposed-surface count for
+// rects strictly inside the universe.
+func TestFacesCountProperty(t *testing.T) {
+	u := MustUniverse(3, 32)
+	f := func(lo0, lo1, lo2, s0, s1, s2 uint8) bool {
+		lo := Point{uint32(lo0%16) + 1, uint32(lo1%16) + 1, uint32(lo2%16) + 1}
+		shape := []uint32{uint32(s0%8) + 1, uint32(s1%8) + 1, uint32(s2%8) + 1}
+		r, err := RectAt(lo, shape)
+		if err != nil || !r.In(u) {
+			return true // skip invalid samples
+		}
+		pairs := 0
+		r.Faces(u, func(in, out Point) bool { pairs++; return true })
+		want := 2 * (shape[0]*shape[1] + shape[1]*shape[2] + shape[0]*shape[2])
+		return pairs == int(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ForEach visits exactly Cells() distinct cells, all inside.
+func TestForEachProperty(t *testing.T) {
+	f := func(lo0, lo1 uint8, s0, s1 uint8) bool {
+		r, err := RectAt(Point{uint32(lo0), uint32(lo1)}, []uint32{uint32(s0%6) + 1, uint32(s1%6) + 1})
+		if err != nil {
+			return true
+		}
+		seen := make(map[[2]uint32]bool)
+		r.ForEach(func(p Point) bool {
+			if !r.Contains(p) {
+				return false
+			}
+			seen[[2]uint32{p[0], p[1]}] = true
+			return true
+		})
+		return uint64(len(seen)) == r.Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

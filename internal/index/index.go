@@ -1,0 +1,209 @@
+// Package index implements the application the paper motivates: a spatial
+// index for multi-dimensional points built by mapping each point to its
+// position along a space filling curve and storing the keys in a B+-tree.
+// A rectangular query is answered by decomposing the rectangle into its
+// clusters (contiguous key ranges) and running one 1-D scan per cluster —
+// so the paper's clustering number is exactly the number of seeks the
+// query pays.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/bptree"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/disksim"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// ErrPoint reports a point outside the index's universe.
+var ErrPoint = errors.New("index: point outside universe")
+
+// Index is an SFC-clustered spatial index over d-dimensional points.
+type Index struct {
+	c       curve.Curve
+	tree    *bptree.Tree
+	store   *disksim.Store
+	points  []geom.Point // id -> point; nil after deletion
+	deleted int
+}
+
+// Option configures an Index.
+type Option func(*config)
+
+type config struct {
+	treeOrder int
+	pageSize  uint64
+}
+
+// WithTreeOrder sets the B+-tree branching factor (default 64).
+func WithTreeOrder(order int) Option { return func(c *config) { c.treeOrder = order } }
+
+// WithPageSize sets the simulated disk page size in cells (default 256).
+func WithPageSize(cells uint64) Option { return func(c *config) { c.pageSize = cells } }
+
+// New builds an empty index clustered by the given curve.
+func New(c curve.Curve, opts ...Option) (*Index, error) {
+	cfg := config{treeOrder: 64, pageSize: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tree, err := bptree.New(cfg.treeOrder)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	store, err := disksim.NewStore(cfg.pageSize)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return &Index{c: c, tree: tree, store: store}, nil
+}
+
+// Bulk builds an index over the given points in one bottom-up pass
+// (O(n log n) for the key sort, O(n) tree construction) — the preferred
+// path for loading a static data set. Record ids are assigned in input
+// order, exactly as repeated Insert calls would.
+func Bulk(c curve.Curve, pts []geom.Point, opts ...Option) (*Index, error) {
+	ix, err := New(c, opts...)
+	if err != nil {
+		return nil, err
+	}
+	type kv struct{ key, id uint64 }
+	kvs := make([]kv, len(pts))
+	ix.points = make([]geom.Point, len(pts))
+	for i, p := range pts {
+		if !c.Universe().Contains(p) {
+			return nil, fmt.Errorf("%w: %v in %v", ErrPoint, p, c.Universe())
+		}
+		ix.points[i] = p.Clone()
+		kvs[i] = kv{key: c.Index(p), id: uint64(i)}
+	}
+	sort.Slice(kvs, func(a, b int) bool { return kvs[a].key < kvs[b].key })
+	keys := make([]uint64, len(kvs))
+	vals := make([]uint64, len(kvs))
+	for i, e := range kvs {
+		keys[i], vals[i] = e.key, e.id
+	}
+	tree, err := bptree.BulkLoad(treeOrderOf(opts), keys, vals)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	ix.tree = tree
+	return ix, nil
+}
+
+func treeOrderOf(opts []Option) int {
+	cfg := config{treeOrder: 64, pageSize: 256}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.treeOrder
+}
+
+// Curve returns the clustering curve.
+func (ix *Index) Curve() curve.Curve { return ix.c }
+
+// Len returns the number of live (non-deleted) indexed points.
+func (ix *Index) Len() int { return len(ix.points) - ix.deleted }
+
+// Insert adds a point and returns its record id.
+func (ix *Index) Insert(p geom.Point) (uint64, error) {
+	if !ix.c.Universe().Contains(p) {
+		return 0, fmt.Errorf("%w: %v in %v", ErrPoint, p, ix.c.Universe())
+	}
+	id := uint64(len(ix.points))
+	ix.points = append(ix.points, p.Clone())
+	ix.tree.Insert(ix.c.Index(p), id)
+	return id, nil
+}
+
+// Point returns the point stored under the given record id.
+func (ix *Index) Point(id uint64) (geom.Point, bool) {
+	if id >= uint64(len(ix.points)) || ix.points[id] == nil {
+		return nil, false
+	}
+	return ix.points[id], true
+}
+
+// Delete removes the point with the given record id, reporting whether it
+// existed. Ids are not reused.
+func (ix *Index) Delete(id uint64) bool {
+	if id >= uint64(len(ix.points)) || ix.points[id] == nil {
+		return false
+	}
+	key := ix.c.Index(ix.points[id])
+	if !ix.tree.DeleteValue(key, id) {
+		return false
+	}
+	ix.points[id] = nil
+	ix.deleted++
+	return true
+}
+
+// QueryStats describes the execution of one range query.
+type QueryStats struct {
+	// Ranges is the number of 1-D scans issued — the clustering number
+	// of the query under the index's curve (unless a budget merged them).
+	Ranges int
+	// Disk is the simulated access pattern of reading the clustered
+	// table.
+	Disk disksim.Tally
+	// Entries is the number of B+-tree entries visited.
+	Entries int
+	// Results is the number of points returned.
+	Results int
+	// FalsePositives counts scanned entries whose points fell outside
+	// the query (possible only with a merge budget).
+	FalsePositives int
+}
+
+// Query returns the ids of all points inside r, using the exact cluster
+// decomposition (no false positives).
+func (ix *Index) Query(r geom.Rect) ([]uint64, QueryStats, error) {
+	return ix.query(r, 0)
+}
+
+// QueryBudget answers r with at most maxRanges scans, merging the
+// decomposition's smallest gaps (the superset-query tradeoff of Asano et
+// al. discussed in the paper's related work). Points in merged gaps are
+// filtered out and counted as false positives.
+func (ix *Index) QueryBudget(r geom.Rect, maxRanges int) ([]uint64, QueryStats, error) {
+	if maxRanges < 1 {
+		return nil, QueryStats{}, fmt.Errorf("index: %w", ranges.ErrBudget)
+	}
+	return ix.query(r, maxRanges)
+}
+
+func (ix *Index) query(r geom.Rect, budget int) ([]uint64, QueryStats, error) {
+	var stats QueryStats
+	rs, err := ranges.Decompose(ix.c, r, 0)
+	if err != nil {
+		return nil, stats, fmt.Errorf("index: %w", err)
+	}
+	if budget > 0 {
+		merged, err := ranges.MergeToBudget(rs, budget)
+		if err != nil {
+			return nil, stats, fmt.Errorf("index: %w", err)
+		}
+		rs = merged.Ranges
+	}
+	stats.Ranges = len(rs)
+	stats.Disk = ix.store.Execute(rs)
+	var ids []uint64
+	for _, kr := range rs {
+		ix.tree.RangeScan(kr.Lo, kr.Hi, func(key, id uint64) bool {
+			stats.Entries++
+			if r.Contains(ix.points[id]) {
+				ids = append(ids, id)
+			} else {
+				stats.FalsePositives++
+			}
+			return true
+		})
+	}
+	stats.Results = len(ids)
+	return ids, stats, nil
+}

@@ -1,0 +1,322 @@
+package index
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+func testCurves(t *testing.T, side uint32) []curve.Curve {
+	t.Helper()
+	o, err := core.NewOnion2D(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := baseline.NewHilbert(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := baseline.NewMorton(2, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []curve.Curve{o, h, z}
+}
+
+// bruteQuery returns the ids of points inside r.
+func bruteQuery(points []geom.Point, r geom.Rect) []uint64 {
+	var ids []uint64
+	for id, p := range points {
+		if r.Contains(p) {
+			ids = append(ids, uint64(id))
+		}
+	}
+	return ids
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	side := uint32(64)
+	rng := rand.New(rand.NewSource(5))
+	u := geom.MustUniverse(2, side)
+	pts, err := workload.ClusteredPoints(u, 4, 3000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range testCurves(t, side) {
+		ix, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if _, err := ix.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ix.Len() != len(pts) {
+			t.Fatal("len")
+		}
+		for trial := 0; trial < 60; trial++ {
+			r := randRect(rng, side)
+			got, stats, err := ix.Query(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteQuery(pts, r)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(got) != len(want) {
+				t.Fatalf("%s %v: %d results, want %d", c.Name(), r, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v: result %d = %d, want %d", c.Name(), r, i, got[i], want[i])
+				}
+			}
+			if stats.FalsePositives != 0 {
+				t.Fatalf("%s: exact query had %d false positives", c.Name(), stats.FalsePositives)
+			}
+			if stats.Results != len(want) {
+				t.Fatal("stats.Results mismatch")
+			}
+		}
+	}
+}
+
+func randRect(rng *rand.Rand, side uint32) geom.Rect {
+	lo := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+	hi := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			lo[i], hi[i] = hi[i], lo[i]
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// TestSeeksEqualClusteringNumber verifies the paper's core operational
+// claim: the number of scans a query issues equals the clustering number.
+func TestSeeksEqualClusteringNumber(t *testing.T) {
+	side := uint32(32)
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range testCurves(t, side) {
+		ix, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			r := randRect(rng, side)
+			_, stats, err := ix.Query(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cluster.Count(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(stats.Ranges) != want {
+				t.Fatalf("%s %v: %d ranges, clustering number %d", c.Name(), r, stats.Ranges, want)
+			}
+			if stats.Disk.Seeks > uint64(stats.Ranges) {
+				t.Fatalf("%s: seeks %d exceed ranges %d", c.Name(), stats.Disk.Seeks, stats.Ranges)
+			}
+		}
+	}
+}
+
+func TestQueryBudget(t *testing.T) {
+	side := uint32(64)
+	u := geom.MustUniverse(2, side)
+	pts, _ := workload.ClusteredPoints(u, 3, 2000, 8)
+	z, _ := baseline.NewMorton(2, side)
+	ix, _ := New(z)
+	for _, p := range pts {
+		if _, err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		r := randRect(rng, side)
+		exact, exactStats, err := ix.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := ix.QueryBudget(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Ranges > 2 {
+			t.Fatalf("budget exceeded: %d", stats.Ranges)
+		}
+		if len(got) != len(exact) {
+			t.Fatalf("budget query lost results: %d vs %d", len(got), len(exact))
+		}
+		if exactStats.Ranges > 2 && stats.Entries < exactStats.Entries {
+			t.Fatal("merged query cannot scan fewer entries than exact")
+		}
+	}
+	if _, _, err := ix.QueryBudget(geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{1, 1}}, 0); err == nil {
+		t.Error("budget 0 accepted")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	ix, _ := New(o)
+	if _, err := ix.Insert(geom.Point{16, 0}); !errors.Is(err, ErrPoint) {
+		t.Error("out-of-universe point accepted")
+	}
+	if _, err := ix.Insert(geom.Point{1}); !errors.Is(err, ErrPoint) {
+		t.Error("wrong-dims point accepted")
+	}
+}
+
+func TestPointLookup(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	ix, _ := New(o)
+	id, err := ix.Insert(geom.Point{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := ix.Point(id)
+	if !ok || !p.Equal(geom.Point{3, 4}) {
+		t.Fatalf("Point(%d) = %v, %v", id, p, ok)
+	}
+	if _, ok := ix.Point(99); ok {
+		t.Error("missing id found")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	ix, _ := New(o)
+	for i := 0; i < 10; i++ {
+		if _, err := ix.Insert(geom.Point{5, 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, _, err := ix.Query(geom.Rect{Lo: geom.Point{5, 5}, Hi: geom.Point{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("got %d duplicates", len(ids))
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	if _, err := New(o, WithTreeOrder(2)); err == nil {
+		t.Error("tree order 2 accepted")
+	}
+	if _, err := New(o, WithPageSize(0)); err == nil {
+		t.Error("page size 0 accepted")
+	}
+	if _, err := New(o, WithTreeOrder(8), WithPageSize(64)); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestOnionFewerSeeksThanHilbertOnLargeCubes reproduces the paper's
+// macro-claim end-to-end on the index: for near-full-size square queries
+// the onion-clustered index pays far fewer seeks than the Hilbert one.
+func TestOnionFewerSeeksThanHilbertOnLargeCubes(t *testing.T) {
+	side := uint32(64)
+	u := geom.MustUniverse(2, side)
+	o, _ := core.NewOnion2D(side)
+	h, _ := baseline.NewHilbert(2, side)
+	qs, err := workload.RandomTranslates(u, []uint32{side - 7, side - 7}, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onionRanges, hilbertRanges int
+	ixo, _ := New(o)
+	ixh, _ := New(h)
+	for _, q := range qs {
+		_, so, err := ixo.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sh, err := ixh.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onionRanges += so.Ranges
+		hilbertRanges += sh.Ranges
+	}
+	if onionRanges*3 > hilbertRanges {
+		t.Errorf("onion %d vs hilbert %d ranges: expected onion to win by >3x on near-full squares",
+			onionRanges, hilbertRanges)
+	}
+}
+
+func TestBulkEquivalentToInserts(t *testing.T) {
+	side := uint32(64)
+	u := geom.MustUniverse(2, side)
+	pts, err := workload.ClusteredPoints(u, 3, 3000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := core.NewOnion2D(side)
+	bulk, err := Bulk(o, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, _ := New(o)
+	for _, p := range pts {
+		if _, err := incr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != incr.Len() {
+		t.Fatal("len mismatch")
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		r := randRect(rng, side)
+		a, _, err := bulk.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := incr.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if len(a) != len(b) {
+			t.Fatalf("%v: bulk %d vs incremental %d results", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: id %d vs %d", r, a[i], b[i])
+			}
+		}
+	}
+	// A bulk index must remain fully mutable.
+	id, err := bulk.Insert(geom.Point{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bulk.Delete(id) {
+		t.Fatal("delete after bulk failed")
+	}
+}
+
+func TestBulkValidation(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	if _, err := Bulk(o, []geom.Point{{99, 0}}); !errors.Is(err, ErrPoint) {
+		t.Error("outside point accepted")
+	}
+	empty, err := Bulk(o, nil)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty bulk: %v", err)
+	}
+}

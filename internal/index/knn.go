@@ -1,0 +1,147 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// Neighbor is one k-nearest-neighbors result.
+type Neighbor struct {
+	ID     uint64
+	Point  geom.Point
+	DistSq uint64 // squared Euclidean distance
+}
+
+// Nearest returns the k nearest stored points to p under Euclidean
+// distance (ties broken by record id), using expanding box queries over
+// the SFC index: a box of Chebyshev radius r contains every point whose
+// Euclidean distance is at most r, so once k candidates are found the
+// radius is tightened to the k-th candidate distance and one final query
+// makes the result exact. This is the multi-dimensional similarity-search
+// application from the paper's introduction (Li et al.).
+func (ix *Index) Nearest(p geom.Point, k int) ([]Neighbor, QueryStats, error) {
+	var total QueryStats
+	if !ix.c.Universe().Contains(p) {
+		return nil, total, fmt.Errorf("%w: %v in %v", ErrPoint, p, ix.c.Universe())
+	}
+	if k <= 0 {
+		return nil, total, fmt.Errorf("index: k must be positive (got %d)", k)
+	}
+	if ix.Len() == 0 {
+		return nil, total, nil
+	}
+	if k > ix.Len() {
+		k = ix.Len()
+	}
+	u := ix.c.Universe()
+	maxSide := uint64(u.Side())
+	r := uint64(1)
+	for {
+		box := ix.boxAround(p, r)
+		ids, stats, err := ix.Query(box)
+		if err != nil {
+			return nil, total, err
+		}
+		accumulate(&total, stats)
+		covers := box.Equal(u.Rect())
+		if len(ids) >= k || covers {
+			ns := ix.rank(p, ids, k)
+			if covers {
+				return ns, total, nil
+			}
+			// Exact if the k-th distance fits inside the searched box.
+			dk := ns[len(ns)-1].DistSq
+			if dk <= r*r {
+				return ns, total, nil
+			}
+			// One tightening pass with the certified radius.
+			r = isqrtCeil(dk)
+			box = ix.boxAround(p, r)
+			ids, stats, err = ix.Query(box)
+			if err != nil {
+				return nil, total, err
+			}
+			accumulate(&total, stats)
+			return ix.rank(p, ids, k), total, nil
+		}
+		r *= 2
+		if r > maxSide {
+			r = maxSide
+		}
+	}
+}
+
+// boxAround clips [p-r, p+r] to the universe.
+func (ix *Index) boxAround(p geom.Point, r uint64) geom.Rect {
+	u := ix.c.Universe()
+	lo := make(geom.Point, len(p))
+	hi := make(geom.Point, len(p))
+	for i, v := range p {
+		if uint64(v) > r {
+			lo[i] = v - uint32(r)
+		}
+		h := uint64(v) + r
+		if h > uint64(u.Side()-1) {
+			h = uint64(u.Side() - 1)
+		}
+		hi[i] = uint32(h)
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// rank returns the k nearest of the candidate ids.
+func (ix *Index) rank(p geom.Point, ids []uint64, k int) []Neighbor {
+	ns := make([]Neighbor, 0, len(ids))
+	for _, id := range ids {
+		q := ix.points[id]
+		var d2 uint64
+		for i := range p {
+			var d uint64
+			if p[i] > q[i] {
+				d = uint64(p[i] - q[i])
+			} else {
+				d = uint64(q[i] - p[i])
+			}
+			d2 += d * d
+		}
+		ns = append(ns, Neighbor{ID: id, Point: q, DistSq: d2})
+	}
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].DistSq != ns[b].DistSq {
+			return ns[a].DistSq < ns[b].DistSq
+		}
+		return ns[a].ID < ns[b].ID
+	})
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+func accumulate(total *QueryStats, s QueryStats) {
+	total.Ranges += s.Ranges
+	total.Entries += s.Entries
+	total.Results += s.Results
+	total.FalsePositives += s.FalsePositives
+	total.Disk.Add(s.Disk)
+}
+
+// isqrtCeil returns ceil(sqrt(v)).
+func isqrtCeil(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	// Float seed is within 1 ulp for the distances this package produces
+	// (v <= dims * side^2 < 2^53); fix up exactly.
+	r := uint64(math.Sqrt(float64(v)))
+	for r > 0 && r*r >= v {
+		r--
+	}
+	for r*r < v {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,190 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+// bruteNearest returns the sorted squared distances of the k nearest
+// points (the oracle; ids may differ under ties, distances may not).
+func bruteNearest(points []geom.Point, p geom.Point, k int) []uint64 {
+	var d2s []uint64
+	for _, q := range points {
+		if q == nil {
+			continue
+		}
+		var d2 uint64
+		for i := range p {
+			var d uint64
+			if p[i] > q[i] {
+				d = uint64(p[i] - q[i])
+			} else {
+				d = uint64(q[i] - p[i])
+			}
+			d2 += d * d
+		}
+		d2s = append(d2s, d2)
+	}
+	sort.Slice(d2s, func(a, b int) bool { return d2s[a] < d2s[b] })
+	if len(d2s) > k {
+		d2s = d2s[:k]
+	}
+	return d2s
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	side := uint32(128)
+	u := geom.MustUniverse(2, side)
+	pts, err := workload.ClusteredPoints(u, 4, 800, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := core.NewOnion2D(side)
+	ix, _ := New(o)
+	for _, p := range pts {
+		if _, err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		k := rng.Intn(10) + 1
+		got, _, err := ix.Nearest(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteNearest(pts, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d neighbors, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].DistSq != want[i] {
+				t.Fatalf("k=%d neighbor %d: dist %d, want %d", k, i, got[i].DistSq, want[i])
+			}
+		}
+		// Results must be sorted by distance.
+		for i := 1; i < len(got); i++ {
+			if got[i].DistSq < got[i-1].DistSq {
+				t.Fatal("neighbors not sorted")
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	ix, _ := New(o)
+	// Empty index.
+	ns, _, err := ix.Nearest(geom.Point{3, 3}, 5)
+	if err != nil || len(ns) != 0 {
+		t.Fatalf("empty index: %v, %v", ns, err)
+	}
+	// k larger than the point count.
+	ix.Insert(geom.Point{1, 1})
+	ix.Insert(geom.Point{10, 10})
+	ns, _, err = ix.Nearest(geom.Point{0, 0}, 10)
+	if err != nil || len(ns) != 2 {
+		t.Fatalf("k>n: %d neighbors, %v", len(ns), err)
+	}
+	if !ns[0].Point.Equal(geom.Point{1, 1}) {
+		t.Fatal("nearest should be (1,1)")
+	}
+	// Query point on a stored point: distance zero first.
+	ns, _, _ = ix.Nearest(geom.Point{10, 10}, 1)
+	if ns[0].DistSq != 0 {
+		t.Fatal("self distance")
+	}
+	// Invalid arguments.
+	if _, _, err := ix.Nearest(geom.Point{99, 0}, 1); err == nil {
+		t.Error("out-of-universe query accepted")
+	}
+	if _, _, err := ix.Nearest(geom.Point{0, 0}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNearestAfterDelete(t *testing.T) {
+	o, _ := core.NewOnion2D(32)
+	ix, _ := New(o)
+	idA, _ := ix.Insert(geom.Point{5, 5})
+	idB, _ := ix.Insert(geom.Point{6, 6})
+	if !ix.Delete(idA) {
+		t.Fatal("delete failed")
+	}
+	ns, _, err := ix.Nearest(geom.Point{5, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].ID != idB {
+		t.Fatalf("neighbors after delete = %+v", ns)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	o, _ := core.NewOnion2D(32)
+	ix, _ := New(o)
+	ids := make([]uint64, 0, 20)
+	for i := 0; i < 10; i++ {
+		id, _ := ix.Insert(geom.Point{5, 5}) // duplicates in one cell
+		ids = append(ids, id)
+	}
+	for i := 0; i < 10; i++ {
+		id, _ := ix.Insert(geom.Point{uint32(i), uint32(i + 10)})
+		ids = append(ids, id)
+	}
+	if ix.Len() != 20 {
+		t.Fatal("len")
+	}
+	// Delete a specific duplicate: only that id disappears.
+	if !ix.Delete(ids[3]) {
+		t.Fatal("delete dup")
+	}
+	if ix.Delete(ids[3]) {
+		t.Fatal("double delete succeeded")
+	}
+	if ix.Len() != 19 {
+		t.Fatal("len after delete")
+	}
+	if _, ok := ix.Point(ids[3]); ok {
+		t.Fatal("deleted point still resolvable")
+	}
+	got, _, err := ix.Query(geom.Rect{Lo: geom.Point{5, 5}, Hi: geom.Point{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("cell query after delete = %d ids", len(got))
+	}
+	for _, id := range got {
+		if id == ids[3] {
+			t.Fatal("deleted id returned")
+		}
+	}
+	if ix.Delete(999) {
+		t.Fatal("deleting unknown id succeeded")
+	}
+}
+
+func TestIsqrtCeil(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 2: 2, 3: 2, 4: 2, 5: 3, 99: 10, 100: 10, 101: 11, 1 << 40: 1 << 20}
+	for v, want := range cases {
+		if got := isqrtCeil(v); got != want {
+			t.Errorf("isqrtCeil(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Property: r = isqrtCeil(v) satisfies (r-1)^2 < v <= r^2.
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		v := uint64(rng.Int63n(1 << 40))
+		r := isqrtCeil(v)
+		if r*r < v || (r > 0 && (r-1)*(r-1) >= v) {
+			t.Fatalf("isqrtCeil(%d) = %d out of bounds", v, r)
+		}
+	}
+}

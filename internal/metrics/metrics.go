@@ -1,0 +1,99 @@
+// Package metrics implements secondary SFC quality metrics beyond the
+// clustering number: the key-space spread between a query's clusters (the
+// inter-cluster distance the paper's conclusion names as important future
+// work for disk fetches) and the stretch of Gotsman and Lindenbaum
+// (related work [14]): how far apart in the grid cells with nearby curve
+// positions can be.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// Spread describes how a query's clusters are laid out in key space.
+type Spread struct {
+	// Clusters is the clustering number.
+	Clusters int
+	// Span is the key distance from the first cluster's start to the
+	// last cluster's end (inclusive).
+	Span uint64
+	// GapCells is Span minus the cells of the query: keys a sequential
+	// reader would skip (or seek over) between clusters.
+	GapCells uint64
+	// MaxGap is the largest single gap between consecutive clusters.
+	MaxGap uint64
+}
+
+// ClusterSpread measures the inter-cluster layout of r under c. A curve
+// can have few clusters yet spread them across the whole key space (the
+// onion curve's clusters sit on distant layers); Span and GapCells
+// quantify that, complementing the clustering number exactly as the
+// paper's conclusion suggests.
+func ClusterSpread(c curve.Curve, r geom.Rect) (Spread, error) {
+	rs, err := ranges.Decompose(c, r, 0)
+	if err != nil {
+		return Spread{}, fmt.Errorf("metrics: %w", err)
+	}
+	s := Spread{Clusters: len(rs)}
+	if len(rs) == 0 {
+		return s, nil
+	}
+	s.Span = rs[len(rs)-1].Hi - rs[0].Lo + 1
+	s.GapCells = s.Span - ranges.TotalCells(rs)
+	for i := 1; i < len(rs); i++ {
+		if g := rs[i].Lo - rs[i-1].Hi - 1; g > s.MaxGap {
+			s.MaxGap = g
+		}
+	}
+	return s, nil
+}
+
+// StretchStats summarizes the grid distance between cells at curve
+// distance k.
+type StretchStats struct {
+	K    uint64
+	Mean float64 // mean L1 grid distance between pi^-1(h) and pi^-1(h+k)
+	Max  uint64
+}
+
+// Stretch estimates the k-stretch of the curve by sampling positions: the
+// L1 grid distance between cells k apart along the curve. For a continuous
+// curve and k = 1 the mean and max are exactly 1.
+func Stretch(c curve.Curve, k uint64, samples int, seed int64) (StretchStats, error) {
+	n := c.Universe().Size()
+	if k == 0 || k >= n {
+		return StretchStats{}, fmt.Errorf("metrics: k must be in [1, size)")
+	}
+	if samples <= 0 {
+		return StretchStats{}, fmt.Errorf("metrics: samples must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := make(geom.Point, c.Universe().Dims())
+	b := make(geom.Point, c.Universe().Dims())
+	st := StretchStats{K: k}
+	var total float64
+	for i := 0; i < samples; i++ {
+		h := uint64(rng.Int63n(int64(n - k)))
+		c.Coords(h, a)
+		c.Coords(h+k, b)
+		var d uint64
+		for j := range a {
+			if a[j] > b[j] {
+				d += uint64(a[j] - b[j])
+			} else {
+				d += uint64(b[j] - a[j])
+			}
+		}
+		total += float64(d)
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = total / float64(samples)
+	return st, nil
+}

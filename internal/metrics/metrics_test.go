@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+func TestClusterSpreadSingleCluster(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	s, err := ClusterSpread(o, o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clusters != 1 || s.GapCells != 0 || s.MaxGap != 0 || s.Span != 256 {
+		t.Fatalf("spread = %+v", s)
+	}
+}
+
+func TestClusterSpreadConsistency(t *testing.T) {
+	// Span = cells + gaps; MaxGap <= GapCells; verified on random rects
+	// against the raw decomposition.
+	o, _ := core.NewOnion2D(32)
+	h, _ := baseline.NewHilbert(2, 32)
+	z, _ := baseline.NewMorton(2, 32)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		lo := geom.Point{uint32(rng.Int31n(32)), uint32(rng.Int31n(32))}
+		hi := geom.Point{uint32(rng.Int31n(32)), uint32(rng.Int31n(32))}
+		for i := range lo {
+			if lo[i] > hi[i] {
+				lo[i], hi[i] = hi[i], lo[i]
+			}
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		for _, c := range []interface {
+			Universe() geom.Universe
+			Name() string
+			Index(geom.Point) uint64
+			Coords(uint64, geom.Point) geom.Point
+		}{o, h, z} {
+			s, err := ClusterSpread(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, _ := ranges.Decompose(c, r, 0)
+			if s.Clusters != len(rs) {
+				t.Fatalf("%s: clusters %d vs %d", c.Name(), s.Clusters, len(rs))
+			}
+			if s.Span != ranges.TotalCells(rs)+s.GapCells {
+				t.Fatalf("%s: span %d != cells %d + gaps %d", c.Name(), s.Span, ranges.TotalCells(rs), s.GapCells)
+			}
+			if s.MaxGap > s.GapCells {
+				t.Fatalf("%s: max gap %d > total gaps %d", c.Name(), s.MaxGap, s.GapCells)
+			}
+		}
+	}
+}
+
+func TestOnionSpreadStructure(t *testing.T) {
+	// The structural fact behind the paper's future-work remark about
+	// inter-cluster distance. A centered query covers the innermost
+	// layers, which end the onion curve: one contiguous cluster, less
+	// spread than Hilbert. An off-center query cuts an arc out of many
+	// consecutive rings: few extra clusters but each separated by the
+	// rest of its ring's perimeter, so the spread exceeds Hilbert's.
+	o, _ := core.NewOnion2D(64)
+	h, _ := baseline.NewHilbert(2, 64)
+	centered := geom.Rect{Lo: geom.Point{24, 24}, Hi: geom.Point{39, 39}}
+	so, _ := ClusterSpread(o, centered)
+	sh, _ := ClusterSpread(h, centered)
+	if so.Clusters != 1 || so.GapCells != 0 {
+		t.Errorf("centered query should be one onion cluster: %+v", so)
+	}
+	if so.Span >= sh.Span {
+		t.Errorf("centered: onion span %d should beat hilbert %d", so.Span, sh.Span)
+	}
+	offCenter := geom.Rect{Lo: geom.Point{4, 4}, Hi: geom.Point{19, 19}}
+	so, _ = ClusterSpread(o, offCenter)
+	sh, _ = ClusterSpread(h, offCenter)
+	if so.GapCells <= sh.GapCells {
+		t.Errorf("off-center: onion gaps %d should exceed hilbert %d", so.GapCells, sh.GapCells)
+	}
+}
+
+func TestStretchContinuousK1(t *testing.T) {
+	o, _ := core.NewOnion2D(64)
+	h, _ := baseline.NewHilbert(2, 64)
+	for _, tc := range []struct {
+		name string
+		c    interface {
+			Universe() geom.Universe
+			Index(geom.Point) uint64
+			Coords(uint64, geom.Point) geom.Point
+			Name() string
+		}
+	}{{"onion", o}, {"hilbert", h}} {
+		st, err := Stretch(tc.c, 1, 500, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mean != 1 || st.Max != 1 {
+			t.Errorf("%s: k=1 stretch mean %.2f max %d, want 1/1", tc.name, st.Mean, st.Max)
+		}
+	}
+}
+
+func TestStretchZCurveExceedsOne(t *testing.T) {
+	z, _ := baseline.NewMorton(2, 64)
+	st, err := Stretch(z, 1, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Max <= 1 {
+		t.Errorf("z curve k=1 max stretch %d should exceed 1", st.Max)
+	}
+}
+
+func TestStretchValidation(t *testing.T) {
+	o, _ := core.NewOnion2D(8)
+	if _, err := Stretch(o, 0, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Stretch(o, 64, 10, 1); err == nil {
+		t.Error("k=size accepted")
+	}
+	if _, err := Stretch(o, 1, 0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+}
+
+func TestStretchGrowsWithK(t *testing.T) {
+	h, _ := baseline.NewHilbert(2, 64)
+	s1, _ := Stretch(h, 1, 1000, 9)
+	s64, _ := Stretch(h, 64, 1000, 9)
+	if s64.Mean <= s1.Mean {
+		t.Errorf("stretch should grow with k: %.2f vs %.2f", s1.Mean, s64.Mean)
+	}
+}
+
+func TestRunLengths(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	// Whole universe: one run of 256.
+	ls, err := RunLengths(o, o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 || ls[0] != 256 {
+		t.Fatalf("runs = %v", ls)
+	}
+	// Sum of run lengths equals the query cell count for random rects.
+	rng := rand.New(rand.NewSource(5))
+	z, _ := baseline.NewMorton(2, 16)
+	for trial := 0; trial < 50; trial++ {
+		lo := geom.Point{uint32(rng.Int31n(16)), uint32(rng.Int31n(16))}
+		hi := geom.Point{uint32(rng.Int31n(16)), uint32(rng.Int31n(16))}
+		for i := range lo {
+			if lo[i] > hi[i] {
+				lo[i], hi[i] = hi[i], lo[i]
+			}
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		ls, err := RunLengths(z, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, l := range ls {
+			sum += l
+		}
+		if sum != r.Cells() {
+			t.Fatalf("run lengths sum %d, cells %d", sum, r.Cells())
+		}
+	}
+}
+
+func TestRunLengthSummary(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	r := geom.Rect{Lo: geom.Point{2, 2}, Hi: geom.Point{9, 9}}
+	s, err := RunLengthSummary(o, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count < 1 || s.Min < 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/stats"
+)
+
+// RunLengths returns the sizes of a query's clusters in key order. The
+// distribution of cluster lengths determines page utilization: many
+// one-cell clusters read almost-empty pages even when the cluster count
+// looks acceptable.
+func RunLengths(c curve.Curve, r geom.Rect) ([]uint64, error) {
+	rs, err := ranges.Decompose(c, r, 0)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	out := make([]uint64, len(rs))
+	for i, kr := range rs {
+		out[i] = kr.Cells()
+	}
+	return out, nil
+}
+
+// RunLengthSummary summarizes the cluster-length distribution of a query.
+func RunLengthSummary(c curve.Curve, r geom.Rect) (stats.Summary, error) {
+	ls, err := RunLengths(c, r)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return stats.SummarizeUints(ls), nil
+}

@@ -1,0 +1,260 @@
+// Package pagedstore is a disk-backed table of multi-dimensional points
+// physically clustered in space-filling-curve order: the on-disk
+// realization of the paper's motivating scenario, where the clustering
+// number of a query is the number of real file seeks its execution pays.
+//
+// The file layout is a fixed header, a page index (first curve key of
+// every page), and fixed-size pages of records sorted by curve key. A
+// rectangle query decomposes into cluster ranges (internal/ranges), maps
+// each range to a run of pages via the index, and reads each run with one
+// positioned read — seeks and pages are counted and returned.
+package pagedstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+const (
+	magic   = uint64(0x4f4e494f4e435256) // "ONIONCRV"
+	version = uint32(1)
+)
+
+var (
+	// ErrCorrupt reports an unreadable or malformed store file.
+	ErrCorrupt = errors.New("pagedstore: corrupt store file")
+	// ErrMismatch reports a store written under a different curve or
+	// universe than the one used to open it.
+	ErrMismatch = errors.New("pagedstore: store does not match curve")
+	// ErrPageBytes reports an unusable page size.
+	ErrPageBytes = errors.New("pagedstore: page size too small for a record")
+)
+
+// Record is one stored point with an opaque payload.
+type Record struct {
+	Point   geom.Point
+	Payload uint64
+}
+
+// Stats is the physical access pattern of one query.
+type Stats struct {
+	Seeks          int // positioned reads at non-contiguous offsets
+	PagesRead      int
+	RecordsScanned int
+	Results        int
+}
+
+// recordSize returns the on-disk bytes per record: key + coords + payload.
+func recordSize(dims int) int { return 8 + 4*dims + 8 }
+
+// Write bulk-loads records into path, clustered by c. Records may be in
+// any order; they are sorted by curve key.
+func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
+	dims := c.Universe().Dims()
+	rs := recordSize(dims)
+	if pageBytes < rs {
+		return fmt.Errorf("%w: %d < %d", ErrPageBytes, pageBytes, rs)
+	}
+	perPage := pageBytes / rs
+	type keyed struct {
+		key uint64
+		rec Record
+	}
+	ks := make([]keyed, len(recs))
+	for i, r := range recs {
+		if !c.Universe().Contains(r.Point) {
+			return fmt.Errorf("pagedstore: point %v outside universe %v", r.Point, c.Universe())
+		}
+		ks[i] = keyed{key: c.Index(r.Point), rec: r}
+	}
+	sort.SliceStable(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+
+	pageCount := (len(ks) + perPage - 1) / perPage
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pagedstore: %w", err)
+	}
+	defer f.Close()
+
+	// Header: magic, version, dims, side, pageBytes, recordCount, pageCount.
+	head := make([]byte, 8+4+4+4+4+8+8)
+	binary.LittleEndian.PutUint64(head[0:], magic)
+	binary.LittleEndian.PutUint32(head[8:], version)
+	binary.LittleEndian.PutUint32(head[12:], uint32(dims))
+	binary.LittleEndian.PutUint32(head[16:], c.Universe().Side())
+	binary.LittleEndian.PutUint32(head[20:], uint32(pageBytes))
+	binary.LittleEndian.PutUint64(head[24:], uint64(len(ks)))
+	binary.LittleEndian.PutUint64(head[32:], uint64(pageCount))
+	if _, err := f.Write(head); err != nil {
+		return fmt.Errorf("pagedstore: %w", err)
+	}
+	// Page index: first key of each page.
+	idx := make([]byte, 8*pageCount)
+	for p := 0; p < pageCount; p++ {
+		binary.LittleEndian.PutUint64(idx[8*p:], ks[p*perPage].key)
+	}
+	if _, err := f.Write(idx); err != nil {
+		return fmt.Errorf("pagedstore: %w", err)
+	}
+	// Pages.
+	buf := make([]byte, pageBytes)
+	for p := 0; p < pageCount; p++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		off := 0
+		for i := p * perPage; i < (p+1)*perPage && i < len(ks); i++ {
+			binary.LittleEndian.PutUint64(buf[off:], ks[i].key)
+			off += 8
+			for d := 0; d < dims; d++ {
+				binary.LittleEndian.PutUint32(buf[off:], ks[i].rec.Point[d])
+				off += 4
+			}
+			binary.LittleEndian.PutUint64(buf[off:], ks[i].rec.Payload)
+			off += 8
+		}
+		if _, err := f.Write(buf); err != nil {
+			return fmt.Errorf("pagedstore: %w", err)
+		}
+	}
+	return f.Sync()
+}
+
+// Store is an open clustered table.
+type Store struct {
+	f         *os.File
+	c         curve.Curve
+	dims      int
+	pageBytes int
+	perPage   int
+	count     uint64
+	firstKeys []uint64
+	dataOff   int64
+}
+
+// Open validates the file against the curve and loads the page index.
+func Open(path string, c curve.Curve) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pagedstore: %w", err)
+	}
+	head := make([]byte, 40)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint64(head[0:]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(head[8:]) != version {
+		f.Close()
+		return nil, fmt.Errorf("%w: unsupported version", ErrCorrupt)
+	}
+	dims := int(binary.LittleEndian.Uint32(head[12:]))
+	side := binary.LittleEndian.Uint32(head[16:])
+	if dims != c.Universe().Dims() || side != c.Universe().Side() {
+		f.Close()
+		return nil, fmt.Errorf("%w: file is %dD side %d, curve is %v",
+			ErrMismatch, dims, side, c.Universe())
+	}
+	pageBytes := int(binary.LittleEndian.Uint32(head[20:]))
+	count := binary.LittleEndian.Uint64(head[24:])
+	pageCount := binary.LittleEndian.Uint64(head[32:])
+	rs := recordSize(dims)
+	if pageBytes < rs {
+		f.Close()
+		return nil, fmt.Errorf("%w: page bytes %d", ErrCorrupt, pageBytes)
+	}
+	idx := make([]byte, 8*pageCount)
+	if _, err := f.ReadAt(idx, 40); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: short page index", ErrCorrupt)
+	}
+	firstKeys := make([]uint64, pageCount)
+	for p := range firstKeys {
+		firstKeys[p] = binary.LittleEndian.Uint64(idx[8*p:])
+	}
+	return &Store{
+		f:         f,
+		c:         c,
+		dims:      dims,
+		pageBytes: pageBytes,
+		perPage:   pageBytes / rs,
+		count:     count,
+		firstKeys: firstKeys,
+		dataOff:   int64(40 + 8*pageCount),
+	}, nil
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return int(s.count) }
+
+// Query returns every record whose point lies in r, reading one page run
+// per cluster range and counting the physical access pattern.
+func (s *Store) Query(r geom.Rect) ([]Record, Stats, error) {
+	var st Stats
+	krs, err := ranges.Decompose(s.c, r, 0)
+	if err != nil {
+		return nil, st, fmt.Errorf("pagedstore: %w", err)
+	}
+	var out []Record
+	lastPage := -2 // page index of the previous read's end; -2 = none
+	buf := make([]byte, s.pageBytes)
+	for _, kr := range krs {
+		// First page that can contain kr.Lo: the first page whose
+		// successor starts at or after kr.Lo (duplicate keys may span
+		// page boundaries, so the last page with firstKey <= kr.Lo is
+		// not necessarily the earliest holder of kr.Lo).
+		p := sort.Search(len(s.firstKeys), func(i int) bool {
+			return i+1 >= len(s.firstKeys) || s.firstKeys[i+1] >= kr.Lo
+		})
+		for ; p < len(s.firstKeys) && s.firstKeys[p] <= kr.Hi; p++ {
+			if p != lastPage && p != lastPage+1 {
+				st.Seeks++
+			}
+			if p != lastPage { // do not recount a shared boundary page
+				st.PagesRead++
+				if _, err := s.f.ReadAt(buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
+					return nil, st, fmt.Errorf("%w: page %d: %v", ErrCorrupt, p, err)
+				}
+				lastPage = p
+			}
+			recs := s.perPage
+			if p == len(s.firstKeys)-1 {
+				recs = int(s.count) - p*s.perPage
+			}
+			rs := recordSize(s.dims)
+			for i := 0; i < recs; i++ {
+				off := i * rs
+				key := binary.LittleEndian.Uint64(buf[off:])
+				st.RecordsScanned++
+				if key < kr.Lo || key > kr.Hi {
+					continue
+				}
+				pt := make(geom.Point, s.dims)
+				for d := 0; d < s.dims; d++ {
+					pt[d] = binary.LittleEndian.Uint32(buf[off+8+4*d:])
+				}
+				out = append(out, Record{
+					Point:   pt,
+					Payload: binary.LittleEndian.Uint64(buf[off+8+4*s.dims:]),
+				})
+			}
+		}
+		// The loop advanced p past the last page it read; remember the
+		// page we actually read last for contiguity accounting.
+	}
+	st.Results = len(out)
+	return out, st, nil
+}

@@ -1,0 +1,274 @@
+package pagedstore
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "store.onion")
+}
+
+func buildRecords(t *testing.T, u geom.Universe, n int, seed int64) []Record {
+	t.Helper()
+	pts, err := workload.ClusteredPoints(u, 4, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, n)
+	for i, p := range pts {
+		recs[i] = Record{Point: p, Payload: uint64(i)}
+	}
+	return recs
+}
+
+func TestWriteOpenQueryRoundTrip(t *testing.T) {
+	side := uint32(64)
+	u := geom.MustUniverse(2, side)
+	o, _ := core.NewOnion2D(side)
+	recs := buildRecords(t, u, 2000, 41)
+	path := tmpPath(t)
+	if err := Write(path, o, recs, 512); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 2000 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		lo := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		hi := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		for i := range lo {
+			if lo[i] > hi[i] {
+				lo[i], hi[i] = hi[i], lo[i]
+			}
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		got, stats, err := st.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint64
+		for _, rec := range recs {
+			if r.Contains(rec.Point) {
+				want = append(want, rec.Payload)
+			}
+		}
+		var gotIDs []uint64
+		for _, rec := range got {
+			if !r.Contains(rec.Point) {
+				t.Fatalf("record %v outside query %v", rec.Point, r)
+			}
+			gotIDs = append(gotIDs, rec.Payload)
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		sort.Slice(gotIDs, func(a, b int) bool { return gotIDs[a] < gotIDs[b] })
+		if len(gotIDs) != len(want) {
+			t.Fatalf("query %v: %d results, want %d", r, len(gotIDs), len(want))
+		}
+		for i := range want {
+			if gotIDs[i] != want[i] {
+				t.Fatalf("query %v: payload %d vs %d", r, gotIDs[i], want[i])
+			}
+		}
+		if stats.Results != len(want) {
+			t.Fatal("stats results")
+		}
+		// Physical seeks can never exceed the clustering number.
+		cn, err := cluster.Count(o, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(stats.Seeks) > cn {
+			t.Fatalf("query %v: %d seeks exceed clustering number %d", r, stats.Seeks, cn)
+		}
+	}
+}
+
+func TestQueryAcrossCurves(t *testing.T) {
+	side := uint32(32)
+	u := geom.MustUniverse(2, side)
+	o, _ := core.NewOnion2D(side)
+	h, _ := baseline.NewHilbert(2, side)
+	z, _ := baseline.NewMorton(2, side)
+	recs := buildRecords(t, u, 800, 43)
+	r := geom.Rect{Lo: geom.Point{4, 4}, Hi: geom.Point{27, 25}}
+	for _, c := range []curve.Curve{o, h, z} {
+		path := tmpPath(t)
+		if err := Write(path, c, recs, 256); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(path, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := st.Query(r)
+		st.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, rec := range recs {
+			if r.Contains(rec.Point) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("%s: %d results, want %d", c.Name(), len(got), want)
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	path := tmpPath(t)
+	if err := Write(path, o, nil, 256); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, stats, err := st.Query(o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || stats.PagesRead != 0 {
+		t.Fatalf("empty store query: %d results, %+v", len(got), stats)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	path := tmpPath(t)
+	// Page too small.
+	if err := Write(path, o, nil, 4); !errors.Is(err, ErrPageBytes) {
+		t.Error("tiny page accepted")
+	}
+	// Point outside universe.
+	if err := Write(path, o, []Record{{Point: geom.Point{99, 0}}}, 256); err == nil {
+		t.Error("outside point accepted")
+	}
+	// Curve mismatch on open.
+	if err := Write(path, o, []Record{{Point: geom.Point{1, 1}}}, 256); err != nil {
+		t.Fatal(err)
+	}
+	h3, _ := baseline.NewHilbert(3, 16)
+	if _, err := Open(path, h3); !errors.Is(err, ErrMismatch) {
+		t.Error("mismatched curve accepted")
+	}
+	o32, _ := core.NewOnion2D(32)
+	if _, err := Open(path, o32); !errors.Is(err, ErrMismatch) {
+		t.Error("mismatched side accepted")
+	}
+	// Missing file.
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"), o); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	path := tmpPath(t)
+	if err := os.WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, o); !errors.Is(err, ErrCorrupt) {
+		t.Error("short file accepted")
+	}
+	bad := make([]byte, 64)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, o); !errors.Is(err, ErrCorrupt) {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestSeeksReflectClustering(t *testing.T) {
+	// A full-width row query is one cluster under rowmajor ordering but
+	// many under column-major: the physical seek counts must reflect it.
+	side := uint32(32)
+	rm, _ := baseline.NewRowMajor(2, side)
+	cm, _ := baseline.NewColumnMajor(2, side)
+	var recs []Record
+	for x := uint32(0); x < side; x++ {
+		for y := uint32(0); y < side; y++ {
+			recs = append(recs, Record{Point: geom.Point{x, y}, Payload: uint64(x)<<32 | uint64(y)})
+		}
+	}
+	row := geom.Rect{Lo: geom.Point{0, 7}, Hi: geom.Point{side - 1, 7}}
+	pathRM := tmpPath(t)
+	pathCM := tmpPath(t)
+	if err := Write(pathRM, rm, recs, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(pathCM, cm, recs, 256); err != nil {
+		t.Fatal(err)
+	}
+	stRM, err := Open(pathRM, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stRM.Close()
+	stCM, err := Open(pathCM, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stCM.Close()
+	_, sRM, err := stRM.Query(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sCM, err := stCM.Query(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRM.Seeks != 1 {
+		t.Errorf("rowmajor row query seeks = %d, want 1", sRM.Seeks)
+	}
+	if sCM.Seeks <= sRM.Seeks*4 {
+		t.Errorf("colmajor row query seeks = %d, expected far more than rowmajor's %d",
+			sCM.Seeks, sRM.Seeks)
+	}
+}
+
+func TestDuplicateCells(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	recs := []Record{
+		{Point: geom.Point{5, 5}, Payload: 1},
+		{Point: geom.Point{5, 5}, Payload: 2},
+		{Point: geom.Point{5, 5}, Payload: 3},
+	}
+	path := tmpPath(t)
+	if err := Write(path, o, recs, 256); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := Open(path, o)
+	defer st.Close()
+	got, _, err := st.Query(geom.Rect{Lo: geom.Point{5, 5}, Hi: geom.Point{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("duplicates = %d", len(got))
+	}
+}

@@ -1,0 +1,122 @@
+// Package partition splits the key space of a space filling curve into
+// contiguous shards — the distributed-partitioning / load-balancing
+// application the paper's introduction motivates (Aydin et al., Warren &
+// Salmon). A rectangular query's fan-out is the number of shards it
+// touches; curves with better clustering touch fewer shards.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// ErrParts reports an invalid shard count.
+var ErrParts = errors.New("partition: shard count must be >= 1")
+
+// Partitioner maps curve keys to shards. Shard i owns keys in
+// [bounds[i], bounds[i+1]).
+type Partitioner struct {
+	c      curve.Curve
+	bounds []uint64 // len = shards+1; bounds[0] = 0, bounds[k] = Size()
+}
+
+// Uniform splits the key space into k equal-size shards.
+func Uniform(c curve.Curve, k int) (*Partitioner, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrParts, k)
+	}
+	n := c.Universe().Size()
+	bounds := make([]uint64, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = uint64(float64(n) * float64(i) / float64(k))
+	}
+	bounds[k] = n
+	return &Partitioner{c: c, bounds: bounds}, nil
+}
+
+// ByWeight splits the key space into k shards of (near) equal data volume
+// for the given sample of curve keys — range partitioning by quantiles, as
+// a distributed spatial store would provision shards.
+func ByWeight(c curve.Curve, keys []uint64, k int) (*Partitioner, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrParts, k)
+	}
+	if len(keys) == 0 {
+		return Uniform(c, k)
+	}
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	n := c.Universe().Size()
+	bounds := make([]uint64, k+1)
+	bounds[0] = 0
+	for i := 1; i < k; i++ {
+		idx := len(sorted) * i / k
+		bounds[i] = sorted[idx]
+	}
+	bounds[k] = n
+	// Quantile boundaries of skewed data may coincide; keep them
+	// non-decreasing (empty shards are legal).
+	for i := 1; i <= k; i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	return &Partitioner{c: c, bounds: bounds}, nil
+}
+
+// Shards returns the number of shards.
+func (p *Partitioner) Shards() int { return len(p.bounds) - 1 }
+
+// Of returns the shard owning the given key.
+func (p *Partitioner) Of(key uint64) int {
+	// First bound strictly greater than key, minus one.
+	i := sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > key })
+	if i == 0 {
+		return 0
+	}
+	s := i - 1
+	if s >= p.Shards() {
+		s = p.Shards() - 1
+	}
+	return s
+}
+
+// OfPoint returns the shard owning the given cell.
+func (p *Partitioner) OfPoint(pt geom.Point) int {
+	return p.Of(p.c.Index(pt))
+}
+
+// FanOut returns the number of distinct shards a rectangular query
+// touches: the shards overlapped by its cluster ranges.
+func (p *Partitioner) FanOut(r geom.Rect) (int, error) {
+	rs, err := ranges.Decompose(p.c, r, 0)
+	if err != nil {
+		return 0, fmt.Errorf("partition: %w", err)
+	}
+	touched := make(map[int]struct{})
+	for _, kr := range rs {
+		for s := p.Of(kr.Lo); s <= p.Of(kr.Hi); s++ {
+			if p.bounds[s] == p.bounds[s+1] {
+				continue // empty shard cannot own any key of the range
+			}
+			touched[s] = struct{}{}
+		}
+	}
+	return len(touched), nil
+}
+
+// Loads returns, for a sample of keys, how many fall into each shard — the
+// balance a load balancer would see.
+func (p *Partitioner) Loads(keys []uint64) []int {
+	loads := make([]int, p.Shards())
+	for _, k := range keys {
+		loads[p.Of(k)]++
+	}
+	return loads
+}

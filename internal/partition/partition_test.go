@@ -1,0 +1,211 @@
+package partition
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/workload"
+)
+
+func TestUniformBasics(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	p, err := Uniform(o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 {
+		t.Fatal("shards")
+	}
+	if p.Of(0) != 0 {
+		t.Fatal("first key shard")
+	}
+	if p.Of(255) != 3 {
+		t.Fatal("last key shard")
+	}
+	// Every key maps to exactly one shard, non-decreasing.
+	prev := 0
+	for k := uint64(0); k < 256; k++ {
+		s := p.Of(k)
+		if s < prev || s >= 4 {
+			t.Fatalf("key %d -> shard %d after %d", k, s, prev)
+		}
+		prev = s
+	}
+	if _, err := Uniform(o, 0); !errors.Is(err, ErrParts) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestUniformBalance(t *testing.T) {
+	o, _ := core.NewOnion2D(32)
+	p, _ := Uniform(o, 8)
+	counts := make([]int, 8)
+	for k := uint64(0); k < o.Universe().Size(); k++ {
+		counts[p.Of(k)]++
+	}
+	for i, c := range counts {
+		if c != 128 {
+			t.Fatalf("shard %d has %d keys, want 128", i, c)
+		}
+	}
+}
+
+func TestOfPoint(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	p, _ := Uniform(o, 4)
+	pt := geom.Point{3, 5}
+	if p.OfPoint(pt) != p.Of(o.Index(pt)) {
+		t.Fatal("OfPoint disagrees with Of(Index)")
+	}
+}
+
+func TestByWeightBalance(t *testing.T) {
+	u := geom.MustUniverse(2, 256)
+	o, _ := core.NewOnion2D(256)
+	pts, err := workload.ClusteredPoints(u, 3, 20000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, len(pts))
+	for i, pt := range pts {
+		keys[i] = o.Index(pt)
+	}
+	k := 8
+	bal, err := ByWeight(o, keys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := bal.Loads(keys)
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	ideal := len(keys) / k
+	if maxLoad > ideal*2 {
+		t.Errorf("weighted partitioning badly skewed: max load %d vs ideal %d", maxLoad, ideal)
+	}
+	// Uniform partitioning on the same skewed data must be worse or equal.
+	uni, _ := Uniform(o, k)
+	uniMax := 0
+	for _, l := range uni.Loads(keys) {
+		if l > uniMax {
+			uniMax = l
+		}
+	}
+	if uniMax < maxLoad {
+		t.Errorf("uniform (%d) beat weighted (%d) on skewed data — suspicious", uniMax, maxLoad)
+	}
+}
+
+func TestByWeightEmptyFallsBack(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	p, err := ByWeight(o, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 {
+		t.Fatal("fallback shards")
+	}
+	if _, err := ByWeight(o, []uint64{1}, 0); !errors.Is(err, ErrParts) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestByWeightSkewedDuplicates(t *testing.T) {
+	// All sample keys identical: quantile bounds collapse; shards must
+	// stay legal (non-decreasing bounds) and all keys land in one shard.
+	o, _ := core.NewOnion2D(16)
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = 42
+	}
+	p, err := ByWeight(o, keys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := p.Loads(keys)
+	total := 0
+	nonEmpty := 0
+	for _, l := range loads {
+		total += l
+		if l > 0 {
+			nonEmpty++
+		}
+	}
+	if total != 100 || nonEmpty != 1 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestFanOutWholeUniverse(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	p, _ := Uniform(o, 4)
+	fo, err := p.FanOut(o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo != 4 {
+		t.Fatalf("whole-universe fan-out = %d, want 4", fo)
+	}
+}
+
+func TestFanOutSingleCell(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	p, _ := Uniform(o, 4)
+	fo, err := p.FanOut(geom.Rect{Lo: geom.Point{7, 7}, Hi: geom.Point{7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo != 1 {
+		t.Fatalf("single-cell fan-out = %d", fo)
+	}
+}
+
+// TestFanOutMatchesBruteForce verifies FanOut against per-cell shard
+// enumeration for several curves and shard counts.
+func TestFanOutMatchesBruteForce(t *testing.T) {
+	side := uint32(16)
+	o, _ := core.NewOnion2D(side)
+	z, _ := baseline.NewMorton(2, side)
+	h, _ := baseline.NewHilbert(2, side)
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		c curve.Curve
+		k int
+	}{{o, 5}, {z, 7}, {h, 4}, {o, 1}, {h, 16}} {
+		part, err := Uniform(tc.c, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			lo := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+			hi := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+			for i := range lo {
+				if lo[i] > hi[i] {
+					lo[i], hi[i] = hi[i], lo[i]
+				}
+			}
+			r := geom.Rect{Lo: lo, Hi: hi}
+			want := map[int]struct{}{}
+			r.ForEach(func(p geom.Point) bool {
+				want[part.OfPoint(p)] = struct{}{}
+				return true
+			})
+			got, err := part.FanOut(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != len(want) {
+				t.Fatalf("%s k=%d: fan-out %d, brute force %d on %v",
+					tc.c.Name(), tc.k, got, len(want), r)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package ranges decomposes rectangular queries into the minimal set of
+// contiguous key ranges ("clusters") along a space filling curve. This is
+// the operational counterpart of the paper's clustering number: an index
+// clustered by the curve answers a rectangle query with exactly one
+// sequential scan per range, so len(Decompose(...)) disk seeks.
+//
+// Strategies:
+//
+//   - continuous curves: derived from Lemma 1 — run starts and ends can
+//     only occur at the query boundary, so both are recovered from the
+//     O(surface) inside/outside neighbor pairs.
+//   - Z (Morton) curve: recursive quadrant decomposition (the classic
+//     BIGMIN/LITMAX family): a query is split along the curve's prefix
+//     tree, emitting whole sub-blocks in key order.
+//   - any other curve: cell enumeration + sort.
+//
+// All strategies return exactly the same minimal ranges; the test suite
+// cross-validates them.
+package ranges
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// ErrBudget reports an invalid merge budget.
+var ErrBudget = errors.New("ranges: merge budget must be >= 1")
+
+// KeyRange is an inclusive range [Lo, Hi] of curve positions.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// Cells returns the number of keys covered by the range.
+func (k KeyRange) Cells() uint64 { return k.Hi - k.Lo + 1 }
+
+// String renders the range as "[lo,hi]".
+func (k KeyRange) String() string { return fmt.Sprintf("[%d,%d]", k.Lo, k.Hi) }
+
+// TotalCells sums the sizes of the given ranges.
+func TotalCells(rs []KeyRange) uint64 {
+	var n uint64
+	for _, r := range rs {
+		n += r.Cells()
+	}
+	return n
+}
+
+// Decompose returns the minimal contiguous key ranges covering exactly the
+// cells of r under curve c, sorted by Lo. The number of ranges equals the
+// clustering number c(r, curve).
+func Decompose(c curve.Curve, r geom.Rect, maxCells uint64) ([]KeyRange, error) {
+	if !r.In(c.Universe()) {
+		return nil, fmt.Errorf("%w: %v in %v", cluster.ErrRectOutside, r, c.Universe())
+	}
+	if curve.IsContinuous(c) {
+		return decomposeContinuous(c, r)
+	}
+	if m, ok := c.(*baseline.Morton); ok {
+		return decomposeMorton(m, r), nil
+	}
+	return decomposeSorted(c, r, maxCells)
+}
+
+// decomposeContinuous finds run starts (cells whose predecessor lies
+// outside the query) and run ends (successor outside) among the boundary
+// pairs; continuity guarantees no other cell can start or end a run.
+func decomposeContinuous(c curve.Curve, r geom.Rect) ([]KeyRange, error) {
+	u := c.Universe()
+	var starts, ends []uint64
+	r.Faces(u, func(in, out geom.Point) bool {
+		hi, ho := c.Index(in), c.Index(out)
+		switch {
+		case ho+1 == hi: // predecessor outside -> run starts at hi
+			starts = append(starts, hi)
+		case hi+1 == ho: // successor outside -> run ends at hi
+			ends = append(ends, hi)
+		}
+		return true
+	})
+	p := make(geom.Point, u.Dims())
+	if r.Contains(c.Coords(0, p)) {
+		starts = append(starts, 0)
+	}
+	if r.Contains(c.Coords(u.Size()-1, p)) {
+		ends = append(ends, u.Size()-1)
+	}
+	slices.Sort(starts)
+	slices.Sort(ends)
+	if len(starts) != len(ends) {
+		return nil, fmt.Errorf("ranges: internal error: %d starts vs %d ends", len(starts), len(ends))
+	}
+	out := make([]KeyRange, len(starts))
+	for i := range starts {
+		if starts[i] > ends[i] {
+			return nil, fmt.Errorf("ranges: internal error: start %d after end %d", starts[i], ends[i])
+		}
+		out[i] = KeyRange{Lo: starts[i], Hi: ends[i]}
+	}
+	return out, nil
+}
+
+// decomposeMorton walks the Z curve's prefix tree, emitting fully-contained
+// blocks in key order and merging adjacent blocks on the fly.
+func decomposeMorton(m *baseline.Morton, r geom.Rect) []KeyRange {
+	d := m.Universe().Dims()
+	var out []KeyRange
+	emit := func(lo, hi uint64) {
+		if n := len(out); n > 0 && out[n-1].Hi+1 == lo {
+			out[n-1].Hi = hi
+			return
+		}
+		out = append(out, KeyRange{Lo: lo, Hi: hi})
+	}
+	boxLo := make(geom.Point, d)
+	var rec func(keyLo uint64, level int, boxLo geom.Point)
+	rec = func(keyLo uint64, level int, boxLo geom.Point) {
+		side := uint32(1) << uint(level)
+		box := geom.Rect{Lo: boxLo, Hi: make(geom.Point, d)}
+		for i := 0; i < d; i++ {
+			box.Hi[i] = boxLo[i] + side - 1
+		}
+		inter, ok := box.Intersect(r)
+		if !ok {
+			return
+		}
+		if inter.Equal(box) {
+			cells := uint64(1) << uint(level*d)
+			emit(keyLo, keyLo+cells-1)
+			return
+		}
+		// Split into 2^d children in Z order: child bit i selects the
+		// upper half of dimension i.
+		childCells := uint64(1) << uint((level-1)*d)
+		half := side / 2
+		childLo := make(geom.Point, d)
+		for ci := 0; ci < 1<<uint(d); ci++ {
+			for i := 0; i < d; i++ {
+				childLo[i] = boxLo[i]
+				if ci&(1<<uint(i)) != 0 {
+					childLo[i] += half
+				}
+			}
+			rec(keyLo+uint64(ci)*childCells, level-1, childLo)
+		}
+	}
+	rec(0, m.Order(), boxLo)
+	return out
+}
+
+// decomposeSorted enumerates, sorts and splits into runs.
+func decomposeSorted(c curve.Curve, r geom.Rect, maxCells uint64) ([]KeyRange, error) {
+	if maxCells == 0 {
+		maxCells = cluster.DefaultMaxSortedCells
+	}
+	if r.Cells() > maxCells {
+		return nil, fmt.Errorf("%w: %d > %d", cluster.ErrTooManyCells, r.Cells(), maxCells)
+	}
+	keys := make([]uint64, 0, r.Cells())
+	r.ForEach(func(p geom.Point) bool {
+		keys = append(keys, c.Index(p))
+		return true
+	})
+	slices.Sort(keys)
+	var out []KeyRange
+	for i, k := range keys {
+		if i == 0 || keys[i-1]+1 != k {
+			out = append(out, KeyRange{Lo: k, Hi: k})
+		} else {
+			out[len(out)-1].Hi = k
+		}
+	}
+	return out, nil
+}
+
+// MergeResult reports the outcome of a budgeted merge.
+type MergeResult struct {
+	// Ranges is the merged range list, at most Budget entries.
+	Ranges []KeyRange
+	// ExtraCells counts keys covered by the merged ranges that were not
+	// part of the original decomposition (potential false positives a
+	// query processor must filter).
+	ExtraCells uint64
+}
+
+// MergeToBudget coalesces the sorted range list rs until at most budget
+// ranges remain, always closing the smallest gaps first. This implements
+// the superset-query tradeoff of Asano et al. discussed in the paper's
+// related work: fewer seeks in exchange for reading extra cells.
+func MergeToBudget(rs []KeyRange, budget int) (MergeResult, error) {
+	if budget < 1 {
+		return MergeResult{}, fmt.Errorf("%w: %d", ErrBudget, budget)
+	}
+	if len(rs) <= budget {
+		return MergeResult{Ranges: slices.Clone(rs)}, nil
+	}
+	type gap struct {
+		idx  int // gap between rs[idx] and rs[idx+1]
+		size uint64
+	}
+	gaps := make([]gap, len(rs)-1)
+	for i := 0; i+1 < len(rs); i++ {
+		gaps[i] = gap{idx: i, size: rs[i+1].Lo - rs[i].Hi - 1}
+	}
+	sort.Slice(gaps, func(a, b int) bool { return gaps[a].size < gaps[b].size })
+	// Close the len(rs)-budget smallest gaps.
+	toClose := make([]bool, len(rs)-1)
+	var extra uint64
+	for i := 0; i < len(rs)-budget; i++ {
+		toClose[gaps[i].idx] = true
+		extra += gaps[i].size
+	}
+	var out []KeyRange
+	cur := rs[0]
+	for i := 0; i+1 < len(rs); i++ {
+		if toClose[i] {
+			cur.Hi = rs[i+1].Hi
+		} else {
+			out = append(out, cur)
+			cur = rs[i+1]
+		}
+	}
+	out = append(out, cur)
+	return MergeResult{Ranges: out, ExtraCells: extra}, nil
+}

@@ -1,0 +1,258 @@
+package ranges
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func randRect(rng *rand.Rand, dims int, side uint32) geom.Rect {
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := 0; i < dims; i++ {
+		a := uint32(rng.Int31n(int32(side)))
+		b := uint32(rng.Int31n(int32(side)))
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// checkExact verifies the fundamental decomposition contract: ranges are
+// sorted, disjoint, non-adjacent (minimal), and cover exactly the cells of
+// the query.
+func checkExact(t *testing.T, c curve.Curve, r geom.Rect, rs []KeyRange) {
+	t.Helper()
+	for i, kr := range rs {
+		if kr.Lo > kr.Hi {
+			t.Fatalf("%s %v: inverted range %v", c.Name(), r, kr)
+		}
+		if i > 0 && rs[i-1].Hi+1 >= kr.Lo {
+			t.Fatalf("%s %v: ranges %v and %v overlap or touch", c.Name(), r, rs[i-1], kr)
+		}
+	}
+	if TotalCells(rs) != r.Cells() {
+		t.Fatalf("%s %v: ranges cover %d cells, query has %d", c.Name(), r, TotalCells(rs), r.Cells())
+	}
+	// Every cell's key must fall in some range.
+	r.ForEach(func(p geom.Point) bool {
+		h := c.Index(p)
+		ok := false
+		for _, kr := range rs {
+			if h >= kr.Lo && h <= kr.Hi {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("%s %v: key %d of cell %v not covered", c.Name(), r, h, p)
+		}
+		return true
+	})
+}
+
+func TestDecomposeAllStrategies2D(t *testing.T) {
+	side := uint32(16)
+	o, _ := core.NewOnion2D(side)
+	h, _ := baseline.NewHilbert(2, side)
+	z, _ := baseline.NewMorton(2, side)
+	g, _ := baseline.NewGray(2, side)
+	s, _ := baseline.NewSnake(2, side)
+	rm, _ := baseline.NewRowMajor(2, side)
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []curve.Curve{o, h, z, g, s, rm} {
+		for trial := 0; trial < 150; trial++ {
+			r := randRect(rng, 2, side)
+			rs, err := Decompose(c, r, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			checkExact(t, c, r, rs)
+			// Range count must equal the clustering number.
+			want, err := cluster.Count(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(len(rs)) != want {
+				t.Fatalf("%s %v: %d ranges, clustering number %d", c.Name(), r, len(rs), want)
+			}
+		}
+	}
+}
+
+func TestDecomposeAllStrategies3D(t *testing.T) {
+	o3, _ := core.NewOnion3D(8)
+	h3, _ := baseline.NewHilbert(3, 8)
+	z3, _ := baseline.NewMorton(3, 8)
+	nd, _ := core.NewOnionND(3, 8)
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []curve.Curve{o3, h3, z3, nd} {
+		for trial := 0; trial < 60; trial++ {
+			r := randRect(rng, 3, 8)
+			rs, err := Decompose(c, r, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			checkExact(t, c, r, rs)
+		}
+	}
+}
+
+func TestDecomposeMortonMatchesSorted(t *testing.T) {
+	// The recursive Z decomposition must agree with brute force exactly.
+	z, _ := baseline.NewMorton(2, 32)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := randRect(rng, 2, 32)
+		fast := decomposeMorton(z, r)
+		slow, err := decomposeSorted(z, r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("%v: fast %d ranges, slow %d", r, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("%v: range %d: %v vs %v", r, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestDecomposeWholeUniverse(t *testing.T) {
+	z, _ := baseline.NewMorton(3, 8)
+	rs, err := Decompose(z, z.Universe().Rect(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0] != (KeyRange{0, 511}) {
+		t.Fatalf("whole universe = %v", rs)
+	}
+	o, _ := core.NewOnion2D(64)
+	rs, err = Decompose(o, o.Universe().Rect(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0] != (KeyRange{0, 4095}) {
+		t.Fatalf("whole onion universe = %v", rs)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	z, _ := baseline.NewMorton(2, 8)
+	outside := geom.Rect{Lo: geom.Point{4, 4}, Hi: geom.Point{8, 8}}
+	if _, err := Decompose(z, outside, 0); !errors.Is(err, cluster.ErrRectOutside) {
+		t.Error("outside rect accepted")
+	}
+	g, _ := baseline.NewGray(2, 8)
+	big := g.Universe().Rect()
+	if _, err := Decompose(g, big, 4); !errors.Is(err, cluster.ErrTooManyCells) {
+		t.Error("budget not enforced for sorted fallback")
+	}
+}
+
+func TestMergeToBudget(t *testing.T) {
+	rs := []KeyRange{{0, 3}, {6, 7}, {20, 29}, {31, 31}}
+	res, err := MergeToBudget(rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaps: 2 (3->6), 12 (7->20), 1 (29->31). Closing the two smallest
+	// (sizes 1 and 2) leaves {0,7} and {20,31}.
+	want := []KeyRange{{0, 7}, {20, 31}}
+	if len(res.Ranges) != 2 || res.Ranges[0] != want[0] || res.Ranges[1] != want[1] {
+		t.Fatalf("merged = %v", res.Ranges)
+	}
+	if res.ExtraCells != 3 {
+		t.Fatalf("extra cells = %d, want 3", res.ExtraCells)
+	}
+}
+
+func TestMergeToBudgetNoop(t *testing.T) {
+	rs := []KeyRange{{0, 1}, {5, 6}}
+	res, err := MergeToBudget(rs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranges) != 2 || res.ExtraCells != 0 {
+		t.Fatalf("noop merge changed ranges: %+v", res)
+	}
+	if _, err := MergeToBudget(rs, 0); !errors.Is(err, ErrBudget) {
+		t.Error("budget 0 accepted")
+	}
+}
+
+func TestMergeToBudgetOne(t *testing.T) {
+	rs := []KeyRange{{0, 0}, {10, 10}, {20, 20}}
+	res, err := MergeToBudget(rs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranges) != 1 || res.Ranges[0] != (KeyRange{0, 20}) {
+		t.Fatalf("merge-to-one = %v", res.Ranges)
+	}
+	if res.ExtraCells != 18 {
+		t.Fatalf("extra = %d", res.ExtraCells)
+	}
+}
+
+func TestMergePreservesCoverage(t *testing.T) {
+	// Property: merged ranges must cover every original range.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		var rs []KeyRange
+		cur := uint64(0)
+		for i := 0; i < 10; i++ {
+			cur += uint64(rng.Int63n(20)) + 2
+			lo := cur
+			cur += uint64(rng.Int63n(10))
+			rs = append(rs, KeyRange{lo, cur})
+		}
+		budget := rng.Intn(10) + 1
+		res, err := MergeToBudget(rs, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Ranges) > budget {
+			t.Fatalf("budget exceeded: %d > %d", len(res.Ranges), budget)
+		}
+		covered := func(k uint64) bool {
+			for _, r := range res.Ranges {
+				if k >= r.Lo && k <= r.Hi {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range rs {
+			if !covered(r.Lo) || !covered(r.Hi) {
+				t.Fatalf("range %v lost after merge to %d: %v", r, budget, res.Ranges)
+			}
+		}
+		if TotalCells(res.Ranges) != TotalCells(rs)+res.ExtraCells {
+			t.Fatalf("extra cells accounting wrong")
+		}
+	}
+}
+
+func TestKeyRangeHelpers(t *testing.T) {
+	k := KeyRange{3, 7}
+	if k.Cells() != 5 {
+		t.Fatal("cells")
+	}
+	if k.String() != "[3,7]" {
+		t.Fatalf("string = %q", k.String())
+	}
+	if TotalCells([]KeyRange{{0, 0}, {2, 3}}) != 3 {
+		t.Fatal("total")
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats provides the summary statistics the paper's box plots
+// encode (minimum, quartiles, median, maximum — Figure 5's caption spells
+// this out) plus means and simple fixed-width table rendering for the
+// experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+)
+
+// Summary is a five-number summary plus mean and standard deviation.
+type Summary struct {
+	Count  int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes the summary of xs. An empty input yields a zero
+// Summary with Count 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := slices.Clone(xs)
+	slices.Sort(sorted)
+	var sum, sumsq float64
+	for _, x := range sorted {
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Q1:     Quantile(sorted, 0.25),
+		Median: Quantile(sorted, 0.5),
+		Q3:     Quantile(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// SummarizeUints converts and summarizes.
+func SummarizeUints(xs []uint64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted data using linear
+// interpolation between order statistics (type 7, the spreadsheet/NumPy
+// default).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary in the compact form used by the harness.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f mean=%.2f",
+		s.Count, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// FormatTable renders rows as a fixed-width text table with a header line.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

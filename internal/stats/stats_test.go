@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 || s.StdDev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Fatal("empty should have count 0")
+	}
+}
+
+func TestSummarizeUnsorted(t *testing.T) {
+	a := Summarize([]float64{5, 1, 4, 2, 3})
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if a != b {
+		t.Fatal("order should not matter")
+	}
+}
+
+func TestSummarizeUints(t *testing.T) {
+	s := SummarizeUints([]uint64{2, 4, 6})
+	if s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("median of {0,10} = %v", got)
+	}
+	if got := Quantile(sorted, 0.25); got != 2.5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(sorted, 0); got != 0 {
+		t.Fatal("q0")
+	}
+	if got := Quantile(sorted, 1); got != 10 {
+		t.Fatal("q1.0")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, frag := range []string{"n=3", "min=1.0", "med=2.0", "max=3.0"} {
+		if !strings.Contains(str, frag) {
+			t.Fatalf("summary string %q missing %q", str, frag)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bbbb"}, [][]string{{"xx", "y"}, {"z", "wwwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "bbbb") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "xx") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}

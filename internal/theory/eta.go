@@ -1,0 +1,182 @@
+package theory
+
+import "fmt"
+
+// Approximation-ratio formulas behind Tables I and II (Sections V-D and
+// VI-C). eta(Q, pi) = c(Q, pi) / OPT(Q); the paper bounds it by
+// 2 * c(Q, O) / LB where LB is the continuous lower bound.
+
+// EtaOnion2DCube is the case III bound for d = 2 cube query sets with side
+// l = phi * sqrt(n), 0 < phi <= 1/2:
+//
+//	eta(phi) = 2 * (1 + phi(1/2-phi) / (1 - (5/2)phi + (5/3)phi^2))
+//
+// The denominator in the available text of the paper is OCR-garbled
+// ("1 − 5/2 φ2 + 5/3 φ2"); the form above is the unique reading that
+// reproduces the paper's stated maximum 2.32 at phi = 0.355.
+func EtaOnion2DCube(phi float64) (float64, error) {
+	if phi <= 0 || phi > 0.5 {
+		return 0, fmt.Errorf("%w: phi=%v not in (0, 1/2]", ErrRange, phi)
+	}
+	den := 1 - 2.5*phi + (5.0/3.0)*phi*phi
+	return 2 * (1 + phi*(0.5-phi)/den), nil
+}
+
+// MaxEtaOnion2DCube returns the maximizing phi and the maximum of
+// EtaOnion2DCube over (0, 1/2] — the paper's headline 2.32 (Table I).
+func MaxEtaOnion2DCube() (phi, eta float64) {
+	return maximize(func(p float64) float64 {
+		v, err := EtaOnion2DCube(p)
+		if err != nil {
+			return 0
+		}
+		return v
+	}, 1e-6, 0.5)
+}
+
+// EtaOnion3DCube is the case III bound for d = 3 cube query sets with side
+// l = phi * cbrt(n), 0 < phi <= 1/2:
+//
+//	eta(phi) = 2 + (3/4) phi (1/2-phi)(4+3phi) /
+//	           ((1-phi)^3 + (phi/40)(29 phi^2 + (75/2) phi - 30))
+func EtaOnion3DCube(phi float64) (float64, error) {
+	if phi <= 0 || phi > 0.5 {
+		return 0, fmt.Errorf("%w: phi=%v not in (0, 1/2]", ErrRange, phi)
+	}
+	num := 0.75 * phi * (0.5 - phi) * (4 + 3*phi)
+	den := (1-phi)*(1-phi)*(1-phi) + (phi/40)*(29*phi*phi+37.5*phi-30)
+	return 2 + num/den, nil
+}
+
+// MaxEtaOnion3DCube returns the maximizing phi and maximum of
+// EtaOnion3DCube — the paper's 3.4 at phi = 0.3967 (Table I).
+func MaxEtaOnion3DCube() (phi, eta float64) {
+	return maximize(func(p float64) float64 {
+		v, err := EtaOnion3DCube(p)
+		if err != nil {
+			return 0
+		}
+		return v
+	}, 1e-6, 0.5)
+}
+
+// EtaOnion2DCaseII is the case II bound (0 < mu < 1): 1 + phi2/phi1 for
+// l1 <= l2 growing like phi_i * n^(mu/2).
+func EtaOnion2DCaseII(phi1, phi2 float64) (float64, error) {
+	if phi1 <= 0 || phi2 < phi1 {
+		return 0, fmt.Errorf("%w: need 0 < phi1 <= phi2", ErrRange)
+	}
+	return 1 + phi2/phi1, nil
+}
+
+// EtaOnion2DCaseIV is the case IV bound (mu = 1, 1/2 < phi1 <= phi2 < 1):
+// 2 + 3((phi2-phi1)/(1-phi2))^2.
+func EtaOnion2DCaseIV(phi1, phi2 float64) (float64, error) {
+	if !(0.5 < phi1 && phi1 <= phi2 && phi2 < 1) {
+		return 0, fmt.Errorf("%w: need 1/2 < phi1 <= phi2 < 1", ErrRange)
+	}
+	r := (phi2 - phi1) / (1 - phi2)
+	return 2 + 3*r*r, nil
+}
+
+// EtaOnion2DCaseV is the case V bound (mu = 1, phi = 1, side l_i = sqrt(n)
+// + psi_i with constants psi1 <= psi2 <= 0): 2 + 3((psi2-psi1)/(1-psi2))^2.
+func EtaOnion2DCaseV(psi1, psi2 float64) (float64, error) {
+	if !(psi1 <= psi2 && psi2 <= 0) {
+		return 0, fmt.Errorf("%w: need psi1 <= psi2 <= 0", ErrRange)
+	}
+	r := (psi2 - psi1) / (1 - psi2)
+	return 2 + 3*r*r, nil
+}
+
+// EtaOnion3DCaseV is the case V bound for d = 3 (l = cbrt(n) + psi):
+//
+//	eta <= 2 + (95/6) / (-psi - 3/2)
+//
+// re-derived from 2*(3/5 L^2 + 13/4 L)/(3/5 L^2 - 3/2 L) with L = 1 - psi
+// (the text's "9/56" is an OCR garble of 95/6; the re-derived constant
+// reproduces the paper's check that eta <= 3 for psi <= -20).
+func EtaOnion3DCaseV(psi float64) (float64, error) {
+	if psi > -2 {
+		return 0, fmt.Errorf("%w: need psi <= -2", ErrRange)
+	}
+	return 2 + (95.0/6.0)/(-psi-1.5), nil
+}
+
+// HilbertCubeLowerBound is Lemma 5: for cube queries of side l = s - O(1),
+// the Hilbert curve's average clustering number grows as
+// Omega(n^((d-1)/d)); the returned value is the growth exponent.
+func HilbertCubeLowerBound(d int) float64 {
+	return float64(d-1) / float64(d)
+}
+
+// maximize performs a golden-section search for the maximum of f on [a, b]
+// (f unimodal on the formulas above).
+func maximize(f func(float64) float64, a, b float64) (x, fx float64) {
+	const phi = 0.6180339887498949
+	for i := 0; i < 200; i++ {
+		d := (b - a) * phi
+		x1, x2 := b-d, a+d
+		if f(x1) < f(x2) {
+			a = x1
+		} else {
+			b = x2
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// TableIIRow is one row of the paper's Table II: the approximation ratios
+// of the onion and Hilbert curves for a family of near-cube query sets.
+type TableIIRow struct {
+	Case       string // the mu/phi/psi regime
+	Eta2D      string // eta(Q, O), d=2, l1 <= l2
+	Eta2DCube  string // eta(Q, O), d=2, l1 = l2
+	Eta3DCube  string // eta(Q, O), d=3, cubes
+	EtaHilbert string // eta(Q, H), d in {2,3}
+}
+
+// TableII reproduces Table II, evaluating the numeric entries from the
+// formulas above.
+func TableII() []TableIIRow {
+	_, max2 := MaxEtaOnion2DCube()
+	_, max3 := MaxEtaOnion3DCube()
+	return []TableIIRow{
+		{
+			Case:       "mu = 0",
+			Eta2D:      "1",
+			Eta2DCube:  "1",
+			Eta3DCube:  "1",
+			EtaHilbert: "1",
+		},
+		{
+			Case:       "0 < mu < 1",
+			Eta2D:      "1 + phi2/phi1",
+			Eta2DCube:  "2",
+			Eta3DCube:  "2",
+			EtaHilbert: "unknown",
+		},
+		{
+			Case:       "mu = 1, 0 < phi1 <= phi2 <= 1/2",
+			Eta2D:      "O(1)",
+			Eta2DCube:  fmt.Sprintf("<= %.2f", max2),
+			Eta3DCube:  fmt.Sprintf("<= %.1f", max3),
+			EtaHilbert: "unknown",
+		},
+		{
+			Case:       "mu = 1, 1/2 < phi1 <= phi2 < 1",
+			Eta2D:      "<= 2 + 3((phi2-phi1)/(1-phi2))^2",
+			Eta2DCube:  "2",
+			Eta3DCube:  "2",
+			EtaHilbert: "unknown",
+		},
+		{
+			Case:       "mu = 1, phi1 = phi2 = 1",
+			Eta2D:      "<= 2 + 3((psi2-psi1)/(1-psi2))^2",
+			Eta2DCube:  "2",
+			Eta3DCube:  "<= 3",
+			EtaHilbert: "Omega(n^((d-1)/d))",
+		},
+	}
+}

@@ -1,0 +1,33 @@
+package theory
+
+// Results from the related work the paper builds on (Section I-B): Moon,
+// Jagadish, Faloutsos and Saltz, "Analysis of the clustering properties of
+// the Hilbert space-filling curve" (TKDE 2001), as generalized by Xu and
+// Tirthapura (TODS 2014) to every continuous SFC.
+
+// MoonAsymptotic returns the asymptotic average clustering number for a
+// query region of the given shape under ANY continuous SFC, when the query
+// size stays constant as the universe grows: the surface area of the query
+// divided by twice the number of dimensions.
+//
+// In the discrete grid model the "surface area" of a box is the number of
+// (d-1)-dimensional unit facets on its boundary: 2 * sum_j prod_{i != j}
+// shape_i. For a 2x2 square this gives 8/4 = 2, the classic result of
+// Jagadish (1997).
+func MoonAsymptotic(shape []uint32) float64 {
+	d := len(shape)
+	if d == 0 {
+		return 0
+	}
+	surface := 0.0
+	for j := 0; j < d; j++ {
+		facet := 1.0
+		for i := 0; i < d; i++ {
+			if i != j {
+				facet *= float64(shape[i])
+			}
+		}
+		surface += 2 * facet
+	}
+	return surface / float64(2*d)
+}

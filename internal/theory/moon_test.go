@@ -1,0 +1,78 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+)
+
+func TestMoonAsymptoticKnownValues(t *testing.T) {
+	// Jagadish 1997: 2x2 queries on the Hilbert curve average 2 clusters.
+	if got := MoonAsymptotic([]uint32{2, 2}); got != 2 {
+		t.Fatalf("2x2 = %v, want 2", got)
+	}
+	// 3x3: surface 12, dims 2 -> 3.
+	if got := MoonAsymptotic([]uint32{3, 3}); got != 3 {
+		t.Fatalf("3x3 = %v", got)
+	}
+	// 2x2x2 cube in 3D: surface 24, 2d = 6 -> 4.
+	if got := MoonAsymptotic([]uint32{2, 2, 2}); got != 4 {
+		t.Fatalf("2x2x2 = %v", got)
+	}
+	// Degenerate 1x1: surface 4 -> 1.
+	if got := MoonAsymptotic([]uint32{1, 1}); got != 1 {
+		t.Fatalf("1x1 = %v", got)
+	}
+	if got := MoonAsymptotic(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+// TestMoonMatchesMeasuredForConstantQueries verifies the Moon et al. /
+// TODS 2014 asymptotics on our curves. For symmetric curves (Hilbert,
+// onion) the per-shape exact average approaches surface/(2d) directly.
+// Directionally-biased continuous curves (snake, peano) approach it only
+// after averaging a shape with its transpose (a snake answers a w x h
+// query with ~h clusters, its transpose with ~w; the mean is the Moon
+// value) — measuring that distinction is itself a useful regression test.
+func TestMoonMatchesMeasuredForConstantQueries(t *testing.T) {
+	shapes := [][]uint32{{2, 2}, {3, 3}, {2, 4}, {5, 3}}
+	side := uint32(256)
+	o, _ := core.NewOnion2D(side)
+	h, _ := baseline.NewHilbert(2, side)
+	s, _ := baseline.NewSnake(2, side)
+	p, _ := baseline.NewPeano(2, 243)
+	for _, shape := range shapes {
+		want := MoonAsymptotic(shape)
+		for _, c := range []curve.Curve{o, h} {
+			got, err := cluster.AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 0.05*want+0.05 {
+				t.Errorf("%s shape %v: measured %.4f, Moon asymptotic %.4f",
+					c.Name(), shape, got, want)
+			}
+		}
+		transposed := []uint32{shape[1], shape[0]}
+		for _, c := range []curve.Curve{s, p} {
+			a, err := cluster.AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := cluster.AverageExact(c, transposed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := (a + b) / 2
+			if math.Abs(got-want) > 0.05*want+0.05 {
+				t.Errorf("%s shape %v (orientation-averaged): measured %.4f, Moon %.4f",
+					c.Name(), shape, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package theory implements the analytical results of the paper: the
+// closed-form clustering number of the 2D onion curve (Theorem 1), the
+// minimum-crossing machinery lambda/T (Lemmas 2, 7, 8), the lower bounds
+// for continuous and general SFCs in two and three dimensions (Theorems 2,
+// 3, 5, 6), the 3D onion upper bounds (Theorem 4), the approximation-ratio
+// formulas behind Tables I and II, and the Hilbert curve's Omega(n^((d-1)/d))
+// lower bound of Lemma 5.
+//
+// Every closed form is cross-validated in the test suite against numeric
+// ground truths built from the generalized Lemma 2 edge-crossing counts in
+// package cluster. Two constants in the available text of the paper are
+// OCR-damaged; they were re-derived and verified numerically (see
+// EtaOnion2DCube and EtaOnion3DCaseV).
+package theory
+
+import (
+	"errors"
+
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// ErrRange reports parameters outside a formula's domain.
+var ErrRange = errors.New("theory: parameters outside formula domain")
+
+// Theorem1 evaluates Theorem 1: the average clustering number of the 2D
+// onion curve over the query set Q(l1, l2) of all translates of an l1 x l2
+// rectangle in the s x s universe (s even, m = s/2). It returns the main
+// term and the epsilon bound such that the true average lies within
+// [mean-eps, mean+eps]. The theorem covers l2 <= m and l1 > m (after
+// ordering l1 <= l2); ok is false for the mixed case.
+func Theorem1(s, l1, l2 uint32) (mean, eps float64, ok bool) {
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	if l1 == 0 || l2 > s || s%2 != 0 {
+		return 0, 0, false
+	}
+	m := float64(s) / 2
+	fl1, fl2 := float64(l1), float64(l2)
+	L1 := float64(s) - fl1 + 1
+	L2 := float64(s) - fl2 + 1
+	switch {
+	case fl2 <= m:
+		bracket := (2.0/3.0)*fl2*fl2*fl2 - 3.5*fl1*fl2*fl2 + 2.5*fl1*fl1*fl2 -
+			m*(fl2-fl1)*(fl2-3*fl1)
+		return 0.5*(fl1+fl2) + bracket/(L1*L2), 5, true
+	case fl1 > m:
+		return L1 - L2 + (2.0/3.0)*L2*L2/L1, 2, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// Lambda is the minimum neighboring crossing number lambda(Q, alpha) of
+// Definition 2, computed numerically from the generalized Lemma 2: the
+// minimum of gamma(Q, (alpha, beta)) over the grid neighbors beta of alpha.
+// It is exact for any dimension, shape and position.
+func Lambda(u geom.Universe, shape []uint32, p geom.Point) uint64 {
+	best := ^uint64(0)
+	q := p.Clone()
+	for dim := 0; dim < u.Dims(); dim++ {
+		if p[dim] > 0 {
+			q[dim] = p[dim] - 1
+			if g := cluster.GammaTranslates(u, shape, p, q); g < best {
+				best = g
+			}
+			q[dim] = p[dim]
+		}
+		if p[dim]+1 < u.Side() {
+			q[dim] = p[dim] + 1
+			if g := cluster.GammaTranslates(u, shape, p, q); g < best {
+				best = g
+			}
+			q[dim] = p[dim]
+		}
+	}
+	return best
+}
+
+// TNumeric sums Lambda over every cell of the universe — the paper's
+// quantity T = sum_{i,j} lambda(i,j) (Section V-A), valid in any dimension.
+func TNumeric(u geom.Universe, shape []uint32) float64 {
+	var total float64
+	u.Rect().ForEach(func(p geom.Point) bool {
+		total += float64(Lambda(u, shape, p))
+		return true
+	})
+	return total
+}
+
+// LambdaMax returns the maximum of Lambda over the universe, needed for the
+// exact form of the lower bounds. By symmetry it is attained in the closed
+// quadrant nearest the origin, which is enough to scan.
+func LambdaMax(u geom.Universe, shape []uint32) uint64 {
+	m := (u.Side() + 1) / 2
+	lo := make(geom.Point, u.Dims())
+	hi := make(geom.Point, u.Dims())
+	for i := range hi {
+		hi[i] = m - 1
+	}
+	var best uint64
+	(geom.Rect{Lo: lo, Hi: hi}).ForEach(func(p geom.Point) bool {
+		if l := Lambda(u, shape, p); l > best {
+			best = l
+		}
+		return true
+	})
+	return best
+}
+
+// Lambda2DClosed evaluates Lemma 7's closed form for lambda(i, j) with
+// 0 <= i, j <= m-1 (the quadrant; other cells follow by symmetry). It
+// covers the cases l2 <= m and l1 > m with l1 <= l2; ok is false otherwise.
+func Lambda2DClosed(s, l1, l2 uint32, i, j uint32) (uint64, bool) {
+	if l1 > l2 || s%2 != 0 || l1 < 2 {
+		// The paper's machinery assumes sides >= 2 (cf. Theorem 5's
+		// "2 <= l"); l = 1 degenerates (queries are single cells).
+		return 0, false
+	}
+	m := s / 2
+	if i >= m || j >= m {
+		return 0, false
+	}
+	tau := func(k, l uint32) uint64 {
+		v := uint64(k) + 1
+		if uint64(l) < v {
+			v = uint64(l)
+		}
+		if r := uint64(s) + 1 - uint64(l); r < v {
+			v = r
+		}
+		return v
+	}
+	h1 := func(t, l uint32) uint64 {
+		if t <= l-1 {
+			return 1
+		}
+		return 2
+	}
+	h2 := func(t, l uint32) uint64 {
+		if t <= s-l {
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case l2 <= m:
+		a := h1(i, l1) * tau(j, l2)
+		b := h1(j, l2) * tau(i, l1)
+		if b < a {
+			a = b
+		}
+		return a, true
+	case l1 > m:
+		a := h2(i, l1) * tau(j, l2)
+		b := h2(j, l2) * tau(i, l1)
+		if b < a {
+			a = b
+		}
+		return a, true
+	default:
+		return 0, false
+	}
+}
+
+// T2DClosed evaluates Lemma 8's closed forms for T in two dimensions
+// (l1 <= l2 assumed after ordering; s even, m = s/2). ok is false for the
+// mixed case l1 <= m < l2.
+//
+// Fidelity notes (established numerically against TNumeric, which is exact
+// by construction): for l2 <= m the printed forms are exact when l1 and l2
+// are both even and deviate by a lower-order parity term bounded by 2m
+// otherwise; for l1 > m the printed form systematically overcounts a
+// boundary band of cells whose true minimum crossing number vanishes (the
+// query is so wide that edges at the quadrant seam are never crossed), so
+// it is an upper bound on the true T. The numeric T is canonical; the
+// closed forms are kept as the paper states them.
+func T2DClosed(s, l1, l2 uint32) (float64, bool) {
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	if s%2 != 0 || l1 < 2 || l2 > s {
+		return 0, false
+	}
+	m := float64(s) / 2
+	a, b := float64(l1), float64(l2)
+	switch {
+	case l2 <= s/2 && 2*l1 <= l2:
+		return 4 * (a/6 - a*a/2 + a*a*a/12 - a*b/2 + a*a*b/2 +
+			3*a*m/2 - 5*a*a*m/4 - a*b*m + 2*a*m*m), true
+	case l2 <= s/2:
+		return 4 * (a/6 - a*a/2 + a*a*a/12 + a*b/2 + 3*a*a*b/2 -
+			b*b/2 - a*b*b + b*b*b/4 +
+			a*m/2 - 9*a*a*m/4 + b*m/2 - b*b*m/4 + 2*a*m*m), true
+	case l1 > s/2:
+		L1 := float64(s) - a + 1
+		L2 := float64(s) - b + 1
+		return (2.0 / 3.0) * (1 + 3*L1 - L2) * L2 * (1 + L2), true
+	default:
+		return 0, false
+	}
+}
+
+// LowerBoundContinuous is Theorem 2 in its exact form: any continuous SFC
+// pi on the universe satisfies c(Q, pi) >= (T - lambda_max) / (2 |Q|).
+// Valid in any dimension (the paper states d = 2 and d = 3 separately; the
+// proof via Lemma 6 is dimension-independent).
+func LowerBoundContinuous(u geom.Universe, shape []uint32) (float64, error) {
+	q, err := cluster.TranslateCount(u, shape)
+	if err != nil {
+		return 0, err
+	}
+	t := TNumeric(u, shape)
+	lmax := float64(LambdaMax(u, shape))
+	lb := (t - lmax) / (2 * float64(q))
+	if lb < 1 {
+		lb = 1 // every non-empty query needs at least one cluster
+	}
+	return lb, nil
+}
+
+// LowerBoundGeneral is Theorem 3 (and Theorem 6 in 3D) in exact form: any
+// SFC pi, continuous or not, satisfies
+// c(Q, pi) >= (T/2 - lambda_max) / (2 |Q|), via Lemma 9's omega >= lambda/2.
+func LowerBoundGeneral(u geom.Universe, shape []uint32) (float64, error) {
+	q, err := cluster.TranslateCount(u, shape)
+	if err != nil {
+		return 0, err
+	}
+	t := TNumeric(u, shape)
+	lmax := float64(LambdaMax(u, shape))
+	lb := (t/2 - lmax) / (2 * float64(q))
+	if lb < 1 {
+		lb = 1
+	}
+	return lb, nil
+}
+
+// Theorem2MainTerm evaluates the explicit main-term expression of Theorem 2
+// for d = 2 (continuous SFC lower bound), without the exact T machinery:
+//
+//	l2 <= m:  (n*l1 + B(l1,l2)) / (L1*L2) with the paper's B term,
+//	l1 >  m:  L2 - L2^2/(3 L1).
+//
+// It is an asymptotic form: accurate up to o(n*l1)/(L1*L2) terms.
+func Theorem2MainTerm(s, l1, l2 uint32) (float64, bool) {
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	if s%2 != 0 || l1 == 0 || l2 > s {
+		return 0, false
+	}
+	n := float64(s) * float64(s)
+	sq := float64(s)
+	a, b := float64(l1), float64(l2)
+	L1 := sq - a + 1
+	L2 := sq - b + 1
+	switch {
+	case l2 <= s/2 && 2*l1 <= l2:
+		B := -sq*(a*b+1.25*a*a) + a*a*b + a*a*a/6
+		return (n*a + B) / (L1 * L2), true
+	case l2 <= s/2:
+		B := -sq/4*(9*a*a+b*b) + a*a*a/6 + 3*a*a*b - 2*a*b*b + b*b*b/2
+		return (n*a + B) / (L1 * L2), true
+	case l1 > s/2:
+		return L2 - L2*L2/(3*L1), true
+	default:
+		return 0, false
+	}
+}

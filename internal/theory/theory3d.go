@@ -1,0 +1,51 @@
+package theory
+
+// Three-dimensional results: Theorem 4 (onion curve upper bounds), Theorem
+// 5 (continuous SFC lower bound) and Theorem 6 (general SFC lower bound)
+// for cube query sets Q(l) on a universe of side s = 2m.
+
+// Theorem4 returns the Theorem 4 estimate of the average clustering number
+// of the 3D onion curve over Q(l). For l <= s/2 the value is the main term
+// of an equality up to o(l^2); for l > s/2 it is an upper bound. upperOnly
+// distinguishes the two regimes.
+func Theorem4(s, l uint32) (val float64, upperOnly bool, ok bool) {
+	if s%2 != 0 || l == 0 || l > s {
+		return 0, false, false
+	}
+	fl := float64(l)
+	L := float64(s) - fl + 1
+	if fl <= float64(s)/2 {
+		return fl*fl - 0.4*fl*fl*fl*fl*fl/(L*L*L), false, true
+	}
+	return 0.6*L*L + 3.25*L - 13.0/6.0, true, true
+}
+
+// Theorem5MainTerm returns the main term of Theorem 5's lower bound for
+// continuous SFCs in three dimensions (exact up to o(l^2) for small l and
+// up to an additive 3/2+eps for large l). Use LowerBoundContinuous for the
+// exact numeric bound.
+//
+// The bracket's third term reads "-3 m^2 l^2" in the available text of the
+// paper, which is inconsistent: it would make the bound exceed l^2 (and the
+// onion curve itself) for moderate l. Re-deriving the bound from the
+// paper's own case III ratio formula (Section VI-C), whose maximum 3.4 at
+// phi = 0.3967 we reproduce exactly, fixes the term to -3 m^2 l^3: with
+// phi = l/s the identity 2[(1-phi)^3 - (2/5) phi^3] = 2D + (3/4) phi
+// (1/2-phi)(4+3phi) holds exactly for the case III denominator D, which
+// requires LB = l^2 + [29/40 l^5 + 15/8 m l^4 - 3 m^2 l^3] / L^3.
+func Theorem5MainTerm(s, l uint32) (float64, bool) {
+	if s%2 != 0 || l == 0 || l > s {
+		return 0, false
+	}
+	fl := float64(l)
+	m := float64(s) / 2
+	L := float64(s) - fl + 1
+	if l >= 2 && fl <= float64(s)/2 {
+		bracket := (29.0/40.0)*fl*fl*fl*fl*fl + (15.0/8.0)*m*fl*fl*fl*fl - 3*m*m*fl*fl*fl
+		return fl*fl + bracket/(L*L*L), true
+	}
+	if fl > float64(s)/2 {
+		return 0.6*L*L - 1.5*L, true
+	}
+	return 0, false
+}

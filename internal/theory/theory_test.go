@@ -1,0 +1,429 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// TestTheorem1WithinEps validates Theorem 1 against the exact average
+// clustering number of the real onion curve: |measured - main term| <= eps.
+func TestTheorem1WithinEps(t *testing.T) {
+	for _, s := range []uint32{16, 32, 64} {
+		o, err := core.NewOnion2D(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := s / 2
+		shapes := [][2]uint32{
+			{1, 1}, {2, 2}, {2, m}, {3, 7}, {m / 2, m}, {m, m},
+			{m + 1, m + 1}, {m + 2, s - 1}, {s - 3, s - 1}, {s, s}, {s - 1, s - 1},
+		}
+		for _, ll := range shapes {
+			mean, eps, ok := Theorem1(s, ll[0], ll[1])
+			if !ok {
+				continue
+			}
+			got, err := cluster.AverageExact(o, []uint32{ll[0], ll[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(got - mean); d > eps {
+				t.Errorf("s=%d l=%v: |measured %.4f - theorem %.4f| = %.4f > eps %.0f",
+					s, ll, got, mean, d, eps)
+			}
+		}
+	}
+}
+
+func TestTheorem1Domain(t *testing.T) {
+	if _, _, ok := Theorem1(64, 10, 40); ok {
+		t.Error("mixed case l1<=m<l2 should not be covered")
+	}
+	if _, _, ok := Theorem1(63, 4, 4); ok {
+		t.Error("odd side accepted")
+	}
+	if _, _, ok := Theorem1(64, 0, 4); ok {
+		t.Error("zero side accepted")
+	}
+	// Symmetric in l1, l2.
+	a, _, _ := Theorem1(64, 8, 16)
+	b, _, _ := Theorem1(64, 16, 8)
+	if a != b {
+		t.Error("Theorem1 not symmetric under side swap")
+	}
+}
+
+// TestLambdaClosedMatchesNumericSmallQueries validates Lemma 7 for the
+// l2 <= m regime where it is exact.
+func TestLambdaClosedMatchesNumericSmallQueries(t *testing.T) {
+	for _, s := range []uint32{16, 32} {
+		u := geom.MustUniverse(2, s)
+		m := s / 2
+		for _, ll := range [][2]uint32{{2, 2}, {2, 5}, {3, m}, {m, m}, {4, 7}} {
+			for i := uint32(0); i < m; i++ {
+				for j := uint32(0); j < m; j++ {
+					closed, ok := Lambda2DClosed(s, ll[0], ll[1], i, j)
+					if !ok {
+						t.Fatalf("Lambda2DClosed rejected valid args s=%d l=%v", s, ll)
+					}
+					num := Lambda(u, []uint32{ll[0], ll[1]}, geom.Point{i, j})
+					if closed != num {
+						t.Fatalf("s=%d l=%v cell (%d,%d): closed %d != numeric %d",
+							s, ll, i, j, closed, num)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLambdaClosedLargeQueriesUpperBound documents the l1 > m regime: the
+// printed Lemma 7 value can exceed the true minimum (seam-band cells whose
+// edges are never crossed) but never undercounts it.
+func TestLambdaClosedLargeQueriesUpperBound(t *testing.T) {
+	s := uint32(16)
+	u := geom.MustUniverse(2, s)
+	m := s / 2
+	for _, ll := range [][2]uint32{{m + 1, m + 2}, {m + 2, s - 1}, {s - 1, s - 1}} {
+		for i := uint32(0); i < m; i++ {
+			for j := uint32(0); j < m; j++ {
+				closed, ok := Lambda2DClosed(s, ll[0], ll[1], i, j)
+				if !ok {
+					t.Fatal("rejected valid args")
+				}
+				num := Lambda(u, []uint32{ll[0], ll[1]}, geom.Point{i, j})
+				if closed < num {
+					t.Fatalf("l=%v cell (%d,%d): closed %d undercounts numeric %d",
+						ll, i, j, closed, num)
+				}
+			}
+		}
+	}
+}
+
+func TestLambdaSymmetry(t *testing.T) {
+	// lambda(i,j) = lambda(j,i) = lambda(i, s-1-j) etc. for square shapes.
+	u := geom.MustUniverse(2, 16)
+	shape := []uint32{5, 5}
+	for i := uint32(0); i < 16; i++ {
+		for j := uint32(0); j < 16; j++ {
+			v := Lambda(u, shape, geom.Point{i, j})
+			if w := Lambda(u, shape, geom.Point{j, i}); w != v {
+				t.Fatalf("transpose symmetry broken at (%d,%d)", i, j)
+			}
+			if w := Lambda(u, shape, geom.Point{15 - i, j}); w != v {
+				t.Fatalf("reflection symmetry broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestT2DClosedVsNumeric pins the fidelity contract documented on
+// T2DClosed: exact for even sides below m, within 2m otherwise, and an
+// upper bound for l1 > m.
+func TestT2DClosedVsNumeric(t *testing.T) {
+	for _, s := range []uint32{16, 32} {
+		u := geom.MustUniverse(2, s)
+		m := s / 2
+		for l1 := uint32(2); l1 <= s; l1++ {
+			for l2 := l1; l2 <= s; l2++ {
+				closed, ok := T2DClosed(s, l1, l2)
+				if !ok {
+					if l1 <= m && l2 > m {
+						continue // mixed case: correctly rejected
+					}
+					t.Fatalf("T2DClosed rejected s=%d l=(%d,%d)", s, l1, l2)
+				}
+				num := TNumeric(u, []uint32{l1, l2})
+				diff := closed - num
+				switch {
+				case l2 <= m && l1%2 == 0 && l2%2 == 0:
+					if diff != 0 {
+						t.Errorf("s=%d l=(%d,%d): even case should be exact, diff %.1f",
+							s, l1, l2, diff)
+					}
+				case l2 <= m:
+					if math.Abs(diff) > 2*float64(m) {
+						t.Errorf("s=%d l=(%d,%d): parity deviation %.1f > 2m", s, l1, l2, diff)
+					}
+				default: // l1 > m
+					if diff < 0 {
+						t.Errorf("s=%d l=(%d,%d): closed form undercounts by %.1f",
+							s, l1, l2, -diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundsHoldForAllCurves is the soundness test for Theorems 2/3
+// (and their 3D analogues 5/6): no curve may average below the general
+// bound, and no continuous curve below the continuous bound.
+func TestLowerBoundsHoldForAllCurves(t *testing.T) {
+	side := uint32(16)
+	o, _ := core.NewOnion2D(side)
+	h, _ := baseline.NewHilbert(2, side)
+	sn, _ := baseline.NewSnake(2, side)
+	z, _ := baseline.NewMorton(2, side)
+	g, _ := baseline.NewGray(2, side)
+	rm, _ := baseline.NewRowMajor(2, side)
+	ll, _ := core.NewLayerLex(2, side)
+	u := geom.MustUniverse(2, side)
+	shapes := [][]uint32{{1, 1}, {2, 2}, {3, 5}, {8, 8}, {4, 8}, {9, 9}, {12, 15}, {15, 15}, {16, 16}, {5, 16}}
+	for _, shape := range shapes {
+		lbC, err := LowerBoundContinuous(u, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbG, err := LowerBoundGeneral(u, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lbG > lbC+1e-9 {
+			t.Errorf("shape %v: general bound %.4f exceeds continuous bound %.4f", shape, lbG, lbC)
+		}
+		for _, c := range []curve.Curve{o, h, sn} {
+			got, err := cluster.AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < lbC-1e-9 {
+				t.Errorf("%s shape %v: measured %.4f below continuous LB %.4f",
+					c.Name(), shape, got, lbC)
+			}
+		}
+		for _, c := range []curve.Curve{o, h, sn, z, g, rm, ll} {
+			got, err := cluster.AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < lbG-1e-9 {
+				t.Errorf("%s shape %v: measured %.4f below general LB %.4f",
+					c.Name(), shape, got, lbG)
+			}
+		}
+	}
+}
+
+func TestLowerBoundsHold3D(t *testing.T) {
+	side := uint32(8)
+	o3, _ := core.NewOnion3D(side)
+	h3, _ := baseline.NewHilbert(3, side)
+	s3, _ := baseline.NewSnake(3, side)
+	z3, _ := baseline.NewMorton(3, side)
+	u := geom.MustUniverse(3, side)
+	for _, shape := range [][]uint32{{2, 2, 2}, {3, 3, 3}, {4, 4, 4}, {6, 6, 6}, {7, 7, 7}, {2, 4, 6}} {
+		lbC, err := LowerBoundContinuous(u, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbG, _ := LowerBoundGeneral(u, shape)
+		for _, c := range []curve.Curve{h3, s3} {
+			got, _ := cluster.AverageExact(c, shape)
+			if got < lbC-1e-9 {
+				t.Errorf("%s shape %v: measured %.4f below continuous LB %.4f",
+					c.Name(), shape, got, lbC)
+			}
+		}
+		for _, c := range []curve.Curve{o3, h3, s3, z3} {
+			got, _ := cluster.AverageExact(c, shape)
+			if got < lbG-1e-9 {
+				t.Errorf("%s shape %v: measured %.4f below general LB %.4f",
+					c.Name(), shape, got, lbG)
+			}
+		}
+	}
+}
+
+// TestTheorem4WithinSlack validates the 3D onion estimate: the main term
+// tracks the measurement within the o(l^2) slack (10% + small additive for
+// the sizes we can afford), and the large-l branch is a true upper bound.
+func TestTheorem4WithinSlack(t *testing.T) {
+	s := uint32(16)
+	o3, err := core.NewOnion3D(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := uint32(2); l <= s; l++ {
+		v, upperOnly, ok := Theorem4(s, l)
+		if !ok {
+			t.Fatalf("Theorem4 rejected l=%d", l)
+		}
+		got, err := cluster.AverageExact(o3, []uint32{l, l, l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upperOnly {
+			if got > v+1e-9 {
+				t.Errorf("l=%d: measured %.3f exceeds Theorem 4 upper bound %.3f", l, got, v)
+			}
+		} else if math.Abs(got-v) > 0.2*float64(l)*float64(l)+2 {
+			t.Errorf("l=%d: measured %.3f far from main term %.3f", l, got, v)
+		}
+	}
+	if _, _, ok := Theorem4(15, 3); ok {
+		t.Error("odd side accepted")
+	}
+}
+
+func TestTheorem5MainTermBelowOnion(t *testing.T) {
+	// The lower bound's main term must sit below the onion curve's
+	// measured average (up to the small-l additive slack).
+	s := uint32(16)
+	o3, _ := core.NewOnion3D(s)
+	for l := uint32(2); l <= s; l++ {
+		lb, ok := Theorem5MainTerm(s, l)
+		if !ok {
+			t.Fatalf("Theorem5MainTerm rejected l=%d", l)
+		}
+		got, _ := cluster.AverageExact(o3, []uint32{l, l, l})
+		if lb > got+2+0.1*float64(l)*float64(l) {
+			t.Errorf("l=%d: LB main term %.3f above measured %.3f", l, lb, got)
+		}
+	}
+}
+
+func TestEtaMaxima(t *testing.T) {
+	phi2, eta2 := MaxEtaOnion2DCube()
+	if math.Abs(phi2-0.355) > 0.005 {
+		t.Errorf("2D maximizer phi = %.4f, paper says 0.355", phi2)
+	}
+	if math.Abs(eta2-2.32) > 0.01 {
+		t.Errorf("2D max eta = %.4f, paper says 2.32", eta2)
+	}
+	phi3, eta3 := MaxEtaOnion3DCube()
+	if math.Abs(phi3-0.3967) > 0.005 {
+		t.Errorf("3D maximizer phi = %.4f, paper says 0.3967", phi3)
+	}
+	if math.Abs(eta3-3.4) > 0.02 {
+		t.Errorf("3D max eta = %.4f, paper says 3.4", eta3)
+	}
+}
+
+func TestEtaDomains(t *testing.T) {
+	if _, err := EtaOnion2DCube(0); !errors.Is(err, ErrRange) {
+		t.Error("phi=0 accepted")
+	}
+	if _, err := EtaOnion2DCube(0.6); !errors.Is(err, ErrRange) {
+		t.Error("phi>1/2 accepted")
+	}
+	if _, err := EtaOnion3DCube(-1); !errors.Is(err, ErrRange) {
+		t.Error("negative phi accepted")
+	}
+	if _, err := EtaOnion2DCaseII(0, 1); !errors.Is(err, ErrRange) {
+		t.Error("caseII phi1=0 accepted")
+	}
+	if _, err := EtaOnion2DCaseIV(0.4, 0.6); !errors.Is(err, ErrRange) {
+		t.Error("caseIV phi1<=1/2 accepted")
+	}
+	if _, err := EtaOnion2DCaseV(-1, 1); !errors.Is(err, ErrRange) {
+		t.Error("caseV psi2>0 accepted")
+	}
+	if _, err := EtaOnion3DCaseV(-1); !errors.Is(err, ErrRange) {
+		t.Error("3D caseV psi>-2 accepted")
+	}
+}
+
+func TestEtaKnownValues(t *testing.T) {
+	// Case II with phi1 = phi2 gives 2 (paper).
+	v, err := EtaOnion2DCaseII(1, 1)
+	if err != nil || v != 2 {
+		t.Errorf("caseII(1,1) = %v, %v", v, err)
+	}
+	// Case IV/V with equal parameters give exactly 2.
+	if v, _ := EtaOnion2DCaseIV(0.7, 0.7); v != 2 {
+		t.Errorf("caseIV equal = %v", v)
+	}
+	if v, _ := EtaOnion2DCaseV(-3, -3); v != 2 {
+		t.Errorf("caseV equal = %v", v)
+	}
+	// 3D case V: eta <= 3 for psi <= -20 (paper's check).
+	v, err = EtaOnion3DCaseV(-20)
+	if err != nil || v > 3 {
+		t.Errorf("3D caseV(-20) = %.4f, want <= 3", v)
+	}
+	// ... and decreasing in -psi.
+	a, _ := EtaOnion3DCaseV(-10)
+	b, _ := EtaOnion3DCaseV(-100)
+	if b >= a {
+		t.Error("3D caseV should decrease as queries shrink")
+	}
+}
+
+func TestHilbertCubeLowerBound(t *testing.T) {
+	if HilbertCubeLowerBound(2) != 0.5 {
+		t.Error("2D exponent")
+	}
+	if HilbertCubeLowerBound(3) != 2.0/3.0 {
+		t.Error("3D exponent")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 5 {
+		t.Fatalf("Table II has %d rows, want 5", len(rows))
+	}
+	if rows[0].EtaHilbert != "1" {
+		t.Error("mu=0 Hilbert entry")
+	}
+	if rows[2].Eta2DCube != "<= 2.32" {
+		t.Errorf("case III 2D entry = %q", rows[2].Eta2DCube)
+	}
+	if rows[2].Eta3DCube != "<= 3.4" {
+		t.Errorf("case III 3D entry = %q", rows[2].Eta3DCube)
+	}
+	if rows[4].EtaHilbert != "Omega(n^((d-1)/d))" {
+		t.Errorf("case V Hilbert entry = %q", rows[4].EtaHilbert)
+	}
+}
+
+// TestOnionBeatsGeneralLBByConstant spot-checks the headline claim on a
+// real grid: the onion curve's measured average over cube translates stays
+// within the paper's constant factor (2.32 plus finite-size slack) of the
+// general lower bound.
+func TestOnionBeatsGeneralLBByConstant(t *testing.T) {
+	s := uint32(32)
+	o, _ := core.NewOnion2D(s)
+	u := geom.MustUniverse(2, s)
+	for _, l := range []uint32{4, 8, 11, 16, 24, 28} {
+		lb, err := LowerBoundGeneral(u, []uint32{l, l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := cluster.AverageExact(o, []uint32{l, l})
+		ratio := got / lb
+		// 2.32 is asymptotic; allow generous finite-size headroom.
+		if ratio > 4.0 {
+			t.Errorf("l=%d: onion/LB ratio %.3f implausibly high", l, ratio)
+		}
+	}
+}
+
+func TestTheorem2MainTermTracksExactT(t *testing.T) {
+	// The explicit Theorem 2 expression is asymptotic; on finite grids it
+	// must stay within 35%+1 of the exact (T - lambda_max)/(2|Q|) bound.
+	s := uint32(64)
+	u := geom.MustUniverse(2, s)
+	for _, ll := range [][2]uint32{{2, 4}, {4, 8}, {8, 8}, {8, 16}, {16, 32}, {40, 40}, {50, 60}} {
+		mt, ok := Theorem2MainTerm(s, ll[0], ll[1])
+		if !ok {
+			t.Fatalf("rejected %v", ll)
+		}
+		exact, err := LowerBoundContinuous(u, []uint32{ll[0], ll[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mt-exact) > 0.35*exact+1 {
+			t.Errorf("l=%v: main term %.3f vs exact %.3f", ll, mt, exact)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package viz renders small universes as ASCII art: the numbered curve
+// orders of the paper's Figure 3 and the per-query cluster pictures of
+// Figures 1 and 2.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// ErrTooLarge reports a universe too big to draw.
+var ErrTooLarge = errors.New("viz: universe too large to render")
+
+// ErrDims reports a non-2D universe (only 2D renders are supported).
+var ErrDims = errors.New("viz: only two-dimensional universes can be rendered")
+
+// CurveGrid renders the curve's position numbers in a grid, y increasing
+// upward (row y = side-1 printed first), like the paper's Figure 3.
+func CurveGrid(c curve.Curve) (string, error) {
+	u := c.Universe()
+	if u.Dims() != 2 {
+		return "", fmt.Errorf("%w (got %dD)", ErrDims, u.Dims())
+	}
+	if u.Side() > 64 {
+		return "", fmt.Errorf("%w (side %d)", ErrTooLarge, u.Side())
+	}
+	width := len(fmt.Sprint(u.Size() - 1))
+	var b strings.Builder
+	p := make(geom.Point, 2)
+	for y := int(u.Side()) - 1; y >= 0; y-- {
+		for x := uint32(0); x < u.Side(); x++ {
+			p[0], p[1] = x, uint32(y)
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%*d", width, c.Index(p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// QueryClusters renders the universe with '.' for cells outside the query
+// and a cluster letter (a, b, c, ... in curve order) for cells inside, as
+// in Figures 1 and 2. The cluster count is len of the decomposition.
+func QueryClusters(c curve.Curve, r geom.Rect) (string, int, error) {
+	u := c.Universe()
+	if u.Dims() != 2 {
+		return "", 0, fmt.Errorf("%w (got %dD)", ErrDims, u.Dims())
+	}
+	if u.Side() > 64 {
+		return "", 0, fmt.Errorf("%w (side %d)", ErrTooLarge, u.Side())
+	}
+	rs, err := ranges.Decompose(c, r, 0)
+	if err != nil {
+		return "", 0, fmt.Errorf("viz: %w", err)
+	}
+	clusterOf := func(h uint64) (int, bool) {
+		for i, kr := range rs {
+			if h >= kr.Lo && h <= kr.Hi {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	var b strings.Builder
+	p := make(geom.Point, 2)
+	for y := int(u.Side()) - 1; y >= 0; y-- {
+		for x := uint32(0); x < u.Side(); x++ {
+			p[0], p[1] = x, uint32(y)
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			if i, ok := clusterOf(c.Index(p)); ok {
+				b.WriteByte(letter(i))
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), len(rs), nil
+}
+
+// letter maps cluster ordinals to display characters, cycling after 52.
+func letter(i int) byte {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return alpha[i%len(alpha)]
+}

@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// CurveSlices renders a 3D curve as a sequence of z-slices, each a grid of
+// position numbers (Figure 4 territory: it makes the layer structure of
+// the 3D onion curve visible in a terminal).
+func CurveSlices(c curve.Curve) (string, error) {
+	u := c.Universe()
+	if u.Dims() != 3 {
+		return "", fmt.Errorf("%w (got %dD)", ErrDims, u.Dims())
+	}
+	if u.Side() > 8 {
+		return "", fmt.Errorf("%w (side %d)", ErrTooLarge, u.Side())
+	}
+	width := len(fmt.Sprint(u.Size() - 1))
+	var b strings.Builder
+	p := make(geom.Point, 3)
+	for z := uint32(0); z < u.Side(); z++ {
+		fmt.Fprintf(&b, "z = %d:\n", z)
+		for y := int(u.Side()) - 1; y >= 0; y-- {
+			for x := uint32(0); x < u.Side(); x++ {
+				p[0], p[1], p[2] = x, uint32(y), z
+				if x > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%*d", width, c.Index(p))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// LayerMap renders, for each z-slice of a 3D onion-family curve, the layer
+// number of every cell — the onion-shell picture of the paper's Figure 4a.
+func LayerMap(u geom.Universe) (string, error) {
+	if u.Dims() != 3 {
+		return "", fmt.Errorf("%w (got %dD)", ErrDims, u.Dims())
+	}
+	if u.Side() > 16 {
+		return "", fmt.Errorf("%w (side %d)", ErrTooLarge, u.Side())
+	}
+	s := u.Side()
+	layer := func(x, y, z uint32) uint32 {
+		t := x
+		for _, v := range []uint32{s - 1 - x, y, s - 1 - y, z, s - 1 - z} {
+			if v < t {
+				t = v
+			}
+		}
+		return t
+	}
+	var b strings.Builder
+	for z := uint32(0); z < s; z++ {
+		fmt.Fprintf(&b, "z = %d:\n", z)
+		for y := int(s) - 1; y >= 0; y-- {
+			for x := uint32(0); x < s; x++ {
+				if x > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%d", layer(x, uint32(y), z))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

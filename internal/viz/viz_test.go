@@ -1,0 +1,148 @@
+package viz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func TestCurveGridFigure3(t *testing.T) {
+	o, _ := core.NewOnion2D(4)
+	got, err := CurveGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3's 4x4 onion order, printed with y increasing upward.
+	want := strings.Join([]string{
+		" 9  8  7  6",
+		"10 15 14  5",
+		"11 12 13  4",
+		" 0  1  2  3",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("grid:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCurveGrid2x2(t *testing.T) {
+	o, _ := core.NewOnion2D(2)
+	got, err := CurveGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "3 2\n0 1\n"
+	if got != want {
+		t.Fatalf("grid:\n%q", got)
+	}
+}
+
+func TestCurveGridErrors(t *testing.T) {
+	o3, _ := core.NewOnion3D(4)
+	if _, err := CurveGrid(o3); !errors.Is(err, ErrDims) {
+		t.Error("3D grid accepted")
+	}
+	big, _ := core.NewOnion2D(128)
+	if _, err := CurveGrid(big); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized grid accepted")
+	}
+}
+
+func TestQueryClusters(t *testing.T) {
+	z, _ := baseline.NewMorton(2, 4)
+	r := geom.Rect{Lo: geom.Point{1, 1}, Hi: geom.Point{2, 2}}
+	pic, n, err := QueryClusters(z, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("clusters = %d, want 4 (Figure 1)", n)
+	}
+	// Four singleton clusters -> letters a..d each appearing once.
+	for _, ch := range []string{"a", "b", "c", "d"} {
+		if strings.Count(pic, ch) != 1 {
+			t.Fatalf("picture:\n%s\nletter %s count != 1", pic, ch)
+		}
+	}
+	if strings.Count(pic, ".") != 12 {
+		t.Fatalf("picture:\n%s\nwrong number of outside cells", pic)
+	}
+}
+
+func TestQueryClustersWholeUniverse(t *testing.T) {
+	o, _ := core.NewOnion2D(4)
+	pic, n, err := QueryClusters(o, o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("whole universe clusters = %d", n)
+	}
+	if strings.Contains(pic, ".") {
+		t.Fatal("whole universe should have no outside cells")
+	}
+	if strings.Count(pic, "a") != 16 {
+		t.Fatalf("picture:\n%s", pic)
+	}
+}
+
+func TestQueryClustersErrors(t *testing.T) {
+	o3, _ := core.NewOnion3D(4)
+	if _, _, err := QueryClusters(o3, geom.Rect{Lo: geom.Point{0, 0, 0}, Hi: geom.Point{1, 1, 1}}); !errors.Is(err, ErrDims) {
+		t.Error("3D accepted")
+	}
+}
+
+func TestLetterCycles(t *testing.T) {
+	if letter(0) != 'a' || letter(25) != 'z' || letter(26) != 'A' {
+		t.Fatal("letter mapping")
+	}
+	if letter(52) != 'a' {
+		t.Fatal("letter cycling")
+	}
+}
+
+func TestCurveSlices(t *testing.T) {
+	o3, _ := core.NewOnion3D(4)
+	out, err := CurveSlices(o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "z = 0:") || !strings.Contains(out, "z = 3:") {
+		t.Fatalf("missing slices:\n%s", out)
+	}
+	if !strings.Contains(out, "63") {
+		t.Fatal("missing last index")
+	}
+	o2, _ := core.NewOnion2D(4)
+	if _, err := CurveSlices(o2); !errors.Is(err, ErrDims) {
+		t.Error("2D accepted by CurveSlices")
+	}
+	big, _ := core.NewOnion3D(16)
+	if _, err := CurveSlices(big); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized accepted")
+	}
+}
+
+func TestLayerMap(t *testing.T) {
+	u := geom.MustUniverse(3, 4)
+	out, err := LayerMap(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer slice is all layer 0; inner slices have 1s in the middle.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "z = 0") {
+		t.Fatalf("first line %q", lines[0])
+	}
+	if !strings.Contains(out, "0 1 1 0") {
+		t.Fatalf("inner layer not visible:\n%s", out)
+	}
+	u2 := geom.MustUniverse(2, 4)
+	if _, err := LayerMap(u2); !errors.Is(err, ErrDims) {
+		t.Error("2D accepted by LayerMap")
+	}
+}

@@ -1,0 +1,204 @@
+// Package workload generates the query workloads of the paper's
+// experimental study (Section VII): random squares and cubes of fixed side
+// (VII-A), rectangles with a fixed ratio of side lengths via Algorithm 1
+// (VII-B), and rectangles with random end points (VII-C). All generators
+// are deterministic given a seed.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+var (
+	// ErrShape reports an invalid query shape for the universe.
+	ErrShape = errors.New("workload: shape does not fit universe")
+	// ErrCount reports a non-positive sample count.
+	ErrCount = errors.New("workload: count must be positive")
+	// ErrRatio reports a non-positive side ratio.
+	ErrRatio = errors.New("workload: ratio must be positive")
+)
+
+// RandomTranslates returns count random translates of the given shape
+// inside u: the lower corner is chosen uniformly among all feasible
+// positions, exactly as in Section VII-A.
+func RandomTranslates(u geom.Universe, shape []uint32, count int, seed int64) ([]geom.Rect, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	if len(shape) != u.Dims() {
+		return nil, fmt.Errorf("%w: %v in %v", ErrShape, shape, u)
+	}
+	for _, l := range shape {
+		if l == 0 || l > u.Side() {
+			return nil, fmt.Errorf("%w: %v in %v", ErrShape, shape, u)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, 0, count)
+	lo := make(geom.Point, u.Dims())
+	for i := 0; i < count; i++ {
+		for d := 0; d < u.Dims(); d++ {
+			lo[d] = uint32(rng.Int63n(int64(u.Side()-shape[d]) + 1))
+		}
+		r, err := geom.RectAt(lo, shape)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure5Sides2D returns the square sides of Figure 5a:
+// l = side - 50k for k in {1, 3, 5, ..., 19} (side = 2^10 in the paper).
+func Figure5Sides2D(side uint32) []uint32 {
+	var out []uint32
+	for k := uint32(1); k <= 19; k += 2 {
+		if 50*k < side {
+			out = append(out, side-50*k)
+		}
+	}
+	return out
+}
+
+// Figure5Sides3D returns the cube sides of Figure 5b (for the paper's
+// 2^9 = 512 universe): {472, 432, 192, 152, 112, 72, 32}, clipped to the
+// actual side.
+func Figure5Sides3D(side uint32) []uint32 {
+	var out []uint32
+	for _, l := range []uint32{472, 432, 192, 152, 112, 72, 32} {
+		if l < side {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Figure6Ratios returns the side ratios of Figure 6:
+// {1/1024, 1/512, 1/4, 1/2, 3/4, 1, 4/3, 2, 4, 512, 1024}.
+func Figure6Ratios() []float64 {
+	return []float64{1.0 / 1024, 1.0 / 512, 0.25, 0.5, 0.75, 1, 4.0 / 3, 2, 4, 512, 1024}
+}
+
+// FixedRatio implements Algorithm 1 generalized to d dimensions: l_last
+// sweeps from the universe side down in steps of `step`; the remaining
+// sides are floor(l_last / rho); whenever the resulting shape fits, perStep
+// uniform translates are sampled. For d = 2 this is exactly the paper's
+// Algorithm 1 (step 50, perStep 20).
+func FixedRatio(u geom.Universe, rho float64, step uint32, perStep int, seed int64) ([]geom.Rect, error) {
+	if rho <= 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrRatio, rho)
+	}
+	if perStep <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, perStep)
+	}
+	if step == 0 {
+		step = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []geom.Rect
+	d := u.Dims()
+	shape := make([]uint32, d)
+	lo := make(geom.Point, d)
+	for l2 := u.Side(); ; l2 -= step {
+		l1f := math.Floor(float64(l2) / rho)
+		if l1f >= 1 && l1f <= float64(u.Side()) {
+			l1 := uint32(l1f)
+			for i := 0; i < d-1; i++ {
+				shape[i] = l1
+			}
+			shape[d-1] = l2
+			for i := 0; i < perStep; i++ {
+				for dim := 0; dim < d; dim++ {
+					lo[dim] = uint32(rng.Int63n(int64(u.Side()-shape[dim]) + 1))
+				}
+				r, err := geom.RectAt(lo, shape)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+		if l2 <= step {
+			break
+		}
+	}
+	return out, nil
+}
+
+// RandomCorners returns count rectangles built from two independently
+// uniform corner cells, taking the smallest rectangle containing both
+// (Section VII-C).
+func RandomCorners(u geom.Universe, count int, seed int64) ([]geom.Rect, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCount, count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, 0, count)
+	d := u.Dims()
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for i := 0; i < count; i++ {
+		for dim := 0; dim < d; dim++ {
+			a := uint32(rng.Int63n(int64(u.Side())))
+			b := uint32(rng.Int63n(int64(u.Side())))
+			if a > b {
+				a, b = b, a
+			}
+			lo[dim], hi[dim] = a, b
+		}
+		r, err := geom.NewRect(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ClusteredPoints synthesizes a point data set drawn from a mixture of
+// Gaussian-ish clusters plus uniform background noise — the shape of
+// spatial data the paper's indexing motivation targets. Points may repeat.
+func ClusteredPoints(u geom.Universe, clusters, total int, seed int64) ([]geom.Point, error) {
+	if clusters <= 0 || total <= 0 {
+		return nil, fmt.Errorf("%w: clusters=%d total=%d", ErrCount, clusters, total)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := u.Dims()
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		centers[i] = make([]float64, d)
+		for dim := 0; dim < d; dim++ {
+			centers[i][dim] = rng.Float64() * float64(u.Side())
+		}
+	}
+	sigma := float64(u.Side()) / 20
+	out := make([]geom.Point, 0, total)
+	for i := 0; i < total; i++ {
+		p := make(geom.Point, d)
+		if rng.Float64() < 0.1 { // background noise
+			for dim := 0; dim < d; dim++ {
+				p[dim] = uint32(rng.Int63n(int64(u.Side())))
+			}
+		} else {
+			c := centers[rng.Intn(clusters)]
+			for dim := 0; dim < d; dim++ {
+				v := c[dim] + rng.NormFloat64()*sigma
+				if v < 0 {
+					v = 0
+				}
+				if v > float64(u.Side()-1) {
+					v = float64(u.Side() - 1)
+				}
+				p[dim] = uint32(v)
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+func TestRandomTranslates(t *testing.T) {
+	u := geom.MustUniverse(2, 64)
+	qs, err := RandomTranslates(u, []uint32{10, 20}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if !q.In(u) {
+			t.Fatalf("query %v outside universe", q)
+		}
+		if q.Side(0) != 10 || q.Side(1) != 20 {
+			t.Fatalf("query %v has wrong shape", q)
+		}
+	}
+}
+
+func TestRandomTranslatesDeterminism(t *testing.T) {
+	u := geom.MustUniverse(3, 32)
+	a, _ := RandomTranslates(u, []uint32{4, 4, 4}, 50, 7)
+	b, _ := RandomTranslates(u, []uint32{4, 4, 4}, 50, 7)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c, _ := RandomTranslates(u, []uint32{4, 4, 4}, 50, 8)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestRandomTranslatesFullSizeQuery(t *testing.T) {
+	u := geom.MustUniverse(2, 16)
+	qs, err := RandomTranslates(u, []uint32{16, 16}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if !q.Equal(u.Rect()) {
+			t.Fatalf("full-size translate %v != universe", q)
+		}
+	}
+}
+
+func TestRandomTranslatesErrors(t *testing.T) {
+	u := geom.MustUniverse(2, 16)
+	if _, err := RandomTranslates(u, []uint32{17, 4}, 5, 1); !errors.Is(err, ErrShape) {
+		t.Error("oversized shape accepted")
+	}
+	if _, err := RandomTranslates(u, []uint32{4}, 5, 1); !errors.Is(err, ErrShape) {
+		t.Error("wrong dims accepted")
+	}
+	if _, err := RandomTranslates(u, []uint32{4, 4}, 0, 1); !errors.Is(err, ErrCount) {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestFigure5Sides(t *testing.T) {
+	got := Figure5Sides2D(1024)
+	want := []uint32{974, 874, 774, 674, 574, 474, 374, 274, 174, 74}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	got3 := Figure5Sides3D(512)
+	want3 := []uint32{472, 432, 192, 152, 112, 72, 32}
+	for i := range want3 {
+		if got3[i] != want3[i] {
+			t.Fatalf("3D sides: got %v", got3)
+		}
+	}
+	// Clipping for small universes.
+	if sides := Figure5Sides3D(128); len(sides) != 3 { // 112, 72, 32
+		t.Fatalf("clipped 3D sides = %v", sides)
+	}
+	if sides := Figure5Sides2D(100); len(sides) != 1 { // only 50*1 < 100
+		t.Fatalf("clipped 2D sides = %v", sides)
+	}
+}
+
+func TestFigure6Ratios(t *testing.T) {
+	rs := Figure6Ratios()
+	if len(rs) != 11 {
+		t.Fatalf("%d ratios", len(rs))
+	}
+	if rs[0] != 1.0/1024 || rs[5] != 1 || rs[10] != 1024 {
+		t.Fatalf("ratios = %v", rs)
+	}
+}
+
+func TestFixedRatioSquare(t *testing.T) {
+	u := geom.MustUniverse(2, 256)
+	qs, err := FixedRatio(u, 1.0, 50, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// l2 takes values 256, 206, 156, 106, 56, 6 -> 6 steps x 20 samples.
+	if len(qs) != 120 {
+		t.Fatalf("got %d queries, want 120", len(qs))
+	}
+	for _, q := range qs {
+		if !q.In(u) {
+			t.Fatalf("query %v outside", q)
+		}
+		if q.Side(0) != q.Side(1) {
+			t.Fatalf("ratio-1 query %v not square", q)
+		}
+	}
+}
+
+func TestFixedRatioWide(t *testing.T) {
+	u := geom.MustUniverse(2, 256)
+	// rho = 4: l1 = l2/4.
+	qs, err := FixedRatio(u, 4.0, 50, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		want := uint32(q.Side(1) / 4)
+		if q.Side(0) != want {
+			t.Fatalf("query %v: l1 = %d, want %d", q, q.Side(0), want)
+		}
+	}
+	// rho = 1/4: l1 = 4*l2 must be <= side, so only small l2 qualify.
+	qs, err = FixedRatio(u, 0.25, 50, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("no queries for rho=1/4")
+	}
+	for _, q := range qs {
+		if q.Side(0) != 4*q.Side(1) {
+			t.Fatalf("query %v has wrong ratio", q)
+		}
+	}
+}
+
+func TestFixedRatioExtremeRatios(t *testing.T) {
+	u := geom.MustUniverse(2, 1024)
+	// rho = 1024: only l2 = 1024 yields l1 = 1.
+	qs, err := FixedRatio(u, 1024, 50, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("rho=1024: got %d queries, want 20", len(qs))
+	}
+	for _, q := range qs {
+		if q.Side(0) != 1 || q.Side(1) != 1024 {
+			t.Fatalf("rho=1024 query %v", q)
+		}
+	}
+	if _, err := FixedRatio(u, 0, 50, 20, 3); !errors.Is(err, ErrRatio) {
+		t.Error("rho=0 accepted")
+	}
+	if _, err := FixedRatio(u, 1, 50, 0, 3); !errors.Is(err, ErrCount) {
+		t.Error("perStep=0 accepted")
+	}
+}
+
+func TestFixedRatio3D(t *testing.T) {
+	u := geom.MustUniverse(3, 128)
+	qs, err := FixedRatio(u, 2.0, 32, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("no 3D queries")
+	}
+	for _, q := range qs {
+		if q.Side(0) != q.Side(1) {
+			t.Fatalf("3D query %v: first two sides differ", q)
+		}
+		if q.Side(0) != uint32(q.Side(2)/2) {
+			t.Fatalf("3D query %v: ratio wrong", q)
+		}
+	}
+}
+
+func TestRandomCorners(t *testing.T) {
+	u := geom.MustUniverse(2, 100)
+	qs, err := RandomCorners(u, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 500 {
+		t.Fatal("count")
+	}
+	varied := false
+	for _, q := range qs {
+		if !q.In(u) {
+			t.Fatalf("query %v outside", q)
+		}
+		if q.Side(0) != q.Side(1) {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("all random-corner rects are square — suspicious")
+	}
+	if _, err := RandomCorners(u, -1, 4); !errors.Is(err, ErrCount) {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	u := geom.MustUniverse(2, 1000)
+	ps, err := ClusteredPoints(u, 5, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2000 {
+		t.Fatal("count")
+	}
+	for _, p := range ps {
+		if !u.Contains(p) {
+			t.Fatalf("point %v outside", p)
+		}
+	}
+	// Clustered data should be far from uniform: the occupied-cell count
+	// of a coarse 10x10 binning should be well below 100.
+	bins := map[[2]uint32]int{}
+	for _, p := range ps {
+		bins[[2]uint32{p[0] / 100, p[1] / 100}]++
+	}
+	maxBin := 0
+	for _, c := range bins {
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	if maxBin < 80 { // uniform would put ~20 per bin
+		t.Errorf("max bin %d too small for clustered data", maxBin)
+	}
+	if _, err := ClusteredPoints(u, 0, 10, 1); !errors.Is(err, ErrCount) {
+		t.Error("zero clusters accepted")
+	}
+}

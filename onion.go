@@ -1,0 +1,305 @@
+// Package onion implements the onion curve — a space filling curve with
+// near-optimal clustering (Xu, Nguyen, Tirthapura, ICDE 2018) — together
+// with the classic baseline curves (Hilbert, Z/Morton, Gray-code,
+// row/column-major, snake), exact clustering-number analysis, rectangle
+// range decomposition, the paper's theoretical bounds, and a complete
+// SFC-clustered spatial index with a simulated disk cost model.
+//
+// # Curves
+//
+// A Curve is a bijection between the cells of a d-dimensional grid and the
+// key range [0, side^d):
+//
+//	o, _ := onion.NewOnion2D(1024)
+//	key := o.Index(onion.Point{3, 5})
+//	cell := o.Coords(key, nil)
+//
+// The onion curve orders cells by increasing L-infinity distance to the
+// grid boundary ("layers"), which provably yields near-optimal clustering
+// for cube and near-cube range queries: at most 2.32x the optimum in 2D
+// and 3.4x in 3D, whereas the Hilbert curve can be Omega(sqrt(n)) from
+// optimal.
+//
+// # Clustering analysis
+//
+// ClusterCount returns the number of contiguous key runs a rectangle maps
+// to (the paper's clustering number = disk seeks needed to retrieve it);
+// Decompose returns the runs themselves; AverageClustering computes the
+// exact average over all translates of a query shape.
+//
+// # Indexing
+//
+// NewIndex builds a B+-tree spatial index clustered by any Curve; range
+// queries execute one sequential scan per cluster and report simulated
+// disk costs.
+package onion
+
+import (
+	"sort"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/disksim"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/index"
+	"github.com/onioncurve/onion/internal/metrics"
+	"github.com/onioncurve/onion/internal/pagedstore"
+	"github.com/onioncurve/onion/internal/partition"
+	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/stats"
+	"github.com/onioncurve/onion/internal/theory"
+	"github.com/onioncurve/onion/internal/viz"
+)
+
+// Core geometry and curve types, re-exported from the implementation
+// packages.
+type (
+	// Curve is a space filling curve: a bijection between grid cells
+	// and the key range [0, Size()).
+	Curve = curve.Curve
+	// Point is a cell coordinate vector.
+	Point = geom.Point
+	// Rect is an axis-aligned box of cells with inclusive bounds.
+	Rect = geom.Rect
+	// Universe is the d-dimensional grid a curve fills.
+	Universe = geom.Universe
+	// KeyRange is an inclusive range of curve keys; a query's minimal
+	// KeyRanges are its clusters.
+	KeyRange = ranges.KeyRange
+	// MergeResult is the outcome of merging ranges under a seek budget.
+	MergeResult = ranges.MergeResult
+	// Summary is a five-number summary plus mean (box-plot statistics).
+	Summary = stats.Summary
+	// Index is an SFC-clustered spatial index over points.
+	Index = index.Index
+	// IndexOption configures NewIndex.
+	IndexOption = index.Option
+	// QueryStats reports the execution profile of an index query.
+	QueryStats = index.QueryStats
+	// Neighbor is one result of a k-nearest-neighbors search.
+	Neighbor = index.Neighbor
+	// DiskModel prices seeks and page transfers.
+	DiskModel = disksim.Model
+	// DiskTally is the access pattern of a query execution.
+	DiskTally = disksim.Tally
+	// Partitioner splits a curve's key space into contiguous shards.
+	Partitioner = partition.Partitioner
+	// Spread describes the key-space layout of a query's clusters (the
+	// inter-cluster distance metric the paper's conclusion defers).
+	Spread = metrics.Spread
+	// StretchStats summarizes grid distance at fixed curve distance.
+	StretchStats = metrics.StretchStats
+	// Record is one point + payload of a disk-backed clustered store.
+	Record = pagedstore.Record
+	// Store is an open disk-backed clustered table.
+	Store = pagedstore.Store
+	// StoreStats is the physical access pattern of a Store query.
+	StoreStats = pagedstore.Stats
+)
+
+// NewUniverse validates and constructs a dims-dimensional grid of
+// side^dims cells.
+func NewUniverse(dims int, side uint32) (Universe, error) {
+	return geom.NewUniverse(dims, side)
+}
+
+// NewRect validates inclusive bounds lo <= hi.
+func NewRect(lo, hi Point) (Rect, error) { return geom.NewRect(lo, hi) }
+
+// RectAt builds the rectangle with lower corner lo and the given side
+// lengths.
+func RectAt(lo Point, shape []uint32) (Rect, error) { return geom.RectAt(lo, shape) }
+
+// NewOnion2D returns the paper's two-dimensional onion curve (Section
+// III-A) on a side x side grid; any side >= 1.
+func NewOnion2D(side uint32) (Curve, error) { return core.NewOnion2D(side) }
+
+// NewOnion3D returns the paper's three-dimensional onion curve (Section
+// VI-A); the side must be even.
+func NewOnion3D(side uint32) (Curve, error) { return core.NewOnion3D(side) }
+
+// NewOnion3DWithSegmentOrder returns a 3D onion curve visiting the ten
+// within-layer segments in a custom order (the paper proves any
+// permutation preserves the clustering guarantees).
+func NewOnion3DWithSegmentOrder(side uint32, perm [10]int) (Curve, error) {
+	return core.NewOnion3DWithSegmentOrder(side, perm)
+}
+
+// NewOnionND returns the layer-sequential d-dimensional onion extension
+// sketched in the paper's future work. Note: it keeps layer ordering but
+// not the within-segment structure, and measurably weaker clustering
+// constants come with that (see the package's ablation experiment).
+func NewOnionND(dims int, side uint32) (Curve, error) { return core.NewOnionND(dims, side) }
+
+// NewLayerLex returns the layer-lexicographic ablation curve.
+func NewLayerLex(dims int, side uint32) (Curve, error) { return core.NewLayerLex(dims, side) }
+
+// NewHilbert returns the d-dimensional Hilbert curve (d >= 2, side a power
+// of two) — the paper's principal baseline.
+func NewHilbert(dims int, side uint32) (Curve, error) { return baseline.NewHilbert(dims, side) }
+
+// NewZCurve returns the Z (Morton, bit-interleaving) curve; side must be a
+// power of two.
+func NewZCurve(dims int, side uint32) (Curve, error) { return baseline.NewMorton(dims, side) }
+
+// NewGrayCode returns the Gray-code curve of Faloutsos; side must be a
+// power of two.
+func NewGrayCode(dims int, side uint32) (Curve, error) { return baseline.NewGray(dims, side) }
+
+// NewRowMajor returns the row-major order (dimension 0 fastest).
+func NewRowMajor(dims int, side uint32) (Curve, error) { return baseline.NewRowMajor(dims, side) }
+
+// NewColumnMajor returns the column-major order (dimension d-1 fastest).
+func NewColumnMajor(dims int, side uint32) (Curve, error) {
+	return baseline.NewColumnMajor(dims, side)
+}
+
+// NewSnake returns the boustrophedon order — the simplest continuous
+// curve, useful as a lower-bound control.
+func NewSnake(dims int, side uint32) (Curve, error) { return baseline.NewSnake(dims, side) }
+
+// NewPeano returns the d-dimensional Peano (serpentine) curve; side must
+// be a power of three.
+func NewPeano(dims int, side uint32) (Curve, error) { return baseline.NewPeano(dims, side) }
+
+// IsContinuous reports whether consecutive positions of the curve are
+// always grid neighbors (the paper's Definition 1).
+func IsContinuous(c Curve) bool { return curve.IsContinuous(c) }
+
+// ClusterCount returns the clustering number of r under c: the minimum
+// number of contiguous key runs covering exactly the cells of r. For
+// continuous (and almost-continuous) curves this costs O(surface(r)), so
+// queries with billions of cells are fine.
+func ClusterCount(c Curve, r Rect) (uint64, error) {
+	if curve.IsContinuous(c) {
+		return cluster.CountContinuous(c, r)
+	}
+	if _, ok := c.(cluster.JumpLister); ok {
+		return cluster.CountNearContinuous(c, r)
+	}
+	return cluster.CountSorted(c, r, 0)
+}
+
+// AverageClustering returns the exact average clustering number of c over
+// the query set of all translates of the given shape (Lemma 1 + a
+// generalization of Lemma 2), walking the curve once.
+func AverageClustering(c Curve, shape []uint32) (float64, error) {
+	return cluster.AverageExact(c, shape)
+}
+
+// Decompose returns the minimal contiguous key ranges covering exactly the
+// cells of r, sorted ascending; len(result) equals ClusterCount.
+func Decompose(c Curve, r Rect) ([]KeyRange, error) {
+	return ranges.Decompose(c, r, 0)
+}
+
+// MergeToBudget coalesces ranges (closing smallest gaps first) until at
+// most budget remain — fewer seeks for some extra cells scanned.
+func MergeToBudget(rs []KeyRange, budget int) (MergeResult, error) {
+	return ranges.MergeToBudget(rs, budget)
+}
+
+// LowerBoundContinuous returns the exact Theorem 2 lower bound: no
+// continuous SFC can average fewer clusters over all translates of the
+// shape.
+func LowerBoundContinuous(u Universe, shape []uint32) (float64, error) {
+	return theory.LowerBoundContinuous(u, shape)
+}
+
+// LowerBoundGeneral returns the exact Theorem 3 lower bound valid for
+// every SFC.
+func LowerBoundGeneral(u Universe, shape []uint32) (float64, error) {
+	return theory.LowerBoundGeneral(u, shape)
+}
+
+// OnionCubeRatio2D returns the paper's Table I headline: the maximum
+// approximation ratio of the 2D onion curve over cube query sets (2.32)
+// and the maximizing cube scale phi.
+func OnionCubeRatio2D() (phi, eta float64) { return theory.MaxEtaOnion2DCube() }
+
+// OnionCubeRatio3D returns the 3D analogue (3.4 at phi = 0.3967).
+func OnionCubeRatio3D() (phi, eta float64) { return theory.MaxEtaOnion3DCube() }
+
+// NewIndex builds an empty spatial index clustered by c.
+func NewIndex(c Curve, opts ...IndexOption) (*Index, error) { return index.New(c, opts...) }
+
+// BulkIndex builds an index over a static point set in one bottom-up pass
+// with maximally packed B+-tree leaves.
+func BulkIndex(c Curve, pts []Point, opts ...IndexOption) (*Index, error) {
+	return index.Bulk(c, pts, opts...)
+}
+
+// WithTreeOrder sets the index's B+-tree branching factor (default 64).
+func WithTreeOrder(order int) IndexOption { return index.WithTreeOrder(order) }
+
+// WithPageSize sets the simulated disk page size in cells (default 256).
+func WithPageSize(cells uint64) IndexOption { return index.WithPageSize(cells) }
+
+// DefaultDiskModel returns the default seek/transfer cost model.
+func DefaultDiskModel() DiskModel { return disksim.DefaultModel() }
+
+// UniformPartition splits c's key space into k equal shards.
+func UniformPartition(c Curve, k int) (*Partitioner, error) { return partition.Uniform(c, k) }
+
+// WeightedPartition splits c's key space into k shards balanced over the
+// given sample of keys.
+func WeightedPartition(c Curve, keys []uint64, k int) (*Partitioner, error) {
+	return partition.ByWeight(c, keys, k)
+}
+
+// WriteStore bulk-loads records into a disk file physically clustered in
+// curve order; pageBytes is the page size (for example 4096).
+func WriteStore(path string, c Curve, recs []Record, pageBytes int) error {
+	return pagedstore.Write(path, c, recs, pageBytes)
+}
+
+// OpenStore opens a clustered store written by WriteStore; the curve must
+// match the one used at write time.
+func OpenStore(path string, c Curve) (*Store, error) { return pagedstore.Open(path, c) }
+
+// SortPoints orders points in place by their curve keys — the clustered
+// layout a bulk loader should write so that range queries read
+// sequentially. Points must belong to the curve's universe.
+func SortPoints(c Curve, pts []Point) {
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		keys[i] = c.Index(p)
+	}
+	sort.Sort(&pointSorter{keys: keys, pts: pts})
+}
+
+type pointSorter struct {
+	keys []uint64
+	pts  []Point
+}
+
+func (s *pointSorter) Len() int           { return len(s.keys) }
+func (s *pointSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *pointSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+}
+
+// ClusterSpread measures how far apart in key space a query's clusters
+// are — few clusters can still be expensive to fetch if they are distant.
+func ClusterSpread(c Curve, r Rect) (Spread, error) { return metrics.ClusterSpread(c, r) }
+
+// Stretch samples the L1 grid distance between cells k apart along the
+// curve (Gotsman-Lindenbaum stretch; relevant to near-neighbor search).
+func Stretch(c Curve, k uint64, samples int, seed int64) (StretchStats, error) {
+	return metrics.Stretch(c, k, samples, seed)
+}
+
+// DrawCurve renders the curve's position numbers on a small 2D grid
+// (Figure 3 style).
+func DrawCurve(c Curve) (string, error) { return viz.CurveGrid(c) }
+
+// DrawQuery renders a query's clusters as letters on a small 2D grid
+// (Figure 1/2 style) and returns the picture and the cluster count.
+func DrawQuery(c Curve, r Rect) (string, int, error) { return viz.QueryClusters(c, r) }
+
+// DrawCurveSlices renders a small 3D curve as per-z slices of position
+// numbers (Figure 4 style).
+func DrawCurveSlices(c Curve) (string, error) { return viz.CurveSlices(c) }
