@@ -1,0 +1,78 @@
+package onion_test
+
+import (
+	"testing"
+
+	onion "github.com/onioncurve/onion"
+	"github.com/onioncurve/onion/internal/cluster"
+)
+
+// TestFacadeWalkerAndBatch exercises the facade-level Walker and batch
+// APIs end to end on a mix of curve families.
+func TestFacadeWalkerAndBatch(t *testing.T) {
+	o, err := onion.NewOnion2D(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := onion.NewHilbert(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []onion.Curve{o, h} {
+		n := c.Universe().Size()
+		w := onion.NewWalker(c, 0)
+		keys := make([]uint64, 0, n)
+		pts := make([]onion.Point, 0, n)
+		for {
+			k, p, ok := w.Next()
+			if !ok {
+				break
+			}
+			keys = append(keys, k)
+			pts = append(pts, p.Clone())
+		}
+		if uint64(len(keys)) != n {
+			t.Fatalf("%s: walker yielded %d cells, want %d", c.Name(), len(keys), n)
+		}
+		back := onion.IndexBatch(c, pts, nil)
+		for i := range back {
+			if back[i] != keys[i] {
+				t.Fatalf("%s: IndexBatch[%d] = %d, want %d", c.Name(), i, back[i], keys[i])
+			}
+		}
+		cells := onion.CoordsBatch(c, keys, nil)
+		for i := range cells {
+			if !cells[i].Equal(pts[i]) {
+				t.Fatalf("%s: CoordsBatch[%d] = %v, want %v", c.Name(), i, cells[i], pts[i])
+			}
+		}
+	}
+}
+
+// TestAverageClusteringDeterminism pins the facade documentation claim:
+// the parallel sweep is bit-identical to the serial and scalar reference
+// paths.
+func TestAverageClusteringDeterminism(t *testing.T) {
+	o, err := onion.NewOnion2D(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range [][]uint32{{1, 1}, {8, 8}, {63, 5}, {64, 64}} {
+		got, err := onion.AverageClustering(o, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := cluster.AverageExactSerial(o, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := cluster.AverageExactScalar(o, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != serial || got != scalar {
+			t.Fatalf("shape %v: parallel %v, serial %v, scalar %v — not bit-identical",
+				shape, got, serial, scalar)
+		}
+	}
+}

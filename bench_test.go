@@ -10,6 +10,7 @@ import (
 
 	onion "github.com/onioncurve/onion"
 	"github.com/onioncurve/onion/internal/bptree"
+	"github.com/onioncurve/onion/internal/cluster"
 	"github.com/onioncurve/onion/internal/experiments"
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/workload"
@@ -227,12 +228,122 @@ func BenchmarkClusterCount(b *testing.B) {
 	})
 }
 
+// BenchmarkAverageClustering is the tentpole acceptance benchmark: the
+// exact average clustering number of an 8x8 query over the full 1024^2
+// onion universe — 2^20 curve edges per op. The "scalar" sub-benchmark is
+// the retained pre-walker reference path (one full inverse mapping and one
+// general GammaTranslates per edge); the default path sweeps runs/walkers
+// in parallel and must beat it by >= 3x.
+func BenchmarkAverageClustering(b *testing.B) {
+	o, _ := onion.NewOnion2D(1 << 10)
+	h2, _ := onion.NewHilbert(2, 1<<10)
+	shape := []uint32{8, 8}
+	b.Run("onion2d-1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.AverageClustering(o, shape); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("onion2d-1024-scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.AverageExactScalar(o, shape); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hilbert2d-1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := onion.AverageClustering(h2, shape); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkAverageClusteringExact(b *testing.B) {
 	o, _ := onion.NewOnion2D(256)
 	for i := 0; i < b.N; i++ {
 		if _, err := onion.AverageClustering(o, []uint32{100, 100}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWalker measures full-curve sweeps: incremental walkers versus
+// one scalar Coords inversion per key.
+func BenchmarkWalker(b *testing.B) {
+	o2, _ := onion.NewOnion2D(1 << 10)
+	o3, _ := onion.NewOnion3D(1 << 7)
+	h2, _ := onion.NewHilbert(2, 1<<10)
+	z2, _ := onion.NewZCurve(2, 1<<10)
+	nd4, _ := onion.NewOnionND(4, 32)
+	for _, tc := range []struct {
+		name string
+		c    onion.Curve
+	}{
+		{"onion2d-1024", o2}, {"onion3d-128", o3},
+		{"hilbert2d-1024", h2}, {"zcurve2d-1024", z2}, {"onionnd4-32", nd4},
+	} {
+		n := tc.c.Universe().Size()
+		b.Run(tc.name+"/walk", func(b *testing.B) {
+			var sink uint32
+			for i := 0; i < b.N; i++ {
+				w := onion.NewWalker(tc.c, 0)
+				for {
+					_, p, ok := w.Next()
+					if !ok {
+						break
+					}
+					sink += p[0]
+				}
+			}
+			_ = sink
+		})
+		b.Run(tc.name+"/coords", func(b *testing.B) {
+			p := make(onion.Point, tc.c.Universe().Dims())
+			var sink uint32
+			for i := 0; i < b.N; i++ {
+				for h := uint64(0); h < n; h++ {
+					tc.c.Coords(h, p)
+					sink += p[0]
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkBatch measures the batch mappings in steady state: correctly
+// sized destinations must report 0 allocs/op.
+func BenchmarkBatch(b *testing.B) {
+	o2, _ := onion.NewOnion2D(1 << 10)
+	h2, _ := onion.NewHilbert(2, 1<<10)
+	z2, _ := onion.NewZCurve(2, 1<<10)
+	const batch = 4096
+	for _, tc := range []struct {
+		name string
+		c    onion.Curve
+	}{{"onion2d-1024", o2}, {"hilbert2d-1024", h2}, {"zcurve2d-1024", z2}} {
+		n := tc.c.Universe().Size()
+		keys := make([]uint64, batch)
+		for i := range keys {
+			keys[i] = uint64(i*2654435761) % n
+		}
+		pts := onion.CoordsBatch(tc.c, keys, nil)
+		dst := make([]uint64, batch)
+		b.Run(tc.name+"/IndexBatch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				onion.IndexBatch(tc.c, pts, dst)
+			}
+		})
+		b.Run(tc.name+"/CoordsBatch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				onion.CoordsBatch(tc.c, keys, pts)
+			}
+		})
 	}
 }
 

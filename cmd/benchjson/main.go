@@ -1,0 +1,85 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// a JSON array on stdout, one object per benchmark result. CI uses it to
+// publish benchmark artifacts (BENCH_*.json) that successive revisions can
+// be compared against.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=100x ./... | go run ./cmd/benchjson > BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in structured form.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	results := []Result{} // encode [] rather than null when nothing parses
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine recognizes lines of the form
+//
+//	BenchmarkName-8   100   123.4 ns/op [ 56 B/op  7 allocs/op ]
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i++ {
+		val := fields[i]
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			if ns, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = ns
+				seen = true
+			}
+		case "B/op":
+			if b, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = &b
+			}
+		case "allocs/op":
+			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = &a
+			}
+		}
+	}
+	return r, seen
+}

@@ -105,6 +105,50 @@ func FuzzDecomposeExact(f *testing.F) {
 	})
 }
 
+// FuzzWalkerSeeded checks that a Walker seeded at an arbitrary key agrees
+// with the scalar Coords mapping for a window of steps, across every curve
+// family, and exhausts exactly at the end of the curve.
+func FuzzWalkerSeeded(f *testing.F) {
+	o2, _ := onion.NewOnion2D(96)
+	o3, _ := onion.NewOnion3D(16)
+	nd, _ := onion.NewOnionND(3, 9)
+	lex, _ := onion.NewLayerLex(2, 31)
+	hil, _ := onion.NewHilbert(2, 64)
+	z, _ := onion.NewZCurve(2, 64)
+	g, _ := onion.NewGrayCode(2, 64)
+	snake, _ := onion.NewSnake(3, 11)
+	peano, _ := onion.NewPeano(2, 27)
+	curves := []onion.Curve{o2, o3, nd, lex, hil, z, g, snake, peano}
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(95*95), uint8(1))
+	f.Add(uint64(1<<12-1), uint8(4))
+	f.Add(uint64(37), uint8(8))
+	f.Fuzz(func(t *testing.T, start uint64, which uint8) {
+		c := curves[int(which)%len(curves)]
+		n := c.Universe().Size()
+		start %= n
+		w := onion.NewWalker(c, start)
+		want := make(onion.Point, c.Universe().Dims())
+		for k := 0; k < 64; k++ {
+			h := start + uint64(k)
+			gh, p, ok := w.Next()
+			if h >= n {
+				if ok {
+					t.Fatalf("%s: walker returned key %d beyond size %d", c.Name(), gh, n)
+				}
+				return
+			}
+			if !ok || gh != h {
+				t.Fatalf("%s: walker from %d gave (%d,%v) at step %d", c.Name(), start, gh, ok, k)
+			}
+			c.Coords(h, want)
+			if !p.Equal(want) {
+				t.Fatalf("%s: walker cell at %d = %v, want %v", c.Name(), h, p, want)
+			}
+		}
+	})
+}
+
 func FuzzAverageClusteringBounds(f *testing.F) {
 	o, _ := onion.NewOnion2D(32)
 	u, _ := onion.NewUniverse(2, 32)

@@ -1,0 +1,3 @@
+module github.com/onioncurve/onion
+
+go 1.24

@@ -1,0 +1,90 @@
+package baseline
+
+// Batch fast paths for the baseline curves: the loops share validation and
+// scratch buffers across cells and never allocate.
+
+import (
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// IndexBatch implements curve.IndexBatcher.
+func (hc *Hilbert) IndexBatch(pts []geom.Point, dst []uint64) {
+	d := hc.U.Dims()
+	if hc.order == 0 {
+		for i, p := range pts {
+			hc.CheckPoint(p)
+			dst[i] = 0
+		}
+		return
+	}
+	var buf [8]uint32
+	X := buf[:d]
+	for i, p := range pts {
+		hc.CheckPoint(p)
+		copy(X, p)
+		axesToTranspose(X, hc.order, d)
+		dst[i] = packTranspose(X, hc.order, d)
+	}
+}
+
+// CoordsBatch implements curve.CoordsBatcher.
+func (hc *Hilbert) CoordsBatch(keys []uint64, dst []geom.Point) {
+	d := hc.U.Dims()
+	for i, h := range keys {
+		hc.CheckIndex(h)
+		if hc.order == 0 {
+			for j := range dst[i] {
+				dst[i][j] = 0
+			}
+			continue
+		}
+		unpackTranspose(h, hc.order, d, dst[i])
+		transposeToAxes(dst[i], hc.order, d)
+	}
+}
+
+// IndexBatch implements curve.IndexBatcher.
+func (m *Morton) IndexBatch(pts []geom.Point, dst []uint64) {
+	d := m.U.Dims()
+	for i, p := range pts {
+		m.CheckPoint(p)
+		dst[i] = curve.Interleave(p, m.order, d)
+	}
+}
+
+// CoordsBatch implements curve.CoordsBatcher.
+func (m *Morton) CoordsBatch(keys []uint64, dst []geom.Point) {
+	d := m.U.Dims()
+	for i, h := range keys {
+		m.CheckIndex(h)
+		curve.Deinterleave(h, m.order, d, dst[i])
+	}
+}
+
+// IndexBatch implements curve.IndexBatcher.
+func (g *Gray) IndexBatch(pts []geom.Point, dst []uint64) {
+	d := g.U.Dims()
+	for i, p := range pts {
+		g.CheckPoint(p)
+		dst[i] = curve.GrayInverse(curve.Interleave(p, g.order, d))
+	}
+}
+
+// CoordsBatch implements curve.CoordsBatcher.
+func (g *Gray) CoordsBatch(keys []uint64, dst []geom.Point) {
+	d := g.U.Dims()
+	for i, h := range keys {
+		g.CheckIndex(h)
+		curve.Deinterleave(curve.Gray(h), g.order, d, dst[i])
+	}
+}
+
+var (
+	_ curve.IndexBatcher  = (*Hilbert)(nil)
+	_ curve.CoordsBatcher = (*Hilbert)(nil)
+	_ curve.IndexBatcher  = (*Morton)(nil)
+	_ curve.CoordsBatcher = (*Morton)(nil)
+	_ curve.IndexBatcher  = (*Gray)(nil)
+	_ curve.CoordsBatcher = (*Gray)(nil)
+)

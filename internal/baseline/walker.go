@@ -1,0 +1,314 @@
+package baseline
+
+// Incremental walkers for the baseline curves. Morton and Gray keys change
+// in O(1) amortized bits per step, so their walkers fold exactly the
+// flipped bits into the coordinates; the Hilbert walker updates the
+// Skilling transpose form incrementally and pays only the axes transform
+// per step; the linear orders step an odometer and additionally expose
+// their rows as straight runs for the run-based analytics.
+
+import (
+	"math/bits"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// mortonWalker folds the bits flipped by each key increment into the
+// deinterleaved coordinates: key bit j*dims+i is bit j of dimension i.
+type mortonWalker struct {
+	h, n    uint64
+	started bool
+	d       int
+	p       geom.Point
+}
+
+// Walk implements curve.WalkerProvider.
+func (m *Morton) Walk(start uint64) curve.Walker {
+	n := m.U.Size()
+	if start > n {
+		m.CheckIndex(start)
+	}
+	w := &mortonWalker{h: start, n: n, d: m.U.Dims(), p: make(geom.Point, m.U.Dims())}
+	if start < n {
+		m.Coords(start, w.p)
+	}
+	return w
+}
+
+func (w *mortonWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	if w.started {
+		// Incrementing h-1 flips its trailing ones plus the next zero.
+		m := (w.h - 1) ^ w.h
+		for m != 0 {
+			pos := bits.TrailingZeros64(m)
+			m &= m - 1
+			w.p[pos%w.d] ^= 1 << uint(pos/w.d)
+		}
+	} else {
+		w.started = true
+	}
+	h := w.h
+	w.h++
+	return h, w.p, true
+}
+
+// grayWalker exploits that consecutive Gray codes differ in exactly one
+// bit: bit TrailingZeros(h) of the interleaved code flips between h-1
+// and h.
+type grayWalker struct {
+	h, n    uint64
+	started bool
+	d       int
+	p       geom.Point
+}
+
+// Walk implements curve.WalkerProvider.
+func (g *Gray) Walk(start uint64) curve.Walker {
+	n := g.U.Size()
+	if start > n {
+		g.CheckIndex(start)
+	}
+	w := &grayWalker{h: start, n: n, d: g.U.Dims(), p: make(geom.Point, g.U.Dims())}
+	if start < n {
+		g.Coords(start, w.p)
+	}
+	return w
+}
+
+func (w *grayWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	if w.started {
+		pos := bits.TrailingZeros64(w.h)
+		w.p[pos%w.d] ^= 1 << uint(pos/w.d)
+	} else {
+		w.started = true
+	}
+	h := w.h
+	w.h++
+	return h, w.p, true
+}
+
+// hilbertWalker keeps the Skilling transpose form of the current key and
+// updates it incrementally (amortized O(1) flipped bits per increment);
+// each step then pays one transposeToAxes pass, with no per-step
+// allocation or key unpacking.
+type hilbertWalker struct {
+	h, n    uint64
+	started bool
+	d, b    int
+	X       []uint32 // transpose form of the current key
+	p       geom.Point
+}
+
+// Walk implements curve.WalkerProvider.
+func (hc *Hilbert) Walk(start uint64) curve.Walker {
+	n := hc.U.Size()
+	if start > n {
+		hc.CheckIndex(start)
+	}
+	d := hc.U.Dims()
+	w := &hilbertWalker{h: start, n: n, d: d, b: hc.order,
+		X: make([]uint32, d), p: make(geom.Point, d)}
+	if start < n && w.b > 0 {
+		unpackTranspose(start, w.b, d, w.X)
+	}
+	return w
+}
+
+func (w *hilbertWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	if w.started && w.b > 0 {
+		// Key bit pos lives at transpose word q%d, bit b-1-q/d, where
+		// q = b*d-1-pos is the bit's rank from the top (see packTranspose).
+		m := (w.h - 1) ^ w.h
+		bn := w.b * w.d
+		for m != 0 {
+			pos := bits.TrailingZeros64(m)
+			m &= m - 1
+			q := bn - 1 - pos
+			w.X[q%w.d] ^= 1 << uint(w.b-1-q/w.d)
+		}
+	} else {
+		w.started = true
+	}
+	h := w.h
+	w.h++
+	if w.b == 0 {
+		for i := range w.p {
+			w.p[i] = 0
+		}
+		return h, w.p, true
+	}
+	// The axes transform runs in place directly on the output point.
+	copy(w.p, w.X)
+	transposeToAxes(w.p, w.b, w.d)
+	return h, w.p, true
+}
+
+// linearWalker is the odometer of the row-major, column-major and snake
+// orders, with per-dimension direction flags for the snake.
+type linearWalker struct {
+	h, n    uint64
+	started bool
+	kind    linearKind
+	side    uint32
+	d       int
+	p       geom.Point
+	dirUp   []bool // snake only
+}
+
+// Walk implements curve.WalkerProvider.
+func (l *Linear) Walk(start uint64) curve.Walker {
+	n := l.U.Size()
+	if start > n {
+		l.CheckIndex(start)
+	}
+	d := l.U.Dims()
+	w := &linearWalker{h: start, n: n, kind: l.kind, side: l.U.Side(), d: d, p: make(geom.Point, d)}
+	if l.kind == kindSnake {
+		w.dirUp = make([]bool, d)
+	}
+	if start < n {
+		l.Coords(start, w.p)
+		if l.kind == kindSnake {
+			// Dimension i increases exactly when the sum of the higher
+			// coordinates is even (each odd higher coordinate reverses
+			// the boustrophedon below it).
+			for i := 0; i < d; i++ {
+				sum := uint32(0)
+				for j := i + 1; j < d; j++ {
+					sum += w.p[j]
+				}
+				w.dirUp[i] = sum%2 == 0
+			}
+		}
+	}
+	return w
+}
+
+func (w *linearWalker) advance() {
+	switch w.kind {
+	case kindRowMajor:
+		for i := 0; i < w.d; i++ {
+			if w.p[i]+1 < w.side {
+				w.p[i]++
+				return
+			}
+			w.p[i] = 0
+		}
+	case kindColMajor:
+		for i := w.d - 1; i >= 0; i-- {
+			if w.p[i]+1 < w.side {
+				w.p[i]++
+				return
+			}
+			w.p[i] = 0
+		}
+	default: // snake
+		for i := 0; i < w.d; i++ {
+			if w.dirUp[i] {
+				if w.p[i]+1 < w.side {
+					w.p[i]++
+					return
+				}
+			} else {
+				if w.p[i] > 0 {
+					w.p[i]--
+					return
+				}
+			}
+			w.dirUp[i] = !w.dirUp[i]
+		}
+	}
+}
+
+func (w *linearWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	if w.started {
+		w.advance()
+	} else {
+		w.started = true
+	}
+	h := w.h
+	w.h++
+	return h, w.p, true
+}
+
+// VisitRuns implements curve.RunVisitor for all three linear orders: each
+// row of the fastest dimension is one straight run; the step between rows
+// goes through the edge callback (a jump for row/column-major, a neighbor
+// move for the snake — both handled exactly by the caller).
+func (l *Linear) VisitRuns(lo, hi uint64, run func(start geom.Point, dim, dir int, edges uint64), edge func(a, b geom.Point)) {
+	n := l.U.Size()
+	if hi >= n {
+		hi = n - 1
+	}
+	side := uint64(l.U.Side())
+	d := l.U.Dims()
+	fast := 0
+	if l.kind == kindColMajor {
+		fast = d - 1
+	}
+	if side == 1 {
+		// Degenerate rows: every edge is a between-row step.
+		a := make(geom.Point, d)
+		b := make(geom.Point, d)
+		for h := lo; h < hi; h++ {
+			l.Coords(h, a)
+			l.Coords(h+1, b)
+			edge(a, b)
+		}
+		return
+	}
+	a := make(geom.Point, d)
+	b := make(geom.Point, d)
+	h := lo
+	for h < hi {
+		row := h / side
+		last := row*side + side - 1 // last key of this row
+		runEnd := last
+		if runEnd > hi {
+			runEnd = hi
+		}
+		if h < runEnd {
+			l.Coords(h, a)
+			dir := +1
+			if l.kind == kindSnake {
+				sum := uint32(0)
+				for j := 0; j < d; j++ {
+					if j != fast {
+						sum += a[j]
+					}
+				}
+				if sum%2 == 1 {
+					dir = -1
+				}
+			}
+			run(a, fast, dir, runEnd-h)
+		}
+		if last < hi {
+			l.Coords(last, a)
+			l.Coords(last+1, b)
+			edge(a, b)
+		}
+		h = last + 1
+	}
+}
+
+var (
+	_ curve.WalkerProvider = (*Morton)(nil)
+	_ curve.WalkerProvider = (*Gray)(nil)
+	_ curve.WalkerProvider = (*Hilbert)(nil)
+	_ curve.WalkerProvider = (*Linear)(nil)
+	_ curve.RunVisitor     = (*Linear)(nil)
+)

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+)
+
+// walkerCurves builds one instance of every baseline curve, including the
+// generic-walker Peano, across power-of-two, odd and degenerate sides.
+func walkerCurves(t *testing.T) []curve.Curve {
+	t.Helper()
+	var cs []curve.Curve
+	mk := func(c curve.Curve, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	for _, side := range []uint32{1, 2, 4, 16} {
+		mk(NewHilbert(2, side))
+		mk(NewMorton(2, side))
+		mk(NewGray(2, side))
+	}
+	mk(NewHilbert(3, 8))
+	mk(NewMorton(3, 8))
+	mk(NewGray(3, 8))
+	mk(NewMorton(4, 4))
+	for _, tc := range []struct {
+		dims int
+		side uint32
+	}{{1, 7}, {2, 1}, {2, 5}, {2, 8}, {3, 4}, {3, 5}, {4, 3}} {
+		mk(NewRowMajor(tc.dims, tc.side))
+		mk(NewColumnMajor(tc.dims, tc.side))
+		mk(NewSnake(tc.dims, tc.side))
+	}
+	mk(NewPeano(2, 9))
+	mk(NewPeano(3, 3))
+	return cs
+}
+
+func TestWalkerMatchesScalar(t *testing.T) {
+	for _, c := range walkerCurves(t) {
+		curvetest.CheckWalker(t, c)
+	}
+}
+
+func TestWalkerSeeded(t *testing.T) {
+	for _, c := range walkerCurves(t) {
+		curvetest.CheckWalkerSeeded(t, c, 50, 64, 3)
+	}
+	big, err := NewHilbert(2, 1<<11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, big, 100, 128, 4)
+	bigZ, err := NewMorton(3, 1<<6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, bigZ, 100, 128, 5)
+	bigS, err := NewSnake(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, bigS, 100, 128, 6)
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	for _, c := range walkerCurves(t) {
+		curvetest.CheckBatch(t, c, 200, 12)
+	}
+}
+
+func TestLinearRuns(t *testing.T) {
+	for _, tc := range []struct {
+		dims int
+		side uint32
+	}{{1, 6}, {2, 1}, {2, 4}, {2, 7}, {3, 3}, {3, 4}} {
+		r, err := NewRowMajor(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckRuns(t, r, 21)
+		c, err := NewColumnMajor(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckRuns(t, c, 22)
+		s, err := NewSnake(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckRuns(t, s, 23)
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+// The exact average clustering number (Lemma 1 plus the generalized
+// Lemma 2) requires walking every edge of the curve. This file implements
+// that sweep three ways, all producing bit-identical results:
+//
+//   - a per-axis table + prefix-sum formulation of GammaTranslates, so a
+//     straight run of r curve edges contributes in O(1) via
+//     curve.RunVisitor (the onion rings, the linear orders' rows);
+//   - an incremental curve.Walker sweep for curves without run structure,
+//     sharded across workers, each walker seeded at its shard boundary;
+//   - the original scalar Coords-per-key loop, retained as the reference.
+//
+// Determinism: every path accumulates the gamma sum in 128-bit integer
+// arithmetic, which is associative, so the result is exactly the same
+// float64 regardless of worker count, sharding or evaluation strategy.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// acc128 is an exact unsigned 128-bit accumulator.
+type acc128 struct {
+	lo, hi uint64
+}
+
+func (a *acc128) add(v uint64) {
+	var c uint64
+	a.lo, c = bits.Add64(a.lo, v, 0)
+	a.hi += c
+}
+
+// addMul adds the full 128-bit product x*y.
+func (a *acc128) addMul(x, y uint64) {
+	hi, lo := bits.Mul64(x, y)
+	var c uint64
+	a.lo, c = bits.Add64(a.lo, lo, 0)
+	a.hi += hi + c
+}
+
+func (a *acc128) merge(b acc128) {
+	var c uint64
+	a.lo, c = bits.Add64(a.lo, b.lo, 0)
+	a.hi += b.hi + c
+}
+
+func (a acc128) toFloat() float64 {
+	return float64(a.hi)*0x1p64 + float64(a.lo)
+}
+
+// gammaTables precomputes, per dimension, the translate cover counts and
+// the prefix sums of per-edge gamma values, turning GammaTranslates for a
+// unit step along dimension j into two lookups and turning a straight run
+// of edges into a prefix-sum difference.
+type gammaTables struct {
+	u     geom.Universe
+	shape []uint32
+	// cover[j][x] = coverCount1(side, shape[j], x).
+	cover [][]uint64
+	// pre[j][x] = sum over k < x of the gamma of a unit edge (k, k+1)
+	// along dimension j: cover[k] + cover[k+1] - 2*coverPair1(k, k+1).
+	pre [][]uint64
+}
+
+func newGammaTables(u geom.Universe, shape []uint32) *gammaTables {
+	side := u.Side()
+	d := u.Dims()
+	g := &gammaTables{u: u, shape: shape,
+		cover: make([][]uint64, d), pre: make([][]uint64, d)}
+	for j := 0; j < d; j++ {
+		cov := make([]uint64, side)
+		for x := uint32(0); x < side; x++ {
+			cov[x] = coverCount1(side, shape[j], x)
+		}
+		pre := make([]uint64, side)
+		for x := uint32(0); x+1 < side; x++ {
+			e := cov[x] + cov[x+1] - 2*coverPair1(side, shape[j], x, x+1)
+			pre[x+1] = pre[x] + e
+		}
+		g.cover[j] = cov
+		g.pre[j] = pre
+	}
+	return g
+}
+
+// coverOther returns the product of the cover counts of every dimension
+// except j — the shared factor of all edges of a run along j.
+func (g *gammaTables) coverOther(p geom.Point, j int) uint64 {
+	prod := uint64(1)
+	for i, x := range p {
+		if i != j {
+			prod *= g.cover[i][x]
+		}
+	}
+	return prod
+}
+
+// addRun accumulates the gamma of `edges` consecutive unit steps along
+// dimension dim starting at cell start, in O(d).
+func (g *gammaTables) addRun(acc *acc128, start geom.Point, dim, dir int, edges uint64) {
+	x := uint64(start[dim])
+	var sum uint64
+	if dir > 0 {
+		sum = g.pre[dim][x+edges] - g.pre[dim][x]
+	} else {
+		sum = g.pre[dim][x] - g.pre[dim][x-edges]
+	}
+	acc.addMul(g.coverOther(start, dim), sum)
+}
+
+// addEdge accumulates the gamma of a single arbitrary edge (a, b). Unit
+// steps use the table fast path; anything else falls back to the general
+// GammaTranslates.
+func (g *gammaTables) addEdge(acc *acc128, a, b geom.Point) {
+	dim := -1
+	for i := range a {
+		if a[i] != b[i] {
+			if dim >= 0 || (a[i]+1 != b[i] && b[i]+1 != a[i]) {
+				acc.add(GammaTranslates(g.u, g.shape, a, b))
+				return
+			}
+			dim = i
+		}
+	}
+	if dim < 0 {
+		return // a == b: no edge
+	}
+	mn := a[dim]
+	if b[dim] < mn {
+		mn = b[dim]
+	}
+	acc.addMul(g.coverOther(a, dim), g.pre[dim][mn+1]-g.pre[dim][mn])
+}
+
+// sweepEdges accumulates the gamma of curve edges (h, h+1) for h in
+// [lo, hi) into acc, using the curve's run structure when available and an
+// incremental walker otherwise.
+func (g *gammaTables) sweepEdges(c curve.Curve, lo, hi uint64, acc *acc128) {
+	if lo >= hi {
+		return
+	}
+	if rv, ok := c.(curve.RunVisitor); ok {
+		rv.VisitRuns(lo, hi,
+			func(start geom.Point, dim, dir int, edges uint64) {
+				g.addRun(acc, start, dim, dir, edges)
+			},
+			func(a, b geom.Point) {
+				g.addEdge(acc, a, b)
+			})
+		return
+	}
+	w := curve.NewWalker(c, lo)
+	_, p, ok := w.Next()
+	if !ok {
+		return
+	}
+	prev := p.Clone()
+	for h := lo; h < hi; h++ {
+		_, p, _ = w.Next()
+		g.addEdge(acc, prev, p)
+		copy(prev, p)
+	}
+}
+
+// averageExact is the shared implementation of AverageExact and
+// AverageExactSerial: the curve's n-1 edges are split into `workers`
+// contiguous shards, each swept independently, and the exact integer
+// partial sums are merged.
+func averageExact(c curve.Curve, shape []uint32, workers int) (float64, error) {
+	u := c.Universe()
+	count, err := TranslateCount(u, shape)
+	if err != nil {
+		return 0, err
+	}
+	n := u.Size()
+	g := newGammaTables(u, shape)
+	edges := n - 1
+	if workers < 1 {
+		workers = 1
+	}
+	if uint64(workers) > edges {
+		workers = int(edges)
+	}
+	var total acc128
+	if workers <= 1 {
+		g.sweepEdges(c, 0, edges, &total)
+	} else {
+		accs := make([]acc128, workers)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				lo := edges * uint64(k) / uint64(workers)
+				hi := edges * uint64(k+1) / uint64(workers)
+				g.sweepEdges(c, lo, hi, &accs[k])
+			}(k)
+		}
+		wg.Wait()
+		for _, a := range accs {
+			total.merge(a)
+		}
+	}
+	p := make(geom.Point, u.Dims())
+	total.add(CoverCount(u, shape, c.Coords(0, p)))
+	total.add(CoverCount(u, shape, c.Coords(n-1, p)))
+	return total.toFloat() / (2 * float64(count)), nil
+}
+
+// AverageExactSerial computes the same exact average on a single
+// goroutine; AverageExact is guaranteed to return a bit-identical float64.
+func AverageExactSerial(c curve.Curve, shape []uint32) (float64, error) {
+	return averageExact(c, shape, 1)
+}
+
+// AverageExactScalar is the pre-walker reference implementation: one
+// scalar Coords inversion per key and one general GammaTranslates per
+// edge. It is retained to cross-validate (and benchmark against) the
+// incremental paths and returns bit-identical results.
+func AverageExactScalar(c curve.Curve, shape []uint32) (float64, error) {
+	u := c.Universe()
+	count, err := TranslateCount(u, shape)
+	if err != nil {
+		return 0, err
+	}
+	n := u.Size()
+	prev := c.Coords(0, nil)
+	cur := make(geom.Point, u.Dims())
+	var total acc128
+	for h := uint64(1); h < n; h++ {
+		c.Coords(h, cur)
+		total.add(GammaTranslates(u, shape, prev, cur))
+		prev, cur = cur, prev
+	}
+	total.add(CoverCount(u, shape, c.Coords(0, cur)))
+	total.add(CoverCount(u, shape, c.Coords(n-1, cur)))
+	return total.toFloat() / (2 * float64(count)), nil
+}
+
+// defaultWorkers returns the sweep parallelism: one worker per available
+// CPU.
+func defaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+)
+
+// averageCurves covers every sweep strategy: run-visiting curves (onion2d,
+// the linear orders), walker curves (onion3d, onionnd, layerlex, hilbert,
+// morton, gray) and a generic-walker curve (peano).
+func averageCurves(t *testing.T) []curve.Curve {
+	t.Helper()
+	var cs []curve.Curve
+	mk := func(c curve.Curve, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	mk(core.NewOnion2D(16))
+	mk(core.NewOnion2D(17))
+	mk(core.NewOnion3D(8))
+	mk(core.NewOnionND(3, 5))
+	mk(core.NewLayerLex(2, 9))
+	mk(baseline.NewHilbert(2, 16))
+	mk(baseline.NewMorton(2, 16))
+	mk(baseline.NewGray(2, 16))
+	mk(baseline.NewRowMajor(2, 12))
+	mk(baseline.NewColumnMajor(3, 5))
+	mk(baseline.NewSnake(2, 13))
+	mk(baseline.NewPeano(2, 9))
+	return cs
+}
+
+// TestAverageExactBitIdentical asserts the tentpole determinism guarantee:
+// the parallel sweep, the serial sweep and the scalar reference return the
+// exact same float64 for every curve family and worker count.
+func TestAverageExactBitIdentical(t *testing.T) {
+	for _, c := range averageCurves(t) {
+		d := c.Universe().Dims()
+		side := c.Universe().Side()
+		shapes := [][]uint32{make([]uint32, d), make([]uint32, d), make([]uint32, d)}
+		for i := 0; i < d; i++ {
+			shapes[0][i] = 1
+			shapes[1][i] = 3
+			shapes[2][i] = side
+		}
+		shapes[2][0] = side - 1 + side%2 // keep at least one translate direction
+		if shapes[2][0] == 0 {
+			shapes[2][0] = 1
+		}
+		for _, shape := range shapes {
+			want, err := AverageExactScalar(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := AverageExactSerial(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != want {
+				t.Fatalf("%s shape %v: serial %v != scalar %v", c.Name(), shape, serial, want)
+			}
+			for _, workers := range []int{2, 3, 7, 16} {
+				got, err := averageExact(c, shape, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s shape %v workers %d: %v != scalar %v", c.Name(), shape, workers, got, want)
+				}
+			}
+			got, err := AverageExact(c, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s shape %v: parallel %v != scalar %v", c.Name(), shape, got, want)
+			}
+		}
+	}
+}
+
+// TestAcc128 pins the exact accumulator against hand-computed values,
+// including carries and wide products.
+func TestAcc128(t *testing.T) {
+	var a acc128
+	a.add(^uint64(0))
+	a.add(1)
+	if a.lo != 0 || a.hi != 1 {
+		t.Fatalf("carry: got (%d,%d)", a.hi, a.lo)
+	}
+	var b acc128
+	b.addMul(1<<33, 1<<33) // 2^66 = 4 * 2^64
+	if b.lo != 0 || b.hi != 4 {
+		t.Fatalf("mul: got (%d,%d)", b.hi, b.lo)
+	}
+	a.merge(b)
+	if a.lo != 0 || a.hi != 5 {
+		t.Fatalf("merge: got (%d,%d)", a.hi, a.lo)
+	}
+	if f := b.toFloat(); f != 0x1p66 {
+		t.Fatalf("toFloat: got %v", f)
+	}
+}

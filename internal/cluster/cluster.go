@@ -67,11 +67,36 @@ func CountSorted(c curve.Curve, r geom.Rect, maxCells uint64) (uint64, error) {
 	if cells > maxCells {
 		return 0, fmt.Errorf("%w: %d > %d", ErrTooManyCells, cells, maxCells)
 	}
-	keys := make([]uint64, 0, cells)
+	// Enumerate cells in fixed-size chunks routed through the batch
+	// forward mapping: one IndexBatch per chunk instead of one interface
+	// call per cell, with a single flat coordinate buffer sized to the
+	// query.
+	chunk := 4096
+	if cells < uint64(chunk) {
+		chunk = int(cells)
+	}
+	d := r.Dims()
+	flat := make([]uint32, chunk*d)
+	pts := make([]geom.Point, chunk)
+	for i := range pts {
+		pts[i] = geom.Point(flat[i*d : (i+1)*d : (i+1)*d])
+	}
+	keys := make([]uint64, cells)
+	fill := 0
+	off := 0
 	r.ForEach(func(p geom.Point) bool {
-		keys = append(keys, c.Index(p))
+		copy(pts[fill], p)
+		fill++
+		if fill == chunk {
+			curve.IndexBatch(c, pts, keys[off:off+chunk])
+			off += chunk
+			fill = 0
+		}
 		return true
 	})
+	if fill > 0 {
+		curve.IndexBatch(c, pts[:fill], keys[off:off+fill])
+	}
 	slices.Sort(keys)
 	var runs uint64
 	for i, k := range keys {
@@ -184,27 +209,14 @@ func GammaTranslates(u geom.Universe, shape []uint32, alpha, beta geom.Point) ui
 //
 //	avg = (sum_e gamma(Q, e) + I(Q, pi_s) + I(Q, pi_e)) / (2 |Q|)
 //
-// The curve is walked once (n-1 edges); each edge contributes its
-// GammaTranslates value. Cost is O(n * d) time and O(d) space.
+// The curve's n-1 edges are swept in parallel across GOMAXPROCS workers,
+// each driving an incremental curve.Walker seeded at its shard boundary
+// (or, for curves exposing run structure via curve.RunVisitor, summing
+// whole straight runs in O(1) with per-axis prefix tables). All partial
+// sums are exact 128-bit integers, so the result is bit-identical to
+// AverageExactSerial and AverageExactScalar regardless of worker count.
 func AverageExact(c curve.Curve, shape []uint32) (float64, error) {
-	u := c.Universe()
-	count, err := TranslateCount(u, shape)
-	if err != nil {
-		return 0, err
-	}
-	n := u.Size()
-	prev := c.Coords(0, nil)
-	cur := make(geom.Point, u.Dims())
-	var gamma float64
-	for h := uint64(1); h < n; h++ {
-		c.Coords(h, cur)
-		gamma += float64(GammaTranslates(u, shape, prev, cur))
-		prev, cur = cur, prev
-	}
-	// prev now holds pi_e; recompute pi_s.
-	gamma += float64(CoverCount(u, shape, c.Coords(0, cur)))
-	gamma += float64(CoverCount(u, shape, c.Coords(n-1, cur)))
-	return gamma / (2 * float64(count)), nil
+	return averageExact(c, shape, defaultWorkers())
 }
 
 // TranslateCount returns |Q|, the number of distinct translates of the

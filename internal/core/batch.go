@@ -1,0 +1,48 @@
+package core
+
+// Batch fast paths for the onion curves: one validation + raw closed-form
+// mapping per cell, no interface dispatch, no allocation.
+
+import (
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// IndexBatch implements curve.IndexBatcher.
+func (o *Onion2D) IndexBatch(pts []geom.Point, dst []uint64) {
+	s := o.U.Side()
+	for i, p := range pts {
+		o.CheckPoint(p)
+		dst[i] = onionIndex2(s, p[0], p[1])
+	}
+}
+
+// CoordsBatch implements curve.CoordsBatcher.
+func (o *Onion2D) CoordsBatch(keys []uint64, dst []geom.Point) {
+	s := o.U.Side()
+	for i, h := range keys {
+		o.CheckIndex(h)
+		dst[i][0], dst[i][1] = onionCoords2(s, h)
+	}
+}
+
+// IndexBatch implements curve.IndexBatcher.
+func (o *Onion3D) IndexBatch(pts []geom.Point, dst []uint64) {
+	for i, p := range pts {
+		dst[i] = o.Index(p)
+	}
+}
+
+// CoordsBatch implements curve.CoordsBatcher.
+func (o *Onion3D) CoordsBatch(keys []uint64, dst []geom.Point) {
+	for i, h := range keys {
+		o.Coords(h, dst[i])
+	}
+}
+
+var (
+	_ curve.IndexBatcher  = (*Onion2D)(nil)
+	_ curve.CoordsBatcher = (*Onion2D)(nil)
+	_ curve.IndexBatcher  = (*Onion3D)(nil)
+	_ curve.CoordsBatcher = (*Onion3D)(nil)
+)

@@ -15,7 +15,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
@@ -130,29 +129,22 @@ func onionCoords2(s uint32, h uint64) (x, y uint32) {
 }
 
 // ringFromIndex2 returns the ring t with cellsBefore(t) <= h <
-// cellsBefore(t+1), solving the quadratic 4t(s-t) <= h with a float seed
-// and an exact integer fix-up.
+// cellsBefore(t+1), entirely in integer arithmetic: 4t(s-t) <= h is
+// equivalent to (s-2t)^2 >= s^2-h, so t follows from the ceiling square
+// root of s^2-h rounded up to the parity of s.
 func ringFromIndex2(s uint32, h uint64) uint32 {
-	fs := float64(s)
-	// Smaller root of 4t^2 - 4st + h = 0.
-	disc := fs*fs - float64(h)
-	if disc < 0 {
-		disc = 0
+	d := uint64(s)*uint64(s) - h // >= 1 because h < s^2
+	w := curve.Isqrt(d)
+	if w*w < d {
+		w++ // ceil(sqrt(d))
 	}
-	t := int64((fs - math.Sqrt(disc)) / 2)
-	maxT := int64((s - 1) / 2)
-	if t < 0 {
-		t = 0
+	if (uint64(s)-w)&1 == 1 {
+		w++ // ring sides share the parity of s
 	}
+	t := (uint64(s) - w) / 2
+	maxT := uint64(s-1) / 2
 	if t > maxT {
 		t = maxT
-	}
-	// Float error is tiny but fix up exactly.
-	for t > 0 && cellsBeforeRing2(s, uint32(t)) > h {
-		t--
-	}
-	for t < maxT && cellsBeforeRing2(s, uint32(t+1)) <= h {
-		t++
 	}
 	return uint32(t)
 }

@@ -91,9 +91,39 @@ func (o *Onion3D) layerOf(p geom.Point) uint32 {
 // cube minus the sub-cube of side w = s-2(t-1), equal to the paper's
 // K1(t) = 24 m^2 (t-1) - 24 m (t-1)^2 + 8 (t-1)^3.
 func (o *Onion3D) k1(t uint32) uint64 {
-	s := uint64(o.U.Side())
-	w := s - 2*uint64(t-1)
-	return s*s*s - w*w*w
+	return cellsBeforeLayer3(o.U.Side(), t)
+}
+
+// cellsBeforeLayer3 is k1 as a free function on an s-side cube.
+func cellsBeforeLayer3(s, t uint32) uint64 {
+	s64 := uint64(s)
+	w := s64 - 2*uint64(t-1)
+	return s64*s64*s64 - w*w*w
+}
+
+// layerFromIndex3 returns the 1-based layer t with k1(t) <= h < k1(t+1),
+// entirely in integer arithmetic: k1(t) <= h is equivalent to
+// (s-2(t-1))^3 >= s^3-h, so t follows from the ceiling cube root of s^3-h
+// rounded up to the parity of s (the side is even, so every layer cube side
+// is even too). m is the layer count s/2.
+func layerFromIndex3(s, m uint32, h uint64) uint32 {
+	s64 := uint64(s)
+	d := s64*s64*s64 - h // >= 1 because h < s^3
+	w := curve.Icbrt(d)
+	if w*w*w < d {
+		w++ // ceil(cbrt(d))
+	}
+	if (s64-w)&1 == 1 {
+		w++ // layer cube sides share the parity of s
+	}
+	t := (s64-w)/2 + 1
+	if t < 1 {
+		t = 1
+	}
+	if t > uint64(m) {
+		t = uint64(m)
+	}
+	return uint32(t)
 }
 
 // Segment sizes within a layer of cube side w (w >= 2):
@@ -165,18 +195,8 @@ func segmentOf(w, li, lj, lk uint32) (int, uint64) {
 func (o *Onion3D) Coords(h uint64, dst geom.Point) geom.Point {
 	o.CheckIndex(h)
 	p := curve.Dst(dst, 3)
-	// Binary search the 1-based layer t with k1(t) <= h < k1(t+1).
-	loT, hiT := uint32(1), o.m
-	for loT < hiT {
-		mid := (loT + hiT + 1) / 2
-		if o.k1(mid) <= h {
-			loT = mid
-		} else {
-			hiT = mid - 1
-		}
-	}
-	t := loT
 	s := o.U.Side()
+	t := layerFromIndex3(s, o.m, h)
 	lo := t - 1
 	w := s - 2*(t-1)
 	r := h - o.k1(t)

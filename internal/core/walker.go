@@ -1,0 +1,617 @@
+package core
+
+// Incremental walkers for the onion-family curves. The scalar Coords path
+// re-solves the ring quadratic (2D), the layer cubic (3D) or a layer binary
+// search (ND, LayerLex) for every key; the walkers carry the decoded
+// ring/segment/layer state across steps so a whole-curve sweep costs
+// amortized O(1) per cell after an O(1) (2D/3D) or O(log s) (ND) seek.
+
+import (
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// square2 steps through the 2D onion order of an s x s square, tracking the
+// current ring and the position within it. It is the engine of the Onion2D
+// walker and of the square segments (S1/S2, S4/S7, S9/S10) of the 3D
+// walker. Callers must not step past the last cell of the square.
+type square2 struct {
+	s    uint32 // square side
+	t    uint32 // current ring
+	jm   uint64 // ring side minus one (0 for a 1x1 center)
+	r    uint64 // position within the ring
+	a, b uint32 // current cell, absolute within the square
+}
+
+// seek positions the stepper at overall 2D onion index h of side s.
+func (q *square2) seek(s uint32, h uint64) {
+	t := ringFromIndex2(s, h)
+	q.s = s
+	q.t = t
+	q.jm = uint64(s-2*t) - 1
+	q.r = h - cellsBeforeRing2(s, t)
+	q.setFromR()
+}
+
+// setFromR derives the cell from the within-ring position (the five-case
+// formula of onionCoords2, with the ring already known).
+func (q *square2) setFromR() {
+	t, jm, r := q.t, q.jm, q.r
+	switch {
+	case r <= jm:
+		q.a, q.b = t+uint32(r), t
+	case r <= 2*jm:
+		q.a, q.b = t+uint32(jm), t+uint32(r-jm)
+	case r <= 3*jm:
+		q.a, q.b = t+uint32(3*jm-r), t+uint32(jm)
+	default:
+		q.a, q.b = t, t+uint32(4*jm-r)
+	}
+}
+
+// step advances one cell along the square's onion order.
+func (q *square2) step() {
+	q.r++
+	if q.jm == 0 || q.r == 4*q.jm {
+		// Ring exhausted: move inward. The caller guarantees the inner
+		// ring exists (the stepper is never advanced past the last cell).
+		q.t++
+		q.jm = uint64(q.s-2*q.t) - 1
+		q.r = 0
+		q.a, q.b = q.t, q.t
+		return
+	}
+	q.setFromR()
+}
+
+// onion2Walker is the incremental Walker of the 2D onion curve.
+type onion2Walker struct {
+	h, n uint64
+	sq   square2
+	p    geom.Point
+}
+
+// Walk implements curve.WalkerProvider.
+func (o *Onion2D) Walk(start uint64) curve.Walker {
+	n := o.U.Size()
+	if start > n {
+		o.CheckIndex(start) // panics with the standard message
+	}
+	w := &onion2Walker{h: start, n: n, p: make(geom.Point, 2)}
+	if start < n {
+		w.sq.seek(o.U.Side(), start)
+	}
+	return w
+}
+
+func (w *onion2Walker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	w.p[0], w.p[1] = w.sq.a, w.sq.b
+	h := w.h
+	w.h++
+	if w.h < w.n {
+		w.sq.step()
+	}
+	return h, w.p, true
+}
+
+// VisitRuns implements curve.RunVisitor: every ring contributes four
+// straight runs plus a one-edge inward transition, so the whole curve is
+// O(s) runs and has no irregular edges (the 2D onion curve is continuous).
+func (o *Onion2D) VisitRuns(lo, hi uint64, run func(start geom.Point, dim, dir int, edges uint64), edge func(a, b geom.Point)) {
+	_ = edge // continuous: no irregular edges
+	s := o.U.Side()
+	n := o.U.Size()
+	if hi >= n {
+		hi = n - 1
+	}
+	p := make(geom.Point, 2)
+	h := lo
+	for h < hi {
+		t := ringFromIndex2(s, h)
+		base := cellsBeforeRing2(s, t)
+		j := uint64(s - 2*t)
+		if j <= 1 {
+			break // 1x1 center: no outgoing edges
+		}
+		jm := j - 1
+		end := base + 4*jm // exclusive bound of this ring's edge keys
+		if end > hi {
+			end = hi
+		}
+		tj := t + uint32(jm)
+		// Runs in within-ring edge space [0, 4jm): the four sides, then
+		// the single inward transition edge (t,t+1) -> (t+1,t+1). For the
+		// innermost even ring the transition edge does not exist, but
+		// there hi <= n-1 already excludes it.
+		segs := [5]struct {
+			k0, len  uint64
+			dim, dir int
+			x, y     uint32
+		}{
+			{0, jm, 0, +1, t, t},
+			{jm, jm, 1, +1, tj, t},
+			{2 * jm, jm, 0, -1, tj, tj},
+			{3 * jm, jm - 1, 1, -1, t, tj},
+			{4*jm - 1, 1, 0, +1, t, t + 1},
+		}
+		for _, sg := range segs {
+			a := base + sg.k0
+			b := a + sg.len
+			if a < h {
+				a = h
+			}
+			if b > end {
+				b = end
+			}
+			if a >= b {
+				continue
+			}
+			off := uint32(a - (base + sg.k0))
+			x, y := sg.x, sg.y
+			if sg.dim == 0 {
+				if sg.dir > 0 {
+					x += off
+				} else {
+					x -= off
+				}
+			} else {
+				if sg.dir > 0 {
+					y += off
+				} else {
+					y -= off
+				}
+			}
+			p[0], p[1] = x, y
+			run(p, sg.dim, sg.dir, b-a)
+		}
+		h = end
+	}
+}
+
+// onion3Walker steps the 3D onion curve: layer by layer, segment by
+// segment in the curve's permutation order, with a square2 stepping the 2D
+// onion sub-squares.
+type onion3Walker struct {
+	o          *Onion3D
+	h, n       uint64
+	t0         uint32 // 0-based layer
+	w          uint32 // layer cube side
+	pos        int    // index into the segment permutation
+	g          int    // current segment id (1..10)
+	r, sz      uint64 // position within and size of the segment
+	sq         square2
+	li, lj, lk uint32 // current cell, local to the layer cube
+	p          geom.Point
+}
+
+// Walk implements curve.WalkerProvider.
+func (o *Onion3D) Walk(start uint64) curve.Walker {
+	n := o.U.Size()
+	if start > n {
+		o.CheckIndex(start)
+	}
+	w := &onion3Walker{o: o, h: start, n: n, p: make(geom.Point, 3)}
+	if start < n {
+		w.seek(start)
+	}
+	return w
+}
+
+func (w *onion3Walker) seek(h uint64) {
+	s := w.o.U.Side()
+	t := layerFromIndex3(s, w.o.m, h) // 1-based
+	w.t0 = t - 1
+	w.w = s - 2*w.t0
+	r := h - cellsBeforeLayer3(s, t)
+	for pos := 0; pos < 10; pos++ {
+		g := w.o.perm[pos]
+		sz := segSize(g, w.w)
+		if r < sz {
+			w.pos, w.g, w.sz, w.r = pos, g, sz, r
+			w.setSegCell()
+			return
+		}
+		r -= sz
+	}
+}
+
+// setSegCell derives the local cell from the current segment and the
+// within-segment position w.r (the inverse conventions of segmentCoords).
+func (w *onion3Walker) setSegCell() {
+	switch w.g {
+	case 1, 2:
+		w.sq.seek(w.w, w.r)
+		w.li = 0
+		if w.g == 2 {
+			w.li = w.w - 1
+		}
+		w.lj, w.lk = w.sq.a, w.sq.b
+	case 3:
+		w.li, w.lj, w.lk = uint32(w.r)+1, 0, 0
+	case 5:
+		w.li, w.lj, w.lk = uint32(w.r)+1, 0, w.w-1
+	case 6:
+		w.li, w.lj, w.lk = uint32(w.r)+1, w.w-1, 0
+	case 8:
+		w.li, w.lj, w.lk = uint32(w.r)+1, w.w-1, w.w-1
+	case 4, 7:
+		w.sq.seek(w.w-2, w.r)
+		w.lj = 0
+		if w.g == 7 {
+			w.lj = w.w - 1
+		}
+		w.li, w.lk = w.sq.a+1, w.sq.b+1
+	default: // 9, 10
+		w.sq.seek(w.w-2, w.r)
+		w.lk = 0
+		if w.g == 10 {
+			w.lk = w.w - 1
+		}
+		w.li, w.lj = w.sq.a+1, w.sq.b+1
+	}
+}
+
+func (w *onion3Walker) advance() {
+	w.r++
+	if w.r < w.sz {
+		switch w.g {
+		case 1, 2:
+			w.sq.step()
+			w.lj, w.lk = w.sq.a, w.sq.b
+		case 4, 7:
+			w.sq.step()
+			w.li, w.lk = w.sq.a+1, w.sq.b+1
+		case 9, 10:
+			w.sq.step()
+			w.li, w.lj = w.sq.a+1, w.sq.b+1
+		default: // 3, 5, 6, 8: a line along the first axis
+			w.li++
+		}
+		return
+	}
+	// Segment exhausted: next non-empty segment, possibly next layer. The
+	// caller guarantees another cell exists (h < n).
+	w.pos++
+	for {
+		if w.pos == 10 {
+			w.t0++
+			w.w -= 2
+			w.pos = 0
+		}
+		g := w.o.perm[w.pos]
+		sz := segSize(g, w.w)
+		if sz > 0 {
+			w.g, w.sz, w.r = g, sz, 0
+			break
+		}
+		w.pos++
+	}
+	w.setSegCell()
+}
+
+func (w *onion3Walker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	w.p[0], w.p[1], w.p[2] = w.li+w.t0, w.lj+w.t0, w.lk+w.t0
+	h := w.h
+	w.h++
+	if w.h < w.n {
+		w.advance()
+	}
+	return h, w.p, true
+}
+
+// ndCube and ndShell form the incremental walker of the d-dimensional
+// onion order: a cube iterates its layers, each layer being a shell; a
+// shell iterates its two full faces (each a (d-1)-cube in onion order) and
+// then its tube slice by slice (each a (d-1)-shell). One cube and one
+// shell object exist per dimensionality and are shared across the
+// recursion — at most one walker per level is active at any time.
+type ndCube struct {
+	d      int
+	y      []uint32 // the trailing d coordinates of the full cell
+	w, off uint32
+	t      uint32 // current layer
+	ws     uint32 // current shell side, w - 2t
+	shell  *ndShell
+}
+
+type ndShell struct {
+	d      int
+	y      []uint32
+	w, off uint32
+	phase  int    // 0: low face, 1: high face, 2: tube
+	ly     uint32 // tube slice, local in [1, w-2]
+	face   *ndCube
+	tube   *ndShell
+}
+
+// newNDCubeWalker wires the per-level cube/shell pairs over a shared
+// coordinate buffer and returns the top-level cube.
+func newNDCubeWalker(d int) *ndCube {
+	y := make([]uint32, d)
+	var prevCube *ndCube
+	var prevShell *ndShell
+	for dims := 1; dims <= d; dims++ {
+		sub := y[d-dims:]
+		sh := &ndShell{d: dims, y: sub, face: prevCube, tube: prevShell}
+		cu := &ndCube{d: dims, y: sub, shell: sh}
+		prevCube, prevShell = cu, sh
+	}
+	return prevCube
+}
+
+// reset positions the cube walker at the first cell of the cube of side w
+// at offset off (filling y).
+func (c *ndCube) reset(w, off uint32) {
+	c.w, c.off = w, off
+	c.t, c.ws = 0, w
+	c.shell.reset(w, off)
+}
+
+// next advances one cell; false once the cube is exhausted.
+func (c *ndCube) next() bool {
+	if c.shell.next() {
+		return true
+	}
+	if c.ws <= 2 {
+		return false
+	}
+	c.t++
+	c.ws -= 2
+	c.shell.reset(c.ws, c.off+c.t)
+	return true
+}
+
+// seek positions the cube walker at cube-order index h.
+func (c *ndCube) seek(w, off uint32, h uint64) {
+	c.w, c.off = w, off
+	total := powU(w, c.d)
+	loT, hiT := uint32(0), (w-1)/2
+	for loT < hiT {
+		mid := (loT + hiT + 1) / 2
+		if total-powU(w-2*mid, c.d) <= h {
+			loT = mid
+		} else {
+			hiT = mid - 1
+		}
+	}
+	c.t = loT
+	c.ws = w - 2*c.t
+	c.shell.seek(c.ws, off+c.t, h-(total-powU(c.ws, c.d)))
+}
+
+func (s *ndShell) reset(w, off uint32) {
+	s.w, s.off = w, off
+	s.phase = 0
+	if s.d == 1 {
+		s.y[0] = off
+		return
+	}
+	if w == 1 {
+		for i := range s.y {
+			s.y[i] = off
+		}
+		return
+	}
+	s.y[0] = off
+	s.face.reset(w, off)
+}
+
+func (s *ndShell) next() bool {
+	if s.d == 1 {
+		if s.w > 1 && s.phase == 0 {
+			s.phase = 1
+			s.y[0] = s.off + s.w - 1
+			return true
+		}
+		return false
+	}
+	if s.w == 1 {
+		return false
+	}
+	switch s.phase {
+	case 0:
+		if s.face.next() {
+			return true
+		}
+		s.phase = 1
+		s.y[0] = s.off + s.w - 1
+		s.face.reset(s.w, s.off)
+		return true
+	case 1:
+		if s.face.next() {
+			return true
+		}
+		if s.w <= 2 {
+			return false
+		}
+		s.phase = 2
+		s.ly = 1
+		s.y[0] = s.off + 1
+		s.tube.reset(s.w, s.off)
+		return true
+	default:
+		if s.tube.next() {
+			return true
+		}
+		if s.ly+1 > s.w-2 {
+			return false
+		}
+		s.ly++
+		s.y[0] = s.off + s.ly
+		s.tube.reset(s.w, s.off)
+		return true
+	}
+}
+
+func (s *ndShell) seek(w, off uint32, h uint64) {
+	s.w, s.off = w, off
+	if s.d == 1 {
+		if h == 0 {
+			s.phase = 0
+			s.y[0] = off
+		} else {
+			s.phase = 1
+			s.y[0] = off + w - 1
+		}
+		return
+	}
+	if w == 1 {
+		s.phase = 0
+		for i := range s.y {
+			s.y[i] = off
+		}
+		return
+	}
+	face := powU(w, s.d-1)
+	switch {
+	case h < face:
+		s.phase = 0
+		s.y[0] = off
+		s.face.seek(w, off, h)
+	case h < 2*face:
+		s.phase = 1
+		s.y[0] = off + w - 1
+		s.face.seek(w, off, h-face)
+	default:
+		h -= 2 * face
+		sc := shellCountND(s.d-1, w)
+		s.phase = 2
+		s.ly = 1 + uint32(h/sc)
+		s.y[0] = off + s.ly
+		s.tube.seek(w, off, h%sc)
+	}
+}
+
+// onionNDWalker adapts the cube walker to the Walker interface.
+type onionNDWalker struct {
+	h, n    uint64
+	started bool
+	cube    *ndCube
+}
+
+// Walk implements curve.WalkerProvider.
+func (o *OnionND) Walk(start uint64) curve.Walker {
+	n := o.U.Size()
+	if start > n {
+		o.CheckIndex(start)
+	}
+	w := &onionNDWalker{h: start, n: n, cube: newNDCubeWalker(o.U.Dims())}
+	if start < n {
+		w.cube.seek(o.U.Side(), 0, start)
+	}
+	return w
+}
+
+func (w *onionNDWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	if w.started {
+		w.cube.next()
+	} else {
+		w.started = true
+	}
+	h := w.h
+	w.h++
+	return h, geom.Point(w.cube.y), true
+}
+
+// layerLexWalker steps the layer-lexicographic curve: a row-major odometer
+// over the current layer cube that skips the open interior in O(1) per row.
+type layerLexWalker struct {
+	h, n           uint64
+	started        bool
+	s              uint32
+	d              int
+	t, w           uint32
+	p              geom.Point
+	othersInterior bool // all coordinates above dim 0 strictly inside the layer
+}
+
+// Walk implements curve.WalkerProvider.
+func (l *LayerLex) Walk(start uint64) curve.Walker {
+	n := l.U.Size()
+	if start > n {
+		l.CheckIndex(start)
+	}
+	w := &layerLexWalker{h: start, n: n, s: l.U.Side(), d: l.U.Dims(), p: make(geom.Point, l.U.Dims())}
+	if start < n {
+		l.Coords(start, w.p)
+		w.t = layerND(w.s, w.p, 0)
+		w.w = w.s - 2*w.t
+		w.recomputeInterior()
+	}
+	return w
+}
+
+func (w *layerLexWalker) recomputeInterior() {
+	hiC := w.t + w.w - 1
+	oi := true
+	for i := 1; i < w.d; i++ {
+		if w.p[i] <= w.t || w.p[i] >= hiC {
+			oi = false
+			break
+		}
+	}
+	w.othersInterior = oi
+}
+
+func (w *layerLexWalker) advance() {
+	hiC := w.t + w.w - 1
+	if w.p[0] < hiC {
+		w.p[0]++
+		if w.othersInterior && w.p[0] != hiC {
+			// The rest of the row is interior; hop to its far shell cell.
+			w.p[0] = hiC
+		}
+		return
+	}
+	w.p[0] = w.t
+	i := 1
+	for ; i < w.d; i++ {
+		if w.p[i] < hiC {
+			w.p[i]++
+			break
+		}
+		w.p[i] = w.t
+	}
+	if i == w.d {
+		// Layer exhausted; the caller guarantees a next layer exists.
+		w.t++
+		w.w -= 2
+		for j := range w.p {
+			w.p[j] = w.t
+		}
+		w.othersInterior = w.d == 1
+		return
+	}
+	w.recomputeInterior()
+}
+
+func (w *layerLexWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	if w.started {
+		w.advance()
+	} else {
+		w.started = true
+	}
+	h := w.h
+	w.h++
+	return h, w.p, true
+}
+
+var (
+	_ curve.WalkerProvider = (*Onion2D)(nil)
+	_ curve.WalkerProvider = (*Onion3D)(nil)
+	_ curve.WalkerProvider = (*OnionND)(nil)
+	_ curve.WalkerProvider = (*LayerLex)(nil)
+	_ curve.RunVisitor     = (*Onion2D)(nil)
+)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+)
+
+// onionFamily builds one instance of every onion-family curve for the test
+// sweeps, covering odd and even sides and the 3D even-side constraint.
+func onionFamily(t *testing.T) []curve.Curve {
+	t.Helper()
+	var cs []curve.Curve
+	for _, side := range []uint32{1, 2, 3, 4, 5, 7, 8, 16, 17, 33} {
+		o, err := NewOnion2D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, o)
+	}
+	for _, side := range []uint32{2, 4, 6, 8, 10, 16} {
+		o, err := NewOnion3D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, o)
+	}
+	perm, err := NewOnion3DWithSegmentOrder(8, [10]int{2, 9, 4, 3, 10, 5, 1, 6, 8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = append(cs, perm)
+	for _, tc := range []struct {
+		dims int
+		side uint32
+	}{{1, 1}, {1, 6}, {2, 5}, {2, 8}, {3, 3}, {3, 6}, {4, 5}, {5, 3}} {
+		o, err := NewOnionND(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, o)
+		l, err := NewLayerLex(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, l)
+	}
+	return cs
+}
+
+func TestWalkerMatchesScalar(t *testing.T) {
+	for _, c := range onionFamily(t) {
+		curvetest.CheckWalker(t, c)
+	}
+}
+
+func TestWalkerSeeded(t *testing.T) {
+	for _, c := range onionFamily(t) {
+		curvetest.CheckWalkerSeeded(t, c, 50, 64, 42)
+	}
+	// Large universes: seeded windows only.
+	big2, err := NewOnion2D(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, big2, 100, 128, 7)
+	big3, err := NewOnion3D(1 << 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, big3, 100, 128, 8)
+	bigND, err := NewOnionND(4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, bigND, 50, 128, 9)
+	bigLex, err := NewLayerLex(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curvetest.CheckWalkerSeeded(t, bigLex, 50, 128, 10)
+}
+
+func TestBatchMatchesScalar(t *testing.T) {
+	for _, c := range onionFamily(t) {
+		curvetest.CheckBatch(t, c, 200, 11)
+	}
+}
+
+func TestOnion2DRuns(t *testing.T) {
+	for _, side := range []uint32{2, 3, 4, 5, 8, 17, 32} {
+		o, err := NewOnion2D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curvetest.CheckRuns(t, o, int64(side))
+	}
+}
+
+func TestWalkerStartBeyondSizePanics(t *testing.T) {
+	o, err := NewOnion2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Walk(Size()+1) did not panic")
+		}
+	}()
+	curve.NewWalker(o, o.Universe().Size()+1)
+}

@@ -1,0 +1,74 @@
+package curve
+
+import "github.com/onioncurve/onion/internal/geom"
+
+// Batch evaluation of the curve mappings. The batch entry points amortize
+// interface dispatch and validation over many cells and allocate nothing
+// when the caller supplies correctly sized destinations, which is what the
+// bulk loaders, sorters and clustering counters need on their hot paths.
+
+// IndexBatcher is implemented by curves with a specialized batch forward
+// mapping. IndexBatch must behave exactly like len(pts) scalar Index calls
+// (including panicking on invalid points) and must not allocate.
+type IndexBatcher interface {
+	IndexBatch(pts []geom.Point, dst []uint64)
+}
+
+// CoordsBatcher is the inverse-direction analogue of IndexBatcher. Each
+// dst[i] is guaranteed to have the universe's dimensionality.
+type CoordsBatcher interface {
+	CoordsBatch(keys []uint64, dst []geom.Point)
+}
+
+// IndexBatch maps pts[i] to dst[i] = c.Index(pts[i]) for all i. If dst has
+// length len(pts) it is filled in place and no allocation occurs; otherwise
+// a fresh slice is returned. Curves implementing IndexBatcher supply a
+// fast path; the fallback performs scalar calls.
+func IndexBatch(c Curve, pts []geom.Point, dst []uint64) []uint64 {
+	if len(dst) != len(pts) {
+		dst = make([]uint64, len(pts))
+	}
+	if b, ok := c.(IndexBatcher); ok {
+		b.IndexBatch(pts, dst)
+		return dst
+	}
+	for i, p := range pts {
+		dst[i] = c.Index(p)
+	}
+	return dst
+}
+
+// CoordsBatch maps keys[i] to dst[i] = c.Coords(keys[i], ...) for all i.
+// dst elements of the right dimensionality are filled in place; a dst of
+// the right length with correctly sized points incurs zero allocations.
+// Missing or misshapen entries are replaced, backed by a single flat
+// allocation.
+func CoordsBatch(c Curve, keys []uint64, dst []geom.Point) []geom.Point {
+	dims := c.Universe().Dims()
+	if len(dst) != len(keys) {
+		dst = make([]geom.Point, len(keys))
+	}
+	missing := 0
+	for i := range dst {
+		if len(dst[i]) != dims {
+			missing++
+		}
+	}
+	if missing > 0 {
+		flat := make([]uint32, missing*dims)
+		for i := range dst {
+			if len(dst[i]) != dims {
+				dst[i] = geom.Point(flat[:dims:dims])
+				flat = flat[dims:]
+			}
+		}
+	}
+	if b, ok := c.(CoordsBatcher); ok {
+		b.CoordsBatch(keys, dst)
+		return dst
+	}
+	for i, h := range keys {
+		dst[i] = c.Coords(h, dst[i])
+	}
+	return dst
+}

@@ -1,9 +1,13 @@
 package curve
 
-// Bit-interleaving (Morton) and Gray code primitives. These are the building
-// blocks of the Z curve, the Gray-code curve and the Hilbert curve key
-// packing. All routines operate on "order" bits per dimension and "dims"
-// dimensions; the produced keys use order*dims low bits.
+// Bit-interleaving (Morton) and Gray code primitives, plus exact integer
+// root helpers. These are the building blocks of the Z curve, the Gray-code
+// curve and the Hilbert curve key packing, and of the onion curves' exact
+// ring/layer inversion. All bit routines operate on "order" bits per
+// dimension and "dims" dimensions; the produced keys use order*dims low
+// bits.
+
+import "math/bits"
 
 // Interleave packs the low `order` bits of each coordinate into a Morton
 // key. Bit j of dimension i lands at key bit j*dims + i, so dimension 0 is
@@ -99,6 +103,59 @@ func compact3(v uint64) uint64 {
 	v = (v | v>>16) & 0x1f00000000ffff
 	v = (v | v>>32) & 0x1fffff
 	return v
+}
+
+// Isqrt returns floor(sqrt(x)) computed entirely in integer arithmetic
+// (a Newton iteration seeded from the bit length), so curve inversions that
+// solve quadratics need no floating point and no fix-up loops.
+func Isqrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << uint((bits.Len64(x)+1)/2) // r >= sqrt(x)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			break
+		}
+		r = nr
+	}
+	// Newton from above lands on floor(sqrt(x)) exactly, but keep the
+	// invariant explicit: r*r <= x < (r+1)*(r+1).
+	for r*r > x {
+		r--
+	}
+	// (r+1)^2 cannot overflow below 2^32-1, and floor(sqrt(x)) <= 2^32-1
+	// for every uint64 x, so the guard never blocks a needed increment.
+	for r+1 <= 0xFFFFFFFF && (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}
+
+// Icbrt returns floor(cbrt(x)), the cubic analogue of Isqrt used by the 3D
+// onion curve's layer inversion.
+func Icbrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << uint((bits.Len64(x)+2)/3) // r >= cbrt(x)
+	for {
+		nr := (2*r + x/(r*r)) / 3
+		if nr >= r {
+			break
+		}
+		r = nr
+	}
+	for r*r*r > x {
+		r--
+	}
+	// floor(cbrt(2^64-1)) = 2642245; the guard keeps (r+1)^3 in range.
+	const maxCbrt = 2642245
+	for r+1 <= maxCbrt && (r+1)*(r+1)*(r+1) <= x {
+		r++
+	}
+	return r
 }
 
 // Gray returns the binary-reflected Gray code of v.

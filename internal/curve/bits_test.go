@@ -123,3 +123,39 @@ func TestPowerOfTwoOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestIsqrtExact(t *testing.T) {
+	for x := uint64(0); x < 1<<16; x++ {
+		r := Isqrt(x)
+		if r*r > x || (r+1)*(r+1) <= x {
+			t.Fatalf("Isqrt(%d) = %d", x, r)
+		}
+	}
+	for _, x := range []uint64{1 << 62, 1<<62 - 1, 1<<62 + 1, (1 << 31) * (1 << 31), (1<<31-1)*(1<<31-1) + 1, ^uint64(0)} {
+		r := Isqrt(x)
+		if r*r > x {
+			t.Fatalf("Isqrt(%d) = %d: square exceeds x", x, r)
+		}
+		if r+1 <= 0xFFFFFFFF && (r+1)*(r+1) <= x {
+			t.Fatalf("Isqrt(%d) = %d: not maximal", x, r)
+		}
+	}
+}
+
+func TestIcbrtExact(t *testing.T) {
+	for x := uint64(0); x < 1<<16; x++ {
+		r := Icbrt(x)
+		if r*r*r > x || (r+1)*(r+1)*(r+1) <= x {
+			t.Fatalf("Icbrt(%d) = %d", x, r)
+		}
+	}
+	for _, x := range []uint64{1 << 62, 1<<62 - 1, 1<<62 + 1, 1 << 63, ^uint64(0), 2642245 * 2642245 * 2642245} {
+		r := Icbrt(x)
+		if r*r*r > x {
+			t.Fatalf("Icbrt(%d) = %d: cube exceeds x", x, r)
+		}
+		if r+1 <= 2642245 && (r+1)*(r+1)*(r+1) <= x {
+			t.Fatalf("Icbrt(%d) = %d: not maximal", x, r)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package curve
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// Walker enumerates the cells of a curve in increasing key order. Where a
+// scalar Coords call must re-solve the curve's inverse mapping from scratch
+// (ring quadratics, layer searches, bit transforms), a Walker carries the
+// decoded position across steps, so whole-curve sweeps — the paper's
+// Figure 5 clustering averages walk every edge of a 10^8-cell universe —
+// pay amortized O(1) (onion family, Morton, Gray, linear orders) or one
+// bit-transform (Hilbert) per step instead of a full inversion.
+type Walker interface {
+	// Next returns the key and cell of the current position and advances.
+	// ok is false once the curve is exhausted. The returned Point is
+	// reused by subsequent calls; clone it if it must be retained.
+	Next() (h uint64, p geom.Point, ok bool)
+}
+
+// WalkerProvider is implemented by curves with a specialized incremental
+// walker. Walk returns a Walker positioned at key start (start == Size()
+// yields an exhausted walker; start > Size() panics).
+type WalkerProvider interface {
+	Walk(start uint64) Walker
+}
+
+// NewWalker returns a Walker over c seeded at key start. Curves
+// implementing WalkerProvider supply an incremental implementation; any
+// other curve gets a generic fallback that evaluates Coords once per step.
+func NewWalker(c Curve, start uint64) Walker {
+	n := c.Universe().Size()
+	if start > n {
+		panic(fmt.Sprintf("curve %s: walker start %d beyond universe %v", c.Name(), start, c.Universe()))
+	}
+	if wp, ok := c.(WalkerProvider); ok {
+		return wp.Walk(start)
+	}
+	return &coordsWalker{c: c, h: start, n: n, p: make(geom.Point, c.Universe().Dims())}
+}
+
+// coordsWalker is the generic fallback: one scalar Coords call per step.
+type coordsWalker struct {
+	c    Curve
+	h, n uint64
+	p    geom.Point
+}
+
+func (w *coordsWalker) Next() (uint64, geom.Point, bool) {
+	if w.h >= w.n {
+		return 0, nil, false
+	}
+	h := w.h
+	w.h++
+	return h, w.c.Coords(h, w.p), true
+}
+
+// RunVisitor is implemented by curves whose edge structure decomposes into
+// axis-aligned straight runs (the onion rings, the rows of the linear
+// orders). It lets whole-curve analytics such as the exact average
+// clustering sweep process an entire run in O(1) via per-axis prefix sums
+// instead of visiting its edges one by one.
+type RunVisitor interface {
+	// VisitRuns enumerates the curve edges (h, h+1) for h in [lo, hi), in
+	// curve order, as a mix of straight runs and irregular edges:
+	//
+	//   - run(start, dim, dir, edges) reports `edges` consecutive curve
+	//     edges that each move the cell by dir (+1 or -1) along dimension
+	//     dim, beginning at cell start. edges >= 1.
+	//   - edge(a, b) reports a single curve edge from cell a to cell b
+	//     that is not part of a straight run (a discontinuous jump or a
+	//     direction change handled cell-wise).
+	//
+	// Points passed to the callbacks are reused; callers must not retain
+	// them. hi must not exceed Size()-1.
+	VisitRuns(lo, hi uint64, run func(start geom.Point, dim, dir int, edges uint64), edge func(a, b geom.Point))
+}

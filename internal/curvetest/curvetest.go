@@ -130,6 +130,173 @@ func AreNeighbors(a, b geom.Point) bool {
 	return diff == 1
 }
 
+// CheckWalker verifies a full walk from key 0 against the scalar Coords
+// mapping: every key in order, every cell identical, exhaustion exactly at
+// Size(). Intended for universes up to ~10^6 cells.
+func CheckWalker(t *testing.T, c curve.Curve) {
+	t.Helper()
+	u := c.Universe()
+	n := u.Size()
+	if n > 1<<21 {
+		t.Fatalf("universe %v too large for exhaustive walker check", u)
+	}
+	w := curve.NewWalker(c, 0)
+	want := make(geom.Point, u.Dims())
+	for h := uint64(0); h < n; h++ {
+		gh, p, ok := w.Next()
+		if !ok {
+			t.Fatalf("%s: walker exhausted at %d of %d", c.Name(), h, n)
+		}
+		if gh != h {
+			t.Fatalf("%s: walker key %d, want %d", c.Name(), gh, h)
+		}
+		c.Coords(h, want)
+		if !p.Equal(want) {
+			t.Fatalf("%s: walker cell at %d = %v, want %v", c.Name(), h, p, want)
+		}
+	}
+	if _, _, ok := w.Next(); ok {
+		t.Fatalf("%s: walker did not exhaust after %d cells", c.Name(), n)
+	}
+}
+
+// CheckWalkerSeeded verifies walkers seeded at random keys: each must
+// reproduce the scalar mapping for a window of steps and exhaust exactly
+// at the end of the curve. A walker seeded at Size() must be empty.
+func CheckWalkerSeeded(t *testing.T, c curve.Curve, samples, window int, seed int64) {
+	t.Helper()
+	u := c.Universe()
+	n := u.Size()
+	rng := rand.New(rand.NewSource(seed))
+	want := make(geom.Point, u.Dims())
+	for i := 0; i < samples; i++ {
+		start := uint64(rng.Int63n(int64(n)))
+		w := curve.NewWalker(c, start)
+		for k := 0; k < window; k++ {
+			h := start + uint64(k)
+			gh, p, ok := w.Next()
+			if h >= n {
+				if ok {
+					t.Fatalf("%s: walker from %d returned key %d beyond size %d", c.Name(), start, gh, n)
+				}
+				break
+			}
+			if !ok || gh != h {
+				t.Fatalf("%s: walker from %d: step %d gave (%d,%v), want key %d", c.Name(), start, k, gh, ok, h)
+			}
+			c.Coords(h, want)
+			if !p.Equal(want) {
+				t.Fatalf("%s: walker from %d: cell at %d = %v, want %v", c.Name(), start, h, p, want)
+			}
+		}
+	}
+	if _, _, ok := curve.NewWalker(c, n).Next(); ok {
+		t.Fatalf("%s: walker seeded at Size() is not empty", c.Name())
+	}
+}
+
+// CheckBatch cross-validates IndexBatch and CoordsBatch against the scalar
+// mappings on random keys, and verifies that correctly sized destinations
+// are reused rather than reallocated.
+func CheckBatch(t *testing.T, c curve.Curve, samples int, seed int64) {
+	t.Helper()
+	u := c.Universe()
+	n := u.Size()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, samples)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(int64(n)))
+	}
+	pts := curve.CoordsBatch(c, keys, nil)
+	want := make(geom.Point, u.Dims())
+	for i, h := range keys {
+		c.Coords(h, want)
+		if !pts[i].Equal(want) {
+			t.Fatalf("%s: CoordsBatch[%d] = %v, want %v (h=%d)", c.Name(), i, pts[i], want, h)
+		}
+	}
+	back := curve.IndexBatch(c, pts, nil)
+	for i := range keys {
+		if back[i] != keys[i] {
+			t.Fatalf("%s: IndexBatch(CoordsBatch(%d)) = %d", c.Name(), keys[i], back[i])
+		}
+	}
+	// Right-sized destinations must be filled in place.
+	if got := curve.IndexBatch(c, pts, back); &got[0] != &back[0] {
+		t.Fatalf("%s: IndexBatch reallocated a right-sized dst", c.Name())
+	}
+	if got := curve.CoordsBatch(c, keys, pts); &got[0] != &pts[0] {
+		t.Fatalf("%s: CoordsBatch reallocated a right-sized dst", c.Name())
+	}
+}
+
+// CheckRuns verifies a curve.RunVisitor implementation: expanding the runs
+// and irregular edges of the full range (and of sampled sub-ranges) must
+// reproduce exactly the scalar edge sequence (Coords(h), Coords(h+1)).
+func CheckRuns(t *testing.T, c curve.Curve, seed int64) {
+	t.Helper()
+	rv, ok := c.(curve.RunVisitor)
+	if !ok {
+		t.Fatalf("%s does not implement curve.RunVisitor", c.Name())
+	}
+	u := c.Universe()
+	n := u.Size()
+	if n > 1<<21 {
+		t.Fatalf("universe %v too large for exhaustive run check", u)
+	}
+	if n < 2 {
+		return
+	}
+	ranges := [][2]uint64{{0, n - 1}}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 8; i++ {
+		lo := uint64(rng.Int63n(int64(n - 1)))
+		hi := lo + uint64(rng.Int63n(int64(n-1-lo)+1))
+		ranges = append(ranges, [2]uint64{lo, hi})
+	}
+	wantA := make(geom.Point, u.Dims())
+	wantB := make(geom.Point, u.Dims())
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		pos := lo
+		checkEdge := func(a, b geom.Point) {
+			if pos >= hi {
+				t.Fatalf("%s: VisitRuns(%d,%d) produced extra edge %v->%v", c.Name(), lo, hi, a, b)
+			}
+			c.Coords(pos, wantA)
+			c.Coords(pos+1, wantB)
+			if !a.Equal(wantA) || !b.Equal(wantB) {
+				t.Fatalf("%s: VisitRuns(%d,%d) edge %d = %v->%v, want %v->%v",
+					c.Name(), lo, hi, pos, a, b, wantA, wantB)
+			}
+			pos++
+		}
+		cur := make(geom.Point, u.Dims())
+		nxt := make(geom.Point, u.Dims())
+		rv.VisitRuns(lo, hi,
+			func(start geom.Point, dim, dir int, edges uint64) {
+				if dir != 1 && dir != -1 {
+					t.Fatalf("%s: run with dir %d", c.Name(), dir)
+				}
+				copy(cur, start)
+				for e := uint64(0); e < edges; e++ {
+					copy(nxt, cur)
+					if dir > 0 {
+						nxt[dim]++
+					} else {
+						nxt[dim]--
+					}
+					checkEdge(cur, nxt)
+					copy(cur, nxt)
+				}
+			},
+			checkEdge)
+		if pos != hi {
+			t.Fatalf("%s: VisitRuns(%d,%d) covered %d edges, want %d", c.Name(), lo, hi, pos-lo, hi-lo)
+		}
+	}
+}
+
 // CheckPanicsOnBadInput verifies the documented panic behavior for invalid
 // points and out-of-range indices.
 func CheckPanicsOnBadInput(t *testing.T, c curve.Curve) {

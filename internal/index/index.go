@@ -71,15 +71,18 @@ func Bulk(c curve.Curve, pts []geom.Point, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	type kv struct{ key, id uint64 }
-	kvs := make([]kv, len(pts))
 	ix.points = make([]geom.Point, len(pts))
 	for i, p := range pts {
 		if !c.Universe().Contains(p) {
 			return nil, fmt.Errorf("%w: %v in %v", ErrPoint, p, c.Universe())
 		}
 		ix.points[i] = p.Clone()
-		kvs[i] = kv{key: c.Index(p), id: uint64(i)}
+	}
+	type kv struct{ key, id uint64 }
+	kvs := make([]kv, len(pts))
+	allKeys := curve.IndexBatch(c, pts, make([]uint64, len(pts)))
+	for i, key := range allKeys {
+		kvs[i] = kv{key: key, id: uint64(i)}
 	}
 	sort.Slice(kvs, func(a, b int) bool { return kvs[a].key < kvs[b].key })
 	keys := make([]uint64, len(kvs))

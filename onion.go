@@ -168,6 +168,34 @@ func NewPeano(dims int, side uint32) (Curve, error) { return baseline.NewPeano(d
 // always grid neighbors (the paper's Definition 1).
 func IsContinuous(c Curve) bool { return curve.IsContinuous(c) }
 
+// Walker enumerates a curve's cells in key order with amortized O(1)
+// incremental stepping (onion family, Z, Gray, linear orders) instead of a
+// full inverse-mapping evaluation per key. Whole-curve sweeps — clustering
+// analytics, jump scans, visualizations — should walk, not call Coords in
+// a loop.
+type Walker = curve.Walker
+
+// NewWalker returns a Walker over c positioned at key start (start may be
+// anywhere in [0, Size()]; Size() yields an exhausted walker). Curves with
+// specialized incremental walkers provide them transparently; every other
+// curve gets a generic fallback with the same contract.
+func NewWalker(c Curve, start uint64) Walker { return curve.NewWalker(c, start) }
+
+// IndexBatch maps pts[i] to dst[i] = c.Index(pts[i]). Passing a dst of
+// length len(pts) fills it in place with zero allocations; otherwise a
+// fresh slice is returned. Per-curve batch fast paths skip the per-call
+// interface dispatch of the scalar mapping.
+func IndexBatch(c Curve, pts []Point, dst []uint64) []uint64 {
+	return curve.IndexBatch(c, pts, dst)
+}
+
+// CoordsBatch maps keys[i] to dst[i], the inverse of IndexBatch. A dst of
+// the right length whose points have the universe's dimensionality is
+// reused with zero allocations.
+func CoordsBatch(c Curve, keys []uint64, dst []Point) []Point {
+	return curve.CoordsBatch(c, keys, dst)
+}
+
 // ClusterCount returns the clustering number of r under c: the minimum
 // number of contiguous key runs covering exactly the cells of r. For
 // continuous (and almost-continuous) curves this costs O(surface(r)), so
@@ -184,7 +212,15 @@ func ClusterCount(c Curve, r Rect) (uint64, error) {
 
 // AverageClustering returns the exact average clustering number of c over
 // the query set of all translates of the given shape (Lemma 1 + a
-// generalization of Lemma 2), walking the curve once.
+// generalization of Lemma 2), sweeping the curve's edges once.
+//
+// The sweep is parallel: the edge range is sharded across GOMAXPROCS
+// workers, each driving its own incremental Walker (or, for curves with
+// straight-run structure such as the onion and linear orders, closed-form
+// per-run summation). Determinism is guaranteed: all partial sums are
+// exact 128-bit integers, so the returned float64 is bit-identical across
+// runs, worker counts and GOMAXPROCS settings — parallelism never changes
+// the result.
 func AverageClustering(c Curve, shape []uint32) (float64, error) {
 	return cluster.AverageExact(c, shape)
 }
@@ -261,12 +297,10 @@ func OpenStore(path string, c Curve) (*Store, error) { return pagedstore.Open(pa
 
 // SortPoints orders points in place by their curve keys — the clustered
 // layout a bulk loader should write so that range queries read
-// sequentially. Points must belong to the curve's universe.
+// sequentially. Points must belong to the curve's universe. Keys are
+// computed through the batch forward mapping.
 func SortPoints(c Curve, pts []Point) {
-	keys := make([]uint64, len(pts))
-	for i, p := range pts {
-		keys[i] = c.Index(p)
-	}
+	keys := curve.IndexBatch(c, pts, make([]uint64, len(pts)))
 	sort.Sort(&pointSorter{keys: keys, pts: pts})
 }
 
