@@ -17,13 +17,16 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line in structured form.
+// Result is one benchmark line in structured form. Custom metrics emitted
+// via testing.B.ReportMetric (for example the decomposition benchmarks'
+// "ranges/op") are collected under Extra keyed by their unit.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -78,6 +81,16 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = &a
+			}
+		default:
+			// Custom ReportMetric units end in "/op" by convention.
+			if strings.HasSuffix(unit, "/op") {
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if r.Extra == nil {
+						r.Extra = map[string]float64{}
+					}
+					r.Extra[unit] = v
+				}
 			}
 		}
 	}

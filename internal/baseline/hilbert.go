@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
@@ -19,6 +20,13 @@ import (
 type Hilbert struct {
 	curve.Base
 	order int
+
+	// Prefix-tree planner state (internal/baseline/planner.go), derived
+	// lazily at most once per instance so query planning is lock-free in
+	// steady state.
+	treeOnce sync.Once
+	tree     *hilbertTree
+	treeErr  error
 }
 
 // NewHilbert constructs a Hilbert curve over a dims-dimensional universe

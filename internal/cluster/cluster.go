@@ -44,11 +44,28 @@ var (
 const DefaultMaxSortedCells = 1 << 24
 
 // Count returns the exact clustering number of r under c, choosing the
-// cheapest correct strategy: the Lemma 1 boundary method for continuous
-// curves, sorted run counting otherwise.
+// cheapest correct strategy:
+//
+//   - curves with an analytic planner (curve.RangePlanner: the onion
+//     family, Hilbert, Z, Gray, the linear orders): output-sensitive
+//     counting, no curve evaluations;
+//   - continuous curves: the Lemma 1 boundary method, O(surface) batched
+//     curve evaluations;
+//   - almost-continuous curves (cluster.JumpLister): the boundary method
+//     plus one check per enumerated jump;
+//   - anything else: sorted run counting, O(|r| log |r|).
 func Count(c curve.Curve, r geom.Rect) (uint64, error) {
+	if !r.In(c.Universe()) {
+		return 0, fmt.Errorf("%w: %v in %v", ErrRectOutside, r, c.Universe())
+	}
+	if p, ok := c.(curve.RangePlanner); ok {
+		return p.ClusterCount(r), nil
+	}
 	if curve.IsContinuous(c) {
 		return CountContinuous(c, r)
+	}
+	if _, ok := c.(JumpLister); ok {
+		return CountNearContinuous(c, r)
 	}
 	return CountSorted(c, r, DefaultMaxSortedCells)
 }
@@ -111,8 +128,10 @@ func CountSorted(c curve.Curve, r geom.Rect, maxCells uint64) (uint64, error) {
 // c(q, pi) = (gamma(q, pi) + I(q, pi_s) + I(q, pi_e)) / 2 where gamma
 // counts curve edges crossing the boundary of q. Because the curve is
 // continuous, every crossing edge is a grid-neighbor pair straddling a face
-// of q, so only O(surface(q)) pairs need checking, each with two forward
-// curve evaluations.
+// of q, so only O(surface(q)) pairs need checking. The pairs are evaluated
+// through the batched boundary sweep: chunked curve.IndexBatch calls
+// sharded across GOMAXPROCS workers, with exact integer counting, so the
+// result is identical to the scalar walk at a fraction of the cost.
 func CountContinuous(c curve.Curve, r geom.Rect) (uint64, error) {
 	if !curve.IsContinuous(c) {
 		return 0, fmt.Errorf("%w: %s", ErrNotContinuous, c.Name())
@@ -121,14 +140,8 @@ func CountContinuous(c curve.Curve, r geom.Rect) (uint64, error) {
 	if !r.In(u) {
 		return 0, fmt.Errorf("%w: %v in %v", ErrRectOutside, r, u)
 	}
-	var gamma uint64
-	r.Faces(u, func(in, out geom.Point) bool {
-		hi, ho := c.Index(in), c.Index(out)
-		if hi+1 == ho || ho+1 == hi {
-			gamma++
-		}
-		return true
-	})
+	_, _, nStarts, nEnds := sweepCrossings(c, r, 0, false)
+	gamma := nStarts + nEnds
 	var ends uint64
 	p := make(geom.Point, u.Dims())
 	if r.Contains(c.Coords(0, p)) {

@@ -1,0 +1,241 @@
+package cluster
+
+// Batched boundary sweep: the fallback query planner for curves without an
+// analytic curve.RangePlanner. The Lemma 1 strategies need, for every
+// (inside, outside) neighbor pair straddling a boundary face of the query,
+// the two curve keys of the pair. The scalar path paid two interface
+// Curve.Index calls per pair; here the face enumeration is chunked through
+// curve.IndexBatch (amortizing dispatch and enabling per-curve batch fast
+// paths) and the global pair range is sharded across workers, mirroring the
+// shard discipline of the AverageExact edge sweep. Results are exact
+// integer sets merged and sorted at the end, so the output is deterministic
+// and bit-identical for every worker count.
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// sweepChunk is the number of face pairs evaluated per IndexBatch call.
+const sweepChunk = 2048
+
+// serialSweepCutoff is the pair count below which sharding overhead is not
+// worth paying.
+const serialSweepCutoff = 4 * sweepChunk
+
+// faceSpan describes one boundary face of the query: the face cells have
+// coordinate inCoord along dim, their outside neighbors outCoord, and the
+// face holds cells pairs (the product of the query sides over other dims).
+type faceSpan struct {
+	dim               int
+	inCoord, outCoord uint32
+	cells             uint64
+}
+
+// faceSpans enumerates the query faces that have outside neighbors inside
+// the universe, in the fixed order low-then-high per dimension.
+func faceSpans(r geom.Rect, u geom.Universe) []faceSpan {
+	d := r.Dims()
+	cellsOther := func(dim int) uint64 {
+		n := uint64(1)
+		for i := 0; i < d; i++ {
+			if i != dim {
+				n *= uint64(r.Side(i))
+			}
+		}
+		return n
+	}
+	var spans []faceSpan
+	for dim := 0; dim < d; dim++ {
+		if r.Lo[dim] > 0 {
+			spans = append(spans, faceSpan{dim, r.Lo[dim], r.Lo[dim] - 1, cellsOther(dim)})
+		}
+		if r.Hi[dim]+1 < u.Side() {
+			spans = append(spans, faceSpan{dim, r.Hi[dim], r.Hi[dim] + 1, cellsOther(dim)})
+		}
+	}
+	return spans
+}
+
+// crossingSink accumulates the boundary crossings of one shard.
+type crossingSink struct {
+	collect        bool
+	starts, ends   []uint64
+	nStarts, nEnds uint64
+}
+
+func (s *crossingSink) add(hi, ho uint64) {
+	switch {
+	case ho+1 == hi: // predecessor outside: a run starts at hi
+		s.nStarts++
+		if s.collect {
+			s.starts = append(s.starts, hi)
+		}
+	case hi+1 == ho: // successor outside: a run ends at hi
+		s.nEnds++
+		if s.collect {
+			s.ends = append(s.ends, hi)
+		}
+	}
+}
+
+// sweepShard evaluates the face pairs with global indices [lo, hi) in
+// batches. Pair indices are assigned in span order, row-major within each
+// face (dimension 0 fastest, skipping the face dimension).
+func sweepShard(c curve.Curve, r geom.Rect, spans []faceSpan, lo, hi uint64, sink *crossingSink) {
+	if lo >= hi {
+		return
+	}
+	d := r.Dims()
+	n := int(hi - lo)
+	chunk := sweepChunk
+	if n < chunk {
+		chunk = n
+	}
+	// One point buffer serves both directions: the inside cells are
+	// evaluated first, then each point's face coordinate is flipped to its
+	// outside neighbor in place and the buffer is evaluated again, saving
+	// a full copy per pair.
+	flat := make([]uint32, chunk*d)
+	pts := make([]geom.Point, chunk)
+	for i := 0; i < chunk; i++ {
+		pts[i] = geom.Point(flat[i*d : (i+1)*d : (i+1)*d])
+	}
+	keysIn := make([]uint64, chunk)
+	keysOut := make([]uint64, chunk)
+	fill := 0
+	// flush evaluates the pending pairs, all from the face whose outside
+	// side is (dim, outCoord).
+	flush := func(dim int, outCoord uint32) {
+		if fill == 0 {
+			return
+		}
+		curve.IndexBatch(c, pts[:fill], keysIn[:fill])
+		for i := 0; i < fill; i++ {
+			pts[i][dim] = outCoord
+		}
+		curve.IndexBatch(c, pts[:fill], keysOut[:fill])
+		for i := 0; i < fill; i++ {
+			sink.add(keysIn[i], keysOut[i])
+		}
+		fill = 0
+	}
+	p := make(geom.Point, d)
+	remaining := hi - lo
+	pos := lo
+	for _, sp := range spans {
+		if pos >= sp.cells {
+			pos -= sp.cells
+			continue
+		}
+		// Unrank the starting offset within this face.
+		off := pos
+		p[sp.dim] = sp.inCoord
+		for i := 0; i < d; i++ {
+			if i == sp.dim {
+				continue
+			}
+			extent := uint64(r.Side(i))
+			p[i] = r.Lo[i] + uint32(off%extent)
+			off /= extent
+		}
+		// Iterate face cells from the start, odometer over dims != dim.
+		for {
+			copy(pts[fill], p)
+			fill++
+			if fill == chunk {
+				flush(sp.dim, sp.outCoord)
+			}
+			remaining--
+			if remaining == 0 {
+				flush(sp.dim, sp.outCoord)
+				return
+			}
+			i := 0
+			for i < d {
+				if i == sp.dim {
+					i++
+					continue
+				}
+				if p[i] < r.Hi[i] {
+					p[i]++
+					break
+				}
+				p[i] = r.Lo[i]
+				i++
+			}
+			if i == d {
+				break // face exhausted, next span
+			}
+		}
+		flush(sp.dim, sp.outCoord) // face boundary: pending pairs share it
+		pos = 0
+	}
+}
+
+// sweepCrossings runs the batched boundary sweep with the given worker
+// count (0 means GOMAXPROCS) and reports every run start and end among the
+// face pairs. With collect set the keys themselves are returned, in no
+// particular order: the key SET is deterministic for every worker count
+// and callers sort exactly once after appending their endpoint keys.
+func sweepCrossings(c curve.Curve, r geom.Rect, workers int, collect bool) (starts, ends []uint64, nStarts, nEnds uint64) {
+	u := c.Universe()
+	spans := faceSpans(r, u)
+	var total uint64
+	for _, sp := range spans {
+		total += sp.cells
+	}
+	if total == 0 {
+		return nil, nil, 0, 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total < serialSweepCutoff || workers == 1 {
+		sink := crossingSink{collect: collect}
+		sweepShard(c, r, spans, 0, total, &sink)
+		return sink.starts, sink.ends, sink.nStarts, sink.nEnds
+	}
+	if uint64(workers) > total {
+		workers = int(total)
+	}
+	sinks := make([]crossingSink, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sinks[k].collect = collect
+			lo := total * uint64(k) / uint64(workers)
+			hi := total * uint64(k+1) / uint64(workers)
+			sweepShard(c, r, spans, lo, hi, &sinks[k])
+		}(k)
+	}
+	wg.Wait()
+	for k := range sinks {
+		nStarts += sinks[k].nStarts
+		nEnds += sinks[k].nEnds
+		if collect {
+			starts = append(starts, sinks[k].starts...)
+			ends = append(ends, sinks[k].ends...)
+		}
+	}
+	return starts, ends, nStarts, nEnds
+}
+
+// BoundaryCrossings returns the curve keys at which a run of the query
+// starts (the key's predecessor cell lies outside r) and ends (successor
+// outside), among the O(surface) boundary neighbor pairs of r, in no
+// particular order (callers that need order sort once, typically after
+// appending the curve-endpoint keys). Continuity of the curve makes the
+// set exhaustive (Lemma 1); for almost-continuous curves the enumerated
+// jumps must be checked separately. The sweep is batched through
+// curve.IndexBatch and sharded across GOMAXPROCS workers; the returned
+// set is deterministic regardless of worker count.
+func BoundaryCrossings(c curve.Curve, r geom.Rect) (starts, ends []uint64) {
+	starts, ends, _, _ = sweepCrossings(c, r, 0, true)
+	return starts, ends
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// scalarCrossings is the reference implementation of the boundary sweep:
+// one face-pair callback at a time, two scalar Index calls per pair.
+func scalarCrossings(c curve.Curve, r geom.Rect) (starts, ends []uint64) {
+	r.Faces(c.Universe(), func(in, out geom.Point) bool {
+		hi, ho := c.Index(in), c.Index(out)
+		switch {
+		case ho+1 == hi:
+			starts = append(starts, hi)
+		case hi+1 == ho:
+			ends = append(ends, hi)
+		}
+		return true
+	})
+	slices.Sort(starts)
+	slices.Sort(ends)
+	return starts, ends
+}
+
+func sweepRandRect(rng *rand.Rand, dims int, side uint32) geom.Rect {
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := 0; i < dims; i++ {
+		a := uint32(rng.Int31n(int32(side)))
+		b := uint32(rng.Int31n(int32(side)))
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// TestSweepMatchesScalar cross-validates the batched sharded sweep against
+// the scalar face walk, for every worker count, on continuous and
+// discontinuous curves alike.
+func TestSweepMatchesScalar(t *testing.T) {
+	o2, _ := core.NewOnion2D(67)
+	o3, _ := core.NewOnion3D(14)
+	h, _ := baseline.NewHilbert(2, 64)
+	z, _ := baseline.NewMorton(3, 16)
+	s, _ := baseline.NewSnake(2, 41)
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []curve.Curve{o2, o3, h, z, s} {
+		u := c.Universe()
+		for trial := 0; trial < 40; trial++ {
+			r := sweepRandRect(rng, u.Dims(), u.Side())
+			wantStarts, wantEnds := scalarCrossings(c, r)
+			for _, workers := range []int{1, 2, 3, 8} {
+				starts, ends, nStarts, nEnds := sweepCrossings(c, r, workers, true)
+				slices.Sort(starts) // returned in shard order; the set is what is contractual
+				slices.Sort(ends)
+				if !slices.Equal(starts, wantStarts) || !slices.Equal(ends, wantEnds) {
+					t.Fatalf("%s %v workers=%d: sweep (%v, %v), want (%v, %v)",
+						c.Name(), r, workers, starts, ends, wantStarts, wantEnds)
+				}
+				if nStarts != uint64(len(wantStarts)) || nEnds != uint64(len(wantEnds)) {
+					t.Fatalf("%s %v workers=%d: counts (%d, %d), want (%d, %d)",
+						c.Name(), r, workers, nStarts, nEnds, len(wantStarts), len(wantEnds))
+				}
+				// Count-only mode must agree without collecting.
+				_, _, cs, ce := sweepCrossings(c, r, workers, false)
+				if cs != nStarts || ce != nEnds {
+					t.Fatalf("%s %v workers=%d: count-only (%d, %d) vs (%d, %d)",
+						c.Name(), r, workers, cs, ce, nStarts, nEnds)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepWholeUniverse: a query covering the universe has no faces with
+// outside neighbors, so the sweep must report nothing.
+func TestSweepWholeUniverse(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	starts, ends := BoundaryCrossings(o, o.Universe().Rect())
+	if len(starts) != 0 || len(ends) != 0 {
+		t.Fatalf("whole-universe sweep: %v, %v", starts, ends)
+	}
+}
+
+// TestCountContinuousLargeMatchesPlanner pits the batched Lemma 1 counter
+// against the analytic planner on a universe far too large to enumerate:
+// both must agree exactly.
+func TestCountContinuousLargeMatchesPlanner(t *testing.T) {
+	o, err := core.NewOnion2D(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := o.Universe().Side()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		r := sweepRandRect(rng, 2, side)
+		want := o.ClusterCount(r)
+		got, err := CountContinuous(o, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: CountContinuous %d, planner %d", r, got, want)
+		}
+	}
+}
+
+// TestCountNearContinuousLargeMatchesPlanner does the same for the jump
+// based counter on the 3D onion curve.
+func TestCountNearContinuousLargeMatchesPlanner(t *testing.T) {
+	o, err := core.NewOnion3D(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 12; trial++ {
+		r := sweepRandRect(rng, 3, 128)
+		want := o.ClusterCount(r)
+		got, err := CountNearContinuous(o, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: CountNearContinuous %d, planner %d", r, got, want)
+		}
+	}
+}

@@ -21,9 +21,9 @@ var ErrNoJumps = fmt.Errorf("cluster: curve does not enumerate jumps")
 
 // CountNearContinuous counts clusters of r for an almost-continuous curve:
 // a run of the query starts either at the global curve start, after a
-// grid-neighbor boundary crossing (found among the O(surface) face pairs),
-// or after one of the curve's enumerated jumps. Cost is
-// O(surface(r) + jumps).
+// grid-neighbor boundary crossing (found among the O(surface) face pairs,
+// swept batched and in parallel), or after one of the curve's enumerated
+// jumps. Cost is O(surface(r) + jumps).
 func CountNearContinuous(c curve.Curve, r geom.Rect) (uint64, error) {
 	u := c.Universe()
 	if !r.In(u) {
@@ -35,18 +35,11 @@ func CountNearContinuous(c curve.Curve, r geom.Rect) (uint64, error) {
 	} else if !curve.IsContinuous(c) {
 		return 0, fmt.Errorf("%w: %s", ErrNoJumps, c.Name())
 	}
-	var starts uint64
-	r.Faces(u, func(in, out geom.Point) bool {
-		hi, ho := c.Index(in), c.Index(out)
-		if ho+1 == hi {
-			// out is the predecessor of in; but if that step is one of
-			// the enumerated jumps it is handled in the jump pass below
-			// (it cannot be: a jump step is not a neighbor move, and
-			// face pairs are neighbors). Count it.
-			starts++
-		}
-		return true
-	})
+	// A run start among the face pairs is a pair whose outside cell is the
+	// key predecessor of the inside cell. A jump step cannot be such a
+	// pair (a jump is not a neighbor move, face pairs are), so the jump
+	// pass below never double-counts.
+	_, _, starts, _ := sweepCrossings(c, r, 0, false)
 	p := make(geom.Point, u.Dims())
 	q := make(geom.Point, u.Dims())
 	for _, h := range jumps {

@@ -1,0 +1,554 @@
+package core
+
+// Analytic range planners for the onion family (curve.RangePlanner).
+//
+// The operational query path used to recover a query's clusters from an
+// O(surface) boundary sweep: two forward curve evaluations per boundary
+// face pair. The onion curves do not need any curve evaluations at all —
+// a layer is a hollow shell with a closed-form key layout, so the
+// intersection of a rectangle with each ring/segment is itself closed-form.
+// Each planner walks the layers the query touches, intersects the query
+// with every ring or segment analytically, and emits key runs in ascending
+// order; a curve.RangeEmitter merges adjacent runs, so the output is the
+// minimal decomposition, bit-identical to sorting every cell's key.
+//
+// Output sensitivity: each intersected layer contributes O(1) (2D rings),
+// O(segments) (3D) or O(rows) (LayerLex / the ND tube) work and at least
+// one range unless it merges, so the cost is O(layers + clusters) for the
+// 2D/3D curves. The decisive fast path is interior containment: as soon as
+// the query contains the entire sub-cube [t, s-1-t]^d, every remaining
+// layer is fully covered and the whole tail of the key space is emitted as
+// a single range in O(1). A paper-scale query inset a few cells from the
+// universe boundary (10^8+ cells) therefore decomposes in nanoseconds
+// where the boundary sweep pays millions of curve evaluations.
+
+import (
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// axisBand reports, for one axis of an s-side cube and the query interval
+// [lo, hi] (absolute coordinates inside the cube), the minimum and maximum
+// of f(x) = min(x, s-1-x) over the interval — the per-axis contribution to
+// the layer range the query spans.
+func axisBand(s, lo, hi uint32) (fmin, fmax uint32) {
+	flo := lo
+	if s-1-lo < flo {
+		flo = s - 1 - lo
+	}
+	fhi := hi
+	if s-1-hi < fhi {
+		fhi = s - 1 - hi
+	}
+	fmin = flo
+	if fhi < fmin {
+		fmin = fhi
+	}
+	// f rises on [0, (s-1)/2] and falls after; the max is at the peak when
+	// the interval straddles it, at an endpoint otherwise.
+	peak := (s - 1) / 2
+	switch {
+	case hi <= peak:
+		fmax = fhi // increasing region: f(hi)
+	case lo >= s-1-peak:
+		fmax = flo // decreasing region: f(lo)
+	default:
+		fmax = peak
+	}
+	return fmin, fmax
+}
+
+// layerSpan computes, for a cube of side s whose cells are [0, s-1]^d and a
+// query with per-axis bounds lo[i], hi[i], the span of layers the query
+// touches (tmin..tmax, 0-based boundary distance) and t0, the smallest t
+// such that the query contains the entire sub-cube [t, s-1-t]^d (t0 may
+// exceed the deepest layer (s-1)/2, meaning no full sub-cube is covered).
+func layerSpan(s uint32, lo, hi []uint32) (tmin, tmax, t0 uint32) {
+	tmin = s // larger than any layer
+	tmax = s
+	t0 = 0
+	for i := range lo {
+		fmin, fmax := axisBand(s, lo[i], hi[i])
+		if fmin < tmin {
+			tmin = fmin
+		}
+		if fmax < tmax {
+			tmax = fmax
+		}
+		if lo[i] > t0 {
+			t0 = lo[i]
+		}
+		if need := s - 1 - hi[i]; need > t0 {
+			t0 = need
+		}
+	}
+	return tmin, tmax, t0
+}
+
+// partialSpan resolves the layer loop for a planner: layers in
+// [tmin, upTo] are partially covered and must be intersected one by one;
+// when tail is true every layer from t0 inward is fully covered and the
+// whole key tail is emitted as a single range. upTo is int64 so that an
+// empty loop (upTo < tmin) needs no special casing.
+func partialSpan(tmax, t0, maxT uint32) (upTo int64, tail bool) {
+	if t0 <= maxT {
+		return int64(t0) - 1, true
+	}
+	return int64(tmax), false
+}
+
+// planOnion2 emits the decomposition of the query [xl,xh] x [yl,yh]
+// (inclusive, coordinates local to an s x s square whose onion keys start
+// at base) under the 2D onion order of onionIndex2. Runs are emitted in
+// ascending key order.
+func planOnion2(s uint32, base uint64, xl, xh, yl, yh uint32, e *curve.RangeEmitter) {
+	tmin, tmax, t0 := layerSpan(s, []uint32{xl, yl}, []uint32{xh, yh})
+	planOnion2Span(s, base, xl, xh, yl, yh, tmin, tmax, t0, e)
+}
+
+// planOnion2Span is planOnion2 with the layer span precomputed (the 3D
+// planner reuses per-face spans). The ring loop covers partially covered
+// rings; the tail [t0, maxRing] is fully covered and emitted as one range.
+func planOnion2Span(s uint32, base uint64, xl, xh, yl, yh, tmin, tmax, t0 uint32, e *curve.RangeEmitter) {
+	upTo, tail := partialSpan(tmax, t0, (s-1)/2)
+	for t := int64(tmin); t <= upTo; t++ {
+		planRing2(s, base, uint32(t), xl, xh, yl, yh, e)
+	}
+	if tail {
+		e.Emit(base+cellsBeforeRing2(s, t0), base+uint64(s)*uint64(s)-1)
+	}
+}
+
+// planRing2 emits the intersection of the query with ring t of the s-side
+// square: up to four arcs (bottom row, right column, top row, left column
+// of the ring, in that key order).
+func planRing2(s uint32, base uint64, t, xl, xh, yl, yh uint32, e *curve.RangeEmitter) {
+	j := s - 2*t // ring side
+	b := base + cellsBeforeRing2(s, t)
+	if j == 1 {
+		e.Emit(b, b)
+		return
+	}
+	// Local coordinates on the ring square [t, s-1-t]^2; the layer span
+	// guarantees both clamped intervals are non-empty.
+	axl, axh := clampLocal(xl, xh, t, j)
+	ayl, ayh := clampLocal(yl, yh, t, j)
+	jm := uint64(j - 1)
+	// Bottom row (b-local y = 0): keys base + a.
+	if ayl == 0 {
+		e.Emit(b+uint64(axl), b+uint64(axh))
+	}
+	// Right column (a = j-1): keys base + jm + b, b in [1, jm].
+	if uint64(axh) == jm {
+		blo := ayl
+		if blo < 1 {
+			blo = 1
+		}
+		if uint64(blo) <= uint64(ayh) {
+			e.Emit(b+jm+uint64(blo), b+jm+uint64(ayh))
+		}
+	}
+	// Top row (b-local y = j-1): keys base + 3*jm - a, a in [0, jm-1].
+	if uint64(ayh) == jm {
+		ahg := uint64(axh)
+		if ahg > jm-1 {
+			ahg = jm - 1
+		}
+		if uint64(axl) <= ahg {
+			e.Emit(b+3*jm-ahg, b+3*jm-uint64(axl))
+		}
+	}
+	// Left column (a = 0): keys base + 4*jm - b, b in [1, jm-1].
+	if axl == 0 {
+		blo := uint64(ayl)
+		if blo < 1 {
+			blo = 1
+		}
+		bhg := uint64(ayh)
+		if bhg > jm-1 {
+			bhg = jm - 1
+		}
+		if blo <= bhg {
+			e.Emit(b+4*jm-bhg, b+4*jm-blo)
+		}
+	}
+}
+
+// clampLocal clamps the absolute interval [lo, hi] to the ring square
+// [t, t+j-1] and shifts it to local coordinates [0, j-1].
+func clampLocal(lo, hi, t, j uint32) (uint32, uint32) {
+	if lo < t {
+		lo = t
+	}
+	if hi > t+j-1 {
+		hi = t + j - 1
+	}
+	return lo - t, hi - t
+}
+
+// DecomposeRect implements curve.RangePlanner: O(rings + clusters), zero
+// curve evaluations.
+func (o *Onion2D) DecomposeRect(r geom.Rect) []curve.KeyRange {
+	var e curve.RangeEmitter
+	planOnion2(o.U.Side(), 0, r.Lo[0], r.Hi[0], r.Lo[1], r.Hi[1], &e)
+	return e.Ranges
+}
+
+// ClusterCount implements curve.RangePlanner without materializing ranges.
+func (o *Onion2D) ClusterCount(r geom.Rect) uint64 {
+	e := curve.NewRangeCounter()
+	planOnion2(o.U.Side(), 0, r.Lo[0], r.Hi[0], r.Lo[1], r.Hi[1], e)
+	return e.Count()
+}
+
+// planRect3 emits the decomposition of r under the 3D onion order,
+// honoring the curve's segment permutation.
+func (o *Onion3D) planRect3(r geom.Rect, e *curve.RangeEmitter) {
+	s := o.U.Side()
+	tmin, tmax, t0 := layerSpan(s, r.Lo, r.Hi)
+	upTo, tail := partialSpan(tmax, t0, o.m-1)
+	for t := int64(tmin); t <= upTo; t++ {
+		o.planLayer3(uint32(t), r, e)
+	}
+	if tail {
+		e.Emit(o.k1(t0+1), o.U.Size()-1)
+	}
+}
+
+// planLayer3 emits the intersection of r with the (partially covered)
+// 0-based layer t: the ten segments of the layer cube, visited in the
+// curve's permutation order, each intersected analytically.
+func (o *Onion3D) planLayer3(t uint32, r geom.Rect, e *curve.RangeEmitter) {
+	s := o.U.Side()
+	w := s - 2*t // layer cube side, >= 2 (side even)
+	// Local query bounds on the layer cube [0, w-1]^3; per-axis intervals
+	// are non-empty for every layer in the span.
+	lxl, lxh := clampLocal(r.Lo[0], r.Hi[0], t, w)
+	lyl, lyh := clampLocal(r.Lo[1], r.Hi[1], t, w)
+	lzl, lzh := clampLocal(r.Lo[2], r.Hi[2], t, w)
+	base := o.k1(t + 1)
+	wm := w - 1
+	for pos := 0; pos < 10; pos++ {
+		g := o.perm[pos]
+		sz := segSize(g, w)
+		if sz == 0 {
+			continue
+		}
+		switch g {
+		case 1: // face li == 0, 2D onion on (lj, lk) of side w
+			if lxl == 0 {
+				planOnion2(w, base, lyl, lyh, lzl, lzh, e)
+			}
+		case 2: // face li == w-1
+			if lxh == wm {
+				planOnion2(w, base, lyl, lyh, lzl, lzh, e)
+			}
+		case 3: // line lj == 0, lk == 0, keys by li-1
+			if lyl == 0 && lzl == 0 {
+				planSegLine3(base, w, lxl, lxh, e)
+			}
+		case 5: // line lj == 0, lk == w-1
+			if lyl == 0 && lzh == wm {
+				planSegLine3(base, w, lxl, lxh, e)
+			}
+		case 4: // side square lj == 0, 2D onion on (li-1, lk-1) of side w-2
+			if lyl == 0 {
+				planSegSquare3(base, w, lxl, lxh, lzl, lzh, e)
+			}
+		case 6: // line lj == w-1, lk == 0
+			if lyh == wm && lzl == 0 {
+				planSegLine3(base, w, lxl, lxh, e)
+			}
+		case 8: // line lj == w-1, lk == w-1
+			if lyh == wm && lzh == wm {
+				planSegLine3(base, w, lxl, lxh, e)
+			}
+		case 7: // side square lj == w-1
+			if lyh == wm {
+				planSegSquare3(base, w, lxl, lxh, lzl, lzh, e)
+			}
+		case 9: // side square lk == 0, 2D onion on (li-1, lj-1) of side w-2
+			if lzl == 0 {
+				planSegSquare3(base, w, lxl, lxh, lyl, lyh, e)
+			}
+		default: // 10: side square lk == w-1
+			if lzh == wm {
+				planSegSquare3(base, w, lxl, lxh, lyl, lyh, e)
+			}
+		}
+		base += sz
+	}
+}
+
+// planSegLine3 emits the intersection of a line segment (cells li in
+// [1, w-2], key base + li - 1) with the local interval [lxl, lxh].
+func planSegLine3(base uint64, w, lxl, lxh uint32, e *curve.RangeEmitter) {
+	lo := lxl
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lxh
+	if hi > w-2 {
+		hi = w - 2
+	}
+	if lo <= hi {
+		e.Emit(base+uint64(lo)-1, base+uint64(hi)-1)
+	}
+}
+
+// planSegSquare3 emits the intersection of a side square segment (2D onion
+// of side w-2 on local coordinates (a-1, b-1) for a, b in [1, w-2]) with
+// the local intervals [al, ah] x [bl, bh].
+func planSegSquare3(base uint64, w, al, ah, bl, bh uint32, e *curve.RangeEmitter) {
+	if w < 3 {
+		return // no interior
+	}
+	if ah < 1 || al > w-2 || bh < 1 || bl > w-2 {
+		return
+	}
+	aql, aqh := clampLocal(al, ah, 1, w-2)
+	bql, bqh := clampLocal(bl, bh, 1, w-2)
+	planOnion2(w-2, base, aql, aqh, bql, bqh, e)
+}
+
+// DecomposeRect implements curve.RangePlanner: O(layers*segments + rings +
+// clusters), zero curve evaluations, exact for every segment permutation.
+func (o *Onion3D) DecomposeRect(r geom.Rect) []curve.KeyRange {
+	var e curve.RangeEmitter
+	o.planRect3(r, &e)
+	return e.Ranges
+}
+
+// ClusterCount implements curve.RangePlanner; the result matches the
+// Lemma 1 boundary counter bit for bit.
+func (o *Onion3D) ClusterCount(r geom.Rect) uint64 {
+	e := curve.NewRangeCounter()
+	o.planRect3(r, e)
+	return e.Count()
+}
+
+// planND emits the decomposition of the query (absolute per-axis bounds
+// lo, hi, already clamped inside the cube of side w at offset off in every
+// dimension) under the d-dimensional onion order of ndIndex, with keys
+// starting at base.
+func planND(w, off uint32, lo, hi []uint32, base uint64, e *curve.RangeEmitter) {
+	d := len(lo)
+	// Layer span in cube-local coordinates.
+	locLo := make([]uint32, d)
+	locHi := make([]uint32, d)
+	for i := range lo {
+		locLo[i] = lo[i] - off
+		locHi[i] = hi[i] - off
+	}
+	tmin, tmax, t0 := layerSpan(w, locLo, locHi)
+	upTo, tail := partialSpan(tmax, t0, (w-1)/2)
+	if upTo >= int64(tmin) {
+		clo := make([]uint32, d)
+		chi := make([]uint32, d)
+		for ti := int64(tmin); ti <= upTo; ti++ {
+			t := uint32(ti)
+			ws := w - 2*t
+			for i := range lo {
+				clo[i], chi[i] = lo[i], hi[i]
+				if clo[i] < off+t {
+					clo[i] = off + t
+				}
+				if chi[i] > off+t+ws-1 {
+					chi[i] = off + t + ws - 1
+				}
+			}
+			planShellND(ws, off+t, clo, chi, base+powU(w, d)-powU(ws, d), e)
+		}
+	}
+	if tail {
+		e.Emit(base+powU(w, d)-powU(w-2*t0, d), base+powU(w, d)-1)
+	}
+}
+
+// planShellND emits the intersection of the query (bounds clamped inside
+// the cube of side w at offset off, non-empty per axis) with the cube's
+// boundary shell, in the shell order of shellIndexND: the face at the low
+// side of dimension 0 (full (d-1)-dim onion), the face at the high side,
+// then the tube slice by slice (recursive (d-1)-dim shells).
+func planShellND(w, off uint32, lo, hi []uint32, base uint64, e *curve.RangeEmitter) {
+	d := len(lo)
+	if w == 1 {
+		e.Emit(base, base)
+		return
+	}
+	if d == 1 {
+		if lo[0] <= off {
+			e.Emit(base, base)
+		}
+		if hi[0] >= off+w-1 {
+			e.Emit(base+1, base+1)
+		}
+		return
+	}
+	// Full containment: the query covers the whole cube, hence the whole
+	// shell — one range, O(1).
+	full := true
+	for i := range lo {
+		if lo[i] > off || hi[i] < off+w-1 {
+			full = false
+			break
+		}
+	}
+	if full {
+		e.Emit(base, base+shellCountND(d, w)-1)
+		return
+	}
+	face := powU(w, d-1)
+	if lo[0] <= off {
+		planND(w, off, lo[1:], hi[1:], base, e)
+	}
+	if hi[0] >= off+w-1 {
+		planND(w, off, lo[1:], hi[1:], base+face, e)
+	}
+	vlo := lo[0]
+	if vlo < off+1 {
+		vlo = off + 1
+	}
+	vhi := hi[0]
+	if vhi > off+w-2 {
+		vhi = off + w - 2
+	}
+	if vlo > vhi {
+		return
+	}
+	sc := shellCountND(d-1, w)
+	for v := vlo; v <= vhi; v++ {
+		planShellND(w, off, lo[1:], hi[1:], base+2*face+uint64(v-off-1)*sc, e)
+	}
+}
+
+// DecomposeRect implements curve.RangePlanner: recursive shell/face
+// intersection, zero curve evaluations. Cost is proportional to the slices
+// the query cuts — which is also how the curve fragments, so the work
+// tracks the cluster count.
+func (o *OnionND) DecomposeRect(r geom.Rect) []curve.KeyRange {
+	var e curve.RangeEmitter
+	planND(o.U.Side(), 0, r.Lo, r.Hi, 0, &e)
+	return e.Ranges
+}
+
+// ClusterCount implements curve.RangePlanner.
+func (o *OnionND) ClusterCount(r geom.Rect) uint64 {
+	e := curve.NewRangeCounter()
+	planND(o.U.Side(), 0, r.Lo, r.Hi, 0, e)
+	return e.Count()
+}
+
+// planLayerLex emits the decomposition of r under the layer-lexicographic
+// order: per layer, the query rows (combinations of the local coordinates
+// of dimensions 1..d-1, in row-major significance order) each contribute
+// at most one run of consecutive shell ranks.
+func (l *LayerLex) planLayerLex(r geom.Rect, e *curve.RangeEmitter) {
+	s := l.U.Side()
+	d := l.U.Dims()
+	tmin, tmax, t0 := layerSpan(s, r.Lo, r.Hi)
+	upTo, tail := partialSpan(tmax, t0, (s-1)/2)
+	for t := int64(tmin); t <= upTo; t++ {
+		l.planLexLayer(uint32(t), r, e)
+	}
+	if tail {
+		e.Emit(powU(s, d)-powU(s-2*t0, d), powU(s, d)-1)
+	}
+}
+
+// planLexLayer emits the runs of the (partially covered) layer t.
+func (l *LayerLex) planLexLayer(t uint32, r geom.Rect, e *curve.RangeEmitter) {
+	s := l.U.Side()
+	d := l.U.Dims()
+	w := s - 2*t
+	base := powU(s, d) - powU(w, d)
+	// Local query bounds on the layer cube [0, w-1]^d.
+	lo := make([]uint32, d)
+	hi := make([]uint32, d)
+	for i := 0; i < d; i++ {
+		lo[i], hi[i] = clampLocal(r.Lo[i], r.Hi[i], t, w)
+	}
+	emitRow := func(rowBase uint64, rowOnShell bool) {
+		if rowOnShell {
+			// Every cell of the row is on the shell: consecutive row-major
+			// keys are consecutive shell ranks.
+			rm := rowBase + uint64(lo[0])
+			rank := rm - interiorBelow(w, d, rm)
+			e.Emit(base+rank, base+rank+uint64(hi[0]-lo[0]))
+			return
+		}
+		// Interior row: only the endpoints x0 = 0 and x0 = w-1 are shell
+		// cells, and their shell ranks are consecutive (the interior cells
+		// between them are skipped).
+		if lo[0] == 0 {
+			rank := rowBase - interiorBelow(w, d, rowBase)
+			if hi[0] == w-1 {
+				e.Emit(base+rank, base+rank+1)
+			} else {
+				e.Emit(base+rank, base+rank)
+			}
+			return
+		}
+		if hi[0] == w-1 {
+			rm := rowBase + uint64(w) - 1
+			rank := rm - interiorBelow(w, d, rm)
+			e.Emit(base+rank, base+rank)
+		}
+	}
+	if d == 1 {
+		emitRow(0, w == 1)
+		return
+	}
+	// Iterate rows in ascending row-major order: dimension 1 fastest among
+	// the row dimensions, dimension d-1 most significant.
+	p := make([]uint32, d)
+	for i := 1; i < d; i++ {
+		p[i] = lo[i]
+	}
+	for {
+		var rowBase uint64
+		onShell := w == 1
+		for i := d - 1; i >= 1; i-- {
+			rowBase = rowBase*uint64(w) + uint64(p[i])
+			if p[i] == 0 || p[i] == w-1 {
+				onShell = true
+			}
+		}
+		rowBase *= uint64(w)
+		emitRow(rowBase, onShell)
+		i := 1
+		for i < d {
+			if p[i] < hi[i] {
+				p[i]++
+				break
+			}
+			p[i] = lo[i]
+			i++
+		}
+		if i == d {
+			return
+		}
+	}
+}
+
+// DecomposeRect implements curve.RangePlanner: O(layers + query rows),
+// zero curve evaluations (each row costs one O(d) interior-rank lookup).
+func (l *LayerLex) DecomposeRect(r geom.Rect) []curve.KeyRange {
+	var e curve.RangeEmitter
+	l.planLayerLex(r, &e)
+	return e.Ranges
+}
+
+// ClusterCount implements curve.RangePlanner.
+func (l *LayerLex) ClusterCount(r geom.Rect) uint64 {
+	e := curve.NewRangeCounter()
+	l.planLayerLex(r, e)
+	return e.Count()
+}
+
+var (
+	_ curve.RangePlanner = (*Onion2D)(nil)
+	_ curve.RangePlanner = (*Onion3D)(nil)
+	_ curve.RangePlanner = (*OnionND)(nil)
+	_ curve.RangePlanner = (*LayerLex)(nil)
+)

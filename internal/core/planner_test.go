@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// sortedRanges is the brute-force reference: enumerate, sort, split runs.
+func sortedRanges(c curve.Curve, r geom.Rect) []curve.KeyRange {
+	keys := make([]uint64, 0, r.Cells())
+	r.ForEach(func(p geom.Point) bool {
+		keys = append(keys, c.Index(p))
+		return true
+	})
+	slices.Sort(keys)
+	var out []curve.KeyRange
+	for i, k := range keys {
+		if i == 0 || keys[i-1]+1 != k {
+			out = append(out, curve.KeyRange{Lo: k, Hi: k})
+		} else {
+			out[len(out)-1].Hi = k
+		}
+	}
+	return out
+}
+
+func checkPlanner(t *testing.T, c curve.Curve, r geom.Rect) {
+	t.Helper()
+	p, ok := c.(curve.RangePlanner)
+	if !ok {
+		t.Fatalf("%s does not implement curve.RangePlanner", c.Name())
+	}
+	got := p.DecomposeRect(r)
+	want := sortedRanges(c, r)
+	if !slices.Equal(got, want) {
+		t.Fatalf("%s %v: planner %v, want %v", c.Name(), r, got, want)
+	}
+	if n := p.ClusterCount(r); n != uint64(len(want)) {
+		t.Fatalf("%s %v: ClusterCount %d, want %d", c.Name(), r, n, len(want))
+	}
+}
+
+// degenerateRects returns the corner cases every planner must survive:
+// single cells at the corners and center, the full universe, and 1-wide
+// slabs touching each boundary.
+func degenerateRects(u geom.Universe) []geom.Rect {
+	d := u.Dims()
+	s := u.Side()
+	var rs []geom.Rect
+	corner := func(v uint32) geom.Rect {
+		p := make(geom.Point, d)
+		for i := range p {
+			p[i] = v
+		}
+		return geom.Rect{Lo: p, Hi: p.Clone()}
+	}
+	rs = append(rs, corner(0), corner(s-1), corner(s/2), u.Rect())
+	for dim := 0; dim < d; dim++ {
+		for _, at := range []uint32{0, s - 1, s / 2} {
+			r := u.Rect()
+			r.Lo[dim], r.Hi[dim] = at, at
+			rs = append(rs, r)
+		}
+	}
+	// Inset rectangle (exercises the interior-containment tail).
+	if s >= 3 {
+		r := u.Rect()
+		for i := 0; i < d; i++ {
+			r.Lo[i], r.Hi[i] = 1, s-2
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+func randPlannerRect(rng *rand.Rand, dims int, side uint32) geom.Rect {
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := 0; i < dims; i++ {
+		a := uint32(rng.Int31n(int32(side)))
+		b := uint32(rng.Int31n(int32(side)))
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+func exercisePlanner(t *testing.T, c curve.Curve, trials int, seed int64) {
+	t.Helper()
+	u := c.Universe()
+	for _, r := range degenerateRects(u) {
+		checkPlanner(t, c, r)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		checkPlanner(t, c, randPlannerRect(rng, u.Dims(), u.Side()))
+	}
+}
+
+func TestOnion2DPlanner(t *testing.T) {
+	for _, side := range []uint32{1, 2, 3, 4, 5, 7, 8, 16, 33, 64} {
+		o, err := NewOnion2D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exercisePlanner(t, o, 120, int64(side))
+	}
+}
+
+func TestOnion3DPlanner(t *testing.T) {
+	for _, side := range []uint32{2, 4, 6, 8, 10, 16} {
+		o, err := NewOnion3D(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exercisePlanner(t, o, 60, int64(side))
+	}
+}
+
+func TestOnion3DPlannerSegmentPermutations(t *testing.T) {
+	perms := [][10]int{
+		{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{2, 1, 4, 3, 6, 5, 8, 7, 10, 9},
+		{5, 3, 9, 1, 7, 10, 2, 8, 4, 6},
+	}
+	for pi, perm := range perms {
+		for _, side := range []uint32{4, 6, 12} {
+			o, err := NewOnion3DWithSegmentOrder(side, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exercisePlanner(t, o, 40, int64(side)*100+int64(pi))
+		}
+	}
+}
+
+func TestOnionNDPlanner(t *testing.T) {
+	cases := []struct {
+		dims int
+		side uint32
+	}{
+		{1, 1}, {1, 2}, {1, 9}, {1, 16},
+		{2, 5}, {2, 16}, {2, 31},
+		{3, 3}, {3, 7}, {3, 8}, {3, 12},
+		{4, 5}, {4, 6},
+	}
+	for _, tc := range cases {
+		o, err := NewOnionND(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exercisePlanner(t, o, 50, int64(tc.dims)*1000+int64(tc.side))
+	}
+}
+
+func TestLayerLexPlanner(t *testing.T) {
+	cases := []struct {
+		dims int
+		side uint32
+	}{
+		{1, 1}, {1, 2}, {1, 8}, {1, 13},
+		{2, 1}, {2, 5}, {2, 8}, {2, 31},
+		{3, 4}, {3, 7}, {3, 9},
+	}
+	for _, tc := range cases {
+		l, err := NewLayerLex(tc.dims, tc.side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exercisePlanner(t, l, 50, int64(tc.dims)*1000+int64(tc.side))
+	}
+}
+
+// TestPlannerPaperScaleTail checks the O(1) interior-containment fast path
+// on paper-scale queries: a query inset a few cells from the boundary of a
+// 10^8+-cell universe must decompose instantly into very few ranges whose
+// total size equals the query, with the tail range ending at the last key.
+func TestPlannerPaperScaleTail(t *testing.T) {
+	o2, err := NewOnion2D(1 << 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := o2.Universe().Side()
+	r2 := geom.Rect{Lo: geom.Point{16, 16}, Hi: geom.Point{s2 - 17, s2 - 17}}
+	rs := o2.DecomposeRect(r2)
+	if len(rs) != 1 {
+		t.Fatalf("2D inset query: %d ranges, want 1", len(rs))
+	}
+	if rs[0].Hi != o2.Universe().Size()-1 {
+		t.Fatalf("2D inset query tail ends at %d, want %d", rs[0].Hi, o2.Universe().Size()-1)
+	}
+	if rs[0].Cells() != r2.Cells() {
+		t.Fatalf("2D inset query covers %d cells, want %d", rs[0].Cells(), r2.Cells())
+	}
+	if n := o2.ClusterCount(r2); n != 1 {
+		t.Fatalf("2D inset query ClusterCount %d", n)
+	}
+
+	o3, err := NewOnion3D(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := o3.Universe().Side()
+	r3 := geom.Rect{Lo: geom.Point{8, 8, 8}, Hi: geom.Point{s3 - 9, s3 - 9, s3 - 9}}
+	rs3 := o3.DecomposeRect(r3)
+	if len(rs3) != 1 {
+		t.Fatalf("3D inset query: %d ranges, want 1", len(rs3))
+	}
+	if rs3[0].Cells() != r3.Cells() || rs3[0].Hi != o3.Universe().Size()-1 {
+		t.Fatalf("3D inset query tail = %v (query %d cells)", rs3[0], r3.Cells())
+	}
+	if n := o3.ClusterCount(r3); n != 1 {
+		t.Fatalf("3D inset query ClusterCount %d", n)
+	}
+}

@@ -1,0 +1,77 @@
+package curve
+
+import (
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// KeyRange is an inclusive range [Lo, Hi] of curve positions. A rectangle
+// query's minimal KeyRanges are its clusters: one sequential scan per range
+// answers the query, so len(ranges) equals the paper's clustering number.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// Cells returns the number of keys covered by the range.
+func (k KeyRange) Cells() uint64 { return k.Hi - k.Lo + 1 }
+
+// String renders the range as "[lo,hi]".
+func (k KeyRange) String() string { return fmt.Sprintf("[%d,%d]", k.Lo, k.Hi) }
+
+// RangePlanner is the output-sensitive range decomposition capability:
+// curves that can decompose a rectangle query into its minimal key ranges
+// analytically — per onion ring/layer intersection, prefix-tree descent, or
+// row-run arithmetic — without evaluating the forward mapping cell by cell
+// or sweeping the query surface.
+//
+// Contract: r must lie fully inside the curve's universe (callers such as
+// ranges.Decompose and cluster.Count validate before dispatching; planners
+// may panic or misbehave on an out-of-universe rectangle). DecomposeRect
+// returns the minimal sorted disjoint non-adjacent ranges covering exactly
+// the cells of r — bit-identical to what sorting every cell's key would
+// produce — and ClusterCount returns len(DecomposeRect(r)) without
+// materializing the ranges.
+type RangePlanner interface {
+	DecomposeRect(r geom.Rect) []KeyRange
+	ClusterCount(r geom.Rect) uint64
+}
+
+// RangeEmitter accumulates key ranges produced in ascending key order,
+// merging ranges that touch (lo == previous hi + 1) so the result is
+// minimal. Planners share one plan routine between DecomposeRect (collect
+// mode) and ClusterCount (count-only mode, no allocation).
+type RangeEmitter struct {
+	// Ranges is the collected, merged output (collect mode only).
+	Ranges []KeyRange
+
+	count     uint64
+	lastHi    uint64
+	has       bool
+	countOnly bool
+}
+
+// NewRangeCounter returns an emitter that only counts merged ranges.
+func NewRangeCounter() *RangeEmitter { return &RangeEmitter{countOnly: true} }
+
+// Emit appends the inclusive range [lo, hi], merging it into the previous
+// range when adjacent. Calls must arrive in ascending, non-overlapping key
+// order (lo of each call strictly greater than the previous hi).
+func (e *RangeEmitter) Emit(lo, hi uint64) {
+	if e.has && lo == e.lastHi+1 {
+		e.lastHi = hi
+		if !e.countOnly {
+			e.Ranges[len(e.Ranges)-1].Hi = hi
+		}
+		return
+	}
+	e.has = true
+	e.lastHi = hi
+	e.count++
+	if !e.countOnly {
+		e.Ranges = append(e.Ranges, KeyRange{Lo: lo, Hi: hi})
+	}
+}
+
+// Count returns the number of merged ranges emitted so far.
+func (e *RangeEmitter) Count() uint64 { return e.count }

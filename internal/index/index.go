@@ -45,12 +45,17 @@ func WithTreeOrder(order int) Option { return func(c *config) { c.treeOrder = or
 // WithPageSize sets the simulated disk page size in cells (default 256).
 func WithPageSize(cells uint64) Option { return func(c *config) { c.pageSize = cells } }
 
-// New builds an empty index clustered by the given curve.
-func New(c curve.Curve, opts ...Option) (*Index, error) {
+// parseConfig applies the options over the defaults, once per entry point.
+func parseConfig(opts []Option) config {
 	cfg := config{treeOrder: 64, pageSize: 256}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return cfg
+}
+
+// newIndex builds the empty index for an already parsed configuration.
+func newIndex(c curve.Curve, cfg config) (*Index, error) {
 	tree, err := bptree.New(cfg.treeOrder)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
@@ -62,12 +67,18 @@ func New(c curve.Curve, opts ...Option) (*Index, error) {
 	return &Index{c: c, tree: tree, store: store}, nil
 }
 
+// New builds an empty index clustered by the given curve.
+func New(c curve.Curve, opts ...Option) (*Index, error) {
+	return newIndex(c, parseConfig(opts))
+}
+
 // Bulk builds an index over the given points in one bottom-up pass
 // (O(n log n) for the key sort, O(n) tree construction) — the preferred
 // path for loading a static data set. Record ids are assigned in input
 // order, exactly as repeated Insert calls would.
 func Bulk(c curve.Curve, pts []geom.Point, opts ...Option) (*Index, error) {
-	ix, err := New(c, opts...)
+	cfg := parseConfig(opts)
+	ix, err := newIndex(c, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -90,20 +101,12 @@ func Bulk(c curve.Curve, pts []geom.Point, opts ...Option) (*Index, error) {
 	for i, e := range kvs {
 		keys[i], vals[i] = e.key, e.id
 	}
-	tree, err := bptree.BulkLoad(treeOrderOf(opts), keys, vals)
+	tree, err := bptree.BulkLoad(cfg.treeOrder, keys, vals)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	ix.tree = tree
 	return ix, nil
-}
-
-func treeOrderOf(opts []Option) int {
-	cfg := config{treeOrder: 64, pageSize: 256}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	return cfg.treeOrder
 }
 
 // Curve returns the clustering curve.
@@ -186,12 +189,18 @@ func (ix *Index) query(r geom.Rect, budget int) ([]uint64, QueryStats, error) {
 	if err != nil {
 		return nil, stats, fmt.Errorf("index: %w", err)
 	}
+	// An exact decomposition covers exactly the keys of cells inside r, so
+	// every scanned entry is a hit and the per-entry containment re-check
+	// is pure overhead; only a budgeted merge can introduce false
+	// positives that need filtering.
+	filter := false
 	if budget > 0 {
 		merged, err := ranges.MergeToBudget(rs, budget)
 		if err != nil {
 			return nil, stats, fmt.Errorf("index: %w", err)
 		}
 		rs = merged.Ranges
+		filter = merged.ExtraCells > 0
 	}
 	stats.Ranges = len(rs)
 	stats.Disk = ix.store.Execute(rs)
@@ -199,11 +208,11 @@ func (ix *Index) query(r geom.Rect, budget int) ([]uint64, QueryStats, error) {
 	for _, kr := range rs {
 		ix.tree.RangeScan(kr.Lo, kr.Hi, func(key, id uint64) bool {
 			stats.Entries++
-			if r.Contains(ix.points[id]) {
-				ids = append(ids, id)
-			} else {
+			if filter && !r.Contains(ix.points[id]) {
 				stats.FalsePositives++
+				return true
 			}
+			ids = append(ids, id)
 			return true
 		})
 	}

@@ -310,6 +310,102 @@ func TestBulkEquivalentToInserts(t *testing.T) {
 	}
 }
 
+// TestBulkHonorsOptions verifies the single-parse configuration path: a
+// bulk build with a custom tree order and page size must behave exactly
+// like the incremental build under the same options.
+func TestBulkHonorsOptions(t *testing.T) {
+	side := uint32(32)
+	u := geom.MustUniverse(2, side)
+	pts, err := workload.ClusteredPoints(u, 2, 1200, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := core.NewOnion2D(side)
+	bulk, err := Bulk(o, pts, WithTreeOrder(8), WithPageSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := New(o, WithTreeOrder(8), WithPageSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if _, err := incr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		r := randRect(rng, side)
+		a, aStats, err := bulk.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, bStats, err := incr.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v: bulk %d vs incremental %d results", r, len(a), len(b))
+		}
+		if aStats.Ranges != bStats.Ranges || aStats.Disk != bStats.Disk {
+			t.Fatalf("%v: stats diverge: %+v vs %+v", r, aStats, bStats)
+		}
+	}
+	if _, err := Bulk(o, pts, WithTreeOrder(1)); err == nil {
+		t.Error("invalid tree order accepted by Bulk")
+	}
+}
+
+// TestQueryBudgetFiltersExactly verifies that skipping the containment
+// re-check on exact decompositions never leaks a wrong id, and that merged
+// (budgeted) queries still filter every false positive out of the results.
+func TestQueryBudgetFiltersExactly(t *testing.T) {
+	side := uint32(64)
+	u := geom.MustUniverse(2, side)
+	pts, _ := workload.ClusteredPoints(u, 3, 2500, 11)
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range testCurves(t, side) {
+		ix, err := Bulk(c, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			r := randRect(rng, side)
+			want := bruteQuery(pts, r)
+			for _, budget := range []int{0, 1, 3} {
+				var got []uint64
+				var stats QueryStats
+				if budget == 0 {
+					got, stats, err = ix.Query(r)
+				} else {
+					got, stats, err = ix.QueryBudget(r, budget)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("%s %v budget %d: %d results, want %d",
+						c.Name(), r, budget, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s %v budget %d: wrong id at %d", c.Name(), r, budget, i)
+					}
+				}
+				if budget == 0 && stats.FalsePositives != 0 {
+					t.Fatalf("%s: exact query reported false positives", c.Name())
+				}
+				if stats.Entries != stats.Results+stats.FalsePositives {
+					t.Fatalf("%s %v budget %d: entries %d != results %d + false positives %d",
+						c.Name(), r, budget, stats.Entries, stats.Results, stats.FalsePositives)
+				}
+			}
+		}
+	}
+}
+
 func TestBulkValidation(t *testing.T) {
 	o, _ := core.NewOnion2D(16)
 	if _, err := Bulk(o, []geom.Point{{99, 0}}); !errors.Is(err, ErrPoint) {

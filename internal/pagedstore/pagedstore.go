@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"github.com/onioncurve/onion/internal/cluster"
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/ranges"
@@ -200,8 +201,25 @@ func (s *Store) Close() error { return s.f.Close() }
 // Len returns the number of stored records.
 func (s *Store) Len() int { return int(s.count) }
 
+// EstimateSeeks returns the clustering number of r under the store's
+// curve — an upper bound on the positioned reads Query will issue —
+// without touching the file. Curves with an analytic planner (the onion
+// family, Hilbert, Z, Gray, linear orders) answer output-sensitively even
+// for queries spanning billions of cells, which is what an admission
+// controller or cost-based planner needs per request.
+func (s *Store) EstimateSeeks(r geom.Rect) (uint64, error) {
+	n, err := cluster.Count(s.c, r)
+	if err != nil {
+		return 0, fmt.Errorf("pagedstore: %w", err)
+	}
+	return n, nil
+}
+
 // Query returns every record whose point lies in r, reading one page run
-// per cluster range and counting the physical access pattern.
+// per cluster range and counting the physical access pattern. The range
+// decomposition routes through the curve's analytic planner when one
+// exists, so planning cost scales with the number of clusters rather than
+// the query surface.
 func (s *Store) Query(r geom.Rect) ([]Record, Stats, error) {
 	var st Stats
 	krs, err := ranges.Decompose(s.c, r, 0)

@@ -1,0 +1,200 @@
+package ranges
+
+// Paper-scale decomposition benchmarks (Figure 5b regime: queries of 10^8+
+// cells). "analytic" is the output-sensitive curve.RangePlanner, "sweep" the
+// batched parallel boundary sweep, "sweep-scalar" the pre-batching baseline
+// with two interface Index calls per boundary pair. CI publishes these as
+// BENCH_2.json via cmd/benchjson.
+
+import (
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// bench2D is a 2^15-side 2D universe (2^30 cells ~ 10^9).
+func bench2D(b *testing.B) (*core.Onion2D, geom.Universe) {
+	b.Helper()
+	o, err := core.NewOnion2D(1 << 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o, o.Universe()
+}
+
+// insetRect2D is the paper-scale showcase: ~1.07*10^9 cells, 16 cells in
+// from every boundary, so the decomposition is a single tail range. The
+// planner pays O(1); the sweep pays the full 2*10^5-pair surface.
+func insetRect2D(u geom.Universe) geom.Rect {
+	s := u.Side()
+	return geom.Rect{Lo: geom.Point{16, 16}, Hi: geom.Point{s - 17, s - 17}}
+}
+
+// offsetRect2D is the adversarial case: ~2.7*10^8 cells straddling the
+// universe center off-axis, so thousands of rings intersect partially and
+// the output itself is tens of thousands of ranges.
+func offsetRect2D(u geom.Universe) geom.Rect {
+	s := u.Side()
+	return geom.Rect{Lo: geom.Point{s / 4, s/4 + 1000}, Hi: geom.Point{s/4 + s/2 - 1, s/4 + s/2 + 999}}
+}
+
+func reportRanges(b *testing.B, n int) {
+	b.Helper()
+	b.ReportMetric(float64(n), "ranges/op")
+}
+
+func BenchmarkDecompose2DPaperScale(b *testing.B) {
+	o, u := bench2D(b)
+	for _, bc := range []struct {
+		name string
+		r    geom.Rect
+	}{
+		{"inset", insetRect2D(u)},
+		{"offset", offsetRect2D(u)},
+	} {
+		if c := bc.r.Cells(); c < 1e8 {
+			b.Fatalf("%s query too small: %d cells", bc.name, c)
+		}
+		b.Run(bc.name+"/analytic", func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(o.DecomposeRect(bc.r))
+			}
+			reportRanges(b, n)
+		})
+		b.Run(bc.name+"/sweep", func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				rs, err := decomposeContinuous(o, bc.r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(rs)
+			}
+			reportRanges(b, n)
+		})
+		b.Run(bc.name+"/sweep-scalar", func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				rs, err := decomposeContinuousScalar(o, bc.r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(rs)
+			}
+			reportRanges(b, n)
+		})
+	}
+}
+
+func BenchmarkDecompose3DPaperScale(b *testing.B) {
+	o, err := core.NewOnion3D(1 << 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := o.Universe().Side()
+	// ~1.2*10^8 cells, 8 cells in from every face: single tail range.
+	r := geom.Rect{Lo: geom.Point{8, 8, 8}, Hi: geom.Point{s - 9, s - 9, s - 9}}
+	if c := r.Cells(); c < 1e8 {
+		b.Fatalf("query too small: %d cells", c)
+	}
+	b.Run("inset/analytic", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = len(o.DecomposeRect(r))
+		}
+		reportRanges(b, n)
+	})
+	b.Run("inset/sweep", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			rs, err := decomposeNearContinuous(o, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(rs)
+		}
+		reportRanges(b, n)
+	})
+}
+
+// BenchmarkClusterCount2DPaperScale measures counting alone (no range
+// materialization), the facade ClusterCount path.
+func BenchmarkClusterCount2DPaperScale(b *testing.B) {
+	o, u := bench2D(b)
+	r := offsetRect2D(u)
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = o.ClusterCount(r)
+		}
+	})
+}
+
+// BenchmarkDecomposeHilbertPrefixTree measures the orientation-carrying
+// prefix-tree planner against the boundary sweep on a large Hilbert query.
+func BenchmarkDecomposeHilbertPrefixTree(b *testing.B) {
+	h, err := baseline.NewHilbert(2, 1<<13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := h.Universe().Side()
+	r := geom.Rect{Lo: geom.Point{100, 200}, Hi: geom.Point{s - 101, s - 201}}
+	b.Run("prefix-tree", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = len(h.DecomposeRect(r))
+		}
+		reportRanges(b, n)
+	})
+	b.Run("sweep", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			rs, err := decomposeContinuous(h, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(rs)
+		}
+		reportRanges(b, n)
+	})
+}
+
+// BenchmarkDecomposeMid2D is the mid-size regime (10^6-cell query) where
+// constant factors, not asymptotics, decide.
+func BenchmarkDecomposeMid2D(b *testing.B) {
+	o, err := core.NewOnion2D(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := geom.Rect{Lo: geom.Point{1000, 1200}, Hi: geom.Point{2023, 2223}}
+	var cs = []struct {
+		name string
+		c    curve.Curve
+	}{{"onion", o}}
+	if z, err := baseline.NewMorton(2, 4096); err == nil {
+		cs = append(cs, struct {
+			name string
+			c    curve.Curve
+		}{"zcurve", z})
+	}
+	for _, tc := range cs {
+		p := tc.c.(curve.RangePlanner)
+		b.Run(tc.name+"/analytic", func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(p.DecomposeRect(r))
+			}
+			reportRanges(b, n)
+		})
+	}
+	b.Run("onion/sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := decomposeContinuous(o, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package ranges
+
+// FuzzDecompose cross-validates every decomposition strategy — analytic
+// planners (onion family, prefix trees, linear orders), the batched
+// boundary sweep (continuous and near-continuous) and the sorted fallback
+// — bit for bit on fuzzer-chosen rectangles across every curve
+// constructor, including odd, even and non-power-of-two sides.
+
+import (
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// fuzzCurves builds one instance per curve family, spanning odd, even and
+// non-power-of-two sides and 1-4 dimensions. Construction happens once;
+// the fuzz body picks by index.
+func fuzzCurves(f *testing.F) []curve.Curve {
+	f.Helper()
+	var cs []curve.Curve
+	add := func(c curve.Curve, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	add(core.NewOnion2D(31)) // odd side
+	add(core.NewOnion2D(32)) // even side
+	add(core.NewOnion2D(1))  // degenerate 1-cell universe
+	add(core.NewOnion3D(10)) // non-power-of-two even side
+	add(core.NewOnion3DWithSegmentOrder(8, [10]int{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}))
+	add(core.NewOnionND(1, 17))
+	add(core.NewOnionND(3, 9))
+	add(core.NewOnionND(4, 5))
+	add(core.NewLayerLex(2, 21))
+	add(core.NewLayerLex(3, 6))
+	add(baseline.NewHilbert(2, 32))
+	add(baseline.NewHilbert(3, 8))
+	add(baseline.NewMorton(2, 32))
+	add(baseline.NewMorton(3, 8))
+	add(baseline.NewGray(2, 32))
+	add(baseline.NewGray(3, 8))
+	add(baseline.NewRowMajor(2, 23))
+	add(baseline.NewColumnMajor(3, 7))
+	add(baseline.NewSnake(2, 19))
+	add(baseline.NewSnake(3, 6))
+	add(baseline.NewPeano(2, 27))
+	// The opaque wrapper reaches the sorted fallback path.
+	o, err := core.NewOnion2D(16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cs = append(cs, opaque{o})
+	return cs
+}
+
+// fuzzRect folds the six raw fuzz coordinates into a valid rectangle of
+// the curve's dimensionality: 0 and side-1 stay reachable so 1-wide slabs
+// touching each boundary and full-universe queries occur naturally.
+func fuzzRect(u geom.Universe, raw [6]uint32) geom.Rect {
+	lo := make(geom.Point, u.Dims())
+	hi := make(geom.Point, u.Dims())
+	for i := 0; i < u.Dims(); i++ {
+		j := i
+		if j >= 3 {
+			j = 2 // reuse the z pair for dims beyond the third
+		}
+		a := raw[2*j] % u.Side()
+		b := raw[2*j+1] % u.Side()
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+func FuzzDecompose(f *testing.F) {
+	cs := fuzzCurves(f)
+	// Seed corpus: the degenerate shapes every planner must get right.
+	for which := range cs {
+		side := cs[which].Universe().Side()
+		w := uint8(which)
+		f.Add(w, uint32(0), uint32(0), uint32(0), uint32(0), uint32(0), uint32(0)) // 1-cell corner
+		f.Add(w, side-1, side-1, side-1, side-1, side-1, side-1)                   // 1-cell far corner
+		f.Add(w, uint32(0), side-1, uint32(0), side-1, uint32(0), side-1)          // full universe
+		f.Add(w, uint32(0), uint32(0), uint32(0), side-1, uint32(0), side-1)       // 1-wide slab at low x
+		f.Add(w, side-1, side-1, uint32(0), side-1, uint32(0), side-1)             // 1-wide slab at high x
+		f.Add(w, uint32(0), side-1, uint32(0), uint32(0), uint32(0), side-1)       // 1-wide slab at low y
+		f.Add(w, uint32(0), side-1, side-1, side-1, uint32(0), side-1)             // 1-wide slab at high y
+		f.Add(w, uint32(1), side-2, uint32(1), side-2, uint32(1), side-2)          // inset (tail fast path)
+		f.Add(w, side/2, side/2, side/2, side/2, side/2, side/2)                   // center cell
+	}
+	f.Fuzz(func(t *testing.T, which uint8, x0, x1, y0, y1, z0, z1 uint32) {
+		c := cs[int(which)%len(cs)]
+		u := c.Universe()
+		r := fuzzRect(u, [6]uint32{x0, x1, y0, y1, z0, z1})
+		got, err := Decompose(c, r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := decomposeSorted(c, r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRanges(got, want) {
+			t.Fatalf("%s %v: Decompose %v, sorted %v", c.Name(), r, got, want)
+		}
+		// The clustering number must agree with the decomposition for
+		// every counting strategy that applies to this curve.
+		n, err := cluster.Count(c, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(len(want)) {
+			t.Fatalf("%s %v: Count %d, want %d", c.Name(), r, n, len(want))
+		}
+		if curve.IsContinuous(c) {
+			cc, err := cluster.CountContinuous(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cc != uint64(len(want)) {
+				t.Fatalf("%s %v: CountContinuous %d, want %d", c.Name(), r, cc, len(want))
+			}
+		}
+		if _, ok := c.(cluster.JumpLister); ok {
+			nc, err := cluster.CountNearContinuous(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nc != uint64(len(want)) {
+				t.Fatalf("%s %v: CountNearContinuous %d, want %d", c.Name(), r, nc, len(want))
+			}
+		}
+	})
+}

@@ -4,18 +4,22 @@
 // clustered by the curve answers a rectangle query with exactly one
 // sequential scan per range, so len(Decompose(...)) disk seeks.
 //
-// Strategies:
+// Strategies, cheapest first:
 //
+//   - curves implementing curve.RangePlanner (the onion family, Hilbert,
+//     Z, Gray, the linear orders): output-sensitive analytic planning —
+//     per-layer ring/segment intersection or prefix-tree descent — with
+//     zero per-cell curve evaluations.
 //   - continuous curves: derived from Lemma 1 — run starts and ends can
 //     only occur at the query boundary, so both are recovered from the
-//     O(surface) inside/outside neighbor pairs.
-//   - Z (Morton) curve: recursive quadrant decomposition (the classic
-//     BIGMIN/LITMAX family): a query is split along the curve's prefix
-//     tree, emitting whole sub-blocks in key order.
+//     O(surface) inside/outside neighbor pairs, swept in batches across
+//     GOMAXPROCS workers.
+//   - almost-continuous curves (cluster.JumpLister): the same boundary
+//     sweep plus one check per enumerated discontinuity.
 //   - any other curve: cell enumeration + sort.
 //
 // All strategies return exactly the same minimal ranges; the test suite
-// cross-validates them.
+// and FuzzDecompose cross-validate them bit for bit.
 package ranges
 
 import (
@@ -24,7 +28,6 @@ import (
 	"slices"
 	"sort"
 
-	"github.com/onioncurve/onion/internal/baseline"
 	"github.com/onioncurve/onion/internal/cluster"
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
@@ -33,16 +36,9 @@ import (
 // ErrBudget reports an invalid merge budget.
 var ErrBudget = errors.New("ranges: merge budget must be >= 1")
 
-// KeyRange is an inclusive range [Lo, Hi] of curve positions.
-type KeyRange struct {
-	Lo, Hi uint64
-}
-
-// Cells returns the number of keys covered by the range.
-func (k KeyRange) Cells() uint64 { return k.Hi - k.Lo + 1 }
-
-// String renders the range as "[lo,hi]".
-func (k KeyRange) String() string { return fmt.Sprintf("[%d,%d]", k.Lo, k.Hi) }
+// KeyRange is an inclusive range [Lo, Hi] of curve positions. It is an
+// alias of curve.KeyRange, the type planners emit.
+type KeyRange = curve.KeyRange
 
 // TotalCells sums the sizes of the given ranges.
 func TotalCells(rs []KeyRange) uint64 {
@@ -55,24 +51,99 @@ func TotalCells(rs []KeyRange) uint64 {
 
 // Decompose returns the minimal contiguous key ranges covering exactly the
 // cells of r under curve c, sorted by Lo. The number of ranges equals the
-// clustering number c(r, curve).
+// clustering number c(r, curve). maxCells bounds only the sorted fallback
+// strategy; the planner and boundary-sweep strategies handle queries of
+// any size.
 func Decompose(c curve.Curve, r geom.Rect, maxCells uint64) ([]KeyRange, error) {
 	if !r.In(c.Universe()) {
 		return nil, fmt.Errorf("%w: %v in %v", cluster.ErrRectOutside, r, c.Universe())
 	}
+	if p, ok := c.(curve.RangePlanner); ok {
+		return p.DecomposeRect(r), nil
+	}
 	if curve.IsContinuous(c) {
 		return decomposeContinuous(c, r)
 	}
-	if m, ok := c.(*baseline.Morton); ok {
-		return decomposeMorton(m, r), nil
+	if _, ok := c.(cluster.JumpLister); ok {
+		return decomposeNearContinuous(c, r)
 	}
 	return decomposeSorted(c, r, maxCells)
 }
 
 // decomposeContinuous finds run starts (cells whose predecessor lies
 // outside the query) and run ends (successor outside) among the boundary
-// pairs; continuity guarantees no other cell can start or end a run.
+// pairs; continuity guarantees no other cell can start or end a run. The
+// pairs are evaluated through the batched parallel boundary sweep.
 func decomposeContinuous(c curve.Curve, r geom.Rect) ([]KeyRange, error) {
+	u := c.Universe()
+	starts, ends := cluster.BoundaryCrossings(c, r)
+	p := make(geom.Point, u.Dims())
+	if r.Contains(c.Coords(0, p)) {
+		starts = append(starts, 0)
+	}
+	if r.Contains(c.Coords(u.Size()-1, p)) {
+		ends = append(ends, u.Size()-1)
+	}
+	return pairRuns(starts, ends)
+}
+
+// decomposeNearContinuous extends the boundary sweep to almost-continuous
+// curves: run boundaries occur either at grid-neighbor boundary crossings
+// (the sweep) or across one of the curve's enumerated jump steps, checked
+// individually. Cost is O(surface(r) + jumps).
+func decomposeNearContinuous(c curve.Curve, r geom.Rect) ([]KeyRange, error) {
+	jl, ok := c.(cluster.JumpLister)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", cluster.ErrNoJumps, c.Name())
+	}
+	u := c.Universe()
+	starts, ends := cluster.BoundaryCrossings(c, r)
+	p := make(geom.Point, u.Dims())
+	q := make(geom.Point, u.Dims())
+	for _, h := range jl.Jumps() {
+		// The key step h -> h+1 is not a neighbor move, so the sweep never
+		// saw it; it bounds a run iff it crosses the query boundary.
+		hin := r.Contains(c.Coords(h, p))
+		sin := r.Contains(c.Coords(h+1, q))
+		switch {
+		case hin && !sin:
+			ends = append(ends, h)
+		case !hin && sin:
+			starts = append(starts, h+1)
+		}
+	}
+	if r.Contains(c.Coords(0, p)) {
+		starts = append(starts, 0)
+	}
+	if r.Contains(c.Coords(u.Size()-1, p)) {
+		ends = append(ends, u.Size()-1)
+	}
+	return pairRuns(starts, ends)
+}
+
+// pairRuns sorts the collected run starts and ends and zips them into
+// ranges, validating the one-start-one-end invariant.
+func pairRuns(starts, ends []uint64) ([]KeyRange, error) {
+	slices.Sort(starts)
+	slices.Sort(ends)
+	if len(starts) != len(ends) {
+		return nil, fmt.Errorf("ranges: internal error: %d starts vs %d ends", len(starts), len(ends))
+	}
+	out := make([]KeyRange, len(starts))
+	for i := range starts {
+		if starts[i] > ends[i] {
+			return nil, fmt.Errorf("ranges: internal error: start %d after end %d", starts[i], ends[i])
+		}
+		out[i] = KeyRange{Lo: starts[i], Hi: ends[i]}
+	}
+	return out, nil
+}
+
+// decomposeContinuousScalar is the pre-sweep reference implementation: two
+// scalar interface Curve.Index calls per boundary pair. Retained to
+// cross-validate the batched sweep and as the benchmark baseline the
+// analytic planners are measured against.
+func decomposeContinuousScalar(c curve.Curve, r geom.Rect) ([]KeyRange, error) {
 	u := c.Universe()
 	var starts, ends []uint64
 	r.Faces(u, func(in, out geom.Point) bool {
@@ -92,67 +163,7 @@ func decomposeContinuous(c curve.Curve, r geom.Rect) ([]KeyRange, error) {
 	if r.Contains(c.Coords(u.Size()-1, p)) {
 		ends = append(ends, u.Size()-1)
 	}
-	slices.Sort(starts)
-	slices.Sort(ends)
-	if len(starts) != len(ends) {
-		return nil, fmt.Errorf("ranges: internal error: %d starts vs %d ends", len(starts), len(ends))
-	}
-	out := make([]KeyRange, len(starts))
-	for i := range starts {
-		if starts[i] > ends[i] {
-			return nil, fmt.Errorf("ranges: internal error: start %d after end %d", starts[i], ends[i])
-		}
-		out[i] = KeyRange{Lo: starts[i], Hi: ends[i]}
-	}
-	return out, nil
-}
-
-// decomposeMorton walks the Z curve's prefix tree, emitting fully-contained
-// blocks in key order and merging adjacent blocks on the fly.
-func decomposeMorton(m *baseline.Morton, r geom.Rect) []KeyRange {
-	d := m.Universe().Dims()
-	var out []KeyRange
-	emit := func(lo, hi uint64) {
-		if n := len(out); n > 0 && out[n-1].Hi+1 == lo {
-			out[n-1].Hi = hi
-			return
-		}
-		out = append(out, KeyRange{Lo: lo, Hi: hi})
-	}
-	boxLo := make(geom.Point, d)
-	var rec func(keyLo uint64, level int, boxLo geom.Point)
-	rec = func(keyLo uint64, level int, boxLo geom.Point) {
-		side := uint32(1) << uint(level)
-		box := geom.Rect{Lo: boxLo, Hi: make(geom.Point, d)}
-		for i := 0; i < d; i++ {
-			box.Hi[i] = boxLo[i] + side - 1
-		}
-		inter, ok := box.Intersect(r)
-		if !ok {
-			return
-		}
-		if inter.Equal(box) {
-			cells := uint64(1) << uint(level*d)
-			emit(keyLo, keyLo+cells-1)
-			return
-		}
-		// Split into 2^d children in Z order: child bit i selects the
-		// upper half of dimension i.
-		childCells := uint64(1) << uint((level-1)*d)
-		half := side / 2
-		childLo := make(geom.Point, d)
-		for ci := 0; ci < 1<<uint(d); ci++ {
-			for i := 0; i < d; i++ {
-				childLo[i] = boxLo[i]
-				if ci&(1<<uint(i)) != 0 {
-					childLo[i] += half
-				}
-			}
-			rec(keyLo+uint64(ci)*childCells, level-1, childLo)
-		}
-	}
-	rec(0, m.Order(), boxLo)
-	return out
+	return pairRuns(starts, ends)
 }
 
 // decomposeSorted enumerates, sorts and splits into runs.

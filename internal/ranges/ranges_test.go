@@ -67,8 +67,10 @@ func TestDecomposeAllStrategies2D(t *testing.T) {
 	g, _ := baseline.NewGray(2, side)
 	s, _ := baseline.NewSnake(2, side)
 	rm, _ := baseline.NewRowMajor(2, side)
+	cm, _ := baseline.NewColumnMajor(2, side)
+	lex, _ := core.NewLayerLex(2, side)
 	rng := rand.New(rand.NewSource(1))
-	for _, c := range []curve.Curve{o, h, z, g, s, rm} {
+	for _, c := range []curve.Curve{o, h, z, g, s, rm, cm, lex, opaque{g}} {
 		for trial := 0; trial < 150; trial++ {
 			r := randRect(rng, 2, side)
 			rs, err := Decompose(c, r, 0)
@@ -93,10 +95,12 @@ func TestDecomposeAllStrategies3D(t *testing.T) {
 	h3, _ := baseline.NewHilbert(3, 8)
 	z3, _ := baseline.NewMorton(3, 8)
 	nd, _ := core.NewOnionND(3, 8)
+	lex3, _ := core.NewLayerLex(3, 7)
+	s3, _ := baseline.NewSnake(3, 8)
 	rng := rand.New(rand.NewSource(2))
-	for _, c := range []curve.Curve{o3, h3, z3, nd} {
+	for _, c := range []curve.Curve{o3, h3, z3, nd, lex3, s3} {
 		for trial := 0; trial < 60; trial++ {
-			r := randRect(rng, 3, 8)
+			r := randRect(rng, 3, c.Universe().Side())
 			rs, err := Decompose(c, r, 0)
 			if err != nil {
 				t.Fatalf("%s: %v", c.Name(), err)
@@ -106,26 +110,100 @@ func TestDecomposeAllStrategies3D(t *testing.T) {
 	}
 }
 
-func TestDecomposeMortonMatchesSorted(t *testing.T) {
-	// The recursive Z decomposition must agree with brute force exactly.
+// opaque hides every capability of the wrapped curve (planner, continuity,
+// jump listing) behind the bare Curve interface, forcing the sorted
+// fallback — the built-in curves all plan or sweep now.
+type opaque struct{ curve.Curve }
+
+func TestDecomposePlannersMatchSorted(t *testing.T) {
+	// Every planner's output must agree with brute force bit for bit.
 	z, _ := baseline.NewMorton(2, 32)
+	g, _ := baseline.NewGray(2, 32)
+	h, _ := baseline.NewHilbert(2, 32)
+	o, _ := core.NewOnion2D(33)
+	lex, _ := core.NewLayerLex(2, 20)
 	rng := rand.New(rand.NewSource(3))
-	for trial := 0; trial < 200; trial++ {
-		r := randRect(rng, 2, 32)
-		fast := decomposeMorton(z, r)
-		slow, err := decomposeSorted(z, r, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(fast) != len(slow) {
-			t.Fatalf("%v: fast %d ranges, slow %d", r, len(fast), len(slow))
-		}
-		for i := range fast {
-			if fast[i] != slow[i] {
-				t.Fatalf("%v: range %d: %v vs %v", r, i, fast[i], slow[i])
+	for _, c := range []curve.Curve{z, g, h, o, lex} {
+		side := c.Universe().Side()
+		for trial := 0; trial < 150; trial++ {
+			r := randRect(rng, 2, side)
+			fast, err := Decompose(c, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := decomposeSorted(c, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fast) != len(slow) {
+				t.Fatalf("%s %v: fast %d ranges, slow %d", c.Name(), r, len(fast), len(slow))
+			}
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("%s %v: range %d: %v vs %v", c.Name(), r, i, fast[i], slow[i])
+				}
 			}
 		}
 	}
+}
+
+// TestDecomposeSweepStrategies cross-validates the batched boundary sweep
+// (continuous and near-continuous) and its scalar reference against the
+// analytic planners, which the strategy tests above tie to brute force.
+func TestDecomposeSweepStrategies(t *testing.T) {
+	o, _ := core.NewOnion2D(48)
+	s, _ := baseline.NewSnake(2, 37)
+	h, _ := baseline.NewHilbert(2, 64)
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []curve.Curve{o, s, h} {
+		side := c.Universe().Side()
+		for trial := 0; trial < 100; trial++ {
+			r := randRect(rng, 2, side)
+			want, err := Decompose(c, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := decomposeContinuous(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar, err := decomposeContinuousScalar(c, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalRanges(batched, want) || !equalRanges(scalar, want) {
+				t.Fatalf("%s %v: sweep %v scalar %v want %v", c.Name(), r, batched, scalar, want)
+			}
+		}
+	}
+	// Near-continuous: the 3D onion has enumerable jumps.
+	o3, _ := core.NewOnion3D(10)
+	for trial := 0; trial < 80; trial++ {
+		r := randRect(rng, 3, 10)
+		want, err := Decompose(o3, r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		near, err := decomposeNearContinuous(o3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRanges(near, want) {
+			t.Fatalf("onion3d %v: near-continuous %v want %v", r, near, want)
+		}
+	}
+}
+
+func equalRanges(a, b []KeyRange) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestDecomposeWholeUniverse(t *testing.T) {
@@ -134,7 +212,7 @@ func TestDecomposeWholeUniverse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 1 || rs[0] != (KeyRange{0, 511}) {
+	if len(rs) != 1 || rs[0] != (KeyRange{Lo: 0, Hi: 511}) {
 		t.Fatalf("whole universe = %v", rs)
 	}
 	o, _ := core.NewOnion2D(64)
@@ -142,7 +220,7 @@ func TestDecomposeWholeUniverse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 1 || rs[0] != (KeyRange{0, 4095}) {
+	if len(rs) != 1 || rs[0] != (KeyRange{Lo: 0, Hi: 4095}) {
 		t.Fatalf("whole onion universe = %v", rs)
 	}
 }
@@ -155,20 +233,24 @@ func TestDecomposeErrors(t *testing.T) {
 	}
 	g, _ := baseline.NewGray(2, 8)
 	big := g.Universe().Rect()
-	if _, err := Decompose(g, big, 4); !errors.Is(err, cluster.ErrTooManyCells) {
+	if _, err := Decompose(opaque{g}, big, 4); !errors.Is(err, cluster.ErrTooManyCells) {
 		t.Error("budget not enforced for sorted fallback")
+	}
+	// The Gray curve itself plans analytically, so no budget applies.
+	if rs, err := Decompose(g, big, 4); err != nil || len(rs) != 1 {
+		t.Errorf("planner subject to sorted budget: %v, %v", rs, err)
 	}
 }
 
 func TestMergeToBudget(t *testing.T) {
-	rs := []KeyRange{{0, 3}, {6, 7}, {20, 29}, {31, 31}}
+	rs := []KeyRange{{Lo: 0, Hi: 3}, {Lo: 6, Hi: 7}, {Lo: 20, Hi: 29}, {Lo: 31, Hi: 31}}
 	res, err := MergeToBudget(rs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Gaps: 2 (3->6), 12 (7->20), 1 (29->31). Closing the two smallest
 	// (sizes 1 and 2) leaves {0,7} and {20,31}.
-	want := []KeyRange{{0, 7}, {20, 31}}
+	want := []KeyRange{{Lo: 0, Hi: 7}, {Lo: 20, Hi: 31}}
 	if len(res.Ranges) != 2 || res.Ranges[0] != want[0] || res.Ranges[1] != want[1] {
 		t.Fatalf("merged = %v", res.Ranges)
 	}
@@ -178,7 +260,7 @@ func TestMergeToBudget(t *testing.T) {
 }
 
 func TestMergeToBudgetNoop(t *testing.T) {
-	rs := []KeyRange{{0, 1}, {5, 6}}
+	rs := []KeyRange{{Lo: 0, Hi: 1}, {Lo: 5, Hi: 6}}
 	res, err := MergeToBudget(rs, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -192,12 +274,12 @@ func TestMergeToBudgetNoop(t *testing.T) {
 }
 
 func TestMergeToBudgetOne(t *testing.T) {
-	rs := []KeyRange{{0, 0}, {10, 10}, {20, 20}}
+	rs := []KeyRange{{Lo: 0, Hi: 0}, {Lo: 10, Hi: 10}, {Lo: 20, Hi: 20}}
 	res, err := MergeToBudget(rs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Ranges) != 1 || res.Ranges[0] != (KeyRange{0, 20}) {
+	if len(res.Ranges) != 1 || res.Ranges[0] != (KeyRange{Lo: 0, Hi: 20}) {
 		t.Fatalf("merge-to-one = %v", res.Ranges)
 	}
 	if res.ExtraCells != 18 {
@@ -215,7 +297,7 @@ func TestMergePreservesCoverage(t *testing.T) {
 			cur += uint64(rng.Int63n(20)) + 2
 			lo := cur
 			cur += uint64(rng.Int63n(10))
-			rs = append(rs, KeyRange{lo, cur})
+			rs = append(rs, KeyRange{Lo: lo, Hi: cur})
 		}
 		budget := rng.Intn(10) + 1
 		res, err := MergeToBudget(rs, budget)
@@ -245,14 +327,14 @@ func TestMergePreservesCoverage(t *testing.T) {
 }
 
 func TestKeyRangeHelpers(t *testing.T) {
-	k := KeyRange{3, 7}
+	k := KeyRange{Lo: 3, Hi: 7}
 	if k.Cells() != 5 {
 		t.Fatal("cells")
 	}
 	if k.String() != "[3,7]" {
 		t.Fatalf("string = %q", k.String())
 	}
-	if TotalCells([]KeyRange{{0, 0}, {2, 3}}) != 3 {
+	if TotalCells([]KeyRange{{Lo: 0, Hi: 0}, {Lo: 2, Hi: 3}}) != 3 {
 		t.Fatal("total")
 	}
 }

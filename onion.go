@@ -68,6 +68,14 @@ type (
 	// KeyRange is an inclusive range of curve keys; a query's minimal
 	// KeyRanges are its clusters.
 	KeyRange = ranges.KeyRange
+	// RangePlanner is the output-sensitive decomposition capability: a
+	// Curve additionally implementing it (every curve in this package
+	// does, except Peano) decomposes and counts rectangle queries
+	// analytically, in time proportional to the output rather than the
+	// query surface. Custom Curve implementations can provide it to opt
+	// into the same fast path in Decompose, ClusterCount, indexes and
+	// stores.
+	RangePlanner = curve.RangePlanner
 	// MergeResult is the outcome of merging ranges under a seek budget.
 	MergeResult = ranges.MergeResult
 	// Summary is a five-number summary plus mean (box-plot statistics).
@@ -197,17 +205,23 @@ func CoordsBatch(c Curve, keys []uint64, dst []Point) []Point {
 }
 
 // ClusterCount returns the clustering number of r under c: the minimum
-// number of contiguous key runs covering exactly the cells of r. For
-// continuous (and almost-continuous) curves this costs O(surface(r)), so
-// queries with billions of cells are fine.
+// number of contiguous key runs covering exactly the cells of r. The
+// cheapest correct strategy is chosen per curve:
+//
+//   - onion family, Hilbert, Z, Gray and linear orders: an analytic
+//     output-sensitive planner — per-layer ring/segment intersection or
+//     prefix-tree descent — in O(layers + clusters) (onion) or
+//     O(clusters * log side) (prefix trees), with zero per-cell curve
+//     evaluations; paper-scale queries (10^8+ cells) count in
+//     microseconds.
+//   - other continuous curves (e.g. Peano): the Lemma 1 boundary method,
+//     O(surface(r)) batched curve evaluations sharded across CPUs.
+//   - other almost-continuous curves: the boundary method plus one check
+//     per enumerated jump.
+//   - anything else: cell enumeration + sort, O(|r| log |r|), subject to
+//     the sorted cell budget.
 func ClusterCount(c Curve, r Rect) (uint64, error) {
-	if curve.IsContinuous(c) {
-		return cluster.CountContinuous(c, r)
-	}
-	if _, ok := c.(cluster.JumpLister); ok {
-		return cluster.CountNearContinuous(c, r)
-	}
-	return cluster.CountSorted(c, r, 0)
+	return cluster.Count(c, r)
 }
 
 // AverageClustering returns the exact average clustering number of c over
@@ -226,7 +240,12 @@ func AverageClustering(c Curve, shape []uint32) (float64, error) {
 }
 
 // Decompose returns the minimal contiguous key ranges covering exactly the
-// cells of r, sorted ascending; len(result) equals ClusterCount.
+// cells of r, sorted ascending; len(result) equals ClusterCount. The
+// strategy mirrors ClusterCount — analytic planners for the onion family
+// and the prefix-tree curves (output-sensitive, no per-cell evaluations),
+// the batched boundary sweep for other continuous or almost-continuous
+// curves (O(surface(r))), and sorted enumeration as the last resort — and
+// every strategy returns bit-identical ranges.
 func Decompose(c Curve, r Rect) ([]KeyRange, error) {
 	return ranges.Decompose(c, r, 0)
 }
