@@ -1,0 +1,97 @@
+package onion_test
+
+import (
+	"testing"
+
+	onion "github.com/onioncurve/onion"
+)
+
+// TestOpenEngineFacade exercises the storage engine through the public
+// facade: the full Put/Delete/Query/Flush/Compact/Stats/Close lifecycle
+// plus a reopen, as a user of the package would drive it.
+func TestOpenEngineFacade(t *testing.T) {
+	o, err := onion.NewOnion2D(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	eng, err := onion.OpenEngine(dir, o, onion.EngineOptions{PageBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint32(0); x < 64; x++ {
+		for y := uint32(0); y < 8; y++ {
+			if err := eng.Put(onion.Point{x, y}, uint64(x)<<8|uint64(y)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Delete(onion.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := onion.RectAt(onion.Point{0, 0}, []uint32{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 63 { // 8x8 corner minus the deleted origin
+		t.Fatalf("%d records, want 63", len(recs))
+	}
+	if st.Planned == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	es := eng.Stats()
+	if es.Segments != 1 || es.SegmentRecords != 64*8-1 {
+		t.Fatalf("engine stats %+v", es)
+	}
+	// Physical stats now match a bulk-loaded Store of the same records.
+	recsAll, _, err := eng.Query(o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/ref.pst"
+	if err := onion.WriteStore(path, o, recsAll, 512); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := onion.OpenStore(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	refRecs, refStats, err := ref.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engRecs, engStats, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRecs) != len(engRecs) || engStats.Stats != refStats {
+		t.Fatalf("engine %d/%+v vs store %d/%+v", len(engRecs), engStats.Stats, len(refRecs), refStats)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: everything still there.
+	eng2, err := onion.OpenEngine(dir, o, onion.EngineOptions{PageBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	recs2, _, err := eng2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 63 {
+		t.Fatalf("reopened: %d records, want 63", len(recs2))
+	}
+}

@@ -45,6 +45,10 @@ func New(order int) (*Tree, error) {
 	return &Tree{root: &node{leaf: true}, order: order &^ 1}, nil
 }
 
+// Order returns the tree's branching factor as configured at creation
+// (after even rounding) — the order a rebuild must reuse.
+func (t *Tree) Order() int { return t.order }
+
 // ErrUnsorted reports keys passed to BulkLoad out of order.
 var ErrUnsorted = errors.New("bptree: bulk load requires keys in ascending order")
 

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// benchOpts: real pages, background flush on, compaction on — the shape a
+// serving deployment would run.
+func benchOpts() Options {
+	return Options{PageBytes: 4096, FlushEntries: 1 << 15, CompactFanout: 4}
+}
+
+func benchEngine(b *testing.B, opts Options) *Engine {
+	b.Helper()
+	o, err := core.NewOnion2D(1 << 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := Open(b.TempDir(), o, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	return e
+}
+
+// BenchmarkEngineIngest measures the acknowledged write path: WAL frame +
+// memtable insert (no per-write fsync), including the background flushes
+// it triggers.
+func BenchmarkEngineIngest(b *testing.B) {
+	e := benchEngine(b, benchOpts())
+	side := int32(e.c.Universe().Side())
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 4096)
+	for i := range pts {
+		pts[i] = geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Put(pts[i%len(pts)], uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineIngestParallel drives Put from all procs: the WAL append
+// serializes on one mutex, the memtable insert lands on per-shard locks.
+func BenchmarkEngineIngestParallel(b *testing.B) {
+	e := benchEngine(b, benchOpts())
+	side := int32(e.c.Universe().Side())
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seq.Add(1)))
+		for pb.Next() {
+			pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+			if err := e.Put(pt, rng.Uint64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineMixedReadWrite interleaves writes with rectangle queries
+// (one planner call + merged scan each) on the shared engine — the
+// ingest-while-serving workload the engine exists for.
+func BenchmarkEngineMixedReadWrite(b *testing.B) {
+	e := benchEngine(b, benchOpts())
+	side := int32(e.c.Universe().Side())
+	// Pre-load so queries have data to find.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50_000; i++ {
+		pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+		if err := e.Put(pt, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(100 + seq.Add(1)))
+		for pb.Next() {
+			if rng.Intn(4) == 0 { // 25% queries, 75% writes
+				lo := geom.Point{uint32(rng.Int31n(side - 32)), uint32(rng.Int31n(side - 32))}
+				r := geom.Rect{Lo: lo, Hi: geom.Point{lo[0] + 31, lo[1] + 31}}
+				if _, _, err := e.Query(r); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+				if err := e.Put(pt, rng.Uint64()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkEngineQueryCompacted measures the steady-state read path: a
+// fully compacted engine answering a 64x64 rectangle.
+func BenchmarkEngineQueryCompacted(b *testing.B) {
+	e := benchEngine(b, Options{PageBytes: 4096, FlushEntries: -1, CompactFanout: -1})
+	side := int32(e.c.Universe().Side())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100_000; i++ {
+		pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+		if err := e.Put(pt, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	var seeks, results int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := geom.Point{uint32(rng.Int31n(side - 64)), uint32(rng.Int31n(side - 64))}
+		r := geom.Rect{Lo: lo, Hi: geom.Point{lo[0] + 63, lo[1] + 63}}
+		recs, st, err := e.Query(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seeks += int64(st.Seeks)
+		results += int64(len(recs))
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(seeks)/float64(b.N), "seeks/op")
+		b.ReportMetric(float64(results)/float64(b.N), "results/op")
+	}
+}

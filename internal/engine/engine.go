@@ -1,0 +1,674 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/pagedstore"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+var (
+	// ErrClosed reports use of a closed engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrPoint reports a point outside the engine's universe.
+	ErrPoint = errors.New("engine: point outside universe")
+)
+
+// Options tunes an Engine. The zero value selects the defaults.
+type Options struct {
+	// PageBytes is the segment page size (default 4096).
+	PageBytes int
+	// FlushEntries triggers an automatic background flush once the active
+	// memtable holds this many versions (default 1 << 16; negative
+	// disables automatic flushing — Flush must be called explicitly).
+	FlushEntries int
+	// SyncWrites fsyncs the WAL on every Put/Delete before acknowledging.
+	// Off by default: group durability is available through Sync.
+	SyncWrites bool
+	// Shards is the number of memtable shards (default GOMAXPROCS).
+	Shards int
+	// CompactFanout is the size-tiered trigger: a run of at least this
+	// many age-adjacent, similar-sized segments is merged in the
+	// background (default 4; negative disables background compaction).
+	CompactFanout int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageBytes == 0 {
+		o.PageBytes = 4096
+	}
+	if o.FlushEntries == 0 {
+		o.FlushEntries = 1 << 16
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.CompactFanout == 0 {
+		o.CompactFanout = 4
+	}
+	return o
+}
+
+// Record is one stored point with an opaque payload (the pagedstore type:
+// segments are pagedstore files).
+type Record = pagedstore.Record
+
+// Stats is the physical access pattern of one engine query. The embedded
+// pagedstore.Stats counts exactly as a pagedstore query does — Seeks is
+// the number of positioned reads at non-contiguous segment offsets summed
+// over the live segments, PagesRead and RecordsScanned likewise; the
+// memtable contributes no seeks (it is RAM). On a fully flushed and
+// compacted engine the embedded Stats of a query are bit-identical to the
+// Stats of the same query against a pagedstore holding the same records.
+type Stats struct {
+	pagedstore.Stats
+	// MemEntries is the number of memtable entries merged into the result.
+	MemEntries int
+	// Segments is the number of live segments consulted.
+	Segments int
+	// Planned is the number of key ranges produced by the single
+	// RangePlanner call — the clustering number of the query rectangle.
+	Planned int
+}
+
+// EngineStats is a point-in-time summary of the engine's shape.
+type EngineStats struct {
+	MemEntries     int64  // versions in the active memtable
+	ImmMemtables   int    // frozen memtables awaiting flush
+	Segments       int    // live immutable segments
+	SegmentRecords int    // records across live segments (incl. tombstones)
+	WALBytes       int64  // bytes appended to the active WAL
+	LastSeq        uint64 // last assigned sequence number
+	Flushes        uint64
+	Compactions    uint64
+}
+
+// committer tracks the contiguous watermark of completed writes: a write
+// is visible to queries only once every smaller sequence number has also
+// landed in the memtable, so a snapshot is always a prefix of history.
+type committer struct {
+	mu      sync.Mutex
+	done    map[uint64]struct{}
+	visible atomic.Uint64
+}
+
+func (t *committer) commit(seq uint64) {
+	t.mu.Lock()
+	if seq == t.visible.Load()+1 {
+		v := seq
+		for {
+			if _, ok := t.done[v+1]; !ok {
+				break
+			}
+			delete(t.done, v+1)
+			v++
+		}
+		t.visible.Store(v)
+	} else {
+		t.done[seq] = struct{}{}
+	}
+	t.mu.Unlock()
+}
+
+// Engine is a durable LSM-style spatial store keyed by curve index. See
+// the package comment for the architecture. All methods are safe for
+// concurrent use.
+//
+// Lock order: mu before walMu; flushMu (held across whole flush or
+// compaction) before both.
+type Engine struct {
+	dir  string
+	c    curve.Curve
+	opts Options
+
+	walMu sync.Mutex
+	wal   *wal
+	seq   uint64 // last assigned sequence number (under walMu)
+	com   committer
+
+	// mu guards the engine's structure: memtable identity, segment list,
+	// closed flag. Writers and queries hold it shared; flush, compaction
+	// installs and close hold it exclusive.
+	mu      sync.RWMutex
+	mem     *memtable
+	imm     []*memtable // frozen memtables, oldest first
+	segs    []*segment  // live segments, oldest first
+	gen     uint64      // next file generation
+	closing bool        // Close in progress (blocks a second Close)
+	closed  bool
+
+	flushMu sync.Mutex // serializes flush and compaction bodies
+
+	bgErrMu sync.Mutex
+	bgErr   error // last background flush/compaction error, nil after success
+
+	flushes     atomic.Uint64
+	compactions atomic.Uint64
+
+	bg     chan struct{} // background flush/compact doorbell
+	bgStop chan struct{}
+	bgDone chan struct{}
+}
+
+// Open opens (creating if needed) the engine rooted at dir, clustered by
+// c. Any WAL left by a crash is replayed — torn tails are truncated away,
+// so exactly the acknowledged writes survive — and immediately flushed to
+// a fresh segment.
+func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	segIDs, walGens, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{dir: dir, c: c, opts: opts}
+	e.com.done = make(map[uint64]struct{})
+	for _, id := range segIDs {
+		seg, err := openSegment(dir, c, id)
+		if err != nil {
+			e.releaseSegments()
+			return nil, err
+		}
+		e.segs = append(e.segs, seg)
+		if id.hi >= e.gen {
+			e.gen = id.hi + 1
+		}
+	}
+	// Replay surviving WALs (oldest first) into a recovery memtable and
+	// flush it: after Open the log is empty and the data is in segments.
+	var recovered *memtable
+	dims := c.Universe().Dims()
+	for _, g := range walGens {
+		if g >= e.gen {
+			e.gen = g + 1
+		}
+		ops, err := replayWAL(walPath(dir, g), dims)
+		if err != nil {
+			e.releaseSegments()
+			return nil, err
+		}
+		for _, op := range ops {
+			if recovered == nil {
+				recovered, err = newMemtable(c, opts.Shards, e.gen)
+				if err != nil {
+					e.releaseSegments()
+					return nil, err
+				}
+			}
+			e.seq++
+			recovered.put(c.Index(op.pt), op.pt, op.payload, e.seq, op.del)
+		}
+	}
+	e.com.visible.Store(e.seq)
+	if recovered != nil {
+		seg, err := writeSegment(dir, c, segID{lo: e.gen, hi: e.gen}, recovered.flushEntries(), opts.PageBytes)
+		if err != nil {
+			e.releaseSegments()
+			return nil, err
+		}
+		e.segs = append(e.segs, seg)
+		e.gen++
+		e.flushes.Add(1)
+	}
+	for _, g := range walGens {
+		if err := os.Remove(walPath(dir, g)); err != nil {
+			e.releaseSegments()
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	e.mem, err = newMemtable(c, opts.Shards, e.gen)
+	if err != nil {
+		e.releaseSegments()
+		return nil, err
+	}
+	e.wal, err = createWAL(walPath(dir, e.gen), dims)
+	if err != nil {
+		e.releaseSegments()
+		return nil, err
+	}
+	e.gen++
+	e.bg = make(chan struct{}, 1)
+	e.bgStop = make(chan struct{})
+	e.bgDone = make(chan struct{})
+	go e.background()
+	return e, nil
+}
+
+func (e *Engine) releaseSegments() {
+	for _, s := range e.segs {
+		s.st.Close()
+	}
+	e.segs = nil
+}
+
+// background drains the doorbell: each ring flushes the active memtable
+// once it is over the threshold and then applies the size-tiered
+// compaction policy until it reaches a fixed point.
+func (e *Engine) background() {
+	defer close(e.bgDone)
+	for {
+		select {
+		case <-e.bgStop:
+			return
+		case <-e.bg:
+			if e.opts.FlushEntries > 0 && e.memEntries() >= int64(e.opts.FlushEntries) {
+				e.setBgErr(e.Flush())
+			}
+			if e.opts.CompactFanout > 0 {
+				e.setBgErr(e.maybeCompact())
+			}
+		}
+	}
+}
+
+// setBgErr records the outcome of a background flush or compaction; a
+// success clears an earlier failure (flushLocked retries stranded
+// memtables, so transient errors self-heal).
+func (e *Engine) setBgErr(err error) {
+	if errors.Is(err, ErrClosed) {
+		return
+	}
+	e.bgErrMu.Lock()
+	e.bgErr = err
+	e.bgErrMu.Unlock()
+}
+
+// BackgroundErr returns the most recent error of a background flush or
+// compaction, or nil if the last background cycle succeeded. Background
+// failures never drop acknowledged data — frozen memtables stay queued
+// and WALs stay on disk until a later flush succeeds — but a persistent
+// error means memory keeps growing, which this surfaces.
+func (e *Engine) BackgroundErr() error {
+	e.bgErrMu.Lock()
+	defer e.bgErrMu.Unlock()
+	return e.bgErr
+}
+
+func (e *Engine) memEntries() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0
+	}
+	return e.mem.entries.Load()
+}
+
+// Put inserts or overwrites the record at point p. The write is
+// acknowledged after it is framed into the WAL and inserted into the
+// memtable; with Options.SyncWrites it is also fsynced first.
+func (e *Engine) Put(p geom.Point, payload uint64) error {
+	return e.write(p, payload, false)
+}
+
+// Delete removes the record at point p (a blind tombstone write: deleting
+// an absent point is not an error, matching LSM semantics).
+func (e *Engine) Delete(p geom.Point) error {
+	return e.write(p, 0, true)
+}
+
+func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
+	if !e.c.Universe().Contains(p) {
+		return fmt.Errorf("%w: %v in %v", ErrPoint, p, e.c.Universe())
+	}
+	key := e.c.Index(p)
+	e.mu.RLock()
+	if e.closed || e.closing {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	// Sequence numbers are assigned under walMu so WAL order equals
+	// sequence order; the memtable insert happens outside it so concurrent
+	// writers contend only on their key's shard.
+	e.walMu.Lock()
+	e.seq++
+	seq := e.seq
+	err := e.wal.append(walOp{pt: p, payload: payload, del: del})
+	if err == nil && e.opts.SyncWrites {
+		err = e.wal.sync()
+	}
+	e.walMu.Unlock()
+	if err != nil {
+		// The write never happened (the caller gets the error), but its
+		// sequence number exists: commit it anyway so the visibility
+		// watermark is not wedged below every later successful write.
+		e.com.commit(seq)
+		e.mu.RUnlock()
+		return err
+	}
+	mem := e.mem
+	mem.put(key, p, payload, seq, del)
+	e.com.commit(seq)
+	entries := mem.entries.Load()
+	e.mu.RUnlock()
+	if e.opts.FlushEntries > 0 && entries >= int64(e.opts.FlushEntries) {
+		select {
+		case e.bg <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Sync makes every previously acknowledged write durable.
+func (e *Engine) Sync() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	return e.wal.sync()
+}
+
+// source priorities for the k-way merge: larger is newer.
+type mergeSource struct {
+	mem *memIter           // nil for segment sources
+	cur *pagedstore.Cursor // nil for memtable sources
+	// peeked head
+	key  uint64
+	pt   geom.Point
+	pay  uint64
+	del  bool
+	ok   bool
+	prio int
+}
+
+func (m *mergeSource) advance() error {
+	if m.mem != nil {
+		ent, ok := m.mem.peek()
+		if ok {
+			m.key, m.pt, m.pay, m.del, m.ok = ent.key, ent.pt, ent.payload, ent.del, true
+			m.mem.advance()
+		} else {
+			m.ok = false
+		}
+		return nil
+	}
+	rec, marked, ok, err := m.cur.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.ok = false
+		return nil
+	}
+	m.key, m.pt, m.pay, m.del, m.ok = m.cur.Key(), rec.Point, rec.Payload, marked, true
+	return nil
+}
+
+// Query returns every live record whose point lies inside r together with
+// the physical access pattern. The curve's range planner runs exactly
+// once; each resulting cluster range is then answered by one k-way merge
+// pass over the memtable and every live segment, newest source winning on
+// duplicate keys and tombstones suppressing older versions. The seek and
+// page accounting is pagedstore's, summed over segments.
+func (e *Engine) Query(r geom.Rect) ([]Record, Stats, error) {
+	var st Stats
+	// One planner call per rectangle — the whole query costs
+	// O(clusters) planning regardless of its volume.
+	krs, err := ranges.Decompose(e.c, r, 0)
+	if err != nil {
+		return nil, st, fmt.Errorf("engine: %w", err)
+	}
+	st.Planned = len(krs)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, st, ErrClosed
+	}
+	snap := e.com.visible.Load()
+	st.Segments = len(e.segs)
+
+	// Sources, oldest to newest: segments (list order), frozen memtables
+	// (list order), then the active memtable. Priority = slice position,
+	// so on duplicate keys the newest source is authoritative.
+	segSrcs := make([]*mergeSource, len(e.segs))
+	cursors := make([]*pagedstore.Cursor, len(e.segs))
+	for i, seg := range e.segs {
+		cursors[i] = seg.st.NewCursor()
+		segSrcs[i] = &mergeSource{cur: cursors[i], prio: i}
+	}
+	memtables := append(append([]*memtable{}, e.imm...), e.mem)
+
+	var out []Record
+	for _, kr := range krs {
+		pass := make([]*mergeSource, 0, len(segSrcs)+len(memtables))
+		for _, s := range segSrcs {
+			s.cur.SeekRange(kr)
+			pass = append(pass, s)
+		}
+		for _, m := range memtables {
+			pass = append(pass, &mergeSource{mem: m.seek(kr, snap), prio: len(pass)})
+		}
+		if err := mergeSources(pass, func(win *mergeSource) {
+			if !win.del {
+				out = append(out, Record{Point: win.pt.Clone(), Payload: win.pay})
+			}
+			if win.mem != nil {
+				st.MemEntries++
+			}
+		}); err != nil {
+			return nil, e.sumStats(st, cursors), err
+		}
+	}
+	st = e.sumStats(st, cursors)
+	st.Results = len(out)
+	return out, st, nil
+}
+
+// mergeSources primes the given sources and drains them in ascending key
+// order: emit is called exactly once per distinct key, with the newest
+// (highest-priority) holder of that key — tombstones included, so the
+// caller decides whether they suppress or survive. Both the query path
+// and segment compaction resolve duplicates through this one routine.
+func mergeSources(srcs []*mergeSource, emit func(win *mergeSource)) error {
+	live := make([]*mergeSource, 0, len(srcs))
+	for _, s := range srcs {
+		if err := s.advance(); err != nil {
+			return err
+		}
+		if s.ok {
+			live = append(live, s)
+		}
+	}
+	for len(live) > 0 {
+		// Smallest key next; among equals the highest priority (newest)
+		// version is authoritative.
+		minKey := live[0].key
+		for _, s := range live[1:] {
+			if s.key < minKey {
+				minKey = s.key
+			}
+		}
+		var winner *mergeSource
+		for _, s := range live {
+			if s.key == minKey && (winner == nil || s.prio > winner.prio) {
+				winner = s
+			}
+		}
+		emit(winner)
+		// Advance every source sitting on minKey.
+		next := live[:0]
+		for _, s := range live {
+			for s.ok && s.key == minKey {
+				if err := s.advance(); err != nil {
+					return err
+				}
+			}
+			if s.ok {
+				next = append(next, s)
+			}
+		}
+		live = next
+	}
+	return nil
+}
+
+// sumStats folds the per-segment cursor tallies into st.
+func (e *Engine) sumStats(st Stats, cursors []*pagedstore.Cursor) Stats {
+	for _, cur := range cursors {
+		cs := cur.Stats()
+		st.Seeks += cs.Seeks
+		st.PagesRead += cs.PagesRead
+		st.RecordsScanned += cs.RecordsScanned
+	}
+	return st
+}
+
+// Flush freezes the active memtable and writes it out as one immutable
+// curve-ordered segment, then retires its WAL. Concurrent writers land in
+// the fresh memtable; concurrent queries keep seeing the frozen data
+// until the segment is installed.
+func (e *Engine) Flush() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	// Freeze: swap in a fresh memtable + WAL under the exclusive lock.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	var oldWal *wal
+	if e.mem.entries.Load() > 0 {
+		frozen := e.mem
+		dims := e.c.Universe().Dims()
+		newWal, err := createWAL(walPath(e.dir, e.gen), dims)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		newMem, err := newMemtable(e.c, e.opts.Shards, e.gen)
+		if err != nil {
+			newWal.close() //nolint:errcheck
+			os.Remove(walPath(e.dir, e.gen))
+			e.mu.Unlock()
+			return err
+		}
+		oldWal = e.wal
+		e.wal = newWal
+		e.mem = newMem
+		e.imm = append(e.imm, frozen)
+		e.gen++
+	}
+	// Flush every frozen memtable, oldest first — including leftovers of
+	// an earlier failed flush, so a transient write error never strands
+	// data in memory.
+	frozen := append([]*memtable{}, e.imm...)
+	e.mu.Unlock()
+
+	if oldWal != nil {
+		if err := oldWal.close(); err != nil {
+			return err
+		}
+	}
+	for _, m := range frozen {
+		// Write the segment outside any lock: queries keep reading the
+		// frozen memtable from e.imm meanwhile.
+		seg, err := writeSegment(e.dir, e.c, segID{lo: m.gen, hi: m.gen}, m.flushEntries(), e.opts.PageBytes)
+		if err != nil {
+			return err
+		}
+		// Install the segment, retire the frozen memtable and its WAL.
+		e.mu.Lock()
+		e.segs = append(e.segs, seg)
+		for i, im := range e.imm {
+			if im == m {
+				e.imm = append(e.imm[:i], e.imm[i+1:]...)
+				break
+			}
+		}
+		e.mu.Unlock()
+		if err := os.Remove(walPath(e.dir, m.gen)); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		e.flushes.Add(1)
+	}
+	return nil
+}
+
+// Stats returns a point-in-time summary of the engine's shape.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := EngineStats{
+		ImmMemtables: len(e.imm),
+		Segments:     len(e.segs),
+		Flushes:      e.flushes.Load(),
+		Compactions:  e.compactions.Load(),
+	}
+	if e.closed {
+		return st
+	}
+	st.MemEntries = e.mem.entries.Load()
+	for _, s := range e.segs {
+		st.SegmentRecords += s.recs
+	}
+	e.walMu.Lock()
+	st.WALBytes = e.wal.n
+	st.LastSeq = e.seq
+	e.walMu.Unlock()
+	return st
+}
+
+// Close flushes the memtable, stops the background worker and releases
+// every file. The engine is unusable afterwards; reopen with Open.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed || e.closing {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closing = true
+	e.mu.Unlock()
+	close(e.bgStop)
+	<-e.bgDone
+	// flushMu serializes the teardown against any in-flight Flush or
+	// Compact body, so segment stores are never closed under a running
+	// merge.
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	err := e.flushLocked()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	wal := e.wal
+	segs := e.segs
+	drained := e.mem.entries.Load() == 0 && len(e.imm) == 0
+	e.segs = nil
+	e.mu.Unlock()
+	if cerr := wal.close(); err == nil {
+		err = cerr
+	}
+	// Remove the final WAL only if every write reached a segment; after a
+	// failed flush it is the sole durable copy of the memtable and must
+	// survive for the next Open to replay.
+	if drained {
+		if rerr := os.Remove(walPath(e.dir, e.gen-1)); rerr != nil && err == nil {
+			err = fmt.Errorf("engine: %w", rerr)
+		}
+	}
+	for _, s := range segs {
+		if cerr := s.st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

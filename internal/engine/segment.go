@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/pagedstore"
+)
+
+// ErrDir reports an engine directory whose segment files are mutually
+// inconsistent in a way crash recovery cannot repair.
+var ErrDir = errors.New("engine: inconsistent engine directory")
+
+// segment is one immutable, curve-ordered on-disk run: a pagedstore file
+// (version 2, mark bitmap = tombstones) covering the inclusive generation
+// range [lo, hi]. Generations order data age: a segment covering later
+// generations holds strictly newer writes, which is what lets the merge
+// resolve duplicate keys by source recency alone, with no per-record
+// sequence numbers on disk. epoch counts in-place rewrites of the same
+// generation range (tombstone GC of a lone segment): the data is the
+// same age, but the file name must not collide with its predecessor so
+// that the swap stays crash-atomic.
+type segment struct {
+	st     *pagedstore.Store
+	path   string
+	lo, hi uint64
+	epoch  uint64
+	recs   int
+}
+
+func segPath(dir string, lo, hi, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%012d-%012d-%03d.pst", lo, hi, epoch))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%012d.log", gen))
+}
+
+// segID names a segment file: its generation range plus rewrite epoch.
+type segID struct {
+	lo, hi, epoch uint64
+}
+
+// scanDir inventories an engine directory: segment ids and WAL
+// generations, with crash artifacts repaired. A crash between "rename
+// compacted segment" and "delete its inputs" leaves both on disk; the
+// output's generation range strictly contains each input's (or equals it
+// with a higher epoch, for a lone-segment rewrite), so any segment whose
+// range is contained in another's — or that shares a range with a higher
+// epoch — is a stale input and is deleted. Ranges that partially overlap
+// have no legal history and are rejected.
+func scanDir(dir string) (segs []segID, wals []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: %w", err)
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		var lo, hi, epoch, gen uint64
+		name := ent.Name()
+		// Sscanf ignores trailing bytes, so a leftover "seg-*.pst.tmp"
+		// from a crashed write would parse as a segment; demand the
+		// parsed id round-trips to the exact file name.
+		if n, _ := fmt.Sscanf(name, "seg-%d-%d-%d.pst", &lo, &hi, &epoch); n == 3 &&
+			name == filepath.Base(segPath(dir, lo, hi, epoch)) {
+			if lo > hi {
+				return nil, nil, fmt.Errorf("%w: segment %s", ErrDir, name)
+			}
+			segs = append(segs, segID{lo: lo, hi: hi, epoch: epoch})
+		} else if n, _ := fmt.Sscanf(name, "wal-%d.log", &gen); n == 1 &&
+			name == filepath.Base(walPath(dir, gen)) {
+			wals = append(wals, gen)
+		}
+	}
+	// Drop stale compaction inputs: ranges contained in another range, or
+	// equal ranges superseded by a higher epoch.
+	kept := segs[:0]
+	for _, s := range segs {
+		stale := false
+		for _, t := range segs {
+			if s == t {
+				continue
+			}
+			if t.lo == s.lo && t.hi == s.hi {
+				if t.epoch > s.epoch {
+					stale = true
+					break
+				}
+				continue
+			}
+			if t.lo <= s.lo && s.hi <= t.hi {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			if err := os.Remove(segPath(dir, s.lo, s.hi, s.epoch)); err != nil {
+				return nil, nil, fmt.Errorf("engine: removing stale segment: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	segs = kept
+	sort.Slice(segs, func(a, b int) bool { return segs[a].lo < segs[b].lo })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].lo <= segs[i-1].hi {
+			return nil, nil, fmt.Errorf("%w: overlapping segments %v and %v", ErrDir, segs[i-1], segs[i])
+		}
+	}
+	sort.Slice(wals, func(a, b int) bool { return wals[a] < wals[b] })
+	return segs, wals, nil
+}
+
+// openSegment opens the segment file for id against the curve.
+func openSegment(dir string, c curve.Curve, id segID) (*segment, error) {
+	path := segPath(dir, id.lo, id.hi, id.epoch)
+	st, err := pagedstore.Open(path, c)
+	if err != nil {
+		return nil, fmt.Errorf("engine: segment %s: %w", filepath.Base(path), err)
+	}
+	return &segment{st: st, path: path, lo: id.lo, hi: id.hi, epoch: id.epoch, recs: st.Len()}, nil
+}
+
+// writeSegment materializes sorted entries as the segment id: records
+// plus tombstone marks in a version-2 pagedstore file, written to a
+// temporary name, synced, then atomically renamed into place.
+func writeSegment(dir string, c curve.Curve, id segID, ents []memEntry, pageBytes int) (*segment, error) {
+	recs := make([]pagedstore.Record, len(ents))
+	marks := make([]bool, len(ents))
+	for i, e := range ents {
+		recs[i] = pagedstore.Record{Point: e.pt, Payload: e.payload}
+		marks[i] = e.del
+	}
+	path := segPath(dir, id.lo, id.hi, id.epoch)
+	tmp := path + ".tmp"
+	if err := pagedstore.WriteMarked(tmp, c, recs, marks, pageBytes); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	// Fsync the directory so the rename is durable before any caller
+	// retires a WAL or a compaction input: without the barrier a power
+	// loss could persist those unlinks but not this rename.
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return openSegment(dir, c, id)
+}
+
+// syncDir fsyncs a directory, making its entry updates durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}

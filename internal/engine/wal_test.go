@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// walOpsEqual compares two op slices structurally.
+func walOpsEqual(a, b []walOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].del != b[i].del || a[i].payload != b[i].payload || !a[i].pt.Equal(b[i].pt) {
+			return false
+		}
+	}
+	return true
+}
+
+func sampleOps(dims, n int) []walOp {
+	ops := make([]walOp, n)
+	for i := range ops {
+		pt := make(geom.Point, dims)
+		for d := range pt {
+			pt[d] = uint32(i*7+d) % 16
+		}
+		if i%3 == 2 {
+			ops[i] = walOp{pt: pt, del: true}
+		} else {
+			ops[i] = walOp{pt: pt, payload: uint64(i) * 1000003}
+		}
+	}
+	return ops
+}
+
+func writeOps(t *testing.T, path string, dims int, ops []walOp) {
+	t.Helper()
+	w, err := createWAL(path, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := w.append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRoundTrip replays a cleanly closed log.
+func TestWALRoundTrip(t *testing.T) {
+	for _, dims := range []int{1, 2, 3, 5} {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		ops := sampleOps(dims, 50)
+		writeOps(t, path, dims, ops)
+		got, err := replayWAL(path, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !walOpsEqual(got, ops) {
+			t.Fatalf("dims %d: replay mismatch: %d ops vs %d", dims, len(got), len(ops))
+		}
+	}
+}
+
+// TestWALTornTail truncates the log at every byte boundary and asserts
+// recovery keeps exactly the complete frames before the cut: acknowledged
+// (synced) writes survive, the torn tail is dropped, nothing else.
+func TestWALTornTail(t *testing.T) {
+	dims := 2
+	dir := t.TempDir()
+	full := filepath.Join(dir, "wal.log")
+	ops := sampleOps(dims, 9)
+	writeOps(t, full, dims, ops)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries, for computing how many complete frames a cut keeps.
+	bounds := []int{0}
+	for _, op := range ops {
+		bounds = append(bounds, bounds[len(bounds)-1]+8+walPayloadSize(dims, op.del))
+	}
+	if bounds[len(bounds)-1] != len(data) {
+		t.Fatalf("frame accounting: %d vs file %d", bounds[len(bounds)-1], len(data))
+	}
+	torn := filepath.Join(dir, "torn.log")
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := replayWAL(torn, dims)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		complete := 0
+		for complete < len(ops) && bounds[complete+1] <= cut {
+			complete++
+		}
+		if !walOpsEqual(got, ops[:complete]) {
+			t.Fatalf("cut %d: recovered %d ops, want the %d complete frames", cut, len(got), complete)
+		}
+	}
+}
+
+// TestWALCorruptTail flips a payload byte of the final frame: the CRC must
+// reject it and recovery must stop at the preceding frame.
+func TestWALCorruptTail(t *testing.T) {
+	dims := 3
+	path := filepath.Join(t.TempDir(), "wal.log")
+	ops := sampleOps(dims, 5)
+	writeOps(t, path, dims, ops)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(data) - walPayloadSize(dims, ops[4].del)
+	data[last] ^= 0x40 // corrupt inside the final payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayWAL(path, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !walOpsEqual(got, ops[:4]) {
+		t.Fatalf("recovered %d ops after CRC damage, want 4", len(got))
+	}
+}
+
+// TestWALGarbageLength rejects a frame announcing a nonsense length
+// without reading past it.
+func TestWALGarbageLength(t *testing.T) {
+	dims := 2
+	path := filepath.Join(t.TempDir(), "wal.log")
+	ops := sampleOps(dims, 3)
+	writeOps(t, path, dims, ops)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := make([]byte, 8)
+	binary.LittleEndian.PutUint32(bogus, 1<<30)
+	data = append(data, bogus...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayWAL(path, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !walOpsEqual(got, ops) {
+		t.Fatalf("recovered %d ops, want %d", len(got), len(ops))
+	}
+}

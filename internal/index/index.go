@@ -23,12 +23,23 @@ import (
 var ErrPoint = errors.New("index: point outside universe")
 
 // Index is an SFC-clustered spatial index over d-dimensional points.
+//
+// Record ids are stable for the lifetime of the index: deletions punch
+// holes in the internal point table, and once more than half of it is
+// dead Vacuum rebuilds the table and the B+-tree, compacting the holes
+// away behind an id -> slot map so external ids keep resolving.
 type Index struct {
 	c       curve.Curve
 	tree    *bptree.Tree
 	store   *disksim.Store
-	points  []geom.Point // id -> point; nil after deletion
-	deleted int
+	points  []geom.Point // slot -> point; nil after deletion
+	deleted int          // dead slots in points
+	nextID  uint64       // next record id to hand out
+	// Before the first Vacuum a record's id equals its slot and both maps
+	// are nil; afterwards ids[slot] names the slot's record and
+	// slots[id] finds a record's slot.
+	ids   []uint64
+	slots map[uint64]int
 }
 
 // Option configures an Index.
@@ -67,6 +78,27 @@ func newIndex(c curve.Curve, cfg config) (*Index, error) {
 	return &Index{c: c, tree: tree, store: store}, nil
 }
 
+// slotOf resolves a record id to its position in the point table.
+func (ix *Index) slotOf(id uint64) (int, bool) {
+	if ix.slots == nil {
+		if id >= uint64(len(ix.points)) {
+			return 0, false
+		}
+		return int(id), true
+	}
+	s, ok := ix.slots[id]
+	return s, ok
+}
+
+// pointByID returns the live point stored under id, or nil.
+func (ix *Index) pointByID(id uint64) geom.Point {
+	s, ok := ix.slotOf(id)
+	if !ok {
+		return nil
+	}
+	return ix.points[s]
+}
+
 // New builds an empty index clustered by the given curve.
 func New(c curve.Curve, opts ...Option) (*Index, error) {
 	return newIndex(c, parseConfig(opts))
@@ -89,6 +121,7 @@ func Bulk(c curve.Curve, pts []geom.Point, opts ...Option) (*Index, error) {
 		}
 		ix.points[i] = p.Clone()
 	}
+	ix.nextID = uint64(len(pts))
 	type kv struct{ key, id uint64 }
 	kvs := make([]kv, len(pts))
 	allKeys := curve.IndexBatch(c, pts, make([]uint64, len(pts)))
@@ -115,12 +148,18 @@ func (ix *Index) Curve() curve.Curve { return ix.c }
 // Len returns the number of live (non-deleted) indexed points.
 func (ix *Index) Len() int { return len(ix.points) - ix.deleted }
 
-// Insert adds a point and returns its record id.
+// Insert adds a point and returns its record id. Ids are stable across
+// Vacuum and are never reused.
 func (ix *Index) Insert(p geom.Point) (uint64, error) {
 	if !ix.c.Universe().Contains(p) {
 		return 0, fmt.Errorf("%w: %v in %v", ErrPoint, p, ix.c.Universe())
 	}
-	id := uint64(len(ix.points))
+	id := ix.nextID
+	ix.nextID++
+	if ix.slots != nil {
+		ix.slots[id] = len(ix.points)
+		ix.ids = append(ix.ids, id)
+	}
 	ix.points = append(ix.points, p.Clone())
 	ix.tree.Insert(ix.c.Index(p), id)
 	return id, nil
@@ -128,25 +167,84 @@ func (ix *Index) Insert(p geom.Point) (uint64, error) {
 
 // Point returns the point stored under the given record id.
 func (ix *Index) Point(id uint64) (geom.Point, bool) {
-	if id >= uint64(len(ix.points)) || ix.points[id] == nil {
+	p := ix.pointByID(id)
+	if p == nil {
 		return nil, false
 	}
-	return ix.points[id], true
+	return p, true
 }
 
 // Delete removes the point with the given record id, reporting whether it
-// existed. Ids are not reused.
+// existed. Ids are not reused. Once more than half of the point table is
+// dead, the index vacuums itself: deletions never leak memory for the
+// lifetime of the index.
 func (ix *Index) Delete(id uint64) bool {
-	if id >= uint64(len(ix.points)) || ix.points[id] == nil {
+	slot, ok := ix.slotOf(id)
+	if !ok || ix.points[slot] == nil {
 		return false
 	}
-	key := ix.c.Index(ix.points[id])
+	key := ix.c.Index(ix.points[slot])
 	if !ix.tree.DeleteValue(key, id) {
 		return false
 	}
-	ix.points[id] = nil
+	ix.points[slot] = nil
+	if ix.slots != nil {
+		delete(ix.slots, id)
+	}
 	ix.deleted++
+	if ix.deleted > ix.Len()/2 {
+		ix.Vacuum() //nolint:errcheck // rebuild of in-memory state
+	}
 	return true
+}
+
+// Vacuum compacts the hole-punched point table and rebuilds the B+-tree
+// bottom-up over the live entries, releasing the memory dead slots pin.
+// Record ids remain valid. Delete triggers it automatically once the dead
+// slots outnumber half the live records; calling it eagerly is harmless.
+func (ix *Index) Vacuum() error {
+	live := ix.Len()
+	points := make([]geom.Point, 0, live)
+	ids := make([]uint64, 0, live)
+	slots := make(map[uint64]int, live)
+	type kv struct{ key, id uint64 }
+	kvs := make([]kv, 0, live)
+	for slot, p := range ix.points {
+		if p == nil {
+			continue
+		}
+		var id uint64
+		if ix.ids != nil {
+			id = ix.ids[slot]
+		} else {
+			id = uint64(slot)
+		}
+		slots[id] = len(points)
+		ids = append(ids, id)
+		points = append(points, p)
+		kvs = append(kvs, kv{key: ix.c.Index(p), id: id})
+	}
+	sort.Slice(kvs, func(a, b int) bool {
+		if kvs[a].key != kvs[b].key {
+			return kvs[a].key < kvs[b].key
+		}
+		return kvs[a].id < kvs[b].id
+	})
+	keys := make([]uint64, len(kvs))
+	vals := make([]uint64, len(kvs))
+	for i, e := range kvs {
+		keys[i], vals[i] = e.key, e.id
+	}
+	tree, err := bptree.BulkLoad(ix.tree.Order(), keys, vals)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	ix.points = points
+	ix.ids = ids
+	ix.slots = slots
+	ix.tree = tree
+	ix.deleted = 0
+	return nil
 }
 
 // QueryStats describes the execution of one range query.
@@ -208,7 +306,7 @@ func (ix *Index) query(r geom.Rect, budget int) ([]uint64, QueryStats, error) {
 	for _, kr := range rs {
 		ix.tree.RangeScan(kr.Lo, kr.Hi, func(key, id uint64) bool {
 			stats.Entries++
-			if filter && !r.Contains(ix.points[id]) {
+			if filter && !r.Contains(ix.pointByID(id)) {
 				stats.FalsePositives++
 				return true
 			}

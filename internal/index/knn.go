@@ -96,7 +96,7 @@ func (ix *Index) boxAround(p geom.Point, r uint64) geom.Rect {
 func (ix *Index) rank(p geom.Point, ids []uint64, k int) []Neighbor {
 	ns := make([]Neighbor, 0, len(ids))
 	for _, id := range ids {
-		q := ix.points[id]
+		q := ix.pointByID(id)
 		var d2 uint64
 		for i := range p {
 			var d uint64

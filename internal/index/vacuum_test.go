@@ -1,0 +1,175 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// TestVacuumReclaimsHoles: Delete must not leak point-table slots forever —
+// once dead slots outnumber half the live records the table compacts, and
+// every surviving id keeps resolving to its point.
+func TestVacuumReclaimsHoles(t *testing.T) {
+	side := uint32(32)
+	o, _ := core.NewOnion2D(side)
+	ix, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	type rec struct {
+		id uint64
+		pt geom.Point
+	}
+	var live []rec
+	for i := 0; i < 400; i++ {
+		pt := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		id, err := ix.Insert(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, rec{id: id, pt: pt.Clone()})
+	}
+	// Delete ~80% in random order: several automatic vacuums must fire.
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	for _, r := range live[:320] {
+		if !ix.Delete(r.id) {
+			t.Fatalf("delete id %d failed", r.id)
+		}
+	}
+	live = live[320:]
+	if got := len(ix.points) - ix.deleted; got != len(live) {
+		t.Fatalf("live accounting: %d vs %d", got, len(live))
+	}
+	// The table must have compacted: dead slots bounded by half the live.
+	if ix.deleted > len(live)/2 {
+		t.Fatalf("vacuum never fired: %d dead slots, %d live", ix.deleted, len(live))
+	}
+	if len(ix.points) > len(live)+len(live)/2 {
+		t.Fatalf("point table still holds %d slots for %d live records", len(ix.points), len(live))
+	}
+	// Every surviving id still resolves, deleted ids do not.
+	for _, r := range live {
+		p, ok := ix.Point(r.id)
+		if !ok || !p.Equal(r.pt) {
+			t.Fatalf("id %d lost after vacuum: %v ok=%v want %v", r.id, p, ok, r.pt)
+		}
+	}
+	// Queries agree with a brute-force scan of the survivors.
+	for trial := 0; trial < 20; trial++ {
+		lo := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		hi := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		ids, _, err := ix.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, rc := range live {
+			if r.Contains(rc.pt) {
+				want++
+			}
+		}
+		if len(ids) != want {
+			t.Fatalf("query %v after vacuum: %d ids, want %d", r, len(ids), want)
+		}
+		for _, id := range ids {
+			p, ok := ix.Point(id)
+			if !ok || !r.Contains(p) {
+				t.Fatalf("query %v returned dead or outside id %d", r, id)
+			}
+		}
+	}
+	// Inserting after vacuum hands out fresh ids that resolve.
+	id, err := ix.Insert(geom.Point{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range live {
+		if id == r.id {
+			t.Fatalf("id %d reused", id)
+		}
+	}
+	if p, ok := ix.Point(id); !ok || !p.Equal(geom.Point{1, 1}) {
+		t.Fatalf("post-vacuum insert lost: %v %v", p, ok)
+	}
+	if !ix.Delete(id) {
+		t.Fatal("post-vacuum delete failed")
+	}
+}
+
+// TestVacuumExplicit: calling Vacuum eagerly is harmless and idempotent.
+func TestVacuumExplicit(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	ix, err := Bulk(o, []geom.Point{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Delete(0) {
+		t.Fatal("delete")
+	}
+	for i := 0; i < 3; i++ {
+		if err := ix.Vacuum(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 2 || ix.deleted != 0 || len(ix.points) != 2 {
+		t.Fatalf("after vacuum: len %d deleted %d slots %d", ix.Len(), ix.deleted, len(ix.points))
+	}
+	if _, ok := ix.Point(0); ok {
+		t.Fatal("deleted id resolves after vacuum")
+	}
+	for _, id := range []uint64{1, 2} {
+		if _, ok := ix.Point(id); !ok {
+			t.Fatalf("id %d lost", id)
+		}
+	}
+	ids, _, err := ix.Query(o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("query after vacuum: %v", ids)
+	}
+}
+
+// TestVacuumKNN: nearest-neighbor search keeps working through the
+// id -> slot indirection a vacuum introduces.
+func TestVacuumKNN(t *testing.T) {
+	o, _ := core.NewOnion2D(32)
+	ix, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	for x := uint32(0); x < 16; x++ {
+		id, err := ix.Insert(geom.Point{x * 2, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:12] {
+		if !ix.Delete(id) {
+			t.Fatal("delete")
+		}
+	}
+	// Survivors sit at x = 24, 26, 28, 30.
+	nn, _, err := ix.Nearest(geom.Point{31, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 2 {
+		t.Fatalf("knn returned %d", len(nn))
+	}
+	if p, ok := ix.Point(nn[0].ID); !ok || p[0] != 30 {
+		t.Fatalf("nearest = %v", p)
+	}
+}

@@ -1,0 +1,280 @@
+package pagedstore
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// TestParallelQueryRace hammers one open Store from many goroutines at
+// once. All reads are positioned ReadAt calls and every query owns its
+// Cursor, so under -race this must be silent and every query must return
+// the same answer it returns single-threaded.
+func TestParallelQueryRace(t *testing.T) {
+	side := uint32(64)
+	o, _ := core.NewOnion2D(side)
+	recs := buildRecords(t, geom.MustUniverse(2, side), 3000, 99)
+	path := tmpPath(t)
+	if err := Write(path, o, recs, 512); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Reference answers, computed single-threaded.
+	rects := make([]geom.Rect, 24)
+	wantLen := make([]int, len(rects))
+	wantStats := make([]Stats, len(rects))
+	rng := rand.New(rand.NewSource(7))
+	for i := range rects {
+		lo := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		hi := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		rects[i] = geom.Rect{Lo: lo, Hi: hi}
+		got, stats, err := st.Query(rects[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen[i] = len(got)
+		wantStats[i] = stats
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := (w + rep) % len(rects)
+				got, stats, err := st.Query(rects[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != wantLen[i] || stats != wantStats[i] {
+					t.Errorf("rect %v: parallel query diverged: %d/%+v vs %d/%+v",
+						rects[i], len(got), stats, wantLen[i], wantStats[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestWriteMarkedRoundTrip: marked records are persisted, reported by the
+// cursor, skipped by Query, and invisible in version-1 files.
+func TestWriteMarkedRoundTrip(t *testing.T) {
+	side := uint32(16)
+	o, _ := core.NewOnion2D(side)
+	var recs []Record
+	var marks []bool
+	for x := uint32(0); x < side; x++ {
+		recs = append(recs, Record{Point: geom.Point{x, 3}, Payload: uint64(x)})
+		marks = append(marks, x%3 == 0)
+	}
+	path := tmpPath(t)
+	if err := WriteMarked(path, o, recs, marks, 256); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Marked() {
+		t.Fatal("Marked() = false on a store with marks")
+	}
+	row := geom.Rect{Lo: geom.Point{0, 3}, Hi: geom.Point{side - 1, 3}}
+	got, stats, err := st.Query(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLive := 0
+	for _, m := range marks {
+		if !m {
+			wantLive++
+		}
+	}
+	if len(got) != wantLive || stats.Results != wantLive {
+		t.Fatalf("query returned %d records (stats %d), want %d live", len(got), stats.Results, wantLive)
+	}
+	for _, rec := range got {
+		if rec.Point[0]%3 == 0 {
+			t.Fatalf("marked record %v leaked into Query", rec.Point)
+		}
+	}
+	// The cursor surfaces every record with its mark and key.
+	cur := st.NewCursor()
+	cur.SeekRange(curve.KeyRange{Lo: 0, Hi: o.Universe().Size() - 1})
+	seen, seenMarked := 0, 0
+	lastKey := uint64(0)
+	for {
+		rec, marked, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if cur.Key() != o.Index(rec.Point) {
+			t.Fatalf("cursor key %d != curve key %d", cur.Key(), o.Index(rec.Point))
+		}
+		if seen > 0 && cur.Key() < lastKey {
+			t.Fatal("cursor out of key order")
+		}
+		lastKey = cur.Key()
+		seen++
+		if marked {
+			seenMarked++
+		}
+		wantMarked := rec.Point[0]%3 == 0
+		if marked != wantMarked {
+			t.Fatalf("record %v: marked=%v, want %v", rec.Point, marked, wantMarked)
+		}
+	}
+	if seen != len(recs) || seenMarked != len(recs)-wantLive {
+		t.Fatalf("cursor saw %d records (%d marked)", seen, seenMarked)
+	}
+}
+
+// TestWriteMarkedNil: a nil mark slice produces a version-1 file,
+// byte-identical behavior to Write.
+func TestWriteMarkedNil(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	recs := []Record{{Point: geom.Point{1, 2}, Payload: 5}}
+	p1, p2 := tmpPath(t), tmpPath(t)
+	if err := Write(p1, o, recs, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarked(p2, o, recs, nil, 256); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(p2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Marked() {
+		t.Fatal("nil marks produced a marked store")
+	}
+	if err := WriteMarked(tmpPath(t), o, recs, []bool{true, false}, 256); err == nil {
+		t.Fatal("mismatched mark count accepted")
+	}
+}
+
+// TestCursorMatchesQueryStats compares Query (now cursor-backed) against
+// an inlined copy of the original page-run algorithm: results and every
+// stats field must be identical. This pins the exact accounting semantics
+// the storage engine's bit-identical seek counting rests on.
+func TestCursorMatchesQueryStats(t *testing.T) {
+	side := uint32(32)
+	o, _ := core.NewOnion2D(side)
+	recs := buildRecords(t, geom.MustUniverse(2, side), 1200, 3)
+	path := tmpPath(t)
+	if err := Write(path, o, recs, 256); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		lo := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		hi := geom.Point{uint32(rng.Int31n(int32(side))), uint32(rng.Int31n(int32(side)))}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		got, gotStats, err := st.Query(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantStats, err := referenceQuery(st, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("%v: stats %+v, reference %+v", r, gotStats, wantStats)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d results, reference %d", r, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Point.Equal(want[i].Point) || got[i].Payload != want[i].Payload {
+				t.Fatalf("%v: record %d diverges", r, i)
+			}
+		}
+	}
+}
+
+// referenceQuery is the pre-cursor Query implementation, kept verbatim as
+// the semantic reference for page-run iteration and stats accounting.
+func referenceQuery(s *Store, r geom.Rect) ([]Record, Stats, error) {
+	var st Stats
+	krs, err := ranges.Decompose(s.c, r, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	var out []Record
+	lastPage := -2
+	buf := make([]byte, s.pageBytes)
+	for _, kr := range krs {
+		p := sort.Search(len(s.firstKeys), func(i int) bool {
+			return i+1 >= len(s.firstKeys) || s.firstKeys[i+1] >= kr.Lo
+		})
+		for ; p < len(s.firstKeys) && s.firstKeys[p] <= kr.Hi; p++ {
+			if p != lastPage && p != lastPage+1 {
+				st.Seeks++
+			}
+			if p != lastPage {
+				st.PagesRead++
+				if _, err := s.f.ReadAt(buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
+					return nil, st, err
+				}
+				lastPage = p
+			}
+			recs := s.perPage
+			if p == len(s.firstKeys)-1 {
+				recs = int(s.count) - p*s.perPage
+			}
+			rs := recordSize(s.dims)
+			for i := 0; i < recs; i++ {
+				off := i * rs
+				key := binary.LittleEndian.Uint64(buf[off:])
+				st.RecordsScanned++
+				if key < kr.Lo || key > kr.Hi {
+					continue
+				}
+				pt := make(geom.Point, s.dims)
+				for d := 0; d < s.dims; d++ {
+					pt[d] = binary.LittleEndian.Uint32(buf[off+8+4*d:])
+				}
+				out = append(out, Record{
+					Point:   pt,
+					Payload: binary.LittleEndian.Uint64(buf[off+8+4*s.dims:]),
+				})
+			}
+		}
+	}
+	st.Results = len(out)
+	return out, st, nil
+}

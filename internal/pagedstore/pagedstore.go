@@ -8,6 +8,16 @@
 // rectangle query decomposes into cluster ranges (internal/ranges), maps
 // each range to a run of pages via the index, and reads each run with one
 // positioned read — seeks and pages are counted and returned.
+//
+// Format version 2 (WriteMarked) appends a mark bitmap after the pages:
+// one bit per record, in key order. The page layout itself is unchanged.
+// Marks are opaque to this package; the LSM storage engine
+// (internal/engine) uses them as tombstones in its immutable segments.
+//
+// An open Store is safe for concurrent use by any number of goroutines:
+// every read is a positioned ReadAt (pread) on the shared descriptor — no
+// shared file offset is ever moved — and all per-query state (page buffer,
+// contiguity tracking, statistics) lives in a per-call Cursor.
 package pagedstore
 
 import (
@@ -24,8 +34,12 @@ import (
 )
 
 const (
-	magic   = uint64(0x4f4e494f4e435256) // "ONIONCRV"
-	version = uint32(1)
+	magic = uint64(0x4f4e494f4e435256) // "ONIONCRV"
+	// version 1: header, page index, pages.
+	// version 2: version 1 plus a mark bitmap (one bit per record, key
+	// order) appended after the pages.
+	version       = uint32(1)
+	versionMarked = uint32(2)
 )
 
 var (
@@ -58,6 +72,22 @@ func recordSize(dims int) int { return 8 + 4*dims + 8 }
 // Write bulk-loads records into path, clustered by c. Records may be in
 // any order; they are sorted by curve key.
 func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
+	return writeFile(path, c, recs, nil, pageBytes)
+}
+
+// WriteMarked is Write plus a per-record mark bit (format version 2). The
+// page layout is identical to Write's; the marks travel in a bitmap after
+// the pages and are reported by Cursor.Next. Marks are opaque here — the
+// storage engine uses them as tombstones. marked must have one entry per
+// record (a nil marked writes a plain version-1 file).
+func WriteMarked(path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
+	if marked != nil && len(marked) != len(recs) {
+		return fmt.Errorf("pagedstore: %d marks for %d records", len(marked), len(recs))
+	}
+	return writeFile(path, c, recs, marked, pageBytes)
+}
+
+func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
 	dims := c.Universe().Dims()
 	rs := recordSize(dims)
 	if pageBytes < rs {
@@ -65,8 +95,9 @@ func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
 	}
 	perPage := pageBytes / rs
 	type keyed struct {
-		key uint64
-		rec Record
+		key    uint64
+		rec    Record
+		marked bool
 	}
 	ks := make([]keyed, len(recs))
 	for i, r := range recs {
@@ -74,6 +105,9 @@ func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
 			return fmt.Errorf("pagedstore: point %v outside universe %v", r.Point, c.Universe())
 		}
 		ks[i] = keyed{key: c.Index(r.Point), rec: r}
+		if marked != nil {
+			ks[i].marked = marked[i]
+		}
 	}
 	sort.SliceStable(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
 
@@ -84,10 +118,14 @@ func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
 	}
 	defer f.Close()
 
+	ver := version
+	if marked != nil {
+		ver = versionMarked
+	}
 	// Header: magic, version, dims, side, pageBytes, recordCount, pageCount.
 	head := make([]byte, 8+4+4+4+4+8+8)
 	binary.LittleEndian.PutUint64(head[0:], magic)
-	binary.LittleEndian.PutUint32(head[8:], version)
+	binary.LittleEndian.PutUint32(head[8:], ver)
 	binary.LittleEndian.PutUint32(head[12:], uint32(dims))
 	binary.LittleEndian.PutUint32(head[16:], c.Universe().Side())
 	binary.LittleEndian.PutUint32(head[20:], uint32(pageBytes))
@@ -125,10 +163,24 @@ func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
 			return fmt.Errorf("pagedstore: %w", err)
 		}
 	}
+	// Mark bitmap (version 2 only), one bit per record in key order.
+	if marked != nil {
+		bm := make([]byte, (len(ks)+7)/8)
+		for i, k := range ks {
+			if k.marked {
+				bm[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, err := f.Write(bm); err != nil {
+			return fmt.Errorf("pagedstore: %w", err)
+		}
+	}
 	return f.Sync()
 }
 
-// Store is an open clustered table.
+// Store is an open clustered table. It is safe for concurrent use: reads
+// go through positioned ReadAt calls and all mutable query state lives in
+// per-query Cursors.
 type Store struct {
 	f         *os.File
 	c         curve.Curve
@@ -138,6 +190,8 @@ type Store struct {
 	count     uint64
 	firstKeys []uint64
 	dataOff   int64
+	marks     []byte // version >= 2: one bit per record in key order; nil otherwise
+	anyMarked bool
 }
 
 // Open validates the file against the curve and loads the page index.
@@ -155,7 +209,8 @@ func Open(path string, c curve.Curve) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if binary.LittleEndian.Uint32(head[8:]) != version {
+	ver := binary.LittleEndian.Uint32(head[8:])
+	if ver != version && ver != versionMarked {
 		f.Close()
 		return nil, fmt.Errorf("%w: unsupported version", ErrCorrupt)
 	}
@@ -183,6 +238,22 @@ func Open(path string, c curve.Curve) (*Store, error) {
 	for p := range firstKeys {
 		firstKeys[p] = binary.LittleEndian.Uint64(idx[8*p:])
 	}
+	dataOff := int64(40 + 8*pageCount)
+	var marks []byte
+	anyMarked := false
+	if ver == versionMarked {
+		marks = make([]byte, (count+7)/8)
+		if _, err := f.ReadAt(marks, dataOff+int64(pageCount)*int64(pageBytes)); err != nil && count > 0 {
+			f.Close()
+			return nil, fmt.Errorf("%w: short mark bitmap", ErrCorrupt)
+		}
+		for _, b := range marks {
+			if b != 0 {
+				anyMarked = true
+				break
+			}
+		}
+	}
 	return &Store{
 		f:         f,
 		c:         c,
@@ -191,9 +262,14 @@ func Open(path string, c curve.Curve) (*Store, error) {
 		perPage:   pageBytes / rs,
 		count:     count,
 		firstKeys: firstKeys,
-		dataOff:   int64(40 + 8*pageCount),
+		dataOff:   dataOff,
+		marks:     marks,
+		anyMarked: anyMarked,
 	}, nil
 }
+
+// Marked reports whether any record of the store carries a mark bit.
+func (s *Store) Marked() bool { return s.anyMarked }
 
 // Close releases the underlying file.
 func (s *Store) Close() error { return s.f.Close() }
@@ -219,60 +295,158 @@ func (s *Store) EstimateSeeks(r geom.Rect) (uint64, error) {
 // per cluster range and counting the physical access pattern. The range
 // decomposition routes through the curve's analytic planner when one
 // exists, so planning cost scales with the number of clusters rather than
-// the query surface.
+// the query surface. Records whose mark bit is set (version 2 files) are
+// scanned but not returned. Query is safe to call from many goroutines at
+// once; each call drives its own Cursor.
 func (s *Store) Query(r geom.Rect) ([]Record, Stats, error) {
-	var st Stats
 	krs, err := ranges.Decompose(s.c, r, 0)
 	if err != nil {
-		return nil, st, fmt.Errorf("pagedstore: %w", err)
+		return nil, Stats{}, fmt.Errorf("pagedstore: %w", err)
 	}
 	var out []Record
-	lastPage := -2 // page index of the previous read's end; -2 = none
-	buf := make([]byte, s.pageBytes)
+	cur := s.NewCursor()
 	for _, kr := range krs {
-		// First page that can contain kr.Lo: the first page whose
-		// successor starts at or after kr.Lo (duplicate keys may span
-		// page boundaries, so the last page with firstKey <= kr.Lo is
-		// not necessarily the earliest holder of kr.Lo).
-		p := sort.Search(len(s.firstKeys), func(i int) bool {
-			return i+1 >= len(s.firstKeys) || s.firstKeys[i+1] >= kr.Lo
-		})
-		for ; p < len(s.firstKeys) && s.firstKeys[p] <= kr.Hi; p++ {
-			if p != lastPage && p != lastPage+1 {
-				st.Seeks++
+		cur.SeekRange(kr)
+		for {
+			rec, marked, ok, err := cur.Next()
+			if err != nil {
+				return nil, cur.Stats(), err
 			}
-			if p != lastPage { // do not recount a shared boundary page
-				st.PagesRead++
-				if _, err := s.f.ReadAt(buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
-					return nil, st, fmt.Errorf("%w: page %d: %v", ErrCorrupt, p, err)
-				}
-				lastPage = p
+			if !ok {
+				break
 			}
-			recs := s.perPage
-			if p == len(s.firstKeys)-1 {
-				recs = int(s.count) - p*s.perPage
+			if marked {
+				continue
 			}
-			rs := recordSize(s.dims)
-			for i := 0; i < recs; i++ {
-				off := i * rs
-				key := binary.LittleEndian.Uint64(buf[off:])
-				st.RecordsScanned++
-				if key < kr.Lo || key > kr.Hi {
-					continue
-				}
-				pt := make(geom.Point, s.dims)
-				for d := 0; d < s.dims; d++ {
-					pt[d] = binary.LittleEndian.Uint32(buf[off+8+4*d:])
-				}
-				out = append(out, Record{
-					Point:   pt,
-					Payload: binary.LittleEndian.Uint64(buf[off+8+4*s.dims:]),
-				})
-			}
+			out = append(out, rec)
 		}
-		// The loop advanced p past the last page it read; remember the
-		// page we actually read last for contiguity accounting.
 	}
+	st := cur.Stats()
 	st.Results = len(out)
 	return out, st, nil
+}
+
+// Cursor streams the records of ascending key ranges out of a Store while
+// accounting seeks, pages and records exactly as Query does: a positioned
+// read at a non-contiguous page costs one seek, a page shared between the
+// tail of one range and the head of the next is read once, and every
+// record of every visited page counts as scanned. Each Cursor owns its
+// page buffer and contiguity state, so any number of cursors can run over
+// the same Store concurrently. The storage engine's merged query path
+// drives one Cursor per live segment.
+type Cursor struct {
+	s        *Store
+	st       Stats
+	buf      []byte
+	lastPage int // page currently in buf; -2 = none
+	// state of the in-progress range
+	lo, hi uint64
+	p      int    // current page
+	i      int    // next record slot within the page
+	n      int    // records resident in the current page
+	key    uint64 // curve key of the last record Next returned
+	active bool
+}
+
+// NewCursor returns a cursor with zeroed statistics and no page loaded.
+func (s *Store) NewCursor() *Cursor {
+	return &Cursor{s: s, buf: make([]byte, s.pageBytes), lastPage: -2}
+}
+
+// Stats returns the access pattern accumulated so far. Results counts the
+// records Next has yielded (marked or not).
+func (c *Cursor) Stats() Stats { return c.st }
+
+// SeekRange positions the cursor at the start of the inclusive key range
+// kr. Ranges must be visited in ascending, non-overlapping order for the
+// contiguity accounting to mirror Query's.
+func (c *Cursor) SeekRange(kr curve.KeyRange) {
+	c.lo, c.hi = kr.Lo, kr.Hi
+	// First page that can contain kr.Lo: the first page whose successor
+	// starts at or after kr.Lo (duplicate keys may span page boundaries,
+	// so the last page with firstKey <= kr.Lo is not necessarily the
+	// earliest holder of kr.Lo).
+	c.p = sort.Search(len(c.s.firstKeys), func(i int) bool {
+		return i+1 >= len(c.s.firstKeys) || c.s.firstKeys[i+1] >= kr.Lo
+	})
+	c.i = 0
+	c.n = 0
+	c.active = true
+}
+
+// Next returns the next record of the current range in key order, its mark
+// bit, and whether a record was produced; ok == false means the range is
+// exhausted. Errors report unreadable pages.
+func (c *Cursor) Next() (rec Record, marked bool, ok bool, err error) {
+	if !c.active {
+		return Record{}, false, false, nil
+	}
+	s := c.s
+	rs := recordSize(s.dims)
+	for {
+		// Drain the records remaining in the loaded page.
+		for c.i < c.n {
+			i := c.i
+			c.i++
+			off := i * rs
+			key := binary.LittleEndian.Uint64(c.buf[off:])
+			c.st.RecordsScanned++
+			if key < c.lo || key > c.hi {
+				continue
+			}
+			pt := make(geom.Point, s.dims)
+			for d := 0; d < s.dims; d++ {
+				pt[d] = binary.LittleEndian.Uint32(c.buf[off+8+4*d:])
+			}
+			rec := Record{
+				Point:   pt,
+				Payload: binary.LittleEndian.Uint64(c.buf[off+8+4*s.dims:]),
+			}
+			c.st.Results++
+			c.key = key
+			return rec, s.isMarked(c.p*s.perPage + i), true, nil
+		}
+		// Advance to the next page of the range. c.n > 0 means a page of
+		// this range has been fully consumed and c.p must move past it;
+		// right after SeekRange (c.n == 0) c.p already names the first
+		// candidate page.
+		if c.n > 0 {
+			c.p++
+			c.n = 0
+		}
+		if c.p >= len(s.firstKeys) || s.firstKeys[c.p] > c.hi {
+			c.active = false
+			return Record{}, false, false, nil
+		}
+		if c.p != c.lastPage && c.p != c.lastPage+1 {
+			c.st.Seeks++
+		}
+		if c.p != c.lastPage { // do not recount a shared boundary page
+			c.st.PagesRead++
+			if _, err := s.f.ReadAt(c.buf, s.dataOff+int64(c.p)*int64(s.pageBytes)); err != nil {
+				c.active = false
+				return Record{}, false, false, fmt.Errorf("%w: page %d: %v", ErrCorrupt, c.p, err)
+			}
+			c.lastPage = c.p
+		}
+		c.n = s.perPage
+		if c.p == len(s.firstKeys)-1 {
+			c.n = int(s.count) - c.p*s.perPage
+		}
+		c.i = 0
+	}
+}
+
+// Key returns the curve key of the record most recently returned by
+// Next — the sort key of the stream, available to k-way merges without
+// re-evaluating the curve's forward mapping.
+func (c *Cursor) Key() uint64 { return c.key }
+
+// isMarked reports the mark bit of the record at the given key-order
+// position (always false for version-1 files).
+func (s *Store) isMarked(i int) bool {
+	if s.marks == nil {
+		return false
+	}
+	return s.marks[i/8]&(1<<(i%8)) != 0
 }

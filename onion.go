@@ -42,6 +42,7 @@ import (
 	"github.com/onioncurve/onion/internal/core"
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/disksim"
+	"github.com/onioncurve/onion/internal/engine"
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/index"
 	"github.com/onioncurve/onion/internal/metrics"
@@ -105,6 +106,25 @@ type (
 	Store = pagedstore.Store
 	// StoreStats is the physical access pattern of a Store query.
 	StoreStats = pagedstore.Stats
+	// StoreCursor streams the records of ascending key ranges out of a
+	// Store with the same seek/page accounting as Store.Query; the
+	// storage engine drives one per live segment.
+	StoreCursor = pagedstore.Cursor
+	// Engine is the mutable LSM-style spatial storage engine: WAL +
+	// curve-ordered memtable + immutable clustered segments, opened with
+	// OpenEngine.
+	Engine = engine.Engine
+	// EngineOptions tunes OpenEngine (page size, flush threshold, WAL
+	// sync policy, memtable shards, compaction fanout). The zero value
+	// selects sensible defaults.
+	EngineOptions = engine.Options
+	// EngineQueryStats is the physical access pattern of one Engine
+	// query: pagedstore-style seeks/pages/records summed over the live
+	// segments, plus memtable and planning counters.
+	EngineQueryStats = engine.Stats
+	// EngineStats is a point-in-time summary of an Engine's shape
+	// (memtable entries, segments, WAL bytes, flush/compaction counts).
+	EngineStats = engine.EngineStats
 )
 
 // NewUniverse validates and constructs a dims-dimensional grid of
@@ -311,8 +331,32 @@ func WriteStore(path string, c Curve, recs []Record, pageBytes int) error {
 }
 
 // OpenStore opens a clustered store written by WriteStore; the curve must
-// match the one used at write time.
+// match the one used at write time. A Store is safe for concurrent
+// readers: all file access is positioned (pread) and per-query state
+// lives in per-call cursors.
 func OpenStore(path string, c Curve) (*Store, error) { return pagedstore.Open(path, c) }
+
+// OpenEngine opens (creating if needed) a mutable spatial storage engine
+// rooted at dir and clustered by c: the read-write counterpart of
+// WriteStore/OpenStore for workloads that ingest while they serve.
+//
+// Writes (Put/Delete) are acknowledged after landing in a CRC-framed
+// write-ahead log and a curve-key-ordered memtable sharded across
+// GOMAXPROCS; memtables flush into immutable curve-ordered segment files
+// (the pagedstore layout), and size-tiered background compaction merges
+// segments and garbage-collects deletions. Crash recovery replays the
+// log, keeping exactly the acknowledged prefix and dropping a torn tail.
+//
+// Query plans each rectangle with one RangePlanner call and streams a
+// k-way merge of memtable + segments per cluster range, so the paper's
+// clustering number remains the number of positioned reads the query
+// pays — on a fully flushed and compacted engine the physical stats are
+// bit-identical to a fresh Store of the same records. All Engine methods
+// (Put, Delete, Query, Flush, Compact, Sync, Stats, Close) are safe for
+// concurrent use.
+func OpenEngine(dir string, c Curve, opts EngineOptions) (*Engine, error) {
+	return engine.Open(dir, c, opts)
+}
 
 // SortPoints orders points in place by their curve keys — the clustered
 // layout a bulk loader should write so that range queries read
