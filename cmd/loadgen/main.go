@@ -1,0 +1,187 @@
+// Command loadgen drives concurrent mixed read/write traffic against the
+// sharded query service and reports throughput, latency and physical
+// I/O statistics — the workbench for measuring how query throughput
+// scales with the shard count.
+//
+// Example:
+//
+//	loadgen -shards 4 -writers 4 -readers 4 -duration 10s
+//	loadgen -sweep 1,2,4,8 -duration 5s   # throughput-vs-shard-count table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	onion "github.com/onioncurve/onion"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 4, "shard count (ignored with -sweep)")
+		sweep    = flag.String("sweep", "", "comma-separated shard counts to sweep, e.g. 1,2,4,8")
+		writers  = flag.Int("writers", 4, "concurrent writer goroutines")
+		readers  = flag.Int("readers", 4, "concurrent reader goroutines")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window per configuration")
+		side     = flag.Uint("side", 1024, "universe side (side x side grid)")
+		qside    = flag.Uint("qside", 64, "query rectangle side")
+		preload  = flag.Int("preload", 100_000, "records ingested before the measurement window")
+		dir      = flag.String("dir", "", "engine directory (default: a fresh temp dir per run)")
+	)
+	flag.Parse()
+	if *qside >= *side {
+		log.Fatalf("-qside (%d) must be smaller than -side (%d)", *qside, *side)
+	}
+
+	counts := []int{*shards}
+	if *sweep != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k < 1 {
+				log.Fatalf("bad -sweep entry %q", f)
+			}
+			counts = append(counts, k)
+		}
+	}
+	fmt.Printf("loadgen: %dx%d onion universe, %d writers + %d readers, %v per run\n\n",
+		*side, *side, *writers, *readers, *duration)
+	fmt.Printf("%7s  %12s  %12s  %12s  %10s\n", "shards", "writes/s", "queries/s", "avg seeks/q", "records/q")
+	for _, k := range counts {
+		w, q, seeks, recs, err := run(k, *writers, *readers, *duration, uint32(*side), uint32(*qside), *preload, *dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %12.0f  %12.0f  %12.1f  %10.0f\n", k, w, q, seeks, recs)
+	}
+}
+
+// run measures one shard-count configuration and returns writes/sec,
+// queries/sec, average seeks per query and average records per query.
+func run(shards, writers, readers int, d time.Duration, side, qside uint32, preload int, dir string) (float64, float64, float64, float64, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "onion-loadgen")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else {
+		// One subdirectory per configuration: a sharded directory's
+		// manifest pins its shard count, so a sweep cannot reuse it.
+		dir = filepath.Join(dir, fmt.Sprintf("shards-%d", shards))
+	}
+	o, err := onion.NewOnion2D(side)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	s, err := onion.OpenShardedEngine(dir, o, onion.ShardedEngineOptions{Shards: shards})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer func() {
+		if cerr := s.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < preload; i++ {
+		pt := onion.Point{uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side)))}
+		if err := s.Put(pt, rng.Uint64()); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	var writes, queries, seeks, results atomic.Int64
+	var failure atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pt := onion.Point{uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side)))}
+				var err error
+				if rng.Intn(10) == 0 {
+					err = s.Delete(pt)
+				} else {
+					err = s.Put(pt, rng.Uint64())
+				}
+				if err != nil {
+					failure.Store(err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				span := int(side - qside)
+				q, err := onion.RectAt(
+					onion.Point{uint32(rng.Intn(span)), uint32(rng.Intn(span))},
+					[]uint32{qside, qside})
+				if err != nil {
+					failure.Store(err)
+					return
+				}
+				recs, st, err := s.Query(q)
+				if err != nil {
+					failure.Store(err)
+					return
+				}
+				queries.Add(1)
+				seeks.Add(int64(st.Seeks))
+				results.Add(int64(len(recs)))
+				// Yield between queries: with GOMAXPROCS=1 a
+				// zero-think-time query loop can monopolize the scheduler
+				// through the router's channel handoffs and starve the
+				// writers, skewing the measurement.
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	if err, _ := failure.Load().(error); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	secs := d.Seconds()
+	qn := float64(queries.Load())
+	if qn == 0 {
+		qn = 1
+	}
+	return float64(writes.Load()) / secs, float64(queries.Load()) / secs,
+		float64(seeks.Load()) / qn, float64(results.Load()) / qn, nil
+}

@@ -43,8 +43,14 @@ func main() {
 
 	// A large near-cube query (the regime the onion curve owns) and a
 	// small one.
-	big, _ := onion.RectAt(onion.Point{10, 20}, []uint32{480, 480})
-	small, _ := onion.RectAt(onion.Point{200, 130}, []uint32{40, 40})
+	big, err := onion.RectAt(onion.Point{10, 20}, []uint32{480, 480})
+	if err != nil {
+		log.Fatal(err)
+	}
+	small, err := onion.RectAt(onion.Point{200, 130}, []uint32{40, 40})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, c := range []onion.Curve{o, h} {
 		path := filepath.Join(dir, c.Name()+".tbl")
@@ -55,7 +61,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		info, _ := os.Stat(path)
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s table: %d records, %.1f MiB on disk\n",
 			c.Name(), st.Len(), float64(info.Size())/(1<<20))
 		for _, q := range []struct {

@@ -130,7 +130,10 @@ func main() {
 	fmt.Printf("after compaction: %d segment(s), %d records, %d flushes, %d compactions\n",
 		es.Segments, es.SegmentRecords, es.Flushes, es.Compactions)
 
-	q, _ := onion.RectAt(onion.Point{100, 100}, []uint32{128, 128})
+	q, err := onion.RectAt(onion.Point{100, 100}, []uint32{128, 128})
+	if err != nil {
+		log.Fatal(err)
+	}
 	recs, st, err := eng.Query(q)
 	if err != nil {
 		log.Fatal(err)
@@ -157,7 +160,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng2.Close()
 	after, _, err := eng2.Query(o.Universe().Rect())
 	if err != nil {
 		log.Fatal(err)
@@ -166,5 +168,10 @@ func main() {
 		len(before), len(after))
 	if len(before) != len(after) {
 		log.Fatal("recovery lost acknowledged writes")
+	}
+	// Closing the recovered engine flushes its memtable; a close failure
+	// here would mean the recovered state never reached a segment.
+	if err := eng2.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

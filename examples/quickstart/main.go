@@ -45,7 +45,10 @@ func main() {
 	}
 
 	// Decompose a small query into its scan ranges.
-	small, _ := onion.RectAt(onion.Point{100, 100}, []uint32{8, 8})
+	small, err := onion.RectAt(onion.Point{100, 100}, []uint32{8, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rs, err := onion.Decompose(o, small)
 	if err != nil {
 		log.Fatal(err)

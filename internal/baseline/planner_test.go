@@ -1,87 +1,15 @@
 package baseline
 
 import (
-	"math/rand"
-	"slices"
 	"testing"
 
 	"github.com/onioncurve/onion/internal/curve"
-	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/curvetest"
 )
 
-// sortedRanges is the brute-force reference decomposition.
-func sortedRanges(c curve.Curve, r geom.Rect) []curve.KeyRange {
-	keys := make([]uint64, 0, r.Cells())
-	r.ForEach(func(p geom.Point) bool {
-		keys = append(keys, c.Index(p))
-		return true
-	})
-	slices.Sort(keys)
-	var out []curve.KeyRange
-	for i, k := range keys {
-		if i == 0 || keys[i-1]+1 != k {
-			out = append(out, curve.KeyRange{Lo: k, Hi: k})
-		} else {
-			out[len(out)-1].Hi = k
-		}
-	}
-	return out
-}
-
-func checkPlanner(t *testing.T, c curve.Curve, r geom.Rect) {
-	t.Helper()
-	p, ok := c.(curve.RangePlanner)
-	if !ok {
-		t.Fatalf("%s does not implement curve.RangePlanner", c.Name())
-	}
-	got := p.DecomposeRect(r)
-	want := sortedRanges(c, r)
-	if !slices.Equal(got, want) {
-		t.Fatalf("%s %v: planner %v, want %v", c.Name(), r, got, want)
-	}
-	if n := p.ClusterCount(r); n != uint64(len(want)) {
-		t.Fatalf("%s %v: ClusterCount %d, want %d", c.Name(), r, n, len(want))
-	}
-}
-
-func exercisePlanner(t *testing.T, c curve.Curve, trials int, seed int64) {
-	t.Helper()
-	u := c.Universe()
-	d := u.Dims()
-	s := u.Side()
-	// Degenerate rects: corner cells, full universe, boundary slabs.
-	corner := func(v uint32) geom.Rect {
-		p := make(geom.Point, d)
-		for i := range p {
-			p[i] = v
-		}
-		return geom.Rect{Lo: p, Hi: p.Clone()}
-	}
-	checkPlanner(t, c, corner(0))
-	checkPlanner(t, c, corner(s-1))
-	checkPlanner(t, c, u.Rect())
-	for dim := 0; dim < d; dim++ {
-		for _, at := range []uint32{0, s - 1} {
-			r := u.Rect()
-			r.Lo[dim], r.Hi[dim] = at, at
-			checkPlanner(t, c, r)
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < trials; i++ {
-		lo := make(geom.Point, d)
-		hi := make(geom.Point, d)
-		for j := 0; j < d; j++ {
-			a := uint32(rng.Int31n(int32(s)))
-			b := uint32(rng.Int31n(int32(s)))
-			if a > b {
-				a, b = b, a
-			}
-			lo[j], hi[j] = a, b
-		}
-		checkPlanner(t, c, geom.Rect{Lo: lo, Hi: hi})
-	}
-}
+// The planner conformance logic (brute-force reference, structural
+// invariants, degenerate + random rectangle sweeps) lives in the shared
+// curvetest.CheckPlanner harness; these tests only pick instances.
 
 func TestMortonPlanner(t *testing.T) {
 	for _, tc := range []struct {
@@ -92,7 +20,7 @@ func TestMortonPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, m, 80, int64(tc.dims)*100+int64(tc.side))
+		curvetest.ExercisePlanner(t, m, 80, int64(tc.dims)*100+int64(tc.side))
 	}
 }
 
@@ -105,7 +33,7 @@ func TestGrayPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, g, 80, int64(tc.dims)*100+int64(tc.side))
+		curvetest.ExercisePlanner(t, g, 80, int64(tc.dims)*100+int64(tc.side))
 	}
 }
 
@@ -121,7 +49,7 @@ func TestHilbertPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, h, 80, int64(tc.dims)*100+int64(tc.side))
+		curvetest.ExercisePlanner(t, h, 80, int64(tc.dims)*100+int64(tc.side))
 	}
 }
 
@@ -136,7 +64,7 @@ func TestLinearPlanners(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			exercisePlanner(t, l, 60, int64(mi)*10000+int64(tc.dims)*100+int64(tc.side))
+			curvetest.ExercisePlanner(t, l, 60, int64(mi)*10000+int64(tc.dims)*100+int64(tc.side))
 		}
 	}
 }

@@ -1,107 +1,15 @@
 package core
 
 import (
-	"math/rand"
-	"slices"
 	"testing"
 
-	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
 	"github.com/onioncurve/onion/internal/geom"
 )
 
-// sortedRanges is the brute-force reference: enumerate, sort, split runs.
-func sortedRanges(c curve.Curve, r geom.Rect) []curve.KeyRange {
-	keys := make([]uint64, 0, r.Cells())
-	r.ForEach(func(p geom.Point) bool {
-		keys = append(keys, c.Index(p))
-		return true
-	})
-	slices.Sort(keys)
-	var out []curve.KeyRange
-	for i, k := range keys {
-		if i == 0 || keys[i-1]+1 != k {
-			out = append(out, curve.KeyRange{Lo: k, Hi: k})
-		} else {
-			out[len(out)-1].Hi = k
-		}
-	}
-	return out
-}
-
-func checkPlanner(t *testing.T, c curve.Curve, r geom.Rect) {
-	t.Helper()
-	p, ok := c.(curve.RangePlanner)
-	if !ok {
-		t.Fatalf("%s does not implement curve.RangePlanner", c.Name())
-	}
-	got := p.DecomposeRect(r)
-	want := sortedRanges(c, r)
-	if !slices.Equal(got, want) {
-		t.Fatalf("%s %v: planner %v, want %v", c.Name(), r, got, want)
-	}
-	if n := p.ClusterCount(r); n != uint64(len(want)) {
-		t.Fatalf("%s %v: ClusterCount %d, want %d", c.Name(), r, n, len(want))
-	}
-}
-
-// degenerateRects returns the corner cases every planner must survive:
-// single cells at the corners and center, the full universe, and 1-wide
-// slabs touching each boundary.
-func degenerateRects(u geom.Universe) []geom.Rect {
-	d := u.Dims()
-	s := u.Side()
-	var rs []geom.Rect
-	corner := func(v uint32) geom.Rect {
-		p := make(geom.Point, d)
-		for i := range p {
-			p[i] = v
-		}
-		return geom.Rect{Lo: p, Hi: p.Clone()}
-	}
-	rs = append(rs, corner(0), corner(s-1), corner(s/2), u.Rect())
-	for dim := 0; dim < d; dim++ {
-		for _, at := range []uint32{0, s - 1, s / 2} {
-			r := u.Rect()
-			r.Lo[dim], r.Hi[dim] = at, at
-			rs = append(rs, r)
-		}
-	}
-	// Inset rectangle (exercises the interior-containment tail).
-	if s >= 3 {
-		r := u.Rect()
-		for i := 0; i < d; i++ {
-			r.Lo[i], r.Hi[i] = 1, s-2
-		}
-		rs = append(rs, r)
-	}
-	return rs
-}
-
-func randPlannerRect(rng *rand.Rand, dims int, side uint32) geom.Rect {
-	lo := make(geom.Point, dims)
-	hi := make(geom.Point, dims)
-	for i := 0; i < dims; i++ {
-		a := uint32(rng.Int31n(int32(side)))
-		b := uint32(rng.Int31n(int32(side)))
-		if a > b {
-			a, b = b, a
-		}
-		lo[i], hi[i] = a, b
-	}
-	return geom.Rect{Lo: lo, Hi: hi}
-}
-
-func exercisePlanner(t *testing.T, c curve.Curve, trials int, seed int64) {
-	t.Helper()
-	u := c.Universe()
-	for _, r := range degenerateRects(u) {
-		checkPlanner(t, c, r)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < trials; i++ {
-		checkPlanner(t, c, randPlannerRect(rng, u.Dims(), u.Side()))
-	}
-}
+// The planner conformance logic (brute-force reference, structural
+// invariants, degenerate + random rectangle sweeps) lives in the shared
+// curvetest.CheckPlanner harness; these tests only pick instances.
 
 func TestOnion2DPlanner(t *testing.T) {
 	for _, side := range []uint32{1, 2, 3, 4, 5, 7, 8, 16, 33, 64} {
@@ -109,7 +17,7 @@ func TestOnion2DPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, o, 120, int64(side))
+		curvetest.ExercisePlanner(t, o, 120, int64(side))
 	}
 }
 
@@ -119,7 +27,7 @@ func TestOnion3DPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, o, 60, int64(side))
+		curvetest.ExercisePlanner(t, o, 60, int64(side))
 	}
 }
 
@@ -135,7 +43,7 @@ func TestOnion3DPlannerSegmentPermutations(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			exercisePlanner(t, o, 40, int64(side)*100+int64(pi))
+			curvetest.ExercisePlanner(t, o, 40, int64(side)*100+int64(pi))
 		}
 	}
 }
@@ -155,7 +63,7 @@ func TestOnionNDPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, o, 50, int64(tc.dims)*1000+int64(tc.side))
+		curvetest.ExercisePlanner(t, o, 50, int64(tc.dims)*1000+int64(tc.side))
 	}
 }
 
@@ -173,7 +81,7 @@ func TestLayerLexPlanner(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exercisePlanner(t, l, 50, int64(tc.dims)*1000+int64(tc.side))
+		curvetest.ExercisePlanner(t, l, 50, int64(tc.dims)*1000+int64(tc.side))
 	}
 }
 

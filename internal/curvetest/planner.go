@@ -1,0 +1,142 @@
+package curvetest
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// SortedRanges is the brute-force reference decomposition: enumerate
+// every cell of r, sort the keys, split into maximal runs. Every planner
+// and decomposition strategy must reproduce it bit for bit.
+func SortedRanges(c curve.Curve, r geom.Rect) []curve.KeyRange {
+	keys := make([]uint64, 0, r.Cells())
+	r.ForEach(func(p geom.Point) bool {
+		keys = append(keys, c.Index(p))
+		return true
+	})
+	slices.Sort(keys)
+	var out []curve.KeyRange
+	for i, k := range keys {
+		if i == 0 || keys[i-1]+1 != k {
+			out = append(out, curve.KeyRange{Lo: k, Hi: k})
+		} else {
+			out[len(out)-1].Hi = k
+		}
+	}
+	return out
+}
+
+// CheckDecomposition verifies an externally produced decomposition of r
+// under c against the full conformance contract: the ranges must be
+// sorted ascending, disjoint, non-adjacent (minimal), cover exactly the
+// cells of r — bit-identical to the brute-force reference — and count
+// must equal their number. It accepts output from any strategy
+// (RangePlanner, boundary sweep, sorted fallback), which is what lets one
+// harness run over curves that do not implement RangePlanner.
+func CheckDecomposition(t *testing.T, c curve.Curve, r geom.Rect, got []curve.KeyRange, count uint64) {
+	t.Helper()
+	n := c.Universe().Size()
+	var covered uint64
+	for i, kr := range got {
+		if kr.Lo > kr.Hi || kr.Hi >= n {
+			t.Fatalf("%s %v: range %d = %v outside key space [0,%d)", c.Name(), r, i, kr, n)
+		}
+		if i > 0 && kr.Lo <= got[i-1].Hi {
+			t.Fatalf("%s %v: ranges %v and %v unsorted or overlapping", c.Name(), r, got[i-1], kr)
+		}
+		if i > 0 && kr.Lo == got[i-1].Hi+1 {
+			t.Fatalf("%s %v: ranges %v and %v adjacent (not minimal)", c.Name(), r, got[i-1], kr)
+		}
+		covered += kr.Cells()
+	}
+	if covered != r.Cells() {
+		t.Fatalf("%s %v: ranges cover %d cells, query has %d", c.Name(), r, covered, r.Cells())
+	}
+	want := SortedRanges(c, r)
+	if !slices.Equal(got, want) {
+		t.Fatalf("%s %v: decomposition %v, want %v", c.Name(), r, got, want)
+	}
+	if count != uint64(len(want)) {
+		t.Fatalf("%s %v: count %d, want %d", c.Name(), r, count, len(want))
+	}
+}
+
+// CheckPlanner verifies a curve.RangePlanner implementation on one
+// rectangle: DecomposeRect must satisfy the full conformance contract
+// and ClusterCount must match it without materializing the ranges.
+func CheckPlanner(t *testing.T, c curve.Curve, r geom.Rect) {
+	t.Helper()
+	p, ok := c.(curve.RangePlanner)
+	if !ok {
+		t.Fatalf("%s does not implement curve.RangePlanner", c.Name())
+	}
+	CheckDecomposition(t, c, r, p.DecomposeRect(r), p.ClusterCount(r))
+}
+
+// DegenerateRects returns the corner cases every planner must survive:
+// single cells at the corners and center, the full universe, 1-wide
+// slabs touching and centered in each dimension, and (side >= 3) the
+// inset rectangle that exercises interior-containment fast paths.
+func DegenerateRects(u geom.Universe) []geom.Rect {
+	d := u.Dims()
+	s := u.Side()
+	var rs []geom.Rect
+	corner := func(v uint32) geom.Rect {
+		p := make(geom.Point, d)
+		for i := range p {
+			p[i] = v
+		}
+		return geom.Rect{Lo: p, Hi: p.Clone()}
+	}
+	rs = append(rs, corner(0), corner(s-1), corner(s/2), u.Rect())
+	for dim := 0; dim < d; dim++ {
+		for _, at := range []uint32{0, s - 1, s / 2} {
+			r := u.Rect()
+			r.Lo[dim], r.Hi[dim] = at, at
+			rs = append(rs, r)
+		}
+	}
+	if s >= 3 {
+		r := u.Rect()
+		for i := 0; i < d; i++ {
+			r.Lo[i], r.Hi[i] = 1, s-2
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// RandomRect draws a uniformly random axis-aligned rectangle inside u.
+func RandomRect(rng *rand.Rand, u geom.Universe) geom.Rect {
+	d := u.Dims()
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		a := uint32(rng.Int31n(int32(u.Side())))
+		b := uint32(rng.Int31n(int32(u.Side())))
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// ExercisePlanner runs CheckPlanner over every degenerate rectangle of
+// the curve's universe plus trials seeded random rectangles — the
+// standard conformance sweep for a RangePlanner implementation.
+func ExercisePlanner(t *testing.T, c curve.Curve, trials int, seed int64) {
+	t.Helper()
+	u := c.Universe()
+	for _, r := range DegenerateRects(u) {
+		CheckPlanner(t, c, r)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		CheckPlanner(t, c, RandomRect(rng, u))
+	}
+}

@@ -19,6 +19,9 @@ var (
 	ErrClosed = errors.New("engine: closed")
 	// ErrPoint reports a point outside the engine's universe.
 	ErrPoint = errors.New("engine: point outside universe")
+	// ErrRanges reports a malformed pre-planned range list passed to
+	// QueryRanges: unsorted, overlapping, or beyond the key space.
+	ErrRanges = errors.New("engine: invalid key ranges")
 )
 
 // Options tunes an Engine. The zero value selects the defaults.
@@ -413,15 +416,40 @@ func (m *mergeSource) advance() error {
 // duplicate keys and tombstones suppressing older versions. The seek and
 // page accounting is pagedstore's, summed over segments.
 func (e *Engine) Query(r geom.Rect) ([]Record, Stats, error) {
-	var st Stats
 	// One planner call per rectangle — the whole query costs
 	// O(clusters) planning regardless of its volume.
 	krs, err := ranges.Decompose(e.c, r, 0)
 	if err != nil {
-		return nil, st, fmt.Errorf("engine: %w", err)
+		return nil, Stats{}, fmt.Errorf("engine: %w", err)
 	}
+	recs, st, err := e.queryRanges(krs)
 	st.Planned = len(krs)
+	return recs, st, err
+}
 
+// QueryRanges executes a pre-planned list of key ranges: every live record
+// whose curve key falls in one of the ranges, in ascending key order,
+// together with the physical access pattern. krs must be sorted ascending,
+// disjoint and within the curve's key space — the shape RangePlanner
+// emits; a query router that plans a rectangle once and fans its ranges
+// out to partitioned engines calls this hook so no engine re-plans.
+// Stats.Planned is left zero: planning happened (at most once) in the
+// caller.
+func (e *Engine) QueryRanges(krs []curve.KeyRange) ([]Record, Stats, error) {
+	n := e.c.Universe().Size()
+	for i, kr := range krs {
+		if kr.Lo > kr.Hi || kr.Hi >= n {
+			return nil, Stats{}, fmt.Errorf("%w: %v (key space [0,%d))", ErrRanges, kr, n)
+		}
+		if i > 0 && kr.Lo <= krs[i-1].Hi {
+			return nil, Stats{}, fmt.Errorf("%w: %v not after %v", ErrRanges, kr, krs[i-1])
+		}
+	}
+	return e.queryRanges(krs)
+}
+
+func (e *Engine) queryRanges(krs []curve.KeyRange) ([]Record, Stats, error) {
+	var st Stats
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {

@@ -73,6 +73,16 @@ func ByWeight(c curve.Curve, keys []uint64, k int) (*Partitioner, error) {
 // Shards returns the number of shards.
 func (p *Partitioner) Shards() int { return len(p.bounds) - 1 }
 
+// Interval returns the inclusive key range shard i owns. ok is false for
+// an empty shard (coinciding quantile boundaries, or more shards than
+// keys): no key routes to it and its range is meaningless.
+func (p *Partitioner) Interval(i int) (kr curve.KeyRange, ok bool) {
+	if i < 0 || i >= p.Shards() || p.bounds[i] == p.bounds[i+1] {
+		return curve.KeyRange{}, false
+	}
+	return curve.KeyRange{Lo: p.bounds[i], Hi: p.bounds[i+1] - 1}, true
+}
+
 // Of returns the shard owning the given key.
 func (p *Partitioner) Of(key uint64) int {
 	// First bound strictly greater than key, minus one.

@@ -209,3 +209,58 @@ func TestFanOutMatchesBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestInterval: every key must lie inside the interval of the shard that
+// owns it, intervals must tile the key space in order, and empty shards
+// (quantile boundaries that coincide) must report ok = false.
+func TestInterval(t *testing.T) {
+	o, _ := core.NewOnion2D(16)
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		p, err := Uniform(o, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := uint64(0)
+		for i := 0; i < p.Shards(); i++ {
+			iv, ok := p.Interval(i)
+			if !ok {
+				continue
+			}
+			if iv.Lo != next {
+				t.Fatalf("k=%d shard %d: interval %v, expected to start at %d", k, i, iv, next)
+			}
+			if p.Of(iv.Lo) != i || p.Of(iv.Hi) != i {
+				t.Fatalf("k=%d shard %d: interval %v not owned by its shard", k, i, iv)
+			}
+			next = iv.Hi + 1
+		}
+		if n := o.Universe().Size(); next != n {
+			t.Fatalf("k=%d: intervals end at %d, want %d", k, next, n)
+		}
+	}
+	// Out-of-range shards and empty quantile shards.
+	p4, err := Uniform(o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p4.Interval(-1); ok {
+		t.Fatal("Interval(-1) ok")
+	}
+	if _, ok := p4.Interval(4); ok {
+		t.Fatal("Interval(shards) ok")
+	}
+	skew := make([]uint64, 32) // all samples at key 0 => coinciding bounds
+	bw, err := ByWeight(o, skew, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empties := 0
+	for i := 0; i < bw.Shards(); i++ {
+		if _, ok := bw.Interval(i); !ok {
+			empties++
+		}
+	}
+	if empties == 0 {
+		t.Fatal("expected empty shards from a degenerate quantile sample")
+	}
+}

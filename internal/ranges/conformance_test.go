@@ -1,0 +1,48 @@
+package ranges
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/cluster"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/curvetest"
+)
+
+// TestDecomposeConformanceAllCurves runs the shared curvetest
+// decomposition conformance harness table-driven over the full
+// 22-instance curve roster (the same instances the fuzzer uses: the
+// onion family at odd/even/non-power-of-two sides, the prefix-tree
+// baselines, the linear orders, Peano, and the opaque fallback wrapper).
+// Decompose's output — whichever strategy served the curve — must be
+// sorted, disjoint, non-adjacent, cover the query exactly, match the
+// brute-force reference bit for bit, and agree with cluster.Count;
+// curves that implement RangePlanner additionally have DecomposeRect and
+// ClusterCount checked directly through curvetest.CheckPlanner.
+func TestDecomposeConformanceAllCurves(t *testing.T) {
+	for _, c := range fuzzCurves(t) {
+		t.Run(c.Name(), func(t *testing.T) {
+			u := c.Universe()
+			rects := curvetest.DegenerateRects(u)
+			rng := rand.New(rand.NewSource(int64(u.Size())))
+			for i := 0; i < 25; i++ {
+				rects = append(rects, curvetest.RandomRect(rng, u))
+			}
+			_, isPlanner := c.(curve.RangePlanner)
+			for _, r := range rects {
+				got, err := Decompose(c, r, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := cluster.Count(c, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				curvetest.CheckDecomposition(t, c, r, got, n)
+				if isPlanner {
+					curvetest.CheckPlanner(t, c, r)
+				}
+			}
+		})
+	}
+}

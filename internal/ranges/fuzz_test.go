@@ -17,14 +17,15 @@ import (
 )
 
 // fuzzCurves builds one instance per curve family, spanning odd, even and
-// non-power-of-two sides and 1-4 dimensions. Construction happens once;
-// the fuzz body picks by index.
-func fuzzCurves(f *testing.F) []curve.Curve {
-	f.Helper()
+// non-power-of-two sides and 1-4 dimensions — the 22-instance roster the
+// fuzzer and the table-driven conformance sweep share. Construction
+// happens once; the fuzz body picks by index.
+func fuzzCurves(tb testing.TB) []curve.Curve {
+	tb.Helper()
 	var cs []curve.Curve
 	add := func(c curve.Curve, err error) {
 		if err != nil {
-			f.Fatal(err)
+			tb.Fatal(err)
 		}
 		cs = append(cs, c)
 	}
@@ -52,7 +53,7 @@ func fuzzCurves(f *testing.F) []curve.Curve {
 	// The opaque wrapper reaches the sorted fallback path.
 	o, err := core.NewOnion2D(16)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	cs = append(cs, opaque{o})
 	return cs

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/baseline"
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/partition"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// fuzzCurves spans the curve families the router serves, at universe
+// sizes small enough for the brute-force oracle to enumerate fully.
+func fuzzCurves(f *testing.F) []curve.Curve {
+	f.Helper()
+	var cs []curve.Curve
+	add := func(c curve.Curve, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	add(core.NewOnion2D(16))
+	add(core.NewOnion2D(31)) // odd side
+	add(core.NewOnion3D(8))
+	add(baseline.NewHilbert(2, 32))
+	add(baseline.NewSnake(3, 6))
+	return cs
+}
+
+// FuzzShardRouter fuzzes the rectangle → shard fan-out against a
+// brute-force single-shard oracle: enumerate every cell of the
+// rectangle, assign its key to a shard with Partitioner.Of, and demand
+// that expanding the router's per-shard sub-plans reproduces exactly
+// those per-shard key sets — for uniform partitions and for skewed
+// quantile partitions with empty shards.
+func FuzzShardRouter(f *testing.F) {
+	cs := fuzzCurves(f)
+	for w := range cs {
+		side := cs[w].Universe().Side()
+		f.Add(uint8(w), uint32(0), side-1, uint32(0), side-1, uint32(0), side-1, uint8(3), int64(0))
+		f.Add(uint8(w), uint32(0), uint32(0), uint32(0), uint32(0), uint32(0), uint32(0), uint8(1), int64(1))
+		f.Add(uint8(w), uint32(1), side-2, uint32(1), side-2, uint32(1), side-2, uint8(8), int64(2))
+	}
+	f.Fuzz(func(t *testing.T, which uint8, x0, x1, y0, y1, z0, z1 uint32, kRaw uint8, skew int64) {
+		c := cs[int(which)%len(cs)]
+		u := c.Universe()
+		k := int(kRaw)%12 + 1
+		var part *partition.Partitioner
+		var err error
+		if skew == 0 {
+			part, err = partition.Uniform(c, k)
+		} else {
+			// Quantile partition over a skewed key sample: coinciding
+			// boundaries leave empty shards the splitter must route around.
+			rng := rand.New(rand.NewSource(skew))
+			keys := make([]uint64, 64)
+			span := uint64(rng.Int63n(int64(u.Size()))) + 1
+			for i := range keys {
+				keys[i] = uint64(rng.Int63n(int64(span)))
+			}
+			part, err = partition.ByWeight(c, keys, k)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := make(geom.Point, u.Dims())
+		hi := make(geom.Point, u.Dims())
+		raw := [6]uint32{x0, x1, y0, y1, z0, z1}
+		for i := 0; i < u.Dims(); i++ {
+			j := i
+			if j >= 3 {
+				j = 2
+			}
+			a := raw[2*j] % u.Side()
+			b := raw[2*j+1] % u.Side()
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		r := geom.Rect{Lo: lo, Hi: hi}
+
+		plan, err := ranges.Decompose(c, r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := splitPlan(part, plan)
+
+		// Oracle: per-shard sorted key sets by brute-force cell walk.
+		oracle := make(map[int][]uint64)
+		r.ForEach(func(p geom.Point) bool {
+			key := c.Index(p)
+			s := part.Of(key)
+			oracle[s] = append(oracle[s], key)
+			return true
+		})
+		for _, keys := range oracle {
+			slices.Sort(keys)
+		}
+
+		// Structural invariants + exact per-shard coverage.
+		got := make(map[int][]uint64)
+		prevShard := -1
+		for _, p := range parts {
+			if p.shard <= prevShard {
+				t.Fatalf("parts not in ascending shard order: %d after %d", p.shard, prevShard)
+			}
+			prevShard = p.shard
+			iv, ok := part.Interval(p.shard)
+			if !ok {
+				t.Fatalf("empty shard %d received work", p.shard)
+			}
+			var prev *curve.KeyRange
+			for i := range p.krs {
+				kr := p.krs[i]
+				if kr.Lo > kr.Hi {
+					t.Fatalf("shard %d: inverted range %v", p.shard, kr)
+				}
+				if kr.Lo < iv.Lo || kr.Hi > iv.Hi {
+					t.Fatalf("shard %d: %v outside interval %v", p.shard, kr, iv)
+				}
+				if prev != nil && kr.Lo <= prev.Hi {
+					t.Fatalf("shard %d: %v overlaps %v", p.shard, kr, *prev)
+				}
+				prev = &p.krs[i]
+				for key := kr.Lo; key <= kr.Hi; key++ {
+					got[p.shard] = append(got[p.shard], key)
+				}
+			}
+		}
+		if len(got) != len(oracle) {
+			t.Fatalf("fan-out to %d shards, oracle says %d", len(got), len(oracle))
+		}
+		for s, want := range oracle {
+			g := got[s]
+			if len(g) != len(want) {
+				t.Fatalf("shard %d: %d keys, oracle %d", s, len(g), len(want))
+			}
+			for i := range want {
+				if g[i] != want[i] {
+					t.Fatalf("shard %d: key[%d] = %d, oracle %d", s, i, g[i], want[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/engine"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/partition"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// Stats is the aggregated physical access pattern of one sharded query.
+//
+// Aggregation contract: shard boundaries are contiguous curve-key
+// intervals, so each touched shard executes exactly the part of the plan
+// that falls inside its interval against exactly the records whose keys
+// fall inside its interval. Its counters are therefore bit-identical to
+// what a single engine holding only that shard's records reports for the
+// same sub-plan (TestShardedCrossCheck verifies this bit for bit). The
+// embedded aggregate is the sum of those per-shard counters:
+//
+//   - Seeks, PagesRead, RecordsScanned, MemEntries and Segments sum over
+//     the touched shards. A cluster range that spans k shard boundaries
+//     is executed as k+1 sub-scans, so the aggregate Seeks can exceed a
+//     single unpartitioned engine's count by at most the number of
+//     boundary crossings — the price of partitioning, made visible
+//     rather than hidden.
+//   - Planned is the output of the router's single RangePlanner call —
+//     the clustering number of the rectangle, identical to the
+//     unpartitioned engine's Planned.
+//   - Results, and the records themselves, are bit-identical to the
+//     unpartitioned engine's: per-shard outputs are ascending in key and
+//     shard intervals are ascending, so their concatenation is the
+//     globally key-sorted result set.
+//
+// With a single shard the whole Stats is bit-identical to the
+// unpartitioned engine's.
+type Stats struct {
+	engine.Stats
+	// ShardsTouched is the number of shards the plan intersected.
+	ShardsTouched int
+	// SubRanges is the total number of shard-local ranges after
+	// splitting the plan at shard boundaries (>= Planned).
+	SubRanges int
+	// PerShard is the per-shard breakdown, in ascending shard order,
+	// touched shards only.
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's contribution to a query.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	engine.Stats
+}
+
+// shardPlan is the part of a query plan one shard executes: the plan's
+// ranges clipped to the shard's key interval, still sorted and disjoint.
+type shardPlan struct {
+	shard int
+	krs   []curve.KeyRange
+}
+
+// splitPlan splits a sorted disjoint plan at shard boundaries, returning
+// each touched shard's sub-plan in ascending shard order. The
+// concatenation of the sub-plans' ranges covers exactly the plan's keys.
+func splitPlan(part *partition.Partitioner, plan []curve.KeyRange) []shardPlan {
+	var out []shardPlan
+	for _, kr := range plan {
+		lo := kr.Lo
+		for {
+			si := part.Of(lo)
+			iv, ok := part.Interval(si)
+			if !ok {
+				// Of returns the shard owning lo, which by construction
+				// has a non-empty interval.
+				panic(fmt.Sprintf("shard: key %d routed to empty shard %d", lo, si))
+			}
+			hi := kr.Hi
+			if iv.Hi < hi {
+				hi = iv.Hi
+			}
+			sub := curve.KeyRange{Lo: lo, Hi: hi}
+			if n := len(out); n > 0 && out[n-1].shard == si {
+				out[n-1].krs = append(out[n-1].krs, sub)
+			} else {
+				out = append(out, shardPlan{shard: si, krs: []curve.KeyRange{sub}})
+			}
+			if hi >= kr.Hi {
+				break
+			}
+			lo = hi + 1
+		}
+	}
+	return out
+}
+
+// Query returns every live record whose point lies inside r together
+// with the aggregated physical access pattern (see Stats for the
+// contract). The rectangle is planned ONCE with the curve's range
+// planner; the plan is split at shard boundaries and fanned out only to
+// intersecting shards, which execute concurrently on the bounded worker
+// pool. Admission control: at most Options.MaxInFlight queries execute
+// at a time (later calls block for a slot), and a plan longer than
+// Options.MaxPlannedRanges is rejected with ErrBudget before touching
+// any shard.
+func (s *Sharded) Query(r geom.Rect) ([]Record, Stats, error) {
+	// Admission: take an in-flight slot before any work.
+	s.admit <- struct{}{}
+	defer func() { <-s.admit }()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, Stats{}, ErrClosed
+	}
+	// One planner call per query, whatever the fan-out.
+	plan, err := ranges.Decompose(s.c, r, 0)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("shard: %w", err)
+	}
+	var st Stats
+	st.Planned = len(plan)
+	if s.opts.MaxPlannedRanges > 0 && len(plan) > s.opts.MaxPlannedRanges {
+		return nil, st, fmt.Errorf("%w: %d ranges > %d", ErrBudget, len(plan), s.opts.MaxPlannedRanges)
+	}
+	parts := splitPlan(s.part, plan)
+	st.ShardsTouched = len(parts)
+
+	type result struct {
+		recs []Record
+		st   engine.Stats
+		err  error
+	}
+	results := make([]result, len(parts))
+	var wg sync.WaitGroup
+	run := func(i int) {
+		recs, est, err := s.engines[parts[i].shard].QueryRanges(parts[i].krs)
+		results[i] = result{recs: recs, st: est, err: err}
+	}
+	// Fan all but the first sub-query out to the pool; run the first on
+	// the caller's goroutine, so a single-shard query never waits for a
+	// worker and the pool always has a draining goroutine per query.
+	for i := 1; i < len(parts); i++ {
+		wg.Add(1)
+		i := i
+		s.tasks <- func() {
+			defer wg.Done()
+			run(i)
+		}
+	}
+	if len(parts) > 0 {
+		run(0)
+	}
+	wg.Wait()
+
+	total := 0
+	for i, p := range parts {
+		if results[i].err != nil {
+			return nil, st, fmt.Errorf("shard %d: %w", p.shard, results[i].err)
+		}
+		total += len(results[i].recs)
+		st.SubRanges += len(p.krs)
+	}
+	out := make([]Record, 0, total)
+	st.PerShard = make([]ShardStats, len(parts))
+	for i, p := range parts {
+		est := results[i].st
+		out = append(out, results[i].recs...)
+		st.PerShard[i] = ShardStats{Shard: p.shard, Stats: est}
+		st.Seeks += est.Seeks
+		st.PagesRead += est.PagesRead
+		st.RecordsScanned += est.RecordsScanned
+		st.MemEntries += est.MemEntries
+		st.Segments += est.Segments
+	}
+	st.Results = len(out)
+	return out, st, nil
+}

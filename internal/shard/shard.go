@@ -1,0 +1,381 @@
+// Package shard is the horizontally partitioned query service built on
+// the storage engine: it splits a curve's key space into contiguous
+// intervals with an internal/partition Uniform partitioner and runs one
+// independent engine.Engine per interval — per-shard WAL, memtable,
+// segments, flush and compaction — so durability and crash recovery
+// compose shard by shard from the engine's guarantees.
+//
+// Writes route by curve key to exactly one shard. A rectangle query is
+// planned exactly once with the curve's RangePlanner; the resulting
+// cluster ranges are split at shard boundaries and fanned out only to the
+// shards whose key intervals they intersect, executed concurrently on a
+// bounded worker pool behind admission control (a cap on in-flight
+// queries and a per-query planned-range budget), and the per-shard record
+// streams and physical stats are aggregated.
+//
+// Because shard boundaries are aligned to curve-key intervals, the
+// concatenation of the per-shard outputs in shard order is globally
+// sorted by curve key and bit-identical to the record set a single engine
+// holding the same data returns. The stat aggregation contract is
+// documented on Stats: each shard's counters are bit-identical to a
+// single engine holding exactly that shard's records executing the
+// shard-restricted sub-plan, and the aggregate is their sum.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/engine"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/partition"
+)
+
+var (
+	// ErrClosed reports use of a closed sharded engine.
+	ErrClosed = errors.New("shard: closed")
+	// ErrBudget reports a query whose plan exceeds the configured
+	// per-query range budget (admission control rejected it; retry with a
+	// smaller rectangle or a higher Options.MaxPlannedRanges).
+	ErrBudget = errors.New("shard: query exceeds planned-range budget")
+	// ErrManifest reports a shard directory opened with a configuration
+	// (shard count, curve) different from the one it was created with.
+	ErrManifest = errors.New("shard: directory manifest mismatch")
+)
+
+// Options tunes a sharded engine. The zero value selects the defaults.
+type Options struct {
+	// Shards is the number of key-space partitions, each served by an
+	// independent engine (default GOMAXPROCS). The count is recorded in
+	// the directory manifest and must match on reopen: records live in
+	// the shard that owns their key, so silently changing the partition
+	// would misroute queries.
+	Shards int
+	// Engine tunes every per-shard engine (page size, flush threshold,
+	// WAL sync policy, memtable shards, compaction fanout).
+	Engine engine.Options
+	// Workers bounds how many per-shard sub-queries execute concurrently
+	// across all in-flight queries (default GOMAXPROCS).
+	Workers int
+	// MaxInFlight is the admission-control cap on concurrently admitted
+	// queries; further Query calls block until a slot frees (default
+	// 2 * Workers).
+	MaxInFlight int
+	// MaxPlannedRanges rejects queries whose single planner call yields
+	// more than this many cluster ranges with ErrBudget — a per-query
+	// cost ceiling, since ranges are seeks. 0 disables the budget.
+	MaxPlannedRanges int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2 * o.Workers
+	}
+	return o
+}
+
+// Record is one stored point with an opaque payload (the engine type).
+type Record = engine.Record
+
+// EngineStats is a point-in-time summary of a sharded engine's shape:
+// the per-shard engine summaries plus their totals.
+type EngineStats struct {
+	// PerShard holds each shard's engine summary, in shard order.
+	PerShard []engine.EngineStats
+	// Totals across shards.
+	MemEntries     int64
+	ImmMemtables   int
+	Segments       int
+	SegmentRecords int
+	WALBytes       int64
+	Flushes        uint64
+	Compactions    uint64
+}
+
+// Sharded is a partition-aware sharded storage engine with a concurrent
+// query router. All methods are safe for concurrent use.
+type Sharded struct {
+	c       curve.Curve
+	part    *partition.Partitioner
+	engines []*engine.Engine
+	opts    Options
+
+	tasks   chan func() // bounded worker pool feed
+	workers sync.WaitGroup
+	admit   chan struct{} // admission slots, one per in-flight query
+
+	mu     sync.RWMutex // held shared by every operation; exclusively by Close
+	closed bool
+}
+
+// Open opens (creating if needed) the sharded engine rooted at dir,
+// clustered by c. Shard i's engine lives in dir/shard-<i> and recovers
+// independently: a crash affects only the shards it interrupted. The
+// shard count and curve identity are recorded in dir/MANIFEST on first
+// open and verified afterwards.
+func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
+	opts = opts.withDefaults()
+	part, err := partition.Uniform(c, opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if err := checkOrWriteManifest(dir, c, opts.Shards); err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		c:    c,
+		part: part,
+		opts: opts,
+	}
+	for i := 0; i < opts.Shards; i++ {
+		e, err := engine.Open(shardDir(dir, i), c, opts.Engine)
+		if err != nil {
+			for _, open := range s.engines {
+				open.Close() //nolint:errcheck
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.engines = append(s.engines, e)
+	}
+	s.tasks = make(chan func())
+	s.admit = make(chan struct{}, opts.MaxInFlight)
+	for i := 0; i < opts.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for fn := range s.tasks {
+				fn()
+			}
+		}()
+	}
+	return s, nil
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+const manifestName = "MANIFEST"
+
+// manifestBody renders the configuration identity of a shard directory.
+// The universe is part of it (the same curve family at a different side
+// has a different key space), and so is a fingerprint of the actual
+// bijection: the curve's name alone cannot distinguish variants of one
+// family — every Onion3D segment permutation is named "onion" — but the
+// cells at eight keys spread across the key range do.
+func manifestBody(c curve.Curve, shards int) string {
+	u := c.Universe()
+	n := u.Size()
+	probe := ""
+	p := make(geom.Point, u.Dims())
+	for j := uint64(0); j < 8; j++ {
+		c.Coords(j*(n-1)/7, p)
+		probe += fmt.Sprintf(" %v", p)
+	}
+	return fmt.Sprintf("onion-sharded v1\nshards %d\ncurve %s\ndims %d\nside %d\nprobe%s\n",
+		shards, c.Name(), u.Dims(), u.Side(), probe)
+}
+
+// checkOrWriteManifest verifies an existing manifest against the opening
+// configuration, or durably creates one for a fresh directory.
+func checkOrWriteManifest(dir string, c curve.Curve, shards int) error {
+	path := filepath.Join(dir, manifestName)
+	want := manifestBody(c, shards)
+	if data, err := os.ReadFile(path); err == nil {
+		if string(data) != want {
+			return fmt.Errorf("%w: directory records %q, opening with %q",
+				ErrManifest, string(data), want)
+		}
+		return nil
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("shard: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if _, err := f.WriteString(want); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.engines) }
+
+// Put inserts or overwrites the record at point p in the shard owning its
+// curve key. Durability is the owning engine's: acknowledged after WAL
+// append (and fsync with Options.Engine.SyncWrites).
+func (s *Sharded) Put(p geom.Point, payload uint64) error {
+	return s.write(p, payload, false)
+}
+
+// Delete removes the record at point p (a blind tombstone in the owning
+// shard; deleting an absent point is not an error).
+func (s *Sharded) Delete(p geom.Point) error {
+	return s.write(p, 0, true)
+}
+
+func (s *Sharded) write(p geom.Point, payload uint64, del bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.c.Universe().Contains(p) {
+		return fmt.Errorf("%w: %v in %v", engine.ErrPoint, p, s.c.Universe())
+	}
+	e := s.engines[s.part.Of(s.c.Index(p))]
+	if del {
+		return e.Delete(p)
+	}
+	return e.Put(p, payload)
+}
+
+// each runs fn on every shard engine concurrently and returns the first
+// error (by shard order).
+func (s *Sharded) each(fn func(*engine.Engine) error) error {
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			errs[i] = fn(e)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync makes every previously acknowledged write durable on every shard.
+func (s *Sharded) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.each((*engine.Engine).Sync)
+}
+
+// Flush freezes and writes out every shard's active memtable. Shards
+// flush concurrently and independently.
+func (s *Sharded) Flush() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.each((*engine.Engine).Flush)
+}
+
+// Compact fully compacts every shard: afterwards each shard's disk state
+// is a single curve-ordered segment of exactly its live records.
+func (s *Sharded) Compact() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.each((*engine.Engine).Compact)
+}
+
+// BackgroundErr returns the most recent background flush/compaction error
+// across shards, or nil when every shard's last background cycle
+// succeeded.
+func (s *Sharded) BackgroundErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, e := range s.engines {
+		if err := e.BackgroundErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a point-in-time summary of every shard plus totals.
+func (s *Sharded) Stats() EngineStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := EngineStats{PerShard: make([]engine.EngineStats, len(s.engines))}
+	if s.closed {
+		return st
+	}
+	for i, e := range s.engines {
+		es := e.Stats()
+		st.PerShard[i] = es
+		st.MemEntries += es.MemEntries
+		st.ImmMemtables += es.ImmMemtables
+		st.Segments += es.Segments
+		st.SegmentRecords += es.SegmentRecords
+		st.WALBytes += es.WALBytes
+		st.Flushes += es.Flushes
+		st.Compactions += es.Compactions
+	}
+	return st
+}
+
+// Close flushes and closes every shard engine and stops the router's
+// worker pool. The sharded engine is unusable afterwards; reopen with
+// Open.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.tasks)
+	s.workers.Wait()
+	var firstErr error
+	for _, e := range s.engines {
+		if err := e.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

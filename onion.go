@@ -49,6 +49,7 @@ import (
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
 	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/shard"
 	"github.com/onioncurve/onion/internal/stats"
 	"github.com/onioncurve/onion/internal/theory"
 	"github.com/onioncurve/onion/internal/viz"
@@ -125,6 +126,36 @@ type (
 	// EngineStats is a point-in-time summary of an Engine's shape
 	// (memtable entries, segments, WAL bytes, flush/compaction counts).
 	EngineStats = engine.EngineStats
+	// ShardedEngine is the horizontally partitioned query service:
+	// N independent Engines over contiguous curve-key intervals behind a
+	// concurrent query router, opened with OpenShardedEngine.
+	ShardedEngine = shard.Sharded
+	// ShardedEngineOptions tunes OpenShardedEngine (shard count,
+	// per-shard engine options, router worker pool size, admission
+	// control limits). The zero value selects sensible defaults.
+	ShardedEngineOptions = shard.Options
+	// ShardedQueryStats is the aggregated physical access pattern of one
+	// sharded query: per-shard engine counters summed under the
+	// documented stat-aggregation contract, plus the router's fan-out
+	// shape and the per-shard breakdown.
+	ShardedQueryStats = shard.Stats
+	// ShardQueryStats is one shard's contribution to a sharded query.
+	ShardQueryStats = shard.ShardStats
+	// ShardedEngineStats summarizes a sharded engine's shape: per-shard
+	// engine summaries plus totals.
+	ShardedEngineStats = shard.EngineStats
+)
+
+// Sentinel errors of the sharded query service, for errors.Is checks at
+// the serving layer.
+var (
+	// ErrShardBudget reports a query rejected by admission control: its
+	// single planner call produced more cluster ranges than
+	// ShardedEngineOptions.MaxPlannedRanges allows.
+	ErrShardBudget = shard.ErrBudget
+	// ErrShardManifest reports a sharded engine directory opened with a
+	// shard count or curve different from the one it was created with.
+	ErrShardManifest = shard.ErrManifest
 )
 
 // NewUniverse validates and constructs a dims-dimensional grid of
@@ -356,6 +387,30 @@ func OpenStore(path string, c Curve) (*Store, error) { return pagedstore.Open(pa
 // concurrent use.
 func OpenEngine(dir string, c Curve, opts EngineOptions) (*Engine, error) {
 	return engine.Open(dir, c, opts)
+}
+
+// OpenShardedEngine opens (creating if needed) a horizontally sharded
+// engine rooted at dir: the curve's key space is split into
+// Options.Shards contiguous intervals and each is served by an
+// independent Engine in its own subdirectory — per-shard WAL, memtable,
+// segments, flush and compaction — so durability and crash recovery
+// compose shard by shard, and a crash damages at most the shards it
+// interrupted. The shard count and curve identity are recorded in a
+// manifest and verified on reopen.
+//
+// Writes route by curve key to exactly one shard. Query plans each
+// rectangle ONCE with the curve's RangePlanner, splits the resulting
+// cluster ranges at shard boundaries, fans them out only to the shards
+// whose key intervals they intersect — executed concurrently on a
+// bounded worker pool behind admission control (a cap on in-flight
+// queries, an optional per-query planned-range budget) — and merges the
+// per-shard streams. Because shard boundaries are curve-key intervals,
+// the concatenated result is globally key-sorted and bit-identical to a
+// single Engine holding the same records; the stat aggregation contract
+// is documented on ShardedQueryStats. All methods are safe for
+// concurrent use.
+func OpenShardedEngine(dir string, c Curve, opts ShardedEngineOptions) (*ShardedEngine, error) {
+	return shard.Open(dir, c, opts)
 }
 
 // SortPoints orders points in place by their curve keys — the clustered
