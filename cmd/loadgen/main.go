@@ -1,12 +1,15 @@
 // Command loadgen drives concurrent mixed read/write traffic against the
 // sharded query service and reports throughput, latency and physical
 // I/O statistics — the workbench for measuring how query throughput
-// scales with the shard count.
+// scales with the shard count and how much of the logical page traffic
+// the shared page cache absorbs.
 //
 // Example:
 //
 //	loadgen -shards 4 -writers 4 -readers 4 -duration 10s
-//	loadgen -sweep 1,2,4,8 -duration 5s   # throughput-vs-shard-count table
+//	loadgen -sweep 1,2,4,8 -duration 5s      # throughput vs shard count
+//	loadgen -cache 0,262144,8388608          # throughput vs cache budget
+//	loadgen -sync                            # group-committed durable writes
 package main
 
 import (
@@ -26,10 +29,24 @@ import (
 	onion "github.com/onioncurve/onion"
 )
 
+func parseInts(s, flagName string) []int64 {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		k, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil || k < 0 {
+			log.Fatalf("bad %s entry %q", flagName, f)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
 func main() {
 	var (
 		shards   = flag.Int("shards", 4, "shard count (ignored with -sweep)")
 		sweep    = flag.String("sweep", "", "comma-separated shard counts to sweep, e.g. 1,2,4,8")
+		cache    = flag.String("cache", "", "comma-separated page-cache byte budgets to sweep, e.g. 0,262144,8388608")
+		sync     = flag.Bool("sync", false, "fsync every write (group-committed)")
 		writers  = flag.Int("writers", 4, "concurrent writer goroutines")
 		readers  = flag.Int("readers", 4, "concurrent reader goroutines")
 		duration = flag.Duration("duration", 5*time.Second, "measurement window per configuration")
@@ -43,51 +60,79 @@ func main() {
 		log.Fatalf("-qside (%d) must be smaller than -side (%d)", *qside, *side)
 	}
 
-	counts := []int{*shards}
-	if *sweep != "" {
-		counts = counts[:0]
-		for _, f := range strings.Split(*sweep, ",") {
-			k, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || k < 1 {
-				log.Fatalf("bad -sweep entry %q", f)
-			}
-			counts = append(counts, k)
-		}
+	type config struct {
+		shards     int
+		cacheBytes int64
 	}
-	fmt.Printf("loadgen: %dx%d onion universe, %d writers + %d readers, %v per run\n\n",
-		*side, *side, *writers, *readers, *duration)
-	fmt.Printf("%7s  %12s  %12s  %12s  %10s\n", "shards", "writes/s", "queries/s", "avg seeks/q", "records/q")
-	for _, k := range counts {
-		w, q, seeks, recs, err := run(k, *writers, *readers, *duration, uint32(*side), uint32(*qside), *preload, *dir)
+	var configs []config
+	if *sweep != "" && *cache != "" {
+		log.Fatal("-sweep and -cache are mutually exclusive: sweep one dimension at a time")
+	}
+	switch {
+	case *sweep != "":
+		for _, k := range parseInts(*sweep, "-sweep") {
+			if k < 1 {
+				log.Fatalf("bad -sweep entry %d", k)
+			}
+			configs = append(configs, config{shards: int(k)})
+		}
+	case *cache != "":
+		for _, b := range parseInts(*cache, "-cache") {
+			configs = append(configs, config{shards: *shards, cacheBytes: b})
+		}
+	default:
+		configs = append(configs, config{shards: *shards})
+	}
+	fmt.Printf("loadgen: %dx%d onion universe, %d writers + %d readers, sync=%v, %v per run\n\n",
+		*side, *side, *writers, *readers, *sync, *duration)
+	fmt.Printf("%7s  %10s  %12s  %12s  %12s  %10s  %7s  %9s\n",
+		"shards", "cacheB", "writes/s", "queries/s", "avg seeks/q", "records/q", "hit%", "allocs/q")
+	for _, cfg := range configs {
+		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *writers, *readers, *duration,
+			uint32(*side), uint32(*qside), *preload, *dir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%7d  %12.0f  %12.0f  %12.1f  %10.0f\n", k, w, q, seeks, recs)
+		fmt.Printf("%7d  %10d  %12.0f  %12.0f  %12.1f  %10.0f  %7.1f  %9.1f\n",
+			cfg.shards, cfg.cacheBytes, m.writesPerSec, m.queriesPerSec,
+			m.seeksPerQuery, m.recordsPerQuery, 100*m.hitRate, m.allocsPerQuery)
 	}
 }
 
-// run measures one shard-count configuration and returns writes/sec,
-// queries/sec, average seeks per query and average records per query.
-func run(shards, writers, readers int, d time.Duration, side, qside uint32, preload int, dir string) (float64, float64, float64, float64, error) {
+// metrics is one configuration's measurement.
+type metrics struct {
+	writesPerSec    float64
+	queriesPerSec   float64
+	seeksPerQuery   float64
+	recordsPerQuery float64
+	hitRate         float64
+	allocsPerQuery  float64
+}
+
+// run measures one (shard count, cache budget) configuration.
+func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d time.Duration,
+	side, qside uint32, preload int, dir string) (metrics, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "onion-loadgen")
 		if err != nil {
-			return 0, 0, 0, 0, err
+			return metrics{}, err
 		}
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	} else {
 		// One subdirectory per configuration: a sharded directory's
 		// manifest pins its shard count, so a sweep cannot reuse it.
-		dir = filepath.Join(dir, fmt.Sprintf("shards-%d", shards))
+		dir = filepath.Join(dir, fmt.Sprintf("shards-%d-cache-%d", shards, cacheBytes))
 	}
 	o, err := onion.NewOnion2D(side)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return metrics{}, err
 	}
-	s, err := onion.OpenShardedEngine(dir, o, onion.ShardedEngineOptions{Shards: shards})
+	opts := onion.ShardedEngineOptions{Shards: shards, CacheBytes: cacheBytes}
+	opts.Engine.SyncWrites = syncWrites
+	s, err := onion.OpenShardedEngine(dir, o, opts)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return metrics{}, err
 	}
 	defer func() {
 		if cerr := s.Close(); cerr != nil {
@@ -99,17 +144,19 @@ func run(shards, writers, readers int, d time.Duration, side, qside uint32, prel
 	for i := 0; i < preload; i++ {
 		pt := onion.Point{uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side)))}
 		if err := s.Put(pt, rng.Uint64()); err != nil {
-			return 0, 0, 0, 0, err
+			return metrics{}, err
 		}
 	}
 	if err := s.Flush(); err != nil {
-		return 0, 0, 0, 0, err
+		return metrics{}, err
 	}
 
 	var writes, queries, seeks, results atomic.Int64
 	var failure atomic.Value
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -141,6 +188,12 @@ func run(shards, writers, readers int, d time.Duration, side, qside uint32, prel
 		go func(r int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			// Recycled record buffer: the steady-state query path
+			// allocates nothing for the records themselves. No explicit
+			// yield is needed even on GOMAXPROCS=1 — the router's bounded
+			// handoff and end-of-query yield keep this zero-think-time
+			// loop from starving the writers.
+			var dst []onion.Record
 			for {
 				select {
 				case <-stop:
@@ -155,33 +208,40 @@ func run(shards, writers, readers int, d time.Duration, side, qside uint32, prel
 					failure.Store(err)
 					return
 				}
-				recs, st, err := s.Query(q)
+				var st onion.ShardedQueryStats
+				dst, st, err = s.QueryAppend(dst[:0], q)
 				if err != nil {
 					failure.Store(err)
 					return
 				}
 				queries.Add(1)
 				seeks.Add(int64(st.Seeks))
-				results.Add(int64(len(recs)))
-				// Yield between queries: with GOMAXPROCS=1 a
-				// zero-think-time query loop can monopolize the scheduler
-				// through the router's channel handoffs and starve the
-				// writers, skewing the measurement.
-				runtime.Gosched()
+				results.Add(int64(len(dst)))
 			}
 		}(r)
 	}
 	time.Sleep(d)
 	close(stop)
 	wg.Wait()
+	runtime.ReadMemStats(&after)
 	if err, _ := failure.Load().(error); err != nil {
-		return 0, 0, 0, 0, err
+		return metrics{}, err
 	}
 	secs := d.Seconds()
 	qn := float64(queries.Load())
 	if qn == 0 {
 		qn = 1
 	}
-	return float64(writes.Load()) / secs, float64(queries.Load()) / secs,
-		float64(seeks.Load()) / qn, float64(results.Load()) / qn, nil
+	cst := s.CacheStats()
+	return metrics{
+		writesPerSec:    float64(writes.Load()) / secs,
+		queriesPerSec:   float64(queries.Load()) / secs,
+		seeksPerQuery:   float64(seeks.Load()) / qn,
+		recordsPerQuery: float64(results.Load()) / qn,
+		hitRate:         cst.HitRate(),
+		// Mallocs across the window covers writers, flushes and the
+		// router; per query it is the end-to-end allocation pressure of
+		// serving, not just the engine's (zero-alloc) merge path.
+		allocsPerQuery: float64(after.Mallocs-before.Mallocs) / qn,
+	}, nil
 }

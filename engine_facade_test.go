@@ -95,3 +95,76 @@ func TestOpenEngineFacade(t *testing.T) {
 		t.Fatalf("reopened: %d records, want 63", len(recs2))
 	}
 }
+
+// TestPageCacheFacade drives the performance layer through the public
+// facade: a shared PageCache behind a cached Store and a cached Engine,
+// the QueryAppend buffer-reuse path, and the hit-rate summary.
+func TestPageCacheFacade(t *testing.T) {
+	o, err := onion.NewOnion2D(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cache := onion.NewPageCache(1 << 20)
+	eng, err := onion.OpenEngine(dir, o, onion.EngineOptions{PageBytes: 512, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for x := uint32(0); x < 64; x++ {
+		for y := uint32(0); y < 64; y++ {
+			if err := eng.Put(onion.Point{x, y}, uint64(x)<<8|uint64(y)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := onion.RectAt(onion.Point{8, 8}, []uint32{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []onion.Record
+	var cold, warm onion.EngineQueryStats
+	if dst, cold, err = eng.QueryAppend(dst[:0], q); err != nil {
+		t.Fatal(err)
+	}
+	if dst, warm, err = eng.QueryAppend(dst[:0], q); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 16*16 {
+		t.Fatalf("%d records, want %d", len(dst), 16*16)
+	}
+	// Logical stats identical; the warm pass is served from the cache.
+	cold.IO, warm.IO = onion.StoreIOStats{}, onion.StoreIOStats{}
+	if cold != warm {
+		t.Fatalf("stats changed between passes: %+v vs %+v", cold, warm)
+	}
+	cst := eng.CacheStats()
+	if cst.Hits == 0 || cst.HitRate() <= 0 {
+		t.Fatalf("cache stats %+v", cst)
+	}
+
+	// The same cache can back a read-only store of the same layout.
+	recs := make([]onion.Record, 0, 100)
+	for i := 0; i < 100; i++ {
+		recs = append(recs, onion.Record{Point: onion.Point{uint32(i % 64), uint32(i / 64)}, Payload: uint64(i)})
+	}
+	path := t.TempDir() + "/facade.pst"
+	if err := onion.WriteStore(path, o, recs, 512); err != nil {
+		t.Fatal(err)
+	}
+	st, err := onion.OpenStoreCached(path, o, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, stats, err := st.Query(o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || stats.Results != 100 {
+		t.Fatalf("%d records (stats %+v), want 100", len(got), stats)
+	}
+}

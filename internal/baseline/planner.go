@@ -85,7 +85,12 @@ func planTree[S any](d, order int, r geom.Rect, root S, child func(s S, i int) (
 // DecomposeRect implements curve.RangePlanner via the recursive quadrant
 // split (child i of every node is octant i).
 func (m *Morton) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return m.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (m *Morton) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	m.plan(r, &e)
 	return e.Ranges
 }
@@ -107,7 +112,12 @@ func (m *Morton) plan(r geom.Rect, e *curve.RangeEmitter) {
 // odd (the reflected Gray code is the reversed sequence, which flips only
 // the top interleaved bit).
 func (g *Gray) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return g.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (g *Gray) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	g.plan(r, &e)
 	return e.Ranges
 }
@@ -256,7 +266,12 @@ func deriveHilbertTree(d int) (*hilbertTree, error) {
 // orientation state carried down the subdivision, so fully contained
 // sub-blocks are emitted as whole key intervals in curve order.
 func (hc *Hilbert) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return hc.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (hc *Hilbert) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	hc.plan(r, &e)
 	return e.Ranges
 }
@@ -375,7 +390,12 @@ func (l *Linear) planSnake(r geom.Rect, e *curve.RangeEmitter, dim int, flip boo
 // DecomposeRect implements curve.RangePlanner: O(rows touched) with
 // closed-form run bounds, replacing the cell-enumeration fallback.
 func (l *Linear) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return l.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (l *Linear) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	l.planLinear(r, &e)
 	return e.Ranges
 }
@@ -388,8 +408,12 @@ func (l *Linear) ClusterCount(r geom.Rect) uint64 {
 }
 
 var (
-	_ curve.RangePlanner = (*Morton)(nil)
-	_ curve.RangePlanner = (*Gray)(nil)
-	_ curve.RangePlanner = (*Hilbert)(nil)
-	_ curve.RangePlanner = (*Linear)(nil)
+	_ curve.RangePlanner  = (*Morton)(nil)
+	_ curve.RangePlanner  = (*Gray)(nil)
+	_ curve.RangePlanner  = (*Hilbert)(nil)
+	_ curve.RangePlanner  = (*Linear)(nil)
+	_ curve.RangeAppender = (*Morton)(nil)
+	_ curve.RangeAppender = (*Gray)(nil)
+	_ curve.RangeAppender = (*Hilbert)(nil)
+	_ curve.RangeAppender = (*Linear)(nil)
 )

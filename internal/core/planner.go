@@ -189,7 +189,12 @@ func clampLocal(lo, hi, t, j uint32) (uint32, uint32) {
 // DecomposeRect implements curve.RangePlanner: O(rings + clusters), zero
 // curve evaluations.
 func (o *Onion2D) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return o.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (o *Onion2D) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	planOnion2(o.U.Side(), 0, r.Lo[0], r.Hi[0], r.Lo[1], r.Hi[1], &e)
 	return e.Ranges
 }
@@ -314,7 +319,12 @@ func planSegSquare3(base uint64, w, al, ah, bl, bh uint32, e *curve.RangeEmitter
 // DecomposeRect implements curve.RangePlanner: O(layers*segments + rings +
 // clusters), zero curve evaluations, exact for every segment permutation.
 func (o *Onion3D) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return o.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (o *Onion3D) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	o.planRect3(r, &e)
 	return e.Ranges
 }
@@ -427,7 +437,12 @@ func planShellND(w, off uint32, lo, hi []uint32, base uint64, e *curve.RangeEmit
 // the query cuts — which is also how the curve fragments, so the work
 // tracks the cluster count.
 func (o *OnionND) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return o.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (o *OnionND) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	planND(o.U.Side(), 0, r.Lo, r.Hi, 0, &e)
 	return e.Ranges
 }
@@ -534,7 +549,12 @@ func (l *LayerLex) planLexLayer(t uint32, r geom.Rect, e *curve.RangeEmitter) {
 // DecomposeRect implements curve.RangePlanner: O(layers + query rows),
 // zero curve evaluations (each row costs one O(d) interior-rank lookup).
 func (l *LayerLex) DecomposeRect(r geom.Rect) []curve.KeyRange {
-	var e curve.RangeEmitter
+	return l.DecomposeRectAppend(r, nil)
+}
+
+// DecomposeRectAppend implements curve.RangeAppender.
+func (l *LayerLex) DecomposeRectAppend(r geom.Rect, dst []curve.KeyRange) []curve.KeyRange {
+	e := curve.RangeEmitter{Ranges: dst[:0]}
 	l.planLayerLex(r, &e)
 	return e.Ranges
 }
@@ -551,4 +571,9 @@ var (
 	_ curve.RangePlanner = (*Onion3D)(nil)
 	_ curve.RangePlanner = (*OnionND)(nil)
 	_ curve.RangePlanner = (*LayerLex)(nil)
+
+	_ curve.RangeAppender = (*Onion2D)(nil)
+	_ curve.RangeAppender = (*Onion3D)(nil)
+	_ curve.RangeAppender = (*OnionND)(nil)
+	_ curve.RangeAppender = (*LayerLex)(nil)
 )

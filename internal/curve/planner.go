@@ -37,6 +37,16 @@ type RangePlanner interface {
 	ClusterCount(r geom.Rect) uint64
 }
 
+// RangeAppender is the buffer-reusing form of RangePlanner: the planner
+// appends the decomposition into dst (truncated to length zero first) and
+// returns the possibly regrown slice, so a steady-state caller that
+// recycles the same plan buffer allocates nothing per query. Every
+// RangePlanner in this module also implements RangeAppender;
+// DecomposeRectAppend(r, nil) is exactly DecomposeRect(r).
+type RangeAppender interface {
+	DecomposeRectAppend(r geom.Rect, dst []KeyRange) []KeyRange
+}
+
 // RangeEmitter accumulates key ranges produced in ascending key order,
 // merging ranges that touch (lo == previous hi + 1) so the result is
 // minimal. Planners share one plan routine between DecomposeRect (collect

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -99,6 +101,98 @@ func BenchmarkEngineMixedReadWrite(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchSyncIngest drives durable (SyncWrites) puts from at least four
+// concurrent writers — the workload group commit exists for.
+func benchSyncIngest(b *testing.B, noGroup bool) {
+	opts := benchOpts()
+	opts.SyncWrites = true
+	opts.noGroupCommit = noGroup
+	e := benchEngine(b, opts)
+	side := int32(e.c.Universe().Side())
+	if p := (4 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0); p > 1 {
+		b.SetParallelism(p)
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seq.Add(1)))
+		for pb.Next() {
+			pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+			if err := e.Put(pt, rng.Uint64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineIngestSyncSolo is the pre-group-commit baseline: every
+// durable write pays its own fsync.
+func BenchmarkEngineIngestSyncSolo(b *testing.B) { benchSyncIngest(b, true) }
+
+// BenchmarkEngineIngestSyncGroup batches concurrent durable writes into
+// one flush + fsync per group; with >= 4 writers the throughput gain
+// over Solo is the number of frames a disk barrier amortizes across.
+func BenchmarkEngineIngestSyncGroup(b *testing.B) { benchSyncIngest(b, false) }
+
+// BenchmarkEngineQueryCached measures the steady-state cached read path
+// at increasing cache budgets on a compacted 100k-record engine: 64x64
+// rectangle queries through the buffer-reusing QueryAppend, reporting
+// physical page fetches alongside the logical page reads. With allocs/op
+// at 0 the entire per-query cost is compute plus whatever physical I/O
+// the budget could not absorb.
+func BenchmarkEngineQueryCached(b *testing.B) {
+	for _, budget := range []int64{0, 256 << 10, 8 << 20} {
+		b.Run(fmt.Sprintf("cache=%d", budget), func(b *testing.B) {
+			e := benchEngine(b, Options{PageBytes: 4096, FlushEntries: -1, CompactFanout: -1, CacheBytes: budget})
+			side := int32(e.c.Universe().Side())
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 100_000; i++ {
+				pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+				if err := e.Put(pt, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := e.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			rects := make([]geom.Rect, 64)
+			for i := range rects {
+				lo := geom.Point{uint32(rng.Int31n(side - 64)), uint32(rng.Int31n(side - 64))}
+				rects[i] = geom.Rect{Lo: lo, Hi: geom.Point{lo[0] + 63, lo[1] + 63}}
+			}
+			var dst []Record
+			var err error
+			for _, r := range rects { // warm the cache and every pool
+				if dst, _, err = e.QueryAppend(dst[:0], r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var logical, fetched, hits int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var st Stats
+				dst, st, err = e.QueryAppend(dst[:0], rects[i%len(rects)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				logical += int64(st.PagesRead)
+				fetched += int64(st.IO.PagesFetched)
+				hits += int64(st.IO.CacheHits)
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(logical)/float64(b.N), "logicalpages/op")
+				b.ReportMetric(float64(fetched)/float64(b.N), "physpages/op")
+				b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
+			}
+		})
+	}
 }
 
 // BenchmarkEngineQueryCompacted measures the steady-state read path: a

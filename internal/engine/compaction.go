@@ -54,6 +54,21 @@ func pickCompaction(recs []int, fanout, sizeRatio int) (lo, hi int) {
 	return 0, 0
 }
 
+// compactSink collects the merged stream of a compaction. The winning
+// source's point is transient (the cursor reuses its decode buffer), so
+// every retained entry clones it.
+type compactSink struct {
+	out            []memEntry
+	dropTombstones bool
+}
+
+func (cs *compactSink) emit(win *mergeSource) {
+	if win.del && cs.dropTombstones {
+		return
+	}
+	cs.out = append(cs.out, memEntry{key: win.key, pt: win.pt.Clone(), payload: win.pay, del: win.del})
+}
+
 // mergeSegments k-way merges an age-adjacent run of segments (oldest
 // first) into its newest-wins, key-ordered union, through the same
 // mergeSources routine the query path uses. Tombstones are dropped when
@@ -68,16 +83,12 @@ func mergeSegments(c curve.Curve, segs []*segment, dropTombstones bool) ([]memEn
 		cur.SeekRange(full)
 		srcs[i] = &mergeSource{cur: cur, prio: i}
 	}
-	var out []memEntry
-	if err := mergeSources(srcs, func(win *mergeSource) {
-		if win.del && dropTombstones {
-			return
-		}
-		out = append(out, memEntry{key: win.key, pt: win.pt, payload: win.pay, del: win.del})
-	}); err != nil {
+	sink := &compactSink{dropTombstones: dropTombstones}
+	var scratch []*mergeSource
+	if err := mergeSources(srcs, &scratch, sink); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return sink.out, nil
 }
 
 // maybeCompact applies the size-tiered policy once and merges the chosen
@@ -156,7 +167,7 @@ func (e *Engine) compactRun(lo, hi int) error {
 	}
 	var out *segment
 	if len(merged) > 0 {
-		out, err = writeSegment(e.dir, e.c, id, merged, e.opts.PageBytes)
+		out, err = writeSegment(e.dir, e.c, id, merged, e.opts.PageBytes, e.cache)
 		if err != nil {
 			return err
 		}

@@ -41,6 +41,20 @@ type Options struct {
 	// many age-adjacent, similar-sized segments is merged in the
 	// background (default 4; negative disables background compaction).
 	CompactFanout int
+	// Cache is a shared page cache for the engine's segments — pass the
+	// same cache to several engines (the sharded service does) to share
+	// one byte budget across them. Caching changes only the physical I/O
+	// (Stats.IO): the logical seek/page accounting is bit-identical with
+	// the cache on or off.
+	Cache *pagedstore.Cache
+	// CacheBytes, when Cache is nil and this is positive, gives the
+	// engine a private page cache with this byte budget. 0 disables
+	// caching.
+	CacheBytes int64
+
+	// noGroupCommit reverts SyncWrites to one fsync per write — the
+	// pre-group-commit behavior, kept for benchmark baselines.
+	noGroupCommit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +93,13 @@ type Stats struct {
 	// Planned is the number of key ranges produced by the single
 	// RangePlanner call — the clustering number of the query rectangle.
 	Planned int
+	// IO is the physical I/O the query actually performed, summed over
+	// the segment cursors. Unlike every other counter it depends on
+	// cache state and segment-footer pruning, so it is excluded from the
+	// bit-identical stat contracts: the logical counters above prove the
+	// clustering accounting, IO shows how much of it the performance
+	// layer absorbed.
+	IO pagedstore.IOStats
 }
 
 // EngineStats is a point-in-time summary of the engine's shape.
@@ -127,9 +148,10 @@ func (t *committer) commit(seq uint64) {
 // Lock order: mu before walMu; flushMu (held across whole flush or
 // compaction) before both.
 type Engine struct {
-	dir  string
-	c    curve.Curve
-	opts Options
+	dir   string
+	c     curve.Curve
+	opts  Options
+	cache *pagedstore.Cache // segment page cache; nil when disabled
 
 	walMu sync.Mutex
 	wal   *wal
@@ -174,9 +196,13 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{dir: dir, c: c, opts: opts}
+	e.cache = opts.Cache
+	if e.cache == nil && opts.CacheBytes > 0 {
+		e.cache = pagedstore.NewCache(opts.CacheBytes)
+	}
 	e.com.done = make(map[uint64]struct{})
 	for _, id := range segIDs {
-		seg, err := openSegment(dir, c, id)
+		seg, err := openSegment(dir, c, id, e.cache)
 		if err != nil {
 			e.releaseSegments()
 			return nil, err
@@ -213,7 +239,7 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	}
 	e.com.visible.Store(e.seq)
 	if recovered != nil {
-		seg, err := writeSegment(dir, c, segID{lo: e.gen, hi: e.gen}, recovered.flushEntries(), opts.PageBytes)
+		seg, err := writeSegment(dir, c, segID{lo: e.gen, hi: e.gen}, recovered.flushEntries(), opts.PageBytes, e.cache)
 		if err != nil {
 			e.releaseSegments()
 			return nil, err
@@ -334,11 +360,19 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 	e.walMu.Lock()
 	e.seq++
 	seq := e.seq
-	err := e.wal.append(walOp{pt: p, payload: payload, del: del})
-	if err == nil && e.opts.SyncWrites {
-		err = e.wal.sync()
+	w := e.wal
+	err := w.append(walOp{pt: p, payload: payload, del: del})
+	pos := w.n
+	if err == nil && e.opts.SyncWrites && e.opts.noGroupCommit {
+		err = w.sync()
 	}
 	e.walMu.Unlock()
+	if err == nil && e.opts.SyncWrites && !e.opts.noGroupCommit {
+		// Group commit: wait until a single batched flush + fsync covers
+		// this frame. The caller still holds e.mu.RLock, so the log
+		// cannot rotate out from under the rendezvous.
+		err = e.groupCommit(w, pos)
+	}
 	if err != nil {
 		// The write never happened (the caller gets the error), but its
 		// sequence number exists: commit it anyway so the visibility
@@ -361,6 +395,70 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 	return nil
 }
 
+// groupCommit blocks until the log is durably synced past pos — the byte
+// position the caller's frame ends at. The first caller to arrive while
+// no sync is in flight becomes the leader: it flushes the buffered
+// frames under walMu (serializing with concurrent appends) and fsyncs
+// OUTSIDE it, so appends keep buffering while the disk barrier runs;
+// everyone whose frame the flush covered is released together. Callers
+// that arrive mid-fsync wait, and the next leader's single fsync covers
+// the entire pile — turning N solo disk barriers into one per batch.
+func (e *Engine) groupCommit(w *wal, pos int64) error {
+	g := &w.gc
+	g.mu.Lock()
+	for {
+		if g.err != nil {
+			err := g.err
+			g.mu.Unlock()
+			return err
+		}
+		if g.synced >= pos {
+			g.mu.Unlock()
+			return nil
+		}
+		if g.syncing {
+			g.wake.Wait()
+			continue
+		}
+		g.syncing = true
+		g.mu.Unlock()
+
+		// Commit window: yield once before capturing the batch, so
+		// writers just released by the previous fsync (or racing in
+		// right now) get to append their frames first. Without this the
+		// batches alternate thin/full — the leader flushes before its
+		// co-writers reach the log — and half the disk barriers are
+		// wasted on single frames.
+		runtime.Gosched()
+
+		e.walMu.Lock()
+		target := w.n
+		err := w.flushBuf()
+		e.walMu.Unlock()
+		if err == nil {
+			if serr := w.f.Sync(); serr != nil {
+				err = fmt.Errorf("%w: %v", ErrWAL, serr)
+				e.walMu.Lock()
+				w.failed = true
+				e.walMu.Unlock()
+			}
+		}
+
+		g.mu.Lock()
+		g.syncing = false
+		if err != nil {
+			// Poison the rendezvous: like wal.failed, a torn flush leaves
+			// the tail unknown, so every waiter (and every later sync
+			// attempt on this log) reports failure until a flush rotates
+			// in a fresh log.
+			g.err = err
+		} else if target > g.synced {
+			g.synced = target
+		}
+		g.wake.Broadcast()
+	}
+}
+
 // Sync makes every previously acknowledged write durable.
 func (e *Engine) Sync() error {
 	e.mu.RLock()
@@ -377,7 +475,10 @@ func (e *Engine) Sync() error {
 type mergeSource struct {
 	mem *memIter           // nil for segment sources
 	cur *pagedstore.Cursor // nil for memtable sources
-	// peeked head
+	rec pagedstore.Record  // reusable decode target for segment sources
+	// peeked head. pt aliases rec.Point for segment sources and the
+	// memtable node's point for memtable sources: valid only until the
+	// next advance, so sinks that retain it must copy.
 	key  uint64
 	pt   geom.Point
 	pay  uint64
@@ -397,7 +498,7 @@ func (m *mergeSource) advance() error {
 		}
 		return nil
 	}
-	rec, marked, ok, err := m.cur.Next()
+	marked, ok, err := m.cur.NextInto(&m.rec)
 	if err != nil {
 		return err
 	}
@@ -405,55 +506,110 @@ func (m *mergeSource) advance() error {
 		m.ok = false
 		return nil
 	}
-	m.key, m.pt, m.pay, m.del, m.ok = m.cur.Key(), rec.Point, rec.Payload, marked, true
+	m.key, m.pt, m.pay, m.del, m.ok = m.cur.Key(), m.rec.Point, m.rec.Payload, marked, true
 	return nil
 }
 
+// queryState is the reusable scratch of one query execution: the plan
+// buffer, the per-segment cursors, the merge sources and iterators, and
+// the in-flight output. States recycle through a pool, so a steady-state
+// query allocates nothing — the cursors come from their stores' pools,
+// the records land in the caller's buffer, and everything in between
+// lives here.
+type queryState struct {
+	plan    []curve.KeyRange
+	cursors []*pagedstore.Cursor
+	segSrcs []mergeSource
+	memSrcs []mergeSource
+	iters   []memIter
+	mems    []*memtable
+	pass    []*mergeSource
+	live    []*mergeSource
+	out     []Record
+	memHits int
+}
+
+var qsPool = sync.Pool{New: func() any { return new(queryState) }}
+
+// emit implements mergeSink: the merge hands over the newest holder of
+// each key; live records append to the output (copying the point — the
+// source's is transient) and memtable wins are tallied.
+func (q *queryState) emit(win *mergeSource) {
+	if !win.del {
+		q.out = pagedstore.AppendRecord(q.out, win.pt, win.pay)
+	}
+	if win.mem != nil {
+		q.memHits++
+	}
+}
+
 // Query returns every live record whose point lies inside r together with
-// the physical access pattern. The curve's range planner runs exactly
+// the logical access pattern. The curve's range planner runs exactly
 // once; each resulting cluster range is then answered by one k-way merge
 // pass over the memtable and every live segment, newest source winning on
 // duplicate keys and tombstones suppressing older versions. The seek and
 // page accounting is pagedstore's, summed over segments.
 func (e *Engine) Query(r geom.Rect) ([]Record, Stats, error) {
+	return e.QueryAppend(nil, r)
+}
+
+// QueryAppend is Query appending into dst: recycling the same dst across
+// queries reuses the record slots and their Point buffers, so the
+// steady-state query path allocates nothing. Stats.Results counts only
+// the records this call appended.
+func (e *Engine) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error) {
 	// One planner call per rectangle — the whole query costs
 	// O(clusters) planning regardless of its volume.
-	krs, err := ranges.Decompose(e.c, r, 0)
+	qs := qsPool.Get().(*queryState)
+	var err error
+	qs.plan, err = ranges.DecomposeAppend(e.c, r, 0, qs.plan)
 	if err != nil {
-		return nil, Stats{}, fmt.Errorf("engine: %w", err)
+		qsPool.Put(qs)
+		return dst, Stats{}, fmt.Errorf("engine: %w", err)
 	}
-	recs, st, err := e.queryRanges(krs)
-	st.Planned = len(krs)
-	return recs, st, err
+	out, st, err := e.queryRanges(qs, dst, qs.plan)
+	st.Planned = len(qs.plan)
+	qsPool.Put(qs)
+	return out, st, err
 }
 
 // QueryRanges executes a pre-planned list of key ranges: every live record
 // whose curve key falls in one of the ranges, in ascending key order,
-// together with the physical access pattern. krs must be sorted ascending,
+// together with the logical access pattern. krs must be sorted ascending,
 // disjoint and within the curve's key space — the shape RangePlanner
 // emits; a query router that plans a rectangle once and fans its ranges
 // out to partitioned engines calls this hook so no engine re-plans.
 // Stats.Planned is left zero: planning happened (at most once) in the
 // caller.
 func (e *Engine) QueryRanges(krs []curve.KeyRange) ([]Record, Stats, error) {
+	return e.QueryRangesAppend(nil, krs)
+}
+
+// QueryRangesAppend is QueryRanges appending into dst — the form the
+// shard router's fan-out drives with recycled per-shard buffers.
+func (e *Engine) QueryRangesAppend(dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
 	n := e.c.Universe().Size()
 	for i, kr := range krs {
 		if kr.Lo > kr.Hi || kr.Hi >= n {
-			return nil, Stats{}, fmt.Errorf("%w: %v (key space [0,%d))", ErrRanges, kr, n)
+			return dst, Stats{}, fmt.Errorf("%w: %v (key space [0,%d))", ErrRanges, kr, n)
 		}
 		if i > 0 && kr.Lo <= krs[i-1].Hi {
-			return nil, Stats{}, fmt.Errorf("%w: %v not after %v", ErrRanges, kr, krs[i-1])
+			return dst, Stats{}, fmt.Errorf("%w: %v not after %v", ErrRanges, kr, krs[i-1])
 		}
 	}
-	return e.queryRanges(krs)
+	qs := qsPool.Get().(*queryState)
+	out, st, err := e.queryRanges(qs, dst, krs)
+	qsPool.Put(qs)
+	return out, st, err
 }
 
-func (e *Engine) queryRanges(krs []curve.KeyRange) ([]Record, Stats, error) {
+func (e *Engine) queryRanges(qs *queryState, dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
 	var st Stats
+	base := len(dst)
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
-		return nil, st, ErrClosed
+		return dst, st, ErrClosed
 	}
 	snap := e.com.visible.Load()
 	st.Segments = len(e.segs)
@@ -461,49 +617,78 @@ func (e *Engine) queryRanges(krs []curve.KeyRange) ([]Record, Stats, error) {
 	// Sources, oldest to newest: segments (list order), frozen memtables
 	// (list order), then the active memtable. Priority = slice position,
 	// so on duplicate keys the newest source is authoritative.
-	segSrcs := make([]*mergeSource, len(e.segs))
-	cursors := make([]*pagedstore.Cursor, len(e.segs))
+	qs.cursors = qs.cursors[:0]
+	if cap(qs.segSrcs) < len(e.segs) {
+		qs.segSrcs = make([]mergeSource, len(e.segs))
+	}
+	qs.segSrcs = qs.segSrcs[:len(e.segs)]
 	for i, seg := range e.segs {
-		cursors[i] = seg.st.NewCursor()
-		segSrcs[i] = &mergeSource{cur: cursors[i], prio: i}
+		cur := seg.st.AcquireCursor()
+		qs.cursors = append(qs.cursors, cur)
+		s := &qs.segSrcs[i]
+		pt := s.rec.Point // keep the decode buffer across reuses
+		*s = mergeSource{cur: cur, prio: i}
+		s.rec.Point = pt
 	}
-	memtables := append(append([]*memtable{}, e.imm...), e.mem)
+	qs.mems = append(qs.mems[:0], e.imm...)
+	qs.mems = append(qs.mems, e.mem)
+	if cap(qs.memSrcs) < len(qs.mems) {
+		qs.memSrcs = make([]mergeSource, len(qs.mems))
+	}
+	qs.memSrcs = qs.memSrcs[:len(qs.mems)]
+	if cap(qs.iters) < len(qs.mems) {
+		qs.iters = make([]memIter, len(qs.mems))
+	}
+	qs.iters = qs.iters[:len(qs.mems)]
 
-	var out []Record
+	qs.out = dst
+	qs.memHits = 0
+	var err error
 	for _, kr := range krs {
-		pass := make([]*mergeSource, 0, len(segSrcs)+len(memtables))
-		for _, s := range segSrcs {
+		qs.pass = qs.pass[:0]
+		for i := range qs.segSrcs {
+			s := &qs.segSrcs[i]
 			s.cur.SeekRange(kr)
-			pass = append(pass, s)
+			qs.pass = append(qs.pass, s)
 		}
-		for _, m := range memtables {
-			pass = append(pass, &mergeSource{mem: m.seek(kr, snap), prio: len(pass)})
+		for j := range qs.mems {
+			it := &qs.iters[j]
+			it.init(qs.mems[j], kr, snap)
+			qs.memSrcs[j] = mergeSource{mem: it, prio: len(qs.pass)}
+			qs.pass = append(qs.pass, &qs.memSrcs[j])
 		}
-		if err := mergeSources(pass, func(win *mergeSource) {
-			if !win.del {
-				out = append(out, Record{Point: win.pt.Clone(), Payload: win.pay})
-			}
-			if win.mem != nil {
-				st.MemEntries++
-			}
-		}); err != nil {
-			return nil, e.sumStats(st, cursors), err
+		if err = mergeSources(qs.pass, &qs.live, qs); err != nil {
+			break
 		}
 	}
-	st = e.sumStats(st, cursors)
-	st.Results = len(out)
+	out := qs.out
+	qs.out = nil
+	st.MemEntries = qs.memHits
+	st = e.sumStats(st, qs.cursors)
+	for _, cur := range qs.cursors {
+		cur.Release()
+	}
+	if err != nil {
+		return out[:base], st, err
+	}
+	st.Results = len(out) - base
 	return out, st, nil
 }
 
+// mergeSink receives the merged stream of mergeSources.
+type mergeSink interface{ emit(win *mergeSource) }
+
 // mergeSources primes the given sources and drains them in ascending key
-// order: emit is called exactly once per distinct key, with the newest
-// (highest-priority) holder of that key — tombstones included, so the
-// caller decides whether they suppress or survive. Both the query path
-// and segment compaction resolve duplicates through this one routine.
-func mergeSources(srcs []*mergeSource, emit func(win *mergeSource)) error {
-	live := make([]*mergeSource, 0, len(srcs))
+// order: the sink's emit is called exactly once per distinct key, with
+// the newest (highest-priority) holder of that key — tombstones
+// included, so the sink decides whether they suppress or survive. Both
+// the query path and segment compaction resolve duplicates through this
+// one routine. scratch is the reusable live-source buffer.
+func mergeSources(srcs []*mergeSource, scratch *[]*mergeSource, sink mergeSink) error {
+	live := (*scratch)[:0]
 	for _, s := range srcs {
 		if err := s.advance(); err != nil {
+			*scratch = live
 			return err
 		}
 		if s.ok {
@@ -525,12 +710,13 @@ func mergeSources(srcs []*mergeSource, emit func(win *mergeSource)) error {
 				winner = s
 			}
 		}
-		emit(winner)
+		sink.emit(winner)
 		// Advance every source sitting on minKey.
 		next := live[:0]
 		for _, s := range live {
 			for s.ok && s.key == minKey {
 				if err := s.advance(); err != nil {
+					*scratch = live
 					return err
 				}
 			}
@@ -540,16 +726,19 @@ func mergeSources(srcs []*mergeSource, emit func(win *mergeSource)) error {
 		}
 		live = next
 	}
+	*scratch = live
 	return nil
 }
 
-// sumStats folds the per-segment cursor tallies into st.
+// sumStats folds the per-segment cursor tallies — logical and physical —
+// into st.
 func (e *Engine) sumStats(st Stats, cursors []*pagedstore.Cursor) Stats {
 	for _, cur := range cursors {
 		cs := cur.Stats()
 		st.Seeks += cs.Seeks
 		st.PagesRead += cs.PagesRead
 		st.RecordsScanned += cs.RecordsScanned
+		st.IO.Add(cur.IO())
 	}
 	return st
 }
@@ -607,7 +796,7 @@ func (e *Engine) flushLocked() error {
 	for _, m := range frozen {
 		// Write the segment outside any lock: queries keep reading the
 		// frozen memtable from e.imm meanwhile.
-		seg, err := writeSegment(e.dir, e.c, segID{lo: m.gen, hi: m.gen}, m.flushEntries(), e.opts.PageBytes)
+		seg, err := writeSegment(e.dir, e.c, segID{lo: m.gen, hi: m.gen}, m.flushEntries(), e.opts.PageBytes, e.cache)
 		if err != nil {
 			return err
 		}
@@ -651,6 +840,17 @@ func (e *Engine) Stats() EngineStats {
 	st.LastSeq = e.seq
 	e.walMu.Unlock()
 	return st
+}
+
+// CacheStats summarizes the engine's segment page cache: hit/miss
+// counts, resident bytes and evictions. It is zero when caching is
+// disabled; with a shared cache (Options.Cache) the numbers span every
+// engine on that cache.
+func (e *Engine) CacheStats() pagedstore.CacheStats {
+	if e.cache == nil {
+		return pagedstore.CacheStats{}
+	}
+	return e.cache.Stats()
 }
 
 // Close flushes the memtable, stops the background worker and releases

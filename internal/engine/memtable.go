@@ -142,9 +142,18 @@ type memIter struct {
 	ok       bool
 }
 
-// seekMem positions an iterator over [lo, hi] and loads its first entry.
+// seek positions an iterator over [lo, hi] and loads its first entry.
 func (m *memtable) seek(kr curve.KeyRange, snap uint64) *memIter {
-	it := &memIter{
+	it := &memIter{}
+	it.init(m, kr, snap)
+	return it
+}
+
+// init (re)positions an existing iterator over [lo, hi] at snapshot snap
+// and loads its first entry — the reusable form the pooled query state
+// drives, one reset per (range, memtable) pass with no allocation.
+func (it *memIter) init(m *memtable, kr curve.KeyRange, snap uint64) {
+	*it = memIter{
 		m:        m,
 		snap:     snap,
 		lo:       kr.Lo,
@@ -153,7 +162,6 @@ func (m *memtable) seek(kr curve.KeyRange, snap uint64) *memIter {
 		endShard: m.part.Of(kr.Hi),
 	}
 	it.advance()
-	return it
 }
 
 // peek returns the iterator's current entry.

@@ -118,10 +118,11 @@ func scanDir(dir string) (segs []segID, wals []uint64, err error) {
 	return segs, wals, nil
 }
 
-// openSegment opens the segment file for id against the curve.
-func openSegment(dir string, c curve.Curve, id segID) (*segment, error) {
+// openSegment opens the segment file for id against the curve, attached
+// to the engine's shared page cache (nil disables caching).
+func openSegment(dir string, c curve.Curve, id segID, cache *pagedstore.Cache) (*segment, error) {
 	path := segPath(dir, id.lo, id.hi, id.epoch)
-	st, err := pagedstore.Open(path, c)
+	st, err := pagedstore.OpenCached(path, c, cache)
 	if err != nil {
 		return nil, fmt.Errorf("engine: segment %s: %w", filepath.Base(path), err)
 	}
@@ -129,9 +130,10 @@ func openSegment(dir string, c curve.Curve, id segID) (*segment, error) {
 }
 
 // writeSegment materializes sorted entries as the segment id: records
-// plus tombstone marks in a version-2 pagedstore file, written to a
-// temporary name, synced, then atomically renamed into place.
-func writeSegment(dir string, c curve.Curve, id segID, ents []memEntry, pageBytes int) (*segment, error) {
+// plus tombstone marks and the pruning footer in a version-3 pagedstore
+// file, written to a temporary name, synced, then atomically renamed
+// into place.
+func writeSegment(dir string, c curve.Curve, id segID, ents []memEntry, pageBytes int, cache *pagedstore.Cache) (*segment, error) {
 	recs := make([]pagedstore.Record, len(ents))
 	marks := make([]bool, len(ents))
 	for i, e := range ents {
@@ -152,7 +154,7 @@ func writeSegment(dir string, c curve.Curve, id segID, ents []memEntry, pageByte
 	if err := syncDir(dir); err != nil {
 		return nil, err
 	}
-	return openSegment(dir, c, id)
+	return openSegment(dir, c, id, cache)
 }
 
 // syncDir fsyncs a directory, making its entry updates durable.

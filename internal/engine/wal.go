@@ -22,6 +22,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"github.com/onioncurve/onion/internal/geom"
 )
@@ -73,6 +74,23 @@ type wal struct {
 	// engine surfaces the error and refuses further appends until a flush
 	// rotates in a fresh log.
 	failed bool
+	gc     groupState
+}
+
+// groupState is the log's group-commit rendezvous: concurrent SyncWrites
+// callers publish the byte position their frame ends at, one of them
+// becomes the leader and performs a single buffered flush + fsync
+// covering every frame appended so far, and the rest wait for the
+// durable watermark to pass their position. While a leader's fsync is in
+// flight, later callers pile up behind the syncing flag, so the next
+// fsync amortizes over the whole pile — one disk barrier per batch
+// instead of one per write.
+type groupState struct {
+	mu      sync.Mutex
+	wake    sync.Cond
+	synced  int64 // bytes of the log durably synced
+	syncing bool  // a leader's flush+fsync is in flight
+	err     error // sticky: a failed group sync poisons the log until rotation
 }
 
 func createWAL(path string, dims int) (*wal, error) {
@@ -80,12 +98,14 @@ func createWAL(path string, dims int) (*wal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrWAL, err)
 	}
-	return &wal{
+	l := &wal{
 		f:    f,
 		w:    bufio.NewWriter(f),
 		dims: dims,
 		buf:  make([]byte, 8+walPayloadSize(dims, false)),
-	}, nil
+	}
+	l.gc.wake.L = &l.gc.mu
+	return l, nil
 }
 
 // append frames and buffers one op. Durability requires a later sync.
@@ -116,12 +136,22 @@ func (l *wal) append(op walOp) error {
 	return nil
 }
 
-// sync flushes buffered frames and fsyncs the file: every previously
-// acknowledged append is durable once sync returns.
-func (l *wal) sync() error {
+// flushBuf pushes buffered frames into the OS. Durability additionally
+// requires an fsync; group commit performs that outside the engine's WAL
+// mutex so appends keep buffering while the disk syncs.
+func (l *wal) flushBuf() error {
 	if err := l.w.Flush(); err != nil {
 		l.failed = true
 		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	return nil
+}
+
+// sync flushes buffered frames and fsyncs the file: every previously
+// acknowledged append is durable once sync returns.
+func (l *wal) sync() error {
+	if err := l.flushBuf(); err != nil {
+		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		l.failed = true

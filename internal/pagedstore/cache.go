@@ -1,0 +1,242 @@
+package pagedstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a shared page cache: immutable page images keyed by (store,
+// page number), bounded by a byte budget and evicted with a sharded clock
+// (second-chance) policy. One Cache may back any number of Stores — the
+// storage engine gives all its segments one cache, and a sharded engine
+// can give one cache to every shard — so the budget is a process-level
+// knob, not a per-file one.
+//
+// The cache holds references to immutable page buffers. A hit hands the
+// caller the shared buffer without copying; eviction merely drops the
+// cache's reference, so a cursor that still holds the page keeps reading
+// it safely while the garbage collector reclaims it afterwards. All
+// methods are safe for concurrent use.
+//
+// Caching is invisible to the logical access accounting: Stats keeps
+// counting the positioned reads the query plan pays (the paper's
+// clustering number), whether the page bytes come from disk or from the
+// cache. Only IOStats — the physical counters — change.
+type Cache struct {
+	shards       []cacheShard
+	hits, misses atomic.Uint64
+}
+
+// CacheStats is a point-in-time summary of a Cache.
+type CacheStats struct {
+	Hits      uint64 // page requests served from memory
+	Misses    uint64 // page requests that went to disk
+	Evictions uint64 // pages dropped to stay inside the budget
+	Pages     int    // resident pages
+	Bytes     int64  // resident bytes
+	Budget    int64  // configured byte budget
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any request.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+const cacheShardCount = 8 // fixed power of two; shard = key hash & mask
+
+type cacheKey struct {
+	store uint64
+	page  int
+}
+
+type cacheSlot struct {
+	key  cacheKey
+	buf  []byte
+	ref  bool // second-chance bit
+	live bool
+}
+
+type cacheShard struct {
+	mu        sync.Mutex
+	index     map[cacheKey]int // key -> slot
+	slots     []cacheSlot
+	free      []int // dead slot indices
+	hand      int   // clock hand over slots
+	bytes     int64
+	budget    int64
+	tick      uint64 // admission counter while the shard is full
+	evictions uint64
+}
+
+// storeIDs hands every opened Store a process-unique cache identity.
+var storeIDs atomic.Uint64
+
+// NewCache returns a page cache with the given byte budget, spread over
+// internal shards so concurrent queries do not serialize on one lock. A
+// budget smaller than one page effectively disables caching (pages that
+// do not fit are simply not retained).
+func NewCache(budgetBytes int64) *Cache {
+	c := &Cache{shards: make([]cacheShard, cacheShardCount)}
+	per := budgetBytes / cacheShardCount
+	for i := range c.shards {
+		c.shards[i].budget = per
+		c.shards[i].index = make(map[cacheKey]int)
+	}
+	return c
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash for
+// cache sharding and filter probing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache) shardOf(k cacheKey) *cacheShard {
+	h := mix64(k.store ^ mix64(uint64(k.page)))
+	return &c.shards[h&(cacheShardCount-1)]
+}
+
+// get returns the cached page image, if resident, and marks it recently
+// used.
+func (c *Cache) get(store uint64, page int) ([]byte, bool) {
+	k := cacheKey{store: store, page: page}
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if i, ok := sh.index[k]; ok {
+		sh.slots[i].ref = true
+		buf := sh.slots[i].buf
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return buf, true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// addCopy admits a copy of the borrowed page image, evicting clock
+// victims until the shard fits its budget. Pages larger than the shard
+// budget are not retained; a racing duplicate insert keeps the resident
+// copy. The copy is taken only when the page is actually admitted, so a
+// skipped insert costs no allocation.
+//
+// Admission is pressure-gated: once the shard is full, only every 8th
+// candidate displaces a resident page. A cache smaller than a scan's
+// working set would otherwise recycle the entire miss traffic through
+// insert + eviction for zero hits; gating keeps a thrashing cache cheap
+// while still letting genuinely hot pages in — a hot page's repeated
+// misses soon cross the gate.
+func (c *Cache) addCopy(store uint64, page int, buf []byte) {
+	k := cacheKey{store: store, page: page}
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.index[k]; ok {
+		return
+	}
+	need := int64(len(buf))
+	if need > sh.budget {
+		return
+	}
+	if sh.bytes+need > sh.budget {
+		sh.tick++
+		if sh.tick&7 != 0 {
+			return
+		}
+	}
+	for sh.bytes+need > sh.budget {
+		if !sh.evictOne() {
+			return
+		}
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	slot := -1
+	if n := len(sh.free); n > 0 {
+		slot = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+	} else {
+		sh.slots = append(sh.slots, cacheSlot{})
+		slot = len(sh.slots) - 1
+	}
+	sh.slots[slot] = cacheSlot{key: k, buf: cp, ref: true, live: true}
+	sh.index[k] = slot
+	sh.bytes += need
+}
+
+// evictOne advances the clock to the first slot without a second chance
+// and drops it. It reports whether anything was evicted.
+func (sh *cacheShard) evictOne() bool {
+	// Two sweeps bound the scan: the first clears every ref bit, the
+	// second must find a victim (unless the shard is empty).
+	for scanned := 0; scanned < 2*len(sh.slots); scanned++ {
+		if len(sh.slots) == 0 {
+			return false
+		}
+		i := sh.hand
+		sh.hand = (sh.hand + 1) % len(sh.slots)
+		s := &sh.slots[i]
+		if !s.live {
+			continue
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		sh.bytes -= int64(len(s.buf))
+		delete(sh.index, s.key)
+		*s = cacheSlot{}
+		sh.free = append(sh.free, i)
+		sh.evictions++
+		return true
+	}
+	return false
+}
+
+// purge drops every resident page of the given store; Store.Close calls
+// it so a closed (or compacted-away) segment stops occupying budget.
+// The scan is O(resident pages) across all shards — fine on the
+// flush/compaction cadence that retires segments; if profiles ever show
+// it, a per-store slot list would make it O(pages of this store).
+func (c *Cache) purge(store uint64) {
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for k, i := range sh.index {
+			if k.store != store {
+				continue
+			}
+			sh.bytes -= int64(len(sh.slots[i].buf))
+			sh.slots[i] = cacheSlot{}
+			sh.free = append(sh.free, i)
+			delete(sh.index, k)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats sums the shard states plus the global hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	st.Hits = c.hits.Load()
+	st.Misses = c.misses.Load()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Budget += sh.budget
+		st.Bytes += sh.bytes
+		st.Pages += len(sh.index)
+		st.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return st
+}

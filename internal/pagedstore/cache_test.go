@@ -1,0 +1,300 @@
+package pagedstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/ranges"
+)
+
+// runCursorQuery executes a rectangle query through a cursor, returning
+// the unmarked records plus both the logical and the physical tallies.
+func runCursorQuery(t *testing.T, s *Store, r geom.Rect) ([]Record, Stats, IOStats) {
+	t.Helper()
+	krs, err := ranges.Decompose(s.c, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := s.AcquireCursor()
+	defer cur.Release()
+	var out []Record
+	var rec Record
+	for _, kr := range krs {
+		cur.SeekRange(kr)
+		for {
+			marked, ok, err := cur.NextInto(&rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if !marked {
+				out = AppendRecord(out, rec.Point, rec.Payload)
+			}
+		}
+	}
+	st := cur.Stats()
+	st.Results = len(out)
+	return out, st, cur.IO()
+}
+
+func equalRecs(t *testing.T, r geom.Rect, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%v: %d records, want %d", r, len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Point.Equal(want[i].Point) || got[i].Payload != want[i].Payload {
+			t.Fatalf("%v: record %d = %v/%d, want %v/%d",
+				r, i, got[i].Point, got[i].Payload, want[i].Point, want[i].Payload)
+		}
+	}
+}
+
+// TestCachedStoreBitIdentical is the core cache contract: the same
+// version-3 file opened bare and opened behind a tiny (eviction-stormy)
+// cache must answer every query with bit-identical records AND logical
+// Stats, while the cached side's physical page fetches drop below its
+// logical page reads once the working set warms.
+func TestCachedStoreBitIdentical(t *testing.T) {
+	side := uint32(64)
+	o, _ := core.NewOnion2D(side)
+	recs := buildRecords(t, o.Universe(), 4000, 7)
+	path := tmpPath(t)
+	if err := WriteMarked(path, o, recs, make([]bool, len(recs)), 512); err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	cache := NewCache(16 * 512) // two pages per cache shard: constant eviction
+	cached, err := OpenCached(path, o, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	var logicalPages, fetched int
+	for trial := 0; trial < 200; trial++ {
+		lo := geom.Point{uint32(rng.Intn(int(side) - 8)), uint32(rng.Intn(int(side) - 8))}
+		r := geom.Rect{Lo: lo, Hi: geom.Point{lo[0] + 7, lo[1] + 7}}
+		want, wst, wio := runCursorQuery(t, bare, r)
+		got, gst, gio := runCursorQuery(t, cached, r)
+		equalRecs(t, r, got, want)
+		if gst != wst {
+			t.Fatalf("%v: cached stats %+v != bare stats %+v", r, gst, wst)
+		}
+		// Physical work never exceeds logical work (the fences prune even
+		// on the bare store), and the cached side only replaces fetches
+		// with hits — it never adds physical reads.
+		if wio.PagesFetched > wst.PagesRead || wio.CacheHits != 0 {
+			t.Fatalf("%v: bare store io %+v for %d logical reads", r, wio, wst.PagesRead)
+		}
+		if gio.PagesFetched+gio.CacheHits > gst.PagesRead {
+			t.Fatalf("%v: cached store fetched %d + hit %d > %d logical reads",
+				r, gio.PagesFetched, gio.CacheHits, gst.PagesRead)
+		}
+		if gio.PagesFetched > wio.PagesFetched {
+			t.Fatalf("%v: cache added physical reads: %d > %d", r, gio.PagesFetched, wio.PagesFetched)
+		}
+		logicalPages += wio.PagesFetched
+		fetched += gio.PagesFetched
+	}
+	if fetched >= logicalPages {
+		t.Fatalf("cache absorbed nothing: %d fetches vs %d bare fetches", fetched, logicalPages)
+	}
+	cst := cache.Stats()
+	if cst.Hits == 0 || cst.Bytes > cst.Budget || cst.Pages > 16 {
+		t.Fatalf("cache stats %+v", cst)
+	}
+}
+
+// TestFilterAndFencePruning: on a version-3 store, point lookups for
+// absent keys and ranges that fall in inter-page gaps are answered
+// without any physical read, while the logical Stats stay bit-identical
+// to a version-1 file of the same records.
+func TestFilterAndFencePruning(t *testing.T) {
+	side := uint32(64)
+	o, _ := core.NewOnion2D(side)
+	u := o.Universe()
+	// A sparse store: every 5th curve key, so plenty of absent keys.
+	var recs []Record
+	p := make(geom.Point, 2)
+	for key := uint64(0); key < u.Size(); key += 5 {
+		o.Coords(key, p)
+		recs = append(recs, Record{Point: p.Clone(), Payload: key})
+	}
+	pathV1, pathV3 := tmpPath(t), tmpPath(t)
+	if err := Write(pathV1, o, recs, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMarked(pathV3, o, recs, make([]bool, len(recs)), 512); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := Open(pathV1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	v3, err := Open(pathV3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v3.Close()
+	if v3.filter == nil || v3.pageMax == nil {
+		t.Fatal("version-3 store opened without its pruning footer")
+	}
+
+	var pruned int
+	for key := uint64(0); key < u.Size(); key++ {
+		o.Coords(key, p)
+		r := geom.Rect{Lo: p.Clone(), Hi: p.Clone()}
+		want, wst, _ := runCursorQuery(t, v1, r)
+		got, gst, gio := runCursorQuery(t, v3, r)
+		equalRecs(t, r, got, want)
+		if gst != wst {
+			t.Fatalf("key %d: v3 stats %+v != v1 stats %+v", key, gst, wst)
+		}
+		if key%5 != 0 {
+			// Absent key: the Bloom filter (no false negatives on the
+			// present keys is checked above by the record equality) lets
+			// most lookups skip the fetch entirely.
+			if gio.PagesFetched == 0 && gio.CacheHits == 0 {
+				pruned++
+			}
+		} else if len(got) != 1 {
+			t.Fatalf("present key %d returned %d records", key, len(got))
+		}
+	}
+	// With ~10 bits/key the false positive rate is ~1%; demand the
+	// overwhelming majority of absent-point lookups were free.
+	absent := int(u.Size()) - len(recs)
+	if pruned < absent*9/10 {
+		t.Fatalf("only %d of %d absent lookups pruned", pruned, absent)
+	}
+}
+
+// TestFilterNoFalseNegatives: every inserted key answers mayContain.
+func TestFilterNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	f := buildFilter(keys)
+	for _, k := range keys {
+		if !f.mayContain(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+	// And the false positive rate on fresh random keys is sane.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if f.mayContain(rng.Uint64()) {
+			fp++
+		}
+	}
+	if fp > 500 { // ~1% expected; 5% is a hard failure
+		t.Fatalf("%d/10000 false positives", fp)
+	}
+}
+
+// TestFilterRoundTrip: marshal/unmarshal preserves the filter bit for
+// bit, and the empty-section encoding round-trips to nil.
+func TestFilterRoundTrip(t *testing.T) {
+	f := buildFilter([]uint64{1, 99, 12345, 1 << 40})
+	g, ok := unmarshalFilter(f.marshal())
+	if !ok || g == nil || g.k != f.k || len(g.words) != len(f.words) {
+		t.Fatalf("round trip: %+v -> %+v (ok=%v)", f, g, ok)
+	}
+	for i := range f.words {
+		if f.words[i] != g.words[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+	if n, ok := unmarshalFilter((*keyFilter)(nil).marshal()); !ok || n != nil {
+		t.Fatalf("empty filter round trip: %v ok=%v", n, ok)
+	}
+	if _, ok := unmarshalFilter([]byte{1, 2, 3}); ok {
+		t.Fatal("truncated filter accepted")
+	}
+}
+
+// TestCachePurgeOnClose: closing a store drops its pages from the shared
+// cache so a dead segment stops occupying budget.
+func TestCachePurgeOnClose(t *testing.T) {
+	side := uint32(32)
+	o, _ := core.NewOnion2D(side)
+	recs := buildRecords(t, o.Universe(), 1000, 5)
+	path := tmpPath(t)
+	if err := WriteMarked(path, o, recs, make([]bool, len(recs)), 512); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(1 << 20)
+	s, err := OpenCached(path, o, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query(o.Universe().Rect()); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Pages == 0 {
+		t.Fatalf("nothing cached: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Pages != 0 || st.Bytes != 0 {
+		t.Fatalf("pages survive close: %+v", st)
+	}
+}
+
+// TestCachedParallelQueryRace hammers one cached store (cache small
+// enough for eviction storms) from many goroutines; run under -race this
+// pins the concurrency safety of the cache fast paths.
+func TestCachedParallelQueryRace(t *testing.T) {
+	side := uint32(64)
+	o, _ := core.NewOnion2D(side)
+	recs := buildRecords(t, o.Universe(), 5000, 21)
+	path := tmpPath(t)
+	if err := WriteMarked(path, o, recs, make([]bool, len(recs)), 512); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(8 * 512)
+	s, err := OpenCached(path, o, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want, wantStats, err := s.Query(o.Universe().Rect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				got, st, err := s.Query(o.Universe().Rect())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != len(want) || st != wantStats {
+					t.Errorf("goroutine %d: %d records stats %+v, want %d %+v",
+						g, len(got), st, len(want), wantStats)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -9,10 +9,24 @@
 // each range to a run of pages via the index, and reads each run with one
 // positioned read — seeks and pages are counted and returned.
 //
-// Format version 2 (WriteMarked) appends a mark bitmap after the pages:
-// one bit per record, in key order. The page layout itself is unchanged.
-// Marks are opaque to this package; the LSM storage engine
-// (internal/engine) uses them as tombstones in its immutable segments.
+// Format version 2 (historical WriteMarked output) appends a mark bitmap
+// after the pages: one bit per record, in key order. The page layout
+// itself is unchanged. Marks are opaque to this package; the LSM storage
+// engine (internal/engine) uses them as tombstones in its immutable
+// segments. Format version 3 (current WriteMarked output) additionally
+// appends a pruning footer: a fence table of per-page maximum keys and a
+// Bloom filter over all keys. Versions 1 and 2 still open fine — the
+// fences degrade to the page index bounds and the filter to "maybe".
+//
+// Logical vs physical accounting. Stats counts the LOGICAL access
+// pattern: the positioned reads, pages and record scans the query plan
+// pays on a bare store — the operational clustering number. That
+// accounting is computed from the in-memory page index and never changes
+// with caching or pruning, so it is bit-identical however a store is
+// opened. The PHYSICAL I/O — pages actually fetched from the file — is
+// tracked separately in IOStats: a page served by a Cache or proven
+// recordless by the footer fences satisfies its logical visit without a
+// disk read.
 //
 // An open Store is safe for concurrent use by any number of goroutines:
 // every read is a positioned ReadAt (pread) on the shared descriptor — no
@@ -26,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 
 	"github.com/onioncurve/onion/internal/cluster"
 	"github.com/onioncurve/onion/internal/curve"
@@ -38,8 +53,11 @@ const (
 	// version 1: header, page index, pages.
 	// version 2: version 1 plus a mark bitmap (one bit per record, key
 	// order) appended after the pages.
-	version       = uint32(1)
-	versionMarked = uint32(2)
+	// version 3: version 2 plus a pruning footer (per-page max-key
+	// fences and a key Bloom filter) appended after the bitmap.
+	version         = uint32(1)
+	versionMarked   = uint32(2)
+	versionFiltered = uint32(3)
 )
 
 var (
@@ -58,7 +76,11 @@ type Record struct {
 	Payload uint64
 }
 
-// Stats is the physical access pattern of one query.
+// Stats is the logical access pattern of one query: the positioned reads
+// a bare store pays executing the plan. It is independent of page
+// caching and footer pruning — those remove physical I/O (see IOStats),
+// never logical accounting — so Stats is bit-identical for the same
+// records and plan however the store is opened.
 type Stats struct {
 	Seeks          int // positioned reads at non-contiguous offsets
 	PagesRead      int
@@ -66,20 +88,58 @@ type Stats struct {
 	Results        int
 }
 
+// IOStats is the physical I/O a cursor actually performed: the
+// disk-touching remainder of the logical plan after the cache and the
+// pruning footer have been consulted.
+type IOStats struct {
+	// PagesFetched counts pages read from the file (cache misses
+	// included). Without a cache and without a v3 footer it equals the
+	// logical Stats.PagesRead.
+	PagesFetched int
+	// CacheHits counts logical page visits served from a Cache.
+	CacheHits int
+}
+
+// Add accumulates b into s.
+func (s *IOStats) Add(b IOStats) {
+	s.PagesFetched += b.PagesFetched
+	s.CacheHits += b.CacheHits
+}
+
 // recordSize returns the on-disk bytes per record: key + coords + payload.
 func recordSize(dims int) int { return 8 + 4*dims + 8 }
 
+// AppendRecord appends one record to dst, reusing the Point buffer
+// already sitting in the slot it lands in when dst has spare capacity.
+// It is the allocation-free building block of the QueryAppend-style
+// APIs: recycling the same dst across queries reaches a steady state
+// where no append allocates.
+func AppendRecord(dst []Record, pt geom.Point, payload uint64) []Record {
+	if len(dst) < cap(dst) {
+		dst = dst[:len(dst)+1]
+		r := &dst[len(dst)-1]
+		r.Point = append(r.Point[:0], pt...)
+		r.Payload = payload
+		return dst
+	}
+	return append(dst, Record{Point: pt.Clone(), Payload: payload})
+}
+
 // Write bulk-loads records into path, clustered by c. Records may be in
-// any order; they are sorted by curve key.
+// any order; they are sorted by curve key. The file is format version 1
+// (no marks, no footer) for compatibility with earlier readers.
 func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
 	return writeFile(path, c, recs, nil, pageBytes)
 }
 
-// WriteMarked is Write plus a per-record mark bit (format version 2). The
-// page layout is identical to Write's; the marks travel in a bitmap after
-// the pages and are reported by Cursor.Next. Marks are opaque here — the
-// storage engine uses them as tombstones. marked must have one entry per
-// record (a nil marked writes a plain version-1 file).
+// WriteMarked is Write plus a per-record mark bit and the pruning footer
+// (format version 3). The page layout is identical to Write's; the marks
+// travel in a bitmap after the pages and are reported by Cursor.Next,
+// and the footer carries per-page max-key fences plus a key Bloom filter
+// so narrow queries skip pages — physically, never logically — without
+// touching disk. Marks are opaque here; the storage engine uses them as
+// tombstones. marked must have one entry per record (a nil marked writes
+// a plain version-1 file).
 func WriteMarked(path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
 	if marked != nil && len(marked) != len(recs) {
 		return fmt.Errorf("pagedstore: %d marks for %d records", len(marked), len(recs))
@@ -120,7 +180,7 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 
 	ver := version
 	if marked != nil {
-		ver = versionMarked
+		ver = versionFiltered
 	}
 	// Header: magic, version, dims, side, pageBytes, recordCount, pageCount.
 	head := make([]byte, 8+4+4+4+4+8+8)
@@ -163,7 +223,7 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 			return fmt.Errorf("pagedstore: %w", err)
 		}
 	}
-	// Mark bitmap (version 2 only), one bit per record in key order.
+	// Mark bitmap (version >= 2 only), one bit per record in key order.
 	if marked != nil {
 		bm := make([]byte, (len(ks)+7)/8)
 		for i, k := range ks {
@@ -172,6 +232,26 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 			}
 		}
 		if _, err := f.Write(bm); err != nil {
+			return fmt.Errorf("pagedstore: %w", err)
+		}
+		// Pruning footer (version 3): per-page max-key fences, then the
+		// key Bloom filter.
+		fences := make([]byte, 8*pageCount)
+		for p := 0; p < pageCount; p++ {
+			last := (p+1)*perPage - 1
+			if last >= len(ks) {
+				last = len(ks) - 1
+			}
+			binary.LittleEndian.PutUint64(fences[8*p:], ks[last].key)
+		}
+		if _, err := f.Write(fences); err != nil {
+			return fmt.Errorf("pagedstore: %w", err)
+		}
+		keys := make([]uint64, len(ks))
+		for i := range ks {
+			keys[i] = ks[i].key
+		}
+		if _, err := f.Write(buildFilter(keys).marshal()); err != nil {
 			return fmt.Errorf("pagedstore: %w", err)
 		}
 	}
@@ -192,10 +272,28 @@ type Store struct {
 	dataOff   int64
 	marks     []byte // version >= 2: one bit per record in key order; nil otherwise
 	anyMarked bool
+
+	// Pruning footer (version 3; nil/absent for earlier versions).
+	pageMax []uint64   // fence: max key of each page
+	filter  *keyFilter // Bloom filter over all keys
+
+	id      uint64 // process-unique cache identity
+	cache   *Cache // shared page cache, nil when uncached
+	curPool sync.Pool
 }
 
-// Open validates the file against the curve and loads the page index.
+// Open validates the file against the curve and loads the page index
+// (and, for version-3 files, the pruning footer). The store is uncached;
+// see OpenCached.
 func Open(path string, c curve.Curve) (*Store, error) {
+	return OpenCached(path, c, nil)
+}
+
+// OpenCached is Open with a shared page cache: logical page visits are
+// served from cache when resident, and misses populate it. A nil cache
+// is equivalent to Open. The cache may back any number of stores; this
+// store's pages are dropped from it on Close.
+func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("pagedstore: %w", err)
@@ -210,7 +308,7 @@ func Open(path string, c curve.Curve) (*Store, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	ver := binary.LittleEndian.Uint32(head[8:])
-	if ver != version && ver != versionMarked {
+	if ver != version && ver != versionMarked && ver != versionFiltered {
 		f.Close()
 		return nil, fmt.Errorf("%w: unsupported version", ErrCorrupt)
 	}
@@ -241,9 +339,10 @@ func Open(path string, c curve.Curve) (*Store, error) {
 	dataOff := int64(40 + 8*pageCount)
 	var marks []byte
 	anyMarked := false
-	if ver == versionMarked {
+	marksOff := dataOff + int64(pageCount)*int64(pageBytes)
+	if ver >= versionMarked {
 		marks = make([]byte, (count+7)/8)
-		if _, err := f.ReadAt(marks, dataOff+int64(pageCount)*int64(pageBytes)); err != nil && count > 0 {
+		if _, err := f.ReadAt(marks, marksOff); err != nil && count > 0 {
 			f.Close()
 			return nil, fmt.Errorf("%w: short mark bitmap", ErrCorrupt)
 		}
@@ -252,6 +351,35 @@ func Open(path string, c curve.Curve) (*Store, error) {
 				anyMarked = true
 				break
 			}
+		}
+	}
+	var pageMax []uint64
+	var filter *keyFilter
+	if ver >= versionFiltered {
+		footOff := marksOff + int64(len(marks))
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pagedstore: %w", err)
+		}
+		if fi.Size() < footOff+8*int64(pageCount)+8 {
+			f.Close()
+			return nil, fmt.Errorf("%w: short pruning footer", ErrCorrupt)
+		}
+		foot := make([]byte, fi.Size()-footOff)
+		if _, err := f.ReadAt(foot, footOff); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: short pruning footer", ErrCorrupt)
+		}
+		pageMax = make([]uint64, pageCount)
+		for p := range pageMax {
+			pageMax[p] = binary.LittleEndian.Uint64(foot[8*p:])
+		}
+		var ok bool
+		filter, ok = unmarshalFilter(foot[8*pageCount:])
+		if !ok {
+			f.Close()
+			return nil, fmt.Errorf("%w: malformed key filter", ErrCorrupt)
 		}
 	}
 	return &Store{
@@ -265,14 +393,24 @@ func Open(path string, c curve.Curve) (*Store, error) {
 		dataOff:   dataOff,
 		marks:     marks,
 		anyMarked: anyMarked,
+		pageMax:   pageMax,
+		filter:    filter,
+		id:        storeIDs.Add(1),
+		cache:     cache,
 	}, nil
 }
 
 // Marked reports whether any record of the store carries a mark bit.
 func (s *Store) Marked() bool { return s.anyMarked }
 
-// Close releases the underlying file.
-func (s *Store) Close() error { return s.f.Close() }
+// Close releases the underlying file and drops the store's pages from
+// its cache.
+func (s *Store) Close() error {
+	if s.cache != nil {
+		s.cache.purge(s.id)
+	}
+	return s.f.Close()
+}
 
 // Len returns the number of stored records.
 func (s *Store) Len() int { return int(s.count) }
@@ -292,25 +430,35 @@ func (s *Store) EstimateSeeks(r geom.Rect) (uint64, error) {
 }
 
 // Query returns every record whose point lies in r, reading one page run
-// per cluster range and counting the physical access pattern. The range
+// per cluster range and counting the logical access pattern. The range
 // decomposition routes through the curve's analytic planner when one
 // exists, so planning cost scales with the number of clusters rather than
-// the query surface. Records whose mark bit is set (version 2 files) are
-// scanned but not returned. Query is safe to call from many goroutines at
-// once; each call drives its own Cursor.
+// the query surface. Records whose mark bit is set (version >= 2 files)
+// are scanned but not returned. Query is safe to call from many
+// goroutines at once; each call drives its own Cursor.
 func (s *Store) Query(r geom.Rect) ([]Record, Stats, error) {
+	return s.QueryAppend(nil, r)
+}
+
+// QueryAppend is Query appending into dst: recycling the same dst across
+// queries reuses both the record slots and their Point buffers, so a
+// steady-state caller allocates nothing per query. Stats.Results counts
+// only the records this call appended.
+func (s *Store) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error) {
 	krs, err := ranges.Decompose(s.c, r, 0)
 	if err != nil {
-		return nil, Stats{}, fmt.Errorf("pagedstore: %w", err)
+		return dst, Stats{}, fmt.Errorf("pagedstore: %w", err)
 	}
-	var out []Record
-	cur := s.NewCursor()
+	base := len(dst)
+	cur := s.AcquireCursor()
+	defer cur.Release()
+	var rec Record
 	for _, kr := range krs {
 		cur.SeekRange(kr)
 		for {
-			rec, marked, ok, err := cur.Next()
+			marked, ok, err := cur.NextInto(&rec)
 			if err != nil {
-				return nil, cur.Stats(), err
+				return dst[:base], cur.Stats(), err
 			}
 			if !ok {
 				break
@@ -318,44 +466,93 @@ func (s *Store) Query(r geom.Rect) ([]Record, Stats, error) {
 			if marked {
 				continue
 			}
-			out = append(out, rec)
+			dst = AppendRecord(dst, rec.Point, rec.Payload)
 		}
 	}
 	st := cur.Stats()
-	st.Results = len(out)
-	return out, st, nil
+	st.Results = len(dst) - base
+	return dst, st, nil
 }
 
 // Cursor streams the records of ascending key ranges out of a Store while
 // accounting seeks, pages and records exactly as Query does: a positioned
 // read at a non-contiguous page costs one seek, a page shared between the
 // tail of one range and the head of the next is read once, and every
-// record of every visited page counts as scanned. Each Cursor owns its
-// page buffer and contiguity state, so any number of cursors can run over
-// the same Store concurrently. The storage engine's merged query path
-// drives one Cursor per live segment.
+// record of every visited page counts as scanned. That accounting is
+// logical — computed against the in-memory page index — while the page
+// bytes themselves come from the cache, from disk, or (when the v3
+// fences prove a visited page holds no key of the range) from nowhere at
+// all; IO reports the physical remainder. Each Cursor owns its page
+// state, so any number of cursors can run over the same Store
+// concurrently. The storage engine's merged query path drives one Cursor
+// per live segment.
 type Cursor struct {
-	s        *Store
-	st       Stats
-	buf      []byte
-	lastPage int // page currently in buf; -2 = none
+	s  *Store
+	st Stats
+	io IOStats
+
+	buf      []byte // private page buffer (uncached stores), lazily allocated
+	data     []byte // bytes of the most recently fetched page
+	dataPage int    // physical page identity of data; -2 = none
+	scanning bool   // current logical page is materialized in data (not pruned)
+	lastPage int    // last logically visited page; -2 = none
 	// state of the in-progress range
-	lo, hi uint64
-	p      int    // current page
-	i      int    // next record slot within the page
-	n      int    // records resident in the current page
-	key    uint64 // curve key of the last record Next returned
-	active bool
+	lo, hi  uint64
+	p       int    // current page
+	i       int    // next record slot within the page
+	n       int    // records resident in the current page
+	key     uint64 // curve key of the last record Next returned
+	active  bool
+	skipAll bool // the key filter proved the whole range absent
 }
 
 // NewCursor returns a cursor with zeroed statistics and no page loaded.
+// For query paths that run hot, AcquireCursor/Release recycle cursors
+// through a per-store pool instead.
 func (s *Store) NewCursor() *Cursor {
-	return &Cursor{s: s, buf: make([]byte, s.pageBytes), lastPage: -2}
+	return &Cursor{s: s, lastPage: -2, dataPage: -2}
 }
 
-// Stats returns the access pattern accumulated so far. Results counts the
-// records Next has yielded (marked or not).
+// AcquireCursor returns a reset cursor from the store's pool (or a fresh
+// one). Pair it with Release.
+func (s *Store) AcquireCursor() *Cursor {
+	if c, ok := s.curPool.Get().(*Cursor); ok {
+		c.Reset()
+		return c
+	}
+	return s.NewCursor()
+}
+
+// Release returns the cursor to its store's pool, dropping any page
+// reference it still holds.
+func (c *Cursor) Release() {
+	c.data = nil
+	c.dataPage = -2
+	c.s.curPool.Put(c)
+}
+
+// Reset zeroes the cursor's statistics and position so it can be reused
+// as if freshly created.
+func (c *Cursor) Reset() {
+	c.st = Stats{}
+	c.io = IOStats{}
+	c.data = nil
+	c.dataPage = -2
+	c.scanning = false
+	c.lastPage = -2
+	c.active = false
+	c.skipAll = false
+	c.i, c.n = 0, 0
+}
+
+// Stats returns the logical access pattern accumulated so far. Results
+// counts the records Next has yielded (marked or not).
 func (c *Cursor) Stats() Stats { return c.st }
+
+// IO returns the physical I/O performed so far: the pages actually
+// fetched from the file and the visits served by the cache. Unlike
+// Stats, it depends on cache state and footer pruning.
+func (c *Cursor) IO() IOStats { return c.io }
 
 // SeekRange positions the cursor at the start of the inclusive key range
 // kr. Ranges must be visited in ascending, non-overlapping order for the
@@ -372,39 +569,126 @@ func (c *Cursor) SeekRange(kr curve.KeyRange) {
 	c.i = 0
 	c.n = 0
 	c.active = true
+	// Narrow ranges consult the key filter: if every key of the range is
+	// provably absent, the logical page walk below runs without fetching
+	// a single page.
+	c.skipAll = false
+	if f := c.s.filter; f != nil && kr.Hi-kr.Lo < filterMaxProbe {
+		c.skipAll = true
+		for key := kr.Lo; ; key++ {
+			if f.mayContain(key) {
+				c.skipAll = false
+				break
+			}
+			if key == kr.Hi {
+				break
+			}
+		}
+	}
+}
+
+// residentCount returns the number of records stored in page p.
+func (s *Store) residentCount(p int) int {
+	if p == len(s.firstKeys)-1 {
+		return int(s.count) - p*s.perPage
+	}
+	return s.perPage
+}
+
+// pageMaxBound returns an upper bound on the keys of page p: the exact
+// fence for v3 files, the next page's first key otherwise (keys are
+// globally sorted, so nothing in p exceeds it).
+func (s *Store) pageMaxBound(p int) uint64 {
+	if s.pageMax != nil {
+		return s.pageMax[p]
+	}
+	if p+1 < len(s.firstKeys) {
+		return s.firstKeys[p+1]
+	}
+	return ^uint64(0)
+}
+
+// fetch materializes the bytes of page p into c.data, consulting the
+// cache first. The logical statistics are untouched — callers account
+// the visit before deciding whether a fetch is needed at all.
+func (c *Cursor) fetch(p int) error {
+	if c.dataPage == p && c.data != nil {
+		return nil
+	}
+	s := c.s
+	if s.cache != nil {
+		if b, ok := s.cache.get(s.id, p); ok {
+			c.io.CacheHits++
+			c.data, c.dataPage = b, p
+			return nil
+		}
+	}
+	// Miss (or no cache): a positioned read into the cursor's private
+	// buffer. The cache takes its own copy only if admission accepts the
+	// page, so a miss the cache declines costs no allocation.
+	if c.buf == nil {
+		c.buf = make([]byte, s.pageBytes)
+	}
+	if _, err := s.f.ReadAt(c.buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
+		return fmt.Errorf("%w: page %d: %v", ErrCorrupt, p, err)
+	}
+	c.io.PagesFetched++
+	if s.cache != nil {
+		s.cache.addCopy(s.id, p, c.buf)
+	}
+	c.data, c.dataPage = c.buf, p
+	return nil
 }
 
 // Next returns the next record of the current range in key order, its mark
 // bit, and whether a record was produced; ok == false means the range is
-// exhausted. Errors report unreadable pages.
+// exhausted. Errors report unreadable pages. Each returned record owns a
+// freshly allocated Point; NextInto reuses a caller-supplied one.
 func (c *Cursor) Next() (rec Record, marked bool, ok bool, err error) {
+	marked, ok, err = c.NextInto(&rec)
+	return rec, marked, ok, err
+}
+
+// NextInto is Next decoding into rec, reusing rec.Point's capacity: the
+// allocation-free form the storage engine's merge loop drives. The
+// record is only valid until the next NextInto call with the same rec.
+func (c *Cursor) NextInto(rec *Record) (marked bool, ok bool, err error) {
 	if !c.active {
-		return Record{}, false, false, nil
+		return false, false, nil
 	}
 	s := c.s
 	rs := recordSize(s.dims)
 	for {
-		// Drain the records remaining in the loaded page.
+		// Drain the records remaining in the logically visited page.
+		if !c.scanning && c.i < c.n {
+			// Pruned page: the fences (or the key filter) prove no key of
+			// this page lies in the range, so its scan yields nothing —
+			// but it still counts as scanned, exactly as on a bare store.
+			c.st.RecordsScanned += c.n - c.i
+			c.i = c.n
+		}
 		for c.i < c.n {
 			i := c.i
 			c.i++
 			off := i * rs
-			key := binary.LittleEndian.Uint64(c.buf[off:])
+			key := binary.LittleEndian.Uint64(c.data[off:])
 			c.st.RecordsScanned++
 			if key < c.lo || key > c.hi {
 				continue
 			}
-			pt := make(geom.Point, s.dims)
+			pt := rec.Point
+			if cap(pt) < s.dims {
+				pt = make(geom.Point, s.dims)
+			}
+			pt = pt[:s.dims]
 			for d := 0; d < s.dims; d++ {
-				pt[d] = binary.LittleEndian.Uint32(c.buf[off+8+4*d:])
+				pt[d] = binary.LittleEndian.Uint32(c.data[off+8+4*d:])
 			}
-			rec := Record{
-				Point:   pt,
-				Payload: binary.LittleEndian.Uint64(c.buf[off+8+4*s.dims:]),
-			}
+			rec.Point = pt
+			rec.Payload = binary.LittleEndian.Uint64(c.data[off+8+4*s.dims:])
 			c.st.Results++
 			c.key = key
-			return rec, s.isMarked(c.p*s.perPage + i), true, nil
+			return s.isMarked(c.p*s.perPage + i), true, nil
 		}
 		// Advance to the next page of the range. c.n > 0 means a page of
 		// this range has been fully consumed and c.p must move past it;
@@ -416,24 +700,30 @@ func (c *Cursor) Next() (rec Record, marked bool, ok bool, err error) {
 		}
 		if c.p >= len(s.firstKeys) || s.firstKeys[c.p] > c.hi {
 			c.active = false
-			return Record{}, false, false, nil
+			return false, false, nil
 		}
+		// Logical accounting first — identical to a bare store's.
 		if c.p != c.lastPage && c.p != c.lastPage+1 {
 			c.st.Seeks++
 		}
 		if c.p != c.lastPage { // do not recount a shared boundary page
 			c.st.PagesRead++
-			if _, err := s.f.ReadAt(c.buf, s.dataOff+int64(c.p)*int64(s.pageBytes)); err != nil {
-				c.active = false
-				return Record{}, false, false, fmt.Errorf("%w: page %d: %v", ErrCorrupt, c.p, err)
-			}
 			c.lastPage = c.p
 		}
-		c.n = s.perPage
-		if c.p == len(s.firstKeys)-1 {
-			c.n = int(s.count) - c.p*s.perPage
-		}
+		c.n = s.residentCount(c.p)
 		c.i = 0
+		// Physical fetch only when the page can hold a key of the range:
+		// the filter may have proven the whole range absent, and the max
+		// fence prunes a leading page that ends before lo. A pruned visit
+		// leaves the previously fetched page in place — a later range may
+		// still share it.
+		c.scanning = !c.skipAll && s.pageMaxBound(c.p) >= c.lo
+		if c.scanning {
+			if err := c.fetch(c.p); err != nil {
+				c.active = false
+				return false, false, err
+			}
+		}
 	}
 }
 

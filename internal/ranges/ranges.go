@@ -70,6 +70,25 @@ func Decompose(c curve.Curve, r geom.Rect, maxCells uint64) ([]KeyRange, error) 
 	return decomposeSorted(c, r, maxCells)
 }
 
+// DecomposeAppend is Decompose appending into dst (truncated to length
+// zero first): for curves implementing curve.RangeAppender — every
+// planner-equipped curve in this module — a steady-state caller that
+// recycles the same plan buffer allocates nothing. Other curves fall
+// back to Decompose and copy into dst.
+func DecomposeAppend(c curve.Curve, r geom.Rect, maxCells uint64, dst []KeyRange) ([]KeyRange, error) {
+	if p, ok := c.(curve.RangeAppender); ok {
+		if !r.In(c.Universe()) {
+			return dst, fmt.Errorf("%w: %v in %v", cluster.ErrRectOutside, r, c.Universe())
+		}
+		return p.DecomposeRectAppend(r, dst), nil
+	}
+	krs, err := Decompose(c, r, maxCells)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst[:0], krs...), nil
+}
+
 // decomposeContinuous finds run starts (cells whose predecessor lies
 // outside the query) and run ends (successor outside) among the boundary
 // pairs; continuity guarantees no other cell can start or end a run. The

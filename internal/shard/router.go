@@ -2,11 +2,13 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/engine"
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
 	"github.com/onioncurve/onion/internal/ranges"
 )
@@ -34,8 +36,11 @@ import (
 //     unpartitioned engine's: per-shard outputs are ascending in key and
 //     shard intervals are ascending, so their concatenation is the
 //     globally key-sorted result set.
+//   - IO — the physical reads after caching and segment-footer pruning —
+//     also sums over shards, but is NOT part of the bit-identical
+//     contract: it depends on cache state, which no two stores share.
 //
-// With a single shard the whole Stats is bit-identical to the
+// With a single shard the whole Stats except IO is bit-identical to the
 // unpartitioned engine's.
 type Stats struct {
 	engine.Stats
@@ -63,11 +68,20 @@ type shardPlan struct {
 	krs   []curve.KeyRange
 }
 
-// splitPlan splits a sorted disjoint plan at shard boundaries, returning
-// each touched shard's sub-plan in ascending shard order. The
-// concatenation of the sub-plans' ranges covers exactly the plan's keys.
-func splitPlan(part *partition.Partitioner, plan []curve.KeyRange) []shardPlan {
-	var out []shardPlan
+// partRef names one shard's sub-plan inside a flat split plan:
+// flat[start:end] is the shard-clipped range run it executes.
+type partRef struct {
+	shard      int
+	start, end int
+}
+
+// splitPlanFlat splits a sorted disjoint plan at shard boundaries into
+// one flat range list plus per-shard slices of it, reusing the supplied
+// backing arrays — the allocation-free form the router's pooled query
+// state drives. The concatenation of the parts' ranges covers exactly
+// the plan's keys, in ascending shard (and key) order.
+func splitPlanFlat(part *partition.Partitioner, plan []curve.KeyRange, flat []curve.KeyRange, parts []partRef) ([]curve.KeyRange, []partRef) {
+	flat, parts = flat[:0], parts[:0]
 	for _, kr := range plan {
 		lo := kr.Lo
 		for {
@@ -82,11 +96,11 @@ func splitPlan(part *partition.Partitioner, plan []curve.KeyRange) []shardPlan {
 			if iv.Hi < hi {
 				hi = iv.Hi
 			}
-			sub := curve.KeyRange{Lo: lo, Hi: hi}
-			if n := len(out); n > 0 && out[n-1].shard == si {
-				out[n-1].krs = append(out[n-1].krs, sub)
+			flat = append(flat, curve.KeyRange{Lo: lo, Hi: hi})
+			if n := len(parts); n > 0 && parts[n-1].shard == si {
+				parts[n-1].end = len(flat)
 			} else {
-				out = append(out, shardPlan{shard: si, krs: []curve.KeyRange{sub}})
+				parts = append(parts, partRef{shard: si, start: len(flat) - 1, end: len(flat)})
 			}
 			if hi >= kr.Hi {
 				break
@@ -94,87 +108,163 @@ func splitPlan(part *partition.Partitioner, plan []curve.KeyRange) []shardPlan {
 			lo = hi + 1
 		}
 	}
+	return flat, parts
+}
+
+// splitPlan splits a sorted disjoint plan at shard boundaries, returning
+// each touched shard's sub-plan in ascending shard order (the
+// materialized form of splitPlanFlat, kept for tests and callers that
+// want owned slices).
+func splitPlan(part *partition.Partitioner, plan []curve.KeyRange) []shardPlan {
+	flat, parts := splitPlanFlat(part, plan, nil, nil)
+	out := make([]shardPlan, len(parts))
+	for i, p := range parts {
+		out[i] = shardPlan{shard: p.shard, krs: append([]curve.KeyRange{}, flat[p.start:p.end]...)}
+	}
 	return out
 }
 
+// task is one shard sub-query handed to the worker pool: fixed-size, so
+// the handoff itself never allocates.
+type task struct {
+	q *routerQuery
+	i int // index into q.parts
+}
+
+// routerQuery is the pooled scratch of one fan-out: the plan buffer, the
+// flat split plan, the per-part results with their recycled record
+// buffers, and the completion group. States recycle through rqPool, so
+// the router's steady-state fan-out costs no per-query allocation beyond
+// the caller-visible PerShard breakdown.
+type routerQuery struct {
+	s     *Sharded
+	plan  []curve.KeyRange
+	flat  []curve.KeyRange
+	parts []partRef
+	res   []partResult
+	wg    sync.WaitGroup
+}
+
+type partResult struct {
+	recs []Record // recycled append buffer; n records are this query's
+	n    int
+	st   engine.Stats
+	err  error
+}
+
+var rqPool = sync.Pool{New: func() any { return new(routerQuery) }}
+
+// run executes part i against its shard engine, appending into the
+// part's recycled record buffer.
+func (q *routerQuery) run(i int) {
+	p := q.parts[i]
+	r := &q.res[i]
+	recs, est, err := q.s.engines[p.shard].QueryRangesAppend(r.recs[:0], q.flat[p.start:p.end])
+	r.recs, r.n, r.st, r.err = recs, len(recs), est, err
+}
+
 // Query returns every live record whose point lies inside r together
-// with the aggregated physical access pattern (see Stats for the
-// contract). The rectangle is planned ONCE with the curve's range
-// planner; the plan is split at shard boundaries and fanned out only to
-// intersecting shards, which execute concurrently on the bounded worker
-// pool. Admission control: at most Options.MaxInFlight queries execute
-// at a time (later calls block for a slot), and a plan longer than
+// with the aggregated access pattern (see Stats for the contract). The
+// rectangle is planned ONCE with the curve's range planner; the plan is
+// split at shard boundaries and fanned out only to intersecting shards,
+// which execute concurrently on the bounded worker pool. Admission
+// control: at most Options.MaxInFlight queries execute at a time (later
+// calls block for a slot), and a plan longer than
 // Options.MaxPlannedRanges is rejected with ErrBudget before touching
 // any shard.
 func (s *Sharded) Query(r geom.Rect) ([]Record, Stats, error) {
+	return s.QueryAppend(nil, r)
+}
+
+// QueryAppend is Query appending into dst: recycling the same dst across
+// queries reuses the record slots and their Point buffers. Stats.Results
+// counts only the records this call appended.
+//
+// Scheduling note: the fan-out hands sub-queries to the worker pool over
+// a bounded (one-slot-per-worker) channel, and on GOMAXPROCS=1 the call
+// additionally yields the processor once before returning. Together
+// these keep a zero-think-time query loop from monopolizing the
+// scheduler on a single P — without the yield, the querier and the
+// workers bounce each other through the channel rendezvous's wakeup
+// fast path and co-resident writer goroutines starve. On multi-core the
+// yield is skipped: the starvation cannot occur and the query path
+// stays unperturbed.
+func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error) {
 	// Admission: take an in-flight slot before any work.
 	s.admit <- struct{}{}
 	defer func() { <-s.admit }()
+	if s.yield {
+		defer runtime.Gosched()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, Stats{}, ErrClosed
+		return dst, Stats{}, ErrClosed
 	}
+	q := rqPool.Get().(*routerQuery)
+	q.s = s
 	// One planner call per query, whatever the fan-out.
-	plan, err := ranges.Decompose(s.c, r, 0)
+	var err error
+	q.plan, err = ranges.DecomposeAppend(s.c, r, 0, q.plan)
 	if err != nil {
-		return nil, Stats{}, fmt.Errorf("shard: %w", err)
+		q.s = nil
+		rqPool.Put(q)
+		return dst, Stats{}, fmt.Errorf("shard: %w", err)
 	}
 	var st Stats
-	st.Planned = len(plan)
-	if s.opts.MaxPlannedRanges > 0 && len(plan) > s.opts.MaxPlannedRanges {
-		return nil, st, fmt.Errorf("%w: %d ranges > %d", ErrBudget, len(plan), s.opts.MaxPlannedRanges)
+	st.Planned = len(q.plan)
+	if s.opts.MaxPlannedRanges > 0 && len(q.plan) > s.opts.MaxPlannedRanges {
+		planned := len(q.plan)
+		q.s = nil
+		rqPool.Put(q)
+		return dst, st, fmt.Errorf("%w: %d ranges > %d", ErrBudget, planned, s.opts.MaxPlannedRanges)
 	}
-	parts := splitPlan(s.part, plan)
-	st.ShardsTouched = len(parts)
+	q.flat, q.parts = splitPlanFlat(s.part, q.plan, q.flat, q.parts)
+	st.ShardsTouched = len(q.parts)
+	q.res = q.res[:cap(q.res)]
+	for len(q.res) < len(q.parts) {
+		q.res = append(q.res, partResult{})
+	}
+	q.res = q.res[:len(q.parts)]
 
-	type result struct {
-		recs []Record
-		st   engine.Stats
-		err  error
-	}
-	results := make([]result, len(parts))
-	var wg sync.WaitGroup
-	run := func(i int) {
-		recs, est, err := s.engines[parts[i].shard].QueryRanges(parts[i].krs)
-		results[i] = result{recs: recs, st: est, err: err}
-	}
 	// Fan all but the first sub-query out to the pool; run the first on
 	// the caller's goroutine, so a single-shard query never waits for a
 	// worker and the pool always has a draining goroutine per query.
-	for i := 1; i < len(parts); i++ {
-		wg.Add(1)
-		i := i
-		s.tasks <- func() {
-			defer wg.Done()
-			run(i)
-		}
+	for i := 1; i < len(q.parts); i++ {
+		q.wg.Add(1)
+		s.tasks <- task{q: q, i: i}
 	}
-	if len(parts) > 0 {
-		run(0)
+	if len(q.parts) > 0 {
+		q.run(0)
 	}
-	wg.Wait()
+	q.wg.Wait()
 
-	total := 0
-	for i, p := range parts {
-		if results[i].err != nil {
-			return nil, st, fmt.Errorf("shard %d: %w", p.shard, results[i].err)
+	for i := range q.parts {
+		if q.res[i].err != nil {
+			err := fmt.Errorf("shard %d: %w", q.parts[i].shard, q.res[i].err)
+			q.s = nil
+			rqPool.Put(q)
+			return dst, st, err
 		}
-		total += len(results[i].recs)
-		st.SubRanges += len(p.krs)
 	}
-	out := make([]Record, 0, total)
-	st.PerShard = make([]ShardStats, len(parts))
-	for i, p := range parts {
-		est := results[i].st
-		out = append(out, results[i].recs...)
-		st.PerShard[i] = ShardStats{Shard: p.shard, Stats: est}
-		st.Seeks += est.Seeks
-		st.PagesRead += est.PagesRead
-		st.RecordsScanned += est.RecordsScanned
-		st.MemEntries += est.MemEntries
-		st.Segments += est.Segments
+	st.SubRanges = len(q.flat)
+	base := len(dst)
+	st.PerShard = make([]ShardStats, len(q.parts))
+	for i, p := range q.parts {
+		res := &q.res[i]
+		for j := 0; j < res.n; j++ {
+			dst = pagedstore.AppendRecord(dst, res.recs[j].Point, res.recs[j].Payload)
+		}
+		st.PerShard[i] = ShardStats{Shard: p.shard, Stats: res.st}
+		st.Seeks += res.st.Seeks
+		st.PagesRead += res.st.PagesRead
+		st.RecordsScanned += res.st.RecordsScanned
+		st.MemEntries += res.st.MemEntries
+		st.Segments += res.st.Segments
+		st.IO.Add(res.st.IO)
 	}
-	st.Results = len(out)
-	return out, st, nil
+	st.Results = len(dst) - base
+	q.s = nil
+	rqPool.Put(q)
+	return dst, st, nil
 }

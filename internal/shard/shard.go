@@ -33,6 +33,7 @@ import (
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/engine"
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
 )
 
@@ -70,6 +71,13 @@ type Options struct {
 	// more than this many cluster ranges with ErrBudget — a per-query
 	// cost ceiling, since ranges are seeks. 0 disables the budget.
 	MaxPlannedRanges int
+	// CacheBytes gives every shard engine ONE shared page cache with
+	// this byte budget (0 disables caching; ignored when Engine.Cache is
+	// already set). Sharing one cache makes the budget a service-level
+	// knob: hot shards naturally claim more of it. Caching changes only
+	// physical I/O — the logical stat contracts hold bit-identically
+	// with the cache on or off.
+	CacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -110,10 +118,12 @@ type Sharded struct {
 	part    *partition.Partitioner
 	engines []*engine.Engine
 	opts    Options
+	cache   *pagedstore.Cache // shared across shard engines; nil when disabled
 
-	tasks   chan func() // bounded worker pool feed
+	tasks   chan task // bounded worker pool feed
 	workers sync.WaitGroup
 	admit   chan struct{} // admission slots, one per in-flight query
+	yield   bool          // GOMAXPROCS==1 at Open: yield after each query
 
 	mu     sync.RWMutex // held shared by every operation; exclusively by Close
 	closed bool
@@ -140,9 +150,21 @@ func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
 		c:    c,
 		part: part,
 		opts: opts,
+		// The end-of-query yield (see QueryAppend) is only needed where
+		// the starvation exists: with a single P, a zero-think-time
+		// query loop and the router's channel wakeups can monopolize the
+		// scheduler. On multi-core it would just tax the hot path.
+		yield: runtime.GOMAXPROCS(0) == 1,
 	}
+	// One page cache for every shard engine: a single byte budget over
+	// the whole service, populated by whichever shards run hot.
+	engOpts := opts.Engine
+	if engOpts.Cache == nil && opts.CacheBytes > 0 {
+		engOpts.Cache = pagedstore.NewCache(opts.CacheBytes)
+	}
+	s.cache = engOpts.Cache
 	for i := 0; i < opts.Shards; i++ {
-		e, err := engine.Open(shardDir(dir, i), c, opts.Engine)
+		e, err := engine.Open(shardDir(dir, i), c, engOpts)
 		if err != nil {
 			for _, open := range s.engines {
 				open.Close() //nolint:errcheck
@@ -151,18 +173,31 @@ func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
 		}
 		s.engines = append(s.engines, e)
 	}
-	s.tasks = make(chan func())
+	// The feed is buffered one task per worker: a bounded handoff, so a
+	// fan-out burst parks the querier at most once instead of once per
+	// direct channel rendezvous (see Query's scheduling note).
+	s.tasks = make(chan task, opts.Workers)
 	s.admit = make(chan struct{}, opts.MaxInFlight)
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			for fn := range s.tasks {
-				fn()
+			for t := range s.tasks {
+				t.q.run(t.i)
+				t.q.wg.Done()
 			}
 		}()
 	}
 	return s, nil
+}
+
+// CacheStats summarizes the shared page cache across every shard engine
+// (zero when caching is disabled).
+func (s *Sharded) CacheStats() pagedstore.CacheStats {
+	if s.cache == nil {
+		return pagedstore.CacheStats{}
+	}
+	return s.cache.Stats()
 }
 
 func shardDir(dir string, i int) string {

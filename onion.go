@@ -111,6 +111,19 @@ type (
 	// Store with the same seek/page accounting as Store.Query; the
 	// storage engine drives one per live segment.
 	StoreCursor = pagedstore.Cursor
+	// PageCache is a shared page cache for Stores and Engine segments:
+	// immutable page images under one byte budget with clock eviction,
+	// shareable across any number of stores, engines and shards. It
+	// changes only physical I/O (StoreIOStats) — the logical Stats
+	// contracts hold bit-identically with caching on or off.
+	PageCache = pagedstore.Cache
+	// PageCacheStats summarizes a PageCache: hits, misses, evictions,
+	// resident pages/bytes and the configured budget.
+	PageCacheStats = pagedstore.CacheStats
+	// StoreIOStats is the physical I/O a query actually performed after
+	// the cache and the segment pruning footer absorbed their share:
+	// pages fetched from disk and visits served from cache.
+	StoreIOStats = pagedstore.IOStats
 	// Engine is the mutable LSM-style spatial storage engine: WAL +
 	// curve-ordered memtable + immutable clustered segments, opened with
 	// OpenEngine.
@@ -366,6 +379,20 @@ func WriteStore(path string, c Curve, recs []Record, pageBytes int) error {
 // readers: all file access is positioned (pread) and per-query state
 // lives in per-call cursors.
 func OpenStore(path string, c Curve) (*Store, error) { return pagedstore.Open(path, c) }
+
+// NewPageCache returns a shared page cache with the given byte budget.
+// Pass it to OpenStoreCached, EngineOptions.Cache, or size one per
+// sharded engine with ShardedEngineOptions.CacheBytes.
+func NewPageCache(budgetBytes int64) *PageCache { return pagedstore.NewCache(budgetBytes) }
+
+// OpenStoreCached is OpenStore backed by a shared page cache: logical
+// page visits resident in the cache are served from memory, misses
+// populate it, and the store's pages are dropped from the cache on
+// Close. The logical query Stats are bit-identical to an uncached open;
+// only the physical I/O changes.
+func OpenStoreCached(path string, c Curve, cache *PageCache) (*Store, error) {
+	return pagedstore.OpenCached(path, c, cache)
+}
 
 // OpenEngine opens (creating if needed) a mutable spatial storage engine
 // rooted at dir and clustered by c: the read-write counterpart of
