@@ -10,9 +10,12 @@
 //	loadgen -sweep 1,2,4,8 -duration 5s      # throughput vs shard count
 //	loadgen -cache 0,262144,8388608          # throughput vs cache budget
 //	loadgen -sync                            # group-committed durable writes
+//	loadgen -faults enospc:sync:200:wal-     # every 200th WAL fsync hits ENOSPC
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,7 +31,89 @@ import (
 	"time"
 
 	onion "github.com/onioncurve/onion"
+	"github.com/onioncurve/onion/internal/vfs"
 )
+
+var faultKinds = map[string]vfs.Kind{
+	"fail": vfs.KindFail, "enospc": vfs.KindNoSpace, "shortwrite": vfs.KindShortWrite,
+	"syncloss": vfs.KindSyncLoss, "corrupt": vfs.KindCorrupt, "crash": vfs.KindCrash,
+}
+
+var faultOps = map[string]vfs.Op{
+	"any": vfs.OpAny, "open": vfs.OpOpen, "create": vfs.OpCreate, "read": vfs.OpRead,
+	"write": vfs.OpWrite, "sync": vfs.OpSync, "rename": vfs.OpRename, "remove": vfs.OpRemove,
+	"readdir": vfs.OpReadDir, "mkdir": vfs.OpMkdir, "syncdir": vfs.OpSyncDir,
+}
+
+// parseFaults parses a comma-separated list of soak-mode fault rules,
+// each kind:op:n[:path] — every nth operation matching op (and the
+// optional path substring) fails with kind.
+func parseFaults(spec string) ([]vfs.Fault, error) {
+	var out []vfs.Fault
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), ":", 4)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("fault %q: want kind:op:n[:path]", entry)
+		}
+		kind, ok := faultKinds[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("fault %q: unknown kind %q", entry, parts[0])
+		}
+		op, ok := faultOps[parts[1]]
+		if !ok {
+			return nil, fmt.Errorf("fault %q: unknown op %q", entry, parts[1])
+		}
+		n, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("fault %q: bad interval %q", entry, parts[2])
+		}
+		f := vfs.Fault{Kind: kind, Op: op, N: n, Repeat: true}
+		if len(parts) == 4 {
+			f.Path = parts[3]
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// errTally counts worker errors by failure category instead of killing
+// the run: under injected faults, errors are the expected output.
+type errTally struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (t *errTally) add(err error) {
+	cat := "other"
+	switch {
+	case errors.Is(err, onion.ErrReadOnly):
+		cat = "readonly"
+	case errors.Is(err, onion.ErrCorrupt):
+		cat = "corrupt"
+	case errors.Is(err, vfs.ErrCrashed):
+		cat = "crashed"
+	case errors.Is(err, vfs.ErrInjected):
+		cat = "injected"
+	case errors.Is(err, onion.ErrShardBudget):
+		cat = "budget"
+	}
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[string]int64)
+	}
+	t.m[cat]++
+	t.mu.Unlock()
+}
+
+func (t *errTally) snapshot() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.m))
+	for k, v := range t.m {
+		out[k] = v
+	}
+	return out
+}
 
 func parseInts(s, flagName string) []int64 {
 	var out []int64
@@ -54,8 +140,13 @@ func main() {
 		qside    = flag.Uint("qside", 64, "query rectangle side")
 		preload  = flag.Int("preload", 100_000, "records ingested before the measurement window")
 		dir      = flag.String("dir", "", "engine directory (default: a fresh temp dir per run)")
+		faultStr = flag.String("faults", "", "comma-separated soak faults kind:op:n[:path], e.g. enospc:sync:200:wal- (activated after preload)")
 	)
 	flag.Parse()
+	faults, err := parseFaults(*faultStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *qside >= *side {
 		log.Fatalf("-qside (%d) must be smaller than -side (%d)", *qside, *side)
 	}
@@ -89,14 +180,40 @@ func main() {
 		"shards", "cacheB", "writes/s", "queries/s", "avg seeks/q", "records/q", "hit%", "allocs/q")
 	for _, cfg := range configs {
 		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *writers, *readers, *duration,
-			uint32(*side), uint32(*qside), *preload, *dir)
+			uint32(*side), uint32(*qside), *preload, *dir, faults)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%7d  %10d  %12.0f  %12.0f  %12.1f  %10.0f  %7.1f  %9.1f\n",
 			cfg.shards, cfg.cacheBytes, m.writesPerSec, m.queriesPerSec,
 			m.seeksPerQuery, m.recordsPerQuery, 100*m.hitRate, m.allocsPerQuery)
+		printTallies("write errors", m.writeErrs)
+		printTallies("query errors", m.queryErrs)
+		if m.degradedQueries > 0 {
+			fmt.Printf("         %d queries served partial results\n", m.degradedQueries)
+		}
+		for _, h := range m.health {
+			if h.State != onion.EngineHealthy {
+				fmt.Printf("         shard %d %v: %v\n", h.Shard, h.State, h.Err)
+			}
+		}
 	}
+}
+
+func printTallies(label string, m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	cats := make([]string, 0, len(m))
+	for c := range m {
+		cats = append(cats, c)
+	}
+	slices.Sort(cats)
+	fmt.Printf("         %s:", label)
+	for _, c := range cats {
+		fmt.Printf(" %s=%d", c, m[c])
+	}
+	fmt.Println()
 }
 
 // metrics is one configuration's measurement.
@@ -107,11 +224,15 @@ type metrics struct {
 	recordsPerQuery float64
 	hitRate         float64
 	allocsPerQuery  float64
+	writeErrs       map[string]int64
+	queryErrs       map[string]int64
+	degradedQueries int64
+	health          []onion.ShardHealth
 }
 
 // run measures one (shard count, cache budget) configuration.
 func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d time.Duration,
-	side, qside uint32, preload int, dir string) (metrics, error) {
+	side, qside uint32, preload int, dir string, faults []vfs.Fault) (metrics, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "onion-loadgen")
 		if err != nil {
@@ -130,6 +251,14 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	}
 	opts := onion.ShardedEngineOptions{Shards: shards, CacheBytes: cacheBytes}
 	opts.Engine.SyncWrites = syncWrites
+	// With -faults, every file operation of every shard funnels through
+	// an injecting filesystem; the rules activate only after the
+	// preload, so setup is clean and the measurement window is hostile.
+	var inj *vfs.Injecting
+	if len(faults) > 0 {
+		inj = vfs.NewInjecting(vfs.OS{})
+		opts.FS = inj
+	}
 	s, err := onion.OpenShardedEngine(dir, o, opts)
 	if err != nil {
 		return metrics{}, err
@@ -150,9 +279,12 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	if err := s.Flush(); err != nil {
 		return metrics{}, err
 	}
+	if inj != nil {
+		inj.SetFaults(faults...)
+	}
 
-	var writes, queries, seeks, results atomic.Int64
-	var failure atomic.Value
+	var writes, queries, seeks, results, degraded atomic.Int64
+	var writeErrs, queryErrs errTally
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	var before, after runtime.MemStats
@@ -176,8 +308,10 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 					err = s.Put(pt, rng.Uint64())
 				}
 				if err != nil {
-					failure.Store(err)
-					return
+					// Degradation is data, not a reason to stop: count
+					// the failure by category and keep offering load.
+					writeErrs.add(err)
+					continue
 				}
 				writes.Add(1)
 			}
@@ -205,14 +339,21 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 					onion.Point{uint32(rng.Intn(span)), uint32(rng.Intn(span))},
 					[]uint32{qside, qside})
 				if err != nil {
-					failure.Store(err)
-					return
+					queryErrs.add(err)
+					continue
 				}
+				// Under injected faults, take whatever the healthy
+				// shards can serve; Degraded in the stats marks the
+				// queries that came back partial.
+				pol := onion.ShardedQueryPolicy{Partial: inj != nil}
 				var st onion.ShardedQueryStats
-				dst, st, err = s.QueryAppend(dst[:0], q)
+				dst, st, err = s.QueryAppendContext(context.Background(), dst[:0], q, pol)
 				if err != nil {
-					failure.Store(err)
-					return
+					queryErrs.add(err)
+					continue
+				}
+				if st.Degraded {
+					degraded.Add(1)
 				}
 				queries.Add(1)
 				seeks.Add(int64(st.Seeks))
@@ -224,9 +365,6 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	close(stop)
 	wg.Wait()
 	runtime.ReadMemStats(&after)
-	if err, _ := failure.Load().(error); err != nil {
-		return metrics{}, err
-	}
 	secs := d.Seconds()
 	qn := float64(queries.Load())
 	if qn == 0 {
@@ -242,6 +380,10 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 		// Mallocs across the window covers writers, flushes and the
 		// router; per query it is the end-to-end allocation pressure of
 		// serving, not just the engine's (zero-alloc) merge path.
-		allocsPerQuery: float64(after.Mallocs-before.Mallocs) / qn,
+		allocsPerQuery:  float64(after.Mallocs-before.Mallocs) / qn,
+		writeErrs:       writeErrs.snapshot(),
+		queryErrs:       queryErrs.snapshot(),
+		degradedQueries: degraded.Load(),
+		health:          s.Health(),
 	}, nil
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"os"
 
 	"github.com/onioncurve/onion/internal/curve"
 )
@@ -85,7 +84,7 @@ func mergeSegments(c curve.Curve, segs []*segment, dropTombstones bool) ([]memEn
 	}
 	sink := &compactSink{dropTombstones: dropTombstones}
 	var scratch []*mergeSource
-	if err := mergeSources(srcs, &scratch, sink); err != nil {
+	if err := mergeSources(srcs, &scratch, sink, nil); err != nil {
 		return nil, err
 	}
 	return sink.out, nil
@@ -167,7 +166,7 @@ func (e *Engine) compactRun(lo, hi int) error {
 	}
 	var out *segment
 	if len(merged) > 0 {
-		out, err = writeSegment(e.dir, e.c, id, merged, e.opts.PageBytes, e.cache)
+		out, err = writeSegment(e.fs, e.dir, e.c, id, merged, e.opts.PageBytes, e.cache)
 		if err != nil {
 			return err
 		}
@@ -184,7 +183,7 @@ func (e *Engine) compactRun(lo, hi int) error {
 		if err := s.st.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		if err := os.Remove(s.path); err != nil && firstErr == nil {
+		if err := e.fs.Remove(s.path); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("engine: %w", err)
 		}
 	}

@@ -1,17 +1,20 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"os"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 var (
@@ -51,10 +54,23 @@ type Options struct {
 	// engine a private page cache with this byte budget. 0 disables
 	// caching.
 	CacheBytes int64
+	// FS is the filesystem the engine's files live on. Nil selects the
+	// real filesystem; fault-injection tests pass a vfs.Injecting to turn
+	// every WAL append, fsync, segment install and directory operation
+	// into a deterministic fault point.
+	FS vfs.FS
 
 	// noGroupCommit reverts SyncWrites to one fsync per write — the
 	// pre-group-commit behavior, kept for benchmark baselines.
 	noGroupCommit bool
+
+	// Background-failure backoff: a failed background flush or compaction
+	// is retried retryAttempts times with exponential delay from
+	// retryBase capped at retryCap (jittered ±50%) before the engine
+	// degrades. Unexported: only fault-injection tests shrink them.
+	retryBase     time.Duration
+	retryCap      time.Duration
+	retryAttempts int
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +85,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactFanout == 0 {
 		o.CompactFanout = 4
+	}
+	if o.retryBase == 0 {
+		o.retryBase = 10 * time.Millisecond
+	}
+	if o.retryCap == 0 {
+		o.retryCap = 160 * time.Millisecond
+	}
+	if o.retryAttempts == 0 {
+		o.retryAttempts = 5
 	}
 	return o
 }
@@ -151,7 +176,11 @@ type Engine struct {
 	dir   string
 	c     curve.Curve
 	opts  Options
+	fs    vfs.FS            // all file access funnels through here
 	cache *pagedstore.Cache // segment page cache; nil when disabled
+
+	health healthState // monotonic degradation state (health.go)
+	scrub  atomic.Bool // a query hit ErrCorrupt; background Verify pending
 
 	walMu sync.Mutex
 	wal   *wal
@@ -188,21 +217,22 @@ type Engine struct {
 // a fresh segment.
 func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	segIDs, walGens, err := scanDir(dir)
+	segIDs, walGens, err := scanDir(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{dir: dir, c: c, opts: opts}
+	e := &Engine{dir: dir, c: c, opts: opts, fs: fsys}
 	e.cache = opts.Cache
 	if e.cache == nil && opts.CacheBytes > 0 {
 		e.cache = pagedstore.NewCache(opts.CacheBytes)
 	}
 	e.com.done = make(map[uint64]struct{})
 	for _, id := range segIDs {
-		seg, err := openSegment(dir, c, id, e.cache)
+		seg, err := openSegment(fsys, dir, c, id, e.cache)
 		if err != nil {
 			e.releaseSegments()
 			return nil, err
@@ -220,7 +250,16 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 		if g >= e.gen {
 			e.gen = g + 1
 		}
-		ops, err := replayWAL(walPath(dir, g), dims)
+		if walCovered(segIDs, g) {
+			// The log's generation already reached a segment: this WAL
+			// is the leftover of a retirement that failed after the
+			// segment install. Replaying it would re-apply its versions
+			// — tombstones included — at the newest priority, shadowing
+			// every later write; skip it (the removal loop below still
+			// deletes the file).
+			continue
+		}
+		ops, err := replayWAL(fsys, walPath(dir, g), dims)
 		if err != nil {
 			e.releaseSegments()
 			return nil, err
@@ -239,7 +278,7 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	}
 	e.com.visible.Store(e.seq)
 	if recovered != nil {
-		seg, err := writeSegment(dir, c, segID{lo: e.gen, hi: e.gen}, recovered.flushEntries(), opts.PageBytes, e.cache)
+		seg, err := writeSegment(fsys, dir, c, segID{lo: e.gen, hi: e.gen}, recovered.flushEntries(), opts.PageBytes, e.cache)
 		if err != nil {
 			e.releaseSegments()
 			return nil, err
@@ -249,7 +288,7 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 		e.flushes.Add(1)
 	}
 	for _, g := range walGens {
-		if err := os.Remove(walPath(dir, g)); err != nil {
+		if err := fsys.Remove(walPath(dir, g)); err != nil {
 			e.releaseSegments()
 			return nil, fmt.Errorf("engine: %w", err)
 		}
@@ -259,7 +298,7 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 		e.releaseSegments()
 		return nil, err
 	}
-	e.wal, err = createWAL(walPath(dir, e.gen), dims)
+	e.wal, err = createWAL(fsys, walPath(dir, e.gen), dims)
 	if err != nil {
 		e.releaseSegments()
 		return nil, err
@@ -272,6 +311,20 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// walCovered reports whether generation g's data already reached a live
+// segment: flush installs segment [g, g] (and compaction may merge it
+// into a wider range) strictly before retiring WAL g, so a surviving
+// WAL whose generation a segment covers holds nothing the segments
+// don't.
+func walCovered(segs []segID, g uint64) bool {
+	for _, id := range segs {
+		if id.lo <= g && g <= id.hi {
+			return true
+		}
+	}
+	return false
+}
+
 func (e *Engine) releaseSegments() {
 	for _, s := range e.segs {
 		s.st.Close()
@@ -279,9 +332,14 @@ func (e *Engine) releaseSegments() {
 	e.segs = nil
 }
 
-// background drains the doorbell: each ring flushes the active memtable
-// once it is over the threshold and then applies the size-tiered
-// compaction policy until it reaches a fixed point.
+// background drains the doorbell: each ring runs a pending corruption
+// scrub, flushes the active memtable once it is over the threshold, and
+// applies the size-tiered compaction policy until it reaches a fixed
+// point. Failures retry with capped jittered backoff; when the retries
+// run dry the engine degrades — to ReadOnly for flush failures (acked
+// data is stranded in memory and every further write grows the debt),
+// to Degraded for compaction failures (the engine is merely getting
+// slower and wider, not less durable).
 func (e *Engine) background() {
 	defer close(e.bgDone)
 	for {
@@ -289,14 +347,49 @@ func (e *Engine) background() {
 		case <-e.bgStop:
 			return
 		case <-e.bg:
+			if e.scrub.Swap(false) {
+				if _, err := e.Verify(); err != nil {
+					e.setBgErr(err)
+				}
+			}
 			if e.opts.FlushEntries > 0 && e.memEntries() >= int64(e.opts.FlushEntries) {
-				e.setBgErr(e.Flush())
+				e.setBgErr(e.retryBg(e.Flush, ReadOnly))
 			}
 			if e.opts.CompactFanout > 0 {
-				e.setBgErr(e.maybeCompact())
+				e.setBgErr(e.retryBg(e.maybeCompact, Degraded))
 			}
 		}
 	}
+}
+
+// retryBg runs one background maintenance op, retrying failures with
+// exponentially growing, ±50%-jittered, capped delays. If every attempt
+// fails the engine degrades to fallback and the last error is returned;
+// shutdown interrupts the backoff immediately.
+func (e *Engine) retryBg(op func() error, fallback Health) error {
+	delay := e.opts.retryBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil || errors.Is(err, ErrClosed) {
+			return err
+		}
+		if attempt == e.opts.retryAttempts-1 {
+			break
+		}
+		d := delay/2 + rand.N(delay)
+		if delay *= 2; delay > e.opts.retryCap {
+			delay = e.opts.retryCap
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-e.bgStop:
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+	e.degrade(fallback, err)
+	return err
 }
 
 // setBgErr records the outcome of a background flush or compaction; a
@@ -348,6 +441,9 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 	if !e.c.Universe().Contains(p) {
 		return fmt.Errorf("%w: %v in %v", ErrPoint, p, e.c.Universe())
 	}
+	if Health(e.health.state.Load()) >= ReadOnly {
+		return e.readOnlyErr()
+	}
 	key := e.c.Index(p)
 	e.mu.RLock()
 	if e.closed || e.closing {
@@ -379,6 +475,15 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 		// watermark is not wedged below every later successful write.
 		e.com.commit(seq)
 		e.mu.RUnlock()
+		if errors.Is(err, ErrWAL) {
+			// The log's tail is unknowable (failed append, failed fsync,
+			// or a group-commit batch poisoned by either): acknowledging
+			// any further write would be lying about durability. Degrade
+			// to ReadOnly — sticky until a reopen — and surface the
+			// transition on this error, cause attached.
+			e.degrade(ReadOnly, err)
+			return fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
 		return err
 	}
 	mem := e.mem
@@ -437,7 +542,7 @@ func (e *Engine) groupCommit(w *wal, pos int64) error {
 		e.walMu.Unlock()
 		if err == nil {
 			if serr := w.f.Sync(); serr != nil {
-				err = fmt.Errorf("%w: %v", ErrWAL, serr)
+				err = fmt.Errorf("%w: %w", ErrWAL, serr)
 				e.walMu.Lock()
 				w.failed = true
 				e.walMu.Unlock()
@@ -459,16 +564,24 @@ func (e *Engine) groupCommit(w *wal, pos int64) error {
 	}
 }
 
-// Sync makes every previously acknowledged write durable.
+// Sync makes every previously acknowledged write durable. A failed sync
+// leaves durability unknowable for the unsynced suffix, so it degrades
+// the engine to ReadOnly exactly as a failed synchronous write does.
 func (e *Engine) Sync() error {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	if e.closed {
+		e.mu.RUnlock()
 		return ErrClosed
 	}
 	e.walMu.Lock()
-	defer e.walMu.Unlock()
-	return e.wal.sync()
+	err := e.wal.sync()
+	e.walMu.Unlock()
+	e.mu.RUnlock()
+	if err != nil {
+		e.degrade(ReadOnly, err)
+		return fmt.Errorf("%w: %w", ErrReadOnly, err)
+	}
+	return nil
 }
 
 // source priorities for the k-way merge: larger is newer.
@@ -567,7 +680,7 @@ func (e *Engine) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error)
 		qsPool.Put(qs)
 		return dst, Stats{}, fmt.Errorf("engine: %w", err)
 	}
-	out, st, err := e.queryRanges(qs, dst, qs.plan)
+	out, st, err := e.queryRanges(context.Background(), qs, dst, qs.plan)
 	st.Planned = len(qs.plan)
 	qsPool.Put(qs)
 	return out, st, err
@@ -582,12 +695,20 @@ func (e *Engine) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error)
 // Stats.Planned is left zero: planning happened (at most once) in the
 // caller.
 func (e *Engine) QueryRanges(krs []curve.KeyRange) ([]Record, Stats, error) {
-	return e.QueryRangesAppend(nil, krs)
+	return e.QueryRangesAppendContext(context.Background(), nil, krs)
 }
 
 // QueryRangesAppend is QueryRanges appending into dst — the form the
 // shard router's fan-out drives with recycled per-shard buffers.
 func (e *Engine) QueryRangesAppend(dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
+	return e.QueryRangesAppendContext(context.Background(), dst, krs)
+}
+
+// QueryRangesAppendContext is QueryRangesAppend under a context: the
+// merge checks ctx between ranges and (amortized) inside long range
+// scans, so a timeout or cancellation stops the worker promptly and
+// returns ctx.Err() with whatever statistics had accumulated.
+func (e *Engine) QueryRangesAppendContext(ctx context.Context, dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
 	n := e.c.Universe().Size()
 	for i, kr := range krs {
 		if kr.Lo > kr.Hi || kr.Hi >= n {
@@ -598,12 +719,12 @@ func (e *Engine) QueryRangesAppend(dst []Record, krs []curve.KeyRange) ([]Record
 		}
 	}
 	qs := qsPool.Get().(*queryState)
-	out, st, err := e.queryRanges(qs, dst, krs)
+	out, st, err := e.queryRanges(ctx, qs, dst, krs)
 	qsPool.Put(qs)
 	return out, st, err
 }
 
-func (e *Engine) queryRanges(qs *queryState, dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
+func (e *Engine) queryRanges(ctx context.Context, qs *queryState, dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
 	var st Stats
 	base := len(dst)
 	e.mu.RLock()
@@ -643,8 +764,14 @@ func (e *Engine) queryRanges(qs *queryState, dst []Record, krs []curve.KeyRange)
 
 	qs.out = dst
 	qs.memHits = 0
+	cancel := ctx.Done()
 	var err error
 	for _, kr := range krs {
+		if cancel != nil {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+		}
 		qs.pass = qs.pass[:0]
 		for i := range qs.segSrcs {
 			s := &qs.segSrcs[i]
@@ -657,7 +784,7 @@ func (e *Engine) queryRanges(qs *queryState, dst []Record, krs []curve.KeyRange)
 			qs.memSrcs[j] = mergeSource{mem: it, prio: len(qs.pass)}
 			qs.pass = append(qs.pass, &qs.memSrcs[j])
 		}
-		if err = mergeSources(qs.pass, &qs.live, qs); err != nil {
+		if err = mergeSources(qs.pass, &qs.live, qs, ctx); err != nil {
 			break
 		}
 	}
@@ -669,6 +796,16 @@ func (e *Engine) queryRanges(qs *queryState, dst []Record, krs []curve.KeyRange)
 		cur.Release()
 	}
 	if err != nil {
+		if errors.Is(err, pagedstore.ErrCorrupt) {
+			// A segment served a damaged page. Queue a background Verify
+			// — it will quarantine the segment so later queries stop
+			// tripping over it — and ring the doorbell.
+			e.scrub.Store(true)
+			select {
+			case e.bg <- struct{}{}:
+			default:
+			}
+		}
 		return out[:base], st, err
 	}
 	st.Results = len(out) - base
@@ -683,8 +820,14 @@ type mergeSink interface{ emit(win *mergeSource) }
 // the newest (highest-priority) holder of that key — tombstones
 // included, so the sink decides whether they suppress or survive. Both
 // the query path and segment compaction resolve duplicates through this
-// one routine. scratch is the reusable live-source buffer.
-func mergeSources(srcs []*mergeSource, scratch *[]*mergeSource, sink mergeSink) error {
+// one routine. scratch is the reusable live-source buffer. A non-nil
+// ctx is polled every 1024 emitted keys, so cancellation lands mid-range
+// without taxing the per-record hot path; compaction passes nil.
+func mergeSources(srcs []*mergeSource, scratch *[]*mergeSource, sink mergeSink, ctx context.Context) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	live := (*scratch)[:0]
 	for _, s := range srcs {
 		if err := s.advance(); err != nil {
@@ -695,7 +838,13 @@ func mergeSources(srcs []*mergeSource, scratch *[]*mergeSource, sink mergeSink) 
 			live = append(live, s)
 		}
 	}
-	for len(live) > 0 {
+	for emits := 0; len(live) > 0; emits++ {
+		if done != nil && emits&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				*scratch = live
+				return err
+			}
+		}
 		// Smallest key next; among equals the highest priority (newest)
 		// version is authoritative.
 		minKey := live[0].key
@@ -764,7 +913,7 @@ func (e *Engine) flushLocked() error {
 	if e.mem.entries.Load() > 0 {
 		frozen := e.mem
 		dims := e.c.Universe().Dims()
-		newWal, err := createWAL(walPath(e.dir, e.gen), dims)
+		newWal, err := createWAL(e.fs, walPath(e.dir, e.gen), dims)
 		if err != nil {
 			e.mu.Unlock()
 			return err
@@ -772,7 +921,7 @@ func (e *Engine) flushLocked() error {
 		newMem, err := newMemtable(e.c, e.opts.Shards, e.gen)
 		if err != nil {
 			newWal.close() //nolint:errcheck
-			os.Remove(walPath(e.dir, e.gen))
+			e.fs.Remove(walPath(e.dir, e.gen)) //nolint:errcheck
 			e.mu.Unlock()
 			return err
 		}
@@ -796,7 +945,7 @@ func (e *Engine) flushLocked() error {
 	for _, m := range frozen {
 		// Write the segment outside any lock: queries keep reading the
 		// frozen memtable from e.imm meanwhile.
-		seg, err := writeSegment(e.dir, e.c, segID{lo: m.gen, hi: m.gen}, m.flushEntries(), e.opts.PageBytes, e.cache)
+		seg, err := writeSegment(e.fs, e.dir, e.c, segID{lo: m.gen, hi: m.gen}, m.flushEntries(), e.opts.PageBytes, e.cache)
 		if err != nil {
 			return err
 		}
@@ -810,7 +959,7 @@ func (e *Engine) flushLocked() error {
 			}
 		}
 		e.mu.Unlock()
-		if err := os.Remove(walPath(e.dir, m.gen)); err != nil {
+		if err := e.fs.Remove(walPath(e.dir, m.gen)); err != nil {
 			return fmt.Errorf("engine: %w", err)
 		}
 		e.flushes.Add(1)
@@ -889,7 +1038,7 @@ func (e *Engine) Close() error {
 	// failed flush it is the sole durable copy of the memtable and must
 	// survive for the next Open to replay.
 	if drained {
-		if rerr := os.Remove(walPath(e.dir, e.gen-1)); rerr != nil && err == nil {
+		if rerr := e.fs.Remove(walPath(e.dir, e.gen-1)); rerr != nil && err == nil {
 			err = fmt.Errorf("engine: %w", rerr)
 		}
 	}

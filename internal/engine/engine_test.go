@@ -12,6 +12,7 @@ import (
 	"github.com/onioncurve/onion/internal/core"
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/vfs"
 	"github.com/onioncurve/onion/internal/pagedstore"
 )
 
@@ -604,7 +605,7 @@ func TestScanDirCrashArtifacts(t *testing.T) {
 	touch("seg-000000000007-000000000007-001.pst")
 	touch("wal-000000000008.log")
 	touch("unrelated.txt")
-	segs, wals, err := scanDir(dir)
+	segs, wals, err := scanDir(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -626,7 +627,7 @@ func TestScanDirCrashArtifacts(t *testing.T) {
 	}
 	// Partial overlap is unrecoverable.
 	touch("seg-000000000004-000000000009-000.pst")
-	if _, _, err := scanDir(dir); err == nil {
+	if _, _, err := scanDir(vfs.OS{}, dir); err == nil {
 		t.Error("overlap accepted")
 	}
 }
@@ -775,7 +776,7 @@ func TestScanDirIgnoresTmp(t *testing.T) {
 	touch("seg-000000000001-000000000001-000.pst")
 	touch("seg-000000000001-000000000001-001.pst.tmp") // crashed rewrite
 	touch("wal-000000000002.log.tmp")
-	segs, wals, err := scanDir(dir)
+	segs, wals, err := scanDir(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 // FuzzWALReplay drives the WAL through a fuzzed op stream and a fuzzed
@@ -30,7 +31,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		dir := t.TempDir()
 		path := filepath.Join(dir, "wal.log")
-		w, err := createWAL(path, dims)
+		w, err := createWAL(vfs.OS{}, path, dims)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := w.close(); err != nil {
 			t.Fatal(err)
 		}
-		got, err := replayWAL(path, dims)
+		got, err := replayWAL(vfs.OS{}, path, dims)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		torn, err := replayWAL(path, dims)
+		torn, err := replayWAL(vfs.OS{}, path, dims)
 		if err != nil {
 			t.Fatal(err)
 		}

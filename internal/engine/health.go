@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/onioncurve/onion/internal/pagedstore"
+)
+
+// Health is the engine's degradation state. States only escalate — an
+// engine never silently heals — and a fresh Open always starts Healthy:
+// recovery is an explicit reopen, never a background guess.
+//
+//	Healthy  — full service.
+//	Degraded — serving reads and writes, but something was lost at the
+//	           edges: a segment was quarantined for corruption, or
+//	           background compaction keeps failing. Queries over a
+//	           quarantined key interval silently miss its records.
+//	ReadOnly — the write path is compromised (WAL append/fsync failure,
+//	           out of disk, or background flushes exhausted their
+//	           retries). Writes fail with ErrReadOnly; queries serve.
+//	Failed   — the engine could not contain a fault (a corrupt segment
+//	           could not be quarantined). Reads may be incomplete.
+type Health int32
+
+const (
+	Healthy Health = iota
+	Degraded
+	ReadOnly
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case ReadOnly:
+		return "read-only"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+var (
+	// ErrReadOnly reports a write rejected because the engine degraded to
+	// ReadOnly (or Failed). The cause — the WAL failure, the ENOSPC —
+	// stays on the chain, so errors.Is sees both.
+	ErrReadOnly = errors.New("engine: read-only")
+	// ErrCorrupt is pagedstore's corruption sentinel, re-exported where
+	// quarantine reports surface it.
+	ErrCorrupt = pagedstore.ErrCorrupt
+)
+
+// healthState is the monotonic state machine embedded in the Engine.
+type healthState struct {
+	state atomic.Int32
+	mu    sync.Mutex
+	cause error // first error that drove the current state
+}
+
+// get returns the current state and the error that caused it (nil while
+// Healthy).
+func (h *healthState) get() (Health, error) {
+	s := Health(h.state.Load())
+	if s == Healthy {
+		return s, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Health(h.state.Load()), h.cause
+}
+
+// escalate raises the state to at least s, recording cause if the state
+// actually rose. Lowering never happens.
+func (h *healthState) escalate(s Health, cause error) {
+	h.mu.Lock()
+	if Health(h.state.Load()) < s {
+		h.state.Store(int32(s))
+		h.cause = cause
+	}
+	h.mu.Unlock()
+}
+
+// Health returns the engine's degradation state and the error that drove
+// it there (nil while Healthy). See the Health type for the contract of
+// each state.
+func (e *Engine) Health() (Health, error) { return e.health.get() }
+
+// degrade escalates the engine's health; see healthState.escalate.
+func (e *Engine) degrade(s Health, cause error) { e.health.escalate(s, cause) }
+
+// readOnlyErr builds the error a rejected write returns: ErrReadOnly
+// wrapping whatever drove the engine out of service.
+func (e *Engine) readOnlyErr() error {
+	if _, cause := e.health.get(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, cause)
+	}
+	return ErrReadOnly
+}
+
+// QuarantinedSegment describes one segment pulled from service by Verify:
+// where its file went and the inclusive curve-key interval whose records
+// are no longer served. Callers that mirror data elsewhere use the
+// interval to drive re-replication.
+type QuarantinedSegment struct {
+	// Path is where the corrupt file now lives (under quarantine/), or
+	// its original path if even the quarantine rename failed.
+	Path string
+	// Lo, Hi bound the curve keys the segment covered; Empty is true for
+	// a segment with no records (nothing is missing).
+	Lo, Hi uint64
+	Empty  bool
+	// Records is how many records (tombstones included) the segment held.
+	Records int
+	// Cause is the corruption error that condemned the segment.
+	Cause error
+}
+
+// VerifyReport summarizes one Verify pass.
+type VerifyReport struct {
+	SegmentsChecked int
+	Quarantined     []QuarantinedSegment
+}
+
+// Verify scrubs every live segment against its checksums (reading
+// straight from disk, past the page cache) and quarantines any that fail:
+// the corrupt file is moved into the quarantine/ subdirectory, the
+// affected key interval is reported, and the remaining segments keep
+// serving. A quarantine degrades the engine to Degraded; a quarantine
+// that cannot even be executed (the rename fails) degrades it to Failed.
+// Verify holds the engine's maintenance lock, so it serializes with
+// flushes and compactions but not with queries or writes.
+func (e *Engine) Verify() (VerifyReport, error) {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	var rep VerifyReport
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return rep, ErrClosed
+	}
+	segs := append([]*segment{}, e.segs...)
+	e.mu.RUnlock()
+	var firstErr error
+	for _, s := range segs {
+		rep.SegmentsChecked++
+		verr := s.st.VerifyPages()
+		if verr == nil {
+			continue
+		}
+		if !errors.Is(verr, pagedstore.ErrCorrupt) {
+			if firstErr == nil {
+				firstErr = verr
+			}
+			continue
+		}
+		q := e.quarantine(s, verr)
+		rep.Quarantined = append(rep.Quarantined, q)
+	}
+	return rep, firstErr
+}
+
+// quarantine pulls a condemned segment out of service: it leaves the live
+// list immediately (even a failed rename must stop it from serving
+// corrupt pages), then its file moves under quarantine/ for offline
+// inspection and the directory change is made durable, so a reopen never
+// resurrects it.
+func (e *Engine) quarantine(s *segment, cause error) QuarantinedSegment {
+	q := QuarantinedSegment{Path: s.path, Records: s.recs, Cause: cause}
+	var ok bool
+	q.Lo, q.Hi, ok = s.st.KeySpan()
+	q.Empty = !ok
+	e.mu.Lock()
+	for i, t := range e.segs {
+		if t == s {
+			e.segs = append(e.segs[:i], e.segs[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+	s.st.Close() //nolint:errcheck // the file is condemned either way
+	qdir := filepath.Join(e.dir, "quarantine")
+	dest := filepath.Join(qdir, filepath.Base(s.path))
+	err := e.fs.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = e.fs.Rename(s.path, dest)
+	}
+	if err == nil {
+		err = e.fs.SyncDir(e.dir)
+	}
+	if err != nil {
+		// The corrupt file is stranded in the data directory; a reopen
+		// would serve it again. That is a containment failure.
+		e.degrade(Failed, fmt.Errorf("engine: quarantine of %s: %w (corruption: %w)",
+			filepath.Base(s.path), err, cause))
+		return q
+	}
+	q.Path = dest
+	e.degrade(Degraded, fmt.Errorf("engine: quarantined %s: %w", filepath.Base(s.path), cause))
+	return q
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/onioncurve/onion/internal/core"
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/vfs"
 	"github.com/onioncurve/onion/internal/pagedstore"
 )
 
@@ -351,7 +352,7 @@ func TestGroupCommitDurability(t *testing.T) {
 	if err := os.WriteFile(fullPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	full, err := replayWAL(fullPath, 2)
+	full, err := replayWAL(vfs.OS{}, fullPath, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestGroupCommitDurability(t *testing.T) {
 		if err := os.WriteFile(torn, data[:b], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		ops, err := replayWAL(torn, 2)
+		ops, err := replayWAL(vfs.OS{}, torn, 2)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,12 +3,12 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/pagedstore"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 // ErrDir reports an engine directory whose segment files are mutually
@@ -53,8 +53,8 @@ type segID struct {
 // range is contained in another's — or that shares a range with a higher
 // epoch — is a stale input and is deleted. Ranges that partially overlap
 // have no legal history and are rejected.
-func scanDir(dir string) (segs []segID, wals []uint64, err error) {
-	ents, err := os.ReadDir(dir)
+func scanDir(fsys vfs.FS, dir string) (segs []segID, wals []uint64, err error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: %w", err)
 	}
@@ -100,7 +100,7 @@ func scanDir(dir string) (segs []segID, wals []uint64, err error) {
 			}
 		}
 		if stale {
-			if err := os.Remove(segPath(dir, s.lo, s.hi, s.epoch)); err != nil {
+			if err := fsys.Remove(segPath(dir, s.lo, s.hi, s.epoch)); err != nil {
 				return nil, nil, fmt.Errorf("engine: removing stale segment: %w", err)
 			}
 			continue
@@ -120,9 +120,9 @@ func scanDir(dir string) (segs []segID, wals []uint64, err error) {
 
 // openSegment opens the segment file for id against the curve, attached
 // to the engine's shared page cache (nil disables caching).
-func openSegment(dir string, c curve.Curve, id segID, cache *pagedstore.Cache) (*segment, error) {
+func openSegment(fsys vfs.FS, dir string, c curve.Curve, id segID, cache *pagedstore.Cache) (*segment, error) {
 	path := segPath(dir, id.lo, id.hi, id.epoch)
-	st, err := pagedstore.OpenCached(path, c, cache)
+	st, err := pagedstore.OpenCachedFS(fsys, path, c, cache)
 	if err != nil {
 		return nil, fmt.Errorf("engine: segment %s: %w", filepath.Base(path), err)
 	}
@@ -133,7 +133,7 @@ func openSegment(dir string, c curve.Curve, id segID, cache *pagedstore.Cache) (
 // plus tombstone marks and the pruning footer in a version-3 pagedstore
 // file, written to a temporary name, synced, then atomically renamed
 // into place.
-func writeSegment(dir string, c curve.Curve, id segID, ents []memEntry, pageBytes int, cache *pagedstore.Cache) (*segment, error) {
+func writeSegment(fsys vfs.FS, dir string, c curve.Curve, id segID, ents []memEntry, pageBytes int, cache *pagedstore.Cache) (*segment, error) {
 	recs := make([]pagedstore.Record, len(ents))
 	marks := make([]bool, len(ents))
 	for i, e := range ents {
@@ -142,29 +142,24 @@ func writeSegment(dir string, c curve.Curve, id segID, ents []memEntry, pageByte
 	}
 	path := segPath(dir, id.lo, id.hi, id.epoch)
 	tmp := path + ".tmp"
-	if err := pagedstore.WriteMarked(tmp, c, recs, marks, pageBytes); err != nil {
+	if err := pagedstore.WriteMarkedFS(fsys, tmp, c, recs, marks, pageBytes); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	// Fsync the directory so the rename is durable before any caller
 	// retires a WAL or a compaction input: without the barrier a power
 	// loss could persist those unlinks but not this rename.
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return nil, err
 	}
-	return openSegment(dir, c, id, cache)
+	return openSegment(fsys, dir, c, id, cache)
 }
 
 // syncDir fsyncs a directory, making its entry updates durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
 	return nil

@@ -21,10 +21,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 // ErrWAL reports an unusable write-ahead log file (I/O failure — torn
@@ -63,7 +63,7 @@ func walPayloadSize(dims int, del bool) int {
 // The caller serializes append/sync/close (the engine holds its WAL mutex
 // so that log order equals sequence-number order).
 type wal struct {
-	f    *os.File
+	f    vfs.File
 	w    *bufio.Writer
 	dims int
 	buf  []byte
@@ -93,10 +93,10 @@ type groupState struct {
 	err     error // sticky: a failed group sync poisons the log until rotation
 }
 
-func createWAL(path string, dims int) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+func createWAL(fsys vfs.FS, path string, dims int) (*wal, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrWAL, err)
+		return nil, fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	l := &wal{
 		f:    f,
@@ -130,7 +130,7 @@ func (l *wal) append(op walOp) error {
 	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(b[8:8+pl], walCRC))
 	if _, err := l.w.Write(b); err != nil {
 		l.failed = true
-		return fmt.Errorf("%w: %v", ErrWAL, err)
+		return fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	l.n += int64(8 + pl)
 	return nil
@@ -142,7 +142,7 @@ func (l *wal) append(op walOp) error {
 func (l *wal) flushBuf() error {
 	if err := l.w.Flush(); err != nil {
 		l.failed = true
-		return fmt.Errorf("%w: %v", ErrWAL, err)
+		return fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	return nil
 }
@@ -155,7 +155,7 @@ func (l *wal) sync() error {
 	}
 	if err := l.f.Sync(); err != nil {
 		l.failed = true
-		return fmt.Errorf("%w: %v", ErrWAL, err)
+		return fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	return nil
 }
@@ -166,7 +166,7 @@ func (l *wal) close() error {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("%w: %v", ErrWAL, err)
+		return fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	return nil
 }
@@ -176,13 +176,17 @@ func (l *wal) close() error {
 // ends the replay silently: recovery keeps exactly the longest valid
 // prefix and drops the rest, so an acknowledged (synced) write is never
 // lost and an unacknowledged torn write is never resurrected partially.
-func replayWAL(path string, dims int) ([]walOp, error) {
-	f, err := os.Open(path)
+func replayWAL(fsys vfs.FS, path string, dims int) ([]walOp, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrWAL, err)
+		return nil, fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrWAL, err)
+	}
+	r := bufio.NewReader(io.NewSectionReader(f, 0, fi.Size()))
 	putLen := walPayloadSize(dims, false)
 	delLen := walPayloadSize(dims, true)
 	head := make([]byte, 8)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 // walOpsEqual compares two op slices structurally.
@@ -40,7 +41,7 @@ func sampleOps(dims, n int) []walOp {
 
 func writeOps(t *testing.T, path string, dims int, ops []walOp) {
 	t.Helper()
-	w, err := createWAL(path, dims)
+	w, err := createWAL(vfs.OS{}, path, dims)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestWALRoundTrip(t *testing.T) {
 		path := filepath.Join(t.TempDir(), "wal.log")
 		ops := sampleOps(dims, 50)
 		writeOps(t, path, dims, ops)
-		got, err := replayWAL(path, dims)
+		got, err := replayWAL(vfs.OS{}, path, dims)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestWALTornTail(t *testing.T) {
 		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got, err := replayWAL(torn, dims)
+		got, err := replayWAL(vfs.OS{}, torn, dims)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -126,7 +127,7 @@ func TestWALCorruptTail(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := replayWAL(path, dims)
+	got, err := replayWAL(vfs.OS{}, path, dims)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestWALGarbageLength(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := replayWAL(path, dims)
+	got, err := replayWAL(vfs.OS{}, path, dims)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,215 @@
+package pagedstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// writeV4 builds a marked (format v4) store and returns its path.
+func writeV4(t testing.TB, n int) string {
+	t.Helper()
+	side := uint32(64)
+	o, err := core.NewOnion2D(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, n)
+	marks := make([]bool, n)
+	for i := range recs {
+		recs[i] = Record{
+			Point:   geom.Point{uint32(i*7) % side, uint32(i*13) % side},
+			Payload: uint64(i),
+		}
+		marks[i] = i%17 == 0
+	}
+	path := filepath.Join(t.TempDir(), "store.pst")
+	if err := WriteMarked(path, o, recs, marks, 256); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func flipByte(t testing.TB, path string, off int64, xor byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= xor
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fullScan(s *Store) (int, error) {
+	side := uint32(64)
+	r := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{side - 1, side - 1}}
+	recs, _, err := s.Query(r)
+	return len(recs), err
+}
+
+func TestV4PageCorruptionDetected(t *testing.T) {
+	path := writeV4(t, 500)
+	o, _ := core.NewOnion2D(64)
+
+	// Baseline: clean store opens, scans, verifies.
+	s, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanN, err := fullScan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyPages(); err != nil {
+		t.Fatalf("clean store failed verify: %v", err)
+	}
+	lo, hi, ok := s.KeySpan()
+	if !ok || lo > hi {
+		t.Fatalf("key span %d..%d ok=%v", lo, hi, ok)
+	}
+	s.Close()
+	if cleanN == 0 {
+		t.Fatal("scan returned nothing")
+	}
+
+	// Flip one byte in the middle of the page data: open still succeeds
+	// (pages are lazily verified), but both the scrubber and any query
+	// touching the page report ErrCorrupt.
+	s2, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataMid := s2.dataOff + int64(len(s2.firstKeys)/2)*int64(s2.pageBytes) + 17
+	s2.Close()
+	flipByte(t, path, dataMid, 0x40)
+
+	s3, err := Open(path, o)
+	if err != nil {
+		t.Fatalf("open after page corruption should succeed (lazy verify): %v", err)
+	}
+	defer s3.Close()
+	if err := s3.VerifyPages(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifyPages = %v, want ErrCorrupt", err)
+	}
+	if _, err := fullScan(s3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("query over corrupt page = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestV4CorruptPageNeverEntersCache(t *testing.T) {
+	path := writeV4(t, 500)
+	o, _ := core.NewOnion2D(64)
+	s, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataMid := s.dataOff + int64(len(s.firstKeys)/2)*int64(s.pageBytes) + 3
+	s.Close()
+	flipByte(t, path, dataMid, 0x81)
+
+	cache := NewCache(1 << 20)
+	s2, err := OpenCached(path, o, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := fullScan(s2); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("scan %d = %v, want ErrCorrupt (cache must not mask corruption)", i, err)
+		}
+	}
+}
+
+func TestV4MetadataCorruptionDetectedAtOpen(t *testing.T) {
+	path := writeV4(t, 300)
+	o, _ := core.NewOnion2D(64)
+	s, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxOff := int64(40) + 8            // second entry of the page index
+	tailOff := s.dataOff - 8           // last index entry
+	marksOff := s.dataOff + int64(len(s.firstKeys))*int64(s.pageBytes)
+	s.Close()
+
+	for _, off := range []int64{idxOff, tailOff, marksOff} {
+		func() {
+			cp := filepath.Join(t.TempDir(), "cp.pst")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(cp, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			flipByte(t, cp, off, 0x04)
+			if _, err := Open(cp, o); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open with metadata flip at %d = %v, want ErrCorrupt", off, err)
+			}
+		}()
+	}
+}
+
+// FuzzVerifyCorrupt flips one byte anywhere in a valid v4 file and
+// asserts the corruption is always detected: either Open rejects the
+// file, or a full scan plus VerifyPages reports ErrCorrupt. A v4 store
+// must never serve silently wrong data off a single flipped byte.
+func FuzzVerifyCorrupt(f *testing.F) {
+	path := writeV4(f, 400)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	o, err := core.NewOnion2D(64)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint32(0), byte(0x01))    // magic
+	f.Add(uint32(9), byte(0x80))    // version
+	f.Add(uint32(26), byte(0xff))   // record count
+	f.Add(uint32(37), byte(0x7f))   // page count high bytes
+	f.Add(uint32(48), byte(0x20))   // page index
+	f.Add(uint32(2000), byte(0x01)) // page data
+	f.Add(uint32(len(orig)-3), byte(0x10))
+	f.Fuzz(func(t *testing.T, off uint32, xor byte) {
+		if xor == 0 {
+			return
+		}
+		mut := make([]byte, len(orig))
+		copy(mut, orig)
+		mut[int(off)%len(mut)] ^= xor
+		p := filepath.Join(t.TempDir(), "mut.pst")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(p, o)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrMismatch) {
+				t.Fatalf("open: unexpected error class: %v", err)
+			}
+			return
+		}
+		defer s.Close()
+		if _, err := fullScan(s); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("scan: unexpected error class: %v", err)
+			}
+			return
+		}
+		if err := s.VerifyPages(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("one-byte flip at %d^%#x survived open, scan and verify: %v",
+				int(off)%len(mut), xor, err)
+		}
+	})
+}

@@ -13,10 +13,17 @@
 // after the pages: one bit per record, in key order. The page layout
 // itself is unchanged. Marks are opaque to this package; the LSM storage
 // engine (internal/engine) uses them as tombstones in its immutable
-// segments. Format version 3 (current WriteMarked output) additionally
+// segments. Format version 3 (historical WriteMarked output) additionally
 // appends a pruning footer: a fence table of per-page maximum keys and a
-// Bloom filter over all keys. Versions 1 and 2 still open fine — the
-// fences degrade to the page index bounds and the filter to "maybe".
+// Bloom filter over all keys. Format version 4 (current WriteMarked
+// output) extends the footer with integrity checksums: a crc32c per page,
+// verified on every physical page fetch, and a trailing crc32c over all
+// metadata (header, page index, marks, fences, page checksums, filter),
+// verified at open — so any single flipped byte anywhere in a v4 file is
+// detected, either immediately at open or at the first read of the
+// damaged page, and surfaces as ErrCorrupt. Versions 1–3 still open fine:
+// the fences degrade to the page index bounds, the filter to "maybe", and
+// the checksums to "unverified".
 //
 // Logical vs physical accounting. Stats counts the LOGICAL access
 // pattern: the positioned reads, pages and record scans the query plan
@@ -37,8 +44,9 @@ package pagedstore
 import (
 	"encoding/binary"
 	"errors"
+	"io"
 	"fmt"
-	"os"
+	"hash/crc32"
 	"sort"
 	"sync"
 
@@ -46,6 +54,7 @@ import (
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 const (
@@ -55,10 +64,18 @@ const (
 	// order) appended after the pages.
 	// version 3: version 2 plus a pruning footer (per-page max-key
 	// fences and a key Bloom filter) appended after the bitmap.
+	// version 4: version 3 plus integrity checksums (a crc32c per page
+	// between the fences and the filter, and a trailing crc32c over all
+	// metadata).
 	version         = uint32(1)
 	versionMarked   = uint32(2)
 	versionFiltered = uint32(3)
+	versionChecked  = uint32(4)
 )
+
+// pageCRC is the checksum polynomial of the v4 integrity footer —
+// crc32c, hardware-accelerated on every platform Go targets.
+var pageCRC = crc32.MakeTable(crc32.Castagnoli)
 
 var (
 	// ErrCorrupt reports an unreadable or malformed store file.
@@ -129,25 +146,32 @@ func AppendRecord(dst []Record, pt geom.Point, payload uint64) []Record {
 // any order; they are sorted by curve key. The file is format version 1
 // (no marks, no footer) for compatibility with earlier readers.
 func Write(path string, c curve.Curve, recs []Record, pageBytes int) error {
-	return writeFile(path, c, recs, nil, pageBytes)
+	return writeFile(vfs.OS{}, path, c, recs, nil, pageBytes)
 }
 
-// WriteMarked is Write plus a per-record mark bit and the pruning footer
-// (format version 3). The page layout is identical to Write's; the marks
-// travel in a bitmap after the pages and are reported by Cursor.Next,
-// and the footer carries per-page max-key fences plus a key Bloom filter
-// so narrow queries skip pages — physically, never logically — without
-// touching disk. Marks are opaque here; the storage engine uses them as
-// tombstones. marked must have one entry per record (a nil marked writes
-// a plain version-1 file).
+// WriteMarked is Write plus a per-record mark bit and the checked
+// pruning footer (format version 4). The page layout is identical to
+// Write's; the marks travel in a bitmap after the pages and are reported
+// by Cursor.Next, the footer carries per-page max-key fences plus a key
+// Bloom filter so narrow queries skip pages — physically, never
+// logically — without touching disk, and the integrity checksums make
+// every byte of the file tamper-evident. Marks are opaque here; the
+// storage engine uses them as tombstones. marked must have one entry per
+// record (a nil marked writes a plain version-1 file).
 func WriteMarked(path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
+	return WriteMarkedFS(vfs.OS{}, path, c, recs, marked, pageBytes)
+}
+
+// WriteMarkedFS is WriteMarked through an explicit filesystem — the seam
+// the storage engine's fault injection drives.
+func WriteMarkedFS(fsys vfs.FS, path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
 	if marked != nil && len(marked) != len(recs) {
 		return fmt.Errorf("pagedstore: %d marks for %d records", len(marked), len(recs))
 	}
-	return writeFile(path, c, recs, marked, pageBytes)
+	return writeFile(fsys, path, c, recs, marked, pageBytes)
 }
 
-func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
+func writeFile(fsys vfs.FS, path string, c curve.Curve, recs []Record, marked []bool, pageBytes int) error {
 	dims := c.Universe().Dims()
 	rs := recordSize(dims)
 	if pageBytes < rs {
@@ -172,7 +196,7 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 	sort.SliceStable(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
 
 	pageCount := (len(ks) + perPage - 1) / perPage
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return fmt.Errorf("pagedstore: %w", err)
 	}
@@ -180,7 +204,7 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 
 	ver := version
 	if marked != nil {
-		ver = versionFiltered
+		ver = versionChecked
 	}
 	// Header: magic, version, dims, side, pageBytes, recordCount, pageCount.
 	head := make([]byte, 8+4+4+4+4+8+8)
@@ -194,6 +218,9 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 	if _, err := f.Write(head); err != nil {
 		return fmt.Errorf("pagedstore: %w", err)
 	}
+	// metaSum accumulates the v4 trailing checksum over every byte that
+	// is not page data: the pages carry their own per-page checksums.
+	metaSum := crc32.Update(0, pageCRC, head)
 	// Page index: first key of each page.
 	idx := make([]byte, 8*pageCount)
 	for p := 0; p < pageCount; p++ {
@@ -202,8 +229,10 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 	if _, err := f.Write(idx); err != nil {
 		return fmt.Errorf("pagedstore: %w", err)
 	}
+	metaSum = crc32.Update(metaSum, pageCRC, idx)
 	// Pages.
 	buf := make([]byte, pageBytes)
+	crcs := make([]byte, 4*pageCount)
 	for p := 0; p < pageCount; p++ {
 		for i := range buf {
 			buf[i] = 0
@@ -222,6 +251,7 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 		if _, err := f.Write(buf); err != nil {
 			return fmt.Errorf("pagedstore: %w", err)
 		}
+		binary.LittleEndian.PutUint32(crcs[4*p:], crc32.Checksum(buf, pageCRC))
 	}
 	// Mark bitmap (version >= 2 only), one bit per record in key order.
 	if marked != nil {
@@ -234,8 +264,9 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 		if _, err := f.Write(bm); err != nil {
 			return fmt.Errorf("pagedstore: %w", err)
 		}
-		// Pruning footer (version 3): per-page max-key fences, then the
-		// key Bloom filter.
+		metaSum = crc32.Update(metaSum, pageCRC, bm)
+		// Pruning footer: per-page max-key fences, the per-page
+		// checksums, the key Bloom filter, then the metadata checksum.
 		fences := make([]byte, 8*pageCount)
 		for p := 0; p < pageCount; p++ {
 			last := (p+1)*perPage - 1
@@ -247,11 +278,23 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 		if _, err := f.Write(fences); err != nil {
 			return fmt.Errorf("pagedstore: %w", err)
 		}
+		metaSum = crc32.Update(metaSum, pageCRC, fences)
+		if _, err := f.Write(crcs); err != nil {
+			return fmt.Errorf("pagedstore: %w", err)
+		}
+		metaSum = crc32.Update(metaSum, pageCRC, crcs)
 		keys := make([]uint64, len(ks))
 		for i := range ks {
 			keys[i] = ks[i].key
 		}
-		if _, err := f.Write(buildFilter(keys).marshal()); err != nil {
+		fb := buildFilter(keys).marshal()
+		if _, err := f.Write(fb); err != nil {
+			return fmt.Errorf("pagedstore: %w", err)
+		}
+		metaSum = crc32.Update(metaSum, pageCRC, fb)
+		var tail [4]byte
+		binary.LittleEndian.PutUint32(tail[:], metaSum)
+		if _, err := f.Write(tail[:]); err != nil {
 			return fmt.Errorf("pagedstore: %w", err)
 		}
 	}
@@ -262,7 +305,7 @@ func writeFile(path string, c curve.Curve, recs []Record, marked []bool, pageByt
 // go through positioned ReadAt calls and all mutable query state lives in
 // per-query Cursors.
 type Store struct {
-	f         *os.File
+	f         vfs.File
 	c         curve.Curve
 	dims      int
 	pageBytes int
@@ -273,9 +316,12 @@ type Store struct {
 	marks     []byte // version >= 2: one bit per record in key order; nil otherwise
 	anyMarked bool
 
-	// Pruning footer (version 3; nil/absent for earlier versions).
+	// Pruning footer (version 3+; nil/absent for earlier versions).
 	pageMax []uint64   // fence: max key of each page
 	filter  *keyFilter // Bloom filter over all keys
+	// Integrity footer (version 4; nil for earlier versions): crc32c of
+	// every page, verified on each physical fetch.
+	pageSums []uint32
 
 	id      uint64 // process-unique cache identity
 	cache   *Cache // shared page cache, nil when uncached
@@ -283,8 +329,8 @@ type Store struct {
 }
 
 // Open validates the file against the curve and loads the page index
-// (and, for version-3 files, the pruning footer). The store is uncached;
-// see OpenCached.
+// (and, for version-3+ files, the pruning footer). The store is
+// uncached; see OpenCached.
 func Open(path string, c curve.Curve) (*Store, error) {
 	return OpenCached(path, c, nil)
 }
@@ -294,10 +340,26 @@ func Open(path string, c curve.Curve) (*Store, error) {
 // is equivalent to Open. The cache may back any number of stores; this
 // store's pages are dropped from it on Close.
 func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
-	f, err := os.Open(path)
+	return OpenCachedFS(vfs.OS{}, path, c, cache)
+}
+
+// OpenCachedFS is OpenCached through an explicit filesystem — the seam
+// the storage engine's fault injection drives. For version-4 files every
+// piece of metadata is checksum-verified here, so a corrupted header,
+// page index or footer is rejected as ErrCorrupt before a single record
+// is served; corrupted page data is caught by the per-page checksums at
+// fetch time.
+func OpenCachedFS(fsys vfs.FS, path string, c curve.Curve, cache *Cache) (*Store, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("pagedstore: %w", err)
 	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagedstore: %w", err)
+	}
+	fileSize := fi.Size()
 	head := make([]byte, 40)
 	if _, err := f.ReadAt(head, 0); err != nil {
 		f.Close()
@@ -308,7 +370,7 @@ func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	ver := binary.LittleEndian.Uint32(head[8:])
-	if ver != version && ver != versionMarked && ver != versionFiltered {
+	if ver < version || ver > versionChecked {
 		f.Close()
 		return nil, fmt.Errorf("%w: unsupported version", ErrCorrupt)
 	}
@@ -326,6 +388,14 @@ func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
 	if pageBytes < rs {
 		f.Close()
 		return nil, fmt.Errorf("%w: page bytes %d", ErrCorrupt, pageBytes)
+	}
+	perPage := pageBytes / rs
+	// Structural sanity before any sized allocation: a corrupted count
+	// or page count must be rejected, not trusted as an allocation size.
+	if pageCount > uint64(fileSize)/8 || count > pageCount*uint64(perPage) ||
+		(pageCount > 0 && count <= (pageCount-1)*uint64(perPage)) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d records in %d pages", ErrCorrupt, count, pageCount)
 	}
 	idx := make([]byte, 8*pageCount)
 	if _, err := f.ReadAt(idx, 40); err != nil {
@@ -355,31 +425,68 @@ func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
 	}
 	var pageMax []uint64
 	var filter *keyFilter
+	var pageSums []uint32
+	// Every version has an exact expected length; trailing bytes mean the
+	// version field itself is suspect (a v4 file whose header rotted down
+	// to v1 must not silently serve its tombstoned records).
+	if ver < versionFiltered && fileSize != marksOff+int64(len(marks)) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt,
+			fileSize-marksOff-int64(len(marks)))
+	}
 	if ver >= versionFiltered {
 		footOff := marksOff + int64(len(marks))
-		fi, err := f.Stat()
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("pagedstore: %w", err)
+		sumLen := int64(0)
+		if ver >= versionChecked {
+			sumLen = 4*int64(pageCount) + 4 // page checksums + metadata checksum
 		}
-		if fi.Size() < footOff+8*int64(pageCount)+8 {
+		if fileSize < footOff+8*int64(pageCount)+sumLen+8 {
 			f.Close()
 			return nil, fmt.Errorf("%w: short pruning footer", ErrCorrupt)
 		}
-		foot := make([]byte, fi.Size()-footOff)
+		foot := make([]byte, fileSize-footOff)
 		if _, err := f.ReadAt(foot, footOff); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("%w: short pruning footer", ErrCorrupt)
+		}
+		filterOff := 8 * pageCount
+		if ver >= versionChecked {
+			// Verify the metadata checksum before trusting anything in
+			// the footer (the fences and page sums steer query
+			// execution; a silent flip there would misroute reads).
+			body := foot[:len(foot)-4]
+			sum := crc32.Update(0, pageCRC, head)
+			sum = crc32.Update(sum, pageCRC, idx)
+			sum = crc32.Update(sum, pageCRC, marks)
+			sum = crc32.Update(sum, pageCRC, body)
+			if sum != binary.LittleEndian.Uint32(foot[len(foot)-4:]) {
+				f.Close()
+				return nil, fmt.Errorf("%w: metadata checksum mismatch", ErrCorrupt)
+			}
+			pageSums = make([]uint32, pageCount)
+			for p := range pageSums {
+				pageSums[p] = binary.LittleEndian.Uint32(foot[filterOff+4*uint64(p):])
+			}
+			filterOff += 4 * pageCount
+			foot = body
 		}
 		pageMax = make([]uint64, pageCount)
 		for p := range pageMax {
 			pageMax[p] = binary.LittleEndian.Uint64(foot[8*p:])
 		}
 		var ok bool
-		filter, ok = unmarshalFilter(foot[8*pageCount:])
+		filter, ok = unmarshalFilter(foot[filterOff:])
 		if !ok {
 			f.Close()
 			return nil, fmt.Errorf("%w: malformed key filter", ErrCorrupt)
+		}
+		flen := uint64(8)
+		if filter != nil {
+			flen = 8 + 8*uint64(len(filter.words))
+		}
+		if uint64(len(foot)) != filterOff+flen {
+			f.Close()
+			return nil, fmt.Errorf("%w: trailing footer bytes", ErrCorrupt)
 		}
 	}
 	return &Store{
@@ -387,7 +494,7 @@ func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
 		c:         c,
 		dims:      dims,
 		pageBytes: pageBytes,
-		perPage:   pageBytes / rs,
+		perPage:   perPage,
 		count:     count,
 		firstKeys: firstKeys,
 		dataOff:   dataOff,
@@ -395,6 +502,7 @@ func OpenCached(path string, c curve.Curve, cache *Cache) (*Store, error) {
 		anyMarked: anyMarked,
 		pageMax:   pageMax,
 		filter:    filter,
+		pageSums:  pageSums,
 		id:        storeIDs.Add(1),
 		cache:     cache,
 	}, nil
@@ -630,9 +738,14 @@ func (c *Cursor) fetch(p int) error {
 		c.buf = make([]byte, s.pageBytes)
 	}
 	if _, err := s.f.ReadAt(c.buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
-		return fmt.Errorf("%w: page %d: %v", ErrCorrupt, p, err)
+		return pageReadErr(p, err)
 	}
 	c.io.PagesFetched++
+	// Verify before admission: the cache must only ever hold pages that
+	// passed their checksum, so a hit never needs re-verification.
+	if s.pageSums != nil && crc32.Checksum(c.buf, pageCRC) != s.pageSums[p] {
+		return fmt.Errorf("%w: page %d: checksum mismatch", ErrCorrupt, p)
+	}
 	if s.cache != nil {
 		s.cache.addCopy(s.id, p, c.buf)
 	}
@@ -739,4 +852,56 @@ func (s *Store) isMarked(i int) bool {
 		return false
 	}
 	return s.marks[i/8]&(1<<(i%8)) != 0
+}
+
+// KeySpan returns the inclusive curve-key interval the store covers, and
+// ok == false for an empty store. It is the interval a quarantine report
+// names when a store is pulled from service.
+func (s *Store) KeySpan() (lo, hi uint64, ok bool) {
+	if len(s.firstKeys) == 0 {
+		return 0, 0, false
+	}
+	return s.firstKeys[0], s.pageMaxBound(len(s.firstKeys) - 1), true
+}
+
+// pageReadErr classifies a failed page read. A short read is structural
+// corruption — the metadata promised bytes the file does not have — but
+// any other failure is an I/O error that keeps its own identity, so a
+// flaky disk does not get healthy segments quarantined as corrupt.
+func pageReadErr(p int, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: page %d: %v", ErrCorrupt, p, err)
+	}
+	return fmt.Errorf("pagedstore: page %d: %w", p, err)
+}
+
+// VerifyPages scrubs the page data: every page is read straight from the
+// file — bypassing the cache, which may hold a clean copy of a page whose
+// disk bytes have since rotted — and checked against its v4 checksum and
+// the global key ordering. The first damaged page is reported as
+// ErrCorrupt; a nil return means every byte of page data on disk is sound.
+// For pre-v4 files only the structural key-order check runs.
+func (s *Store) VerifyPages() error {
+	buf := make([]byte, s.pageBytes)
+	rs := recordSize(s.dims)
+	prev := uint64(0)
+	for p := range s.firstKeys {
+		if _, err := s.f.ReadAt(buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
+			return pageReadErr(p, err)
+		}
+		if s.pageSums != nil && crc32.Checksum(buf, pageCRC) != s.pageSums[p] {
+			return fmt.Errorf("%w: page %d: checksum mismatch", ErrCorrupt, p)
+		}
+		for i := 0; i < s.residentCount(p); i++ {
+			key := binary.LittleEndian.Uint64(buf[i*rs:])
+			if (p > 0 || i > 0) && key < prev {
+				return fmt.Errorf("%w: page %d: keys out of order", ErrCorrupt, p)
+			}
+			if key < s.firstKeys[p] || key > s.pageMaxBound(p) {
+				return fmt.Errorf("%w: page %d: key outside page bounds", ErrCorrupt, p)
+			}
+			prev = key
+		}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +54,12 @@ type Stats struct {
 	// PerShard is the per-shard breakdown, in ascending shard order,
 	// touched shards only.
 	PerShard []ShardStats
+	// Degraded reports that a QueryPolicy.Partial query skipped one or
+	// more failing shards: the result set is missing whatever records
+	// those shards held in the queried region. FailedShards lists them.
+	// Strict queries never set it — they return the error instead.
+	Degraded     bool
+	FailedShards []int
 }
 
 // ShardStats is one shard's contribution to a query.
@@ -138,6 +146,7 @@ type task struct {
 // the caller-visible PerShard breakdown.
 type routerQuery struct {
 	s     *Sharded
+	ctx   context.Context
 	plan  []curve.KeyRange
 	flat  []curve.KeyRange
 	parts []partRef
@@ -159,7 +168,7 @@ var rqPool = sync.Pool{New: func() any { return new(routerQuery) }}
 func (q *routerQuery) run(i int) {
 	p := q.parts[i]
 	r := &q.res[i]
-	recs, est, err := q.s.engines[p.shard].QueryRangesAppend(r.recs[:0], q.flat[p.start:p.end])
+	recs, est, err := q.s.engines[p.shard].QueryRangesAppendContext(q.ctx, r.recs[:0], q.flat[p.start:p.end])
 	r.recs, r.n, r.st, r.err = recs, len(recs), est, err
 }
 
@@ -173,7 +182,18 @@ func (q *routerQuery) run(i int) {
 // Options.MaxPlannedRanges is rejected with ErrBudget before touching
 // any shard.
 func (s *Sharded) Query(r geom.Rect) ([]Record, Stats, error) {
-	return s.QueryAppend(nil, r)
+	return s.QueryAppendContext(context.Background(), nil, r, QueryPolicy{})
+}
+
+// QueryPolicy selects how a query treats shards that cannot answer.
+type QueryPolicy struct {
+	// Partial serves what the healthy shards can: a shard whose
+	// sub-query fails is skipped, its records are simply absent from the
+	// result, Stats.Degraded is set and Stats.FailedShards names it. The
+	// query only errors when every touched shard failed, or on
+	// cancellation. The zero policy is strict: any shard failure fails
+	// the query.
+	Partial bool
 }
 
 // QueryAppend is Query appending into dst: recycling the same dst across
@@ -190,8 +210,22 @@ func (s *Sharded) Query(r geom.Rect) ([]Record, Stats, error) {
 // yield is skipped: the starvation cannot occur and the query path
 // stays unperturbed.
 func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error) {
-	// Admission: take an in-flight slot before any work.
-	s.admit <- struct{}{}
+	return s.QueryAppendContext(context.Background(), dst, r, QueryPolicy{})
+}
+
+// QueryAppendContext is QueryAppend under a context and an explicit
+// failure policy: cancellation interrupts both the admission wait and
+// the per-shard scans (each worker checks the context between and —
+// amortized — inside ranges), and pol selects strict versus partial
+// results when shards fail.
+func (s *Sharded) QueryAppendContext(ctx context.Context, dst []Record, r geom.Rect, pol QueryPolicy) ([]Record, Stats, error) {
+	// Admission: take an in-flight slot before any work; give up if the
+	// caller does.
+	select {
+	case s.admit <- struct{}{}:
+	case <-ctx.Done():
+		return dst, Stats{}, ctx.Err()
+	}
 	defer func() { <-s.admit }()
 	if s.yield {
 		defer runtime.Gosched()
@@ -202,12 +236,12 @@ func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error
 		return dst, Stats{}, ErrClosed
 	}
 	q := rqPool.Get().(*routerQuery)
-	q.s = s
+	q.s, q.ctx = s, ctx
 	// One planner call per query, whatever the fan-out.
 	var err error
 	q.plan, err = ranges.DecomposeAppend(s.c, r, 0, q.plan)
 	if err != nil {
-		q.s = nil
+		q.s, q.ctx = nil, nil
 		rqPool.Put(q)
 		return dst, Stats{}, fmt.Errorf("shard: %w", err)
 	}
@@ -215,7 +249,7 @@ func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error
 	st.Planned = len(q.plan)
 	if s.opts.MaxPlannedRanges > 0 && len(q.plan) > s.opts.MaxPlannedRanges {
 		planned := len(q.plan)
-		q.s = nil
+		q.s, q.ctx = nil, nil
 		rqPool.Put(q)
 		return dst, st, fmt.Errorf("%w: %d ranges > %d", ErrBudget, planned, s.opts.MaxPlannedRanges)
 	}
@@ -240,22 +274,41 @@ func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error
 	q.wg.Wait()
 
 	for i := range q.parts {
-		if q.res[i].err != nil {
-			err := fmt.Errorf("shard %d: %w", q.parts[i].shard, q.res[i].err)
-			q.s = nil
+		perr := q.res[i].err
+		if perr == nil {
+			continue
+		}
+		// Cancellation is never maskable: a partial result under a fired
+		// deadline would read as a degraded-but-served answer when it is
+		// actually an abandoned one.
+		if !pol.Partial || errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded) {
+			err := fmt.Errorf("shard %d: %w", q.parts[i].shard, perr)
+			q.s, q.ctx = nil, nil
 			rqPool.Put(q)
 			return dst, st, err
 		}
+		st.Degraded = true
+		st.FailedShards = append(st.FailedShards, q.parts[i].shard)
+	}
+	if st.Degraded && len(st.FailedShards) == len(q.parts) {
+		// Nothing answered; "partial" would be an empty lie.
+		err := fmt.Errorf("shard %d: %w", q.parts[0].shard, q.res[0].err)
+		q.s, q.ctx = nil, nil
+		rqPool.Put(q)
+		return dst, st, err
 	}
 	st.SubRanges = len(q.flat)
 	base := len(dst)
-	st.PerShard = make([]ShardStats, len(q.parts))
+	st.PerShard = make([]ShardStats, 0, len(q.parts))
 	for i, p := range q.parts {
 		res := &q.res[i]
+		if res.err != nil {
+			continue
+		}
 		for j := 0; j < res.n; j++ {
 			dst = pagedstore.AppendRecord(dst, res.recs[j].Point, res.recs[j].Payload)
 		}
-		st.PerShard[i] = ShardStats{Shard: p.shard, Stats: res.st}
+		st.PerShard = append(st.PerShard, ShardStats{Shard: p.shard, Stats: res.st})
 		st.Seeks += res.st.Seeks
 		st.PagesRead += res.st.PagesRead
 		st.RecordsScanned += res.st.RecordsScanned
@@ -264,7 +317,7 @@ func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error
 		st.IO.Add(res.st.IO)
 	}
 	st.Results = len(dst) - base
-	q.s = nil
+	q.s, q.ctx = nil, nil
 	rqPool.Put(q)
 	return dst, st, nil
 }

@@ -35,6 +35,7 @@ import (
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
+	"github.com/onioncurve/onion/internal/vfs"
 )
 
 var (
@@ -78,6 +79,10 @@ type Options struct {
 	// physical I/O — the logical stat contracts hold bit-identically
 	// with the cache on or off.
 	CacheBytes int64
+	// FS is the filesystem the manifest and every shard engine live on.
+	// Nil selects the real filesystem; fault-injection tests pass a
+	// vfs.Injecting. (Engine.FS, when set, still wins for the engines.)
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -136,14 +141,15 @@ type Sharded struct {
 // open and verified afterwards.
 func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
 	opts = opts.withDefaults()
+	fsys := vfs.Or(opts.FS)
 	part, err := partition.Uniform(c, opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("shard: %w", err)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("shard: %w", err)
 	}
-	if err := checkOrWriteManifest(dir, c, opts.Shards); err != nil {
+	if err := checkOrWriteManifest(fsys, dir, c, opts.Shards); err != nil {
 		return nil, err
 	}
 	s := &Sharded{
@@ -161,6 +167,9 @@ func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
 	engOpts := opts.Engine
 	if engOpts.Cache == nil && opts.CacheBytes > 0 {
 		engOpts.Cache = pagedstore.NewCache(opts.CacheBytes)
+	}
+	if engOpts.FS == nil {
+		engOpts.FS = opts.FS
 	}
 	s.cache = engOpts.Cache
 	for i := 0; i < opts.Shards; i++ {
@@ -226,25 +235,28 @@ func manifestBody(c curve.Curve, shards int) string {
 }
 
 // checkOrWriteManifest verifies an existing manifest against the opening
-// configuration, or durably creates one for a fresh directory.
-func checkOrWriteManifest(dir string, c curve.Curve, shards int) error {
+// configuration, or durably creates one for a fresh directory. The write
+// is tmp + fsync + rename + directory fsync, so a crash at any point
+// leaves either no manifest (next open recreates it) or the complete one
+// — never a torn prefix that would spuriously fail the identity check.
+func checkOrWriteManifest(fsys vfs.FS, dir string, c curve.Curve, shards int) error {
 	path := filepath.Join(dir, manifestName)
 	want := manifestBody(c, shards)
-	if data, err := os.ReadFile(path); err == nil {
+	if data, err := vfs.ReadFile(fsys, path); err == nil {
 		if string(data) != want {
 			return fmt.Errorf("%w: directory records %q, opening with %q",
 				ErrManifest, string(data), want)
 		}
 		return nil
-	} else if !os.IsNotExist(err) {
+	} else if !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("shard: %w", err)
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	if _, err := f.WriteString(want); err != nil {
+	if _, err := f.Write([]byte(want)); err != nil {
 		f.Close()
 		return fmt.Errorf("shard: %w", err)
 	}
@@ -255,15 +267,10 @@ func checkOrWriteManifest(dir string, c curve.Curve, shards int) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("shard: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
 	return nil
@@ -369,6 +376,51 @@ func (s *Sharded) BackgroundErr() error {
 		}
 	}
 	return nil
+}
+
+// ShardHealth is one shard's degradation state (see engine.Health for
+// the state machine) and the error that drove it there.
+type ShardHealth struct {
+	Shard int
+	State engine.Health
+	Err   error
+}
+
+// Health reports every shard's degradation state, in shard order. A
+// sharded service degrades shard by shard: a shard in ReadOnly rejects
+// writes routed to it while the others keep accepting, and queries keep
+// serving from every shard that still can.
+func (s *Sharded) Health() []ShardHealth {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ShardHealth, len(s.engines))
+	for i, e := range s.engines {
+		st, err := e.Health()
+		out[i] = ShardHealth{Shard: i, State: st, Err: err}
+	}
+	return out
+}
+
+// Verify scrubs every shard's segments against their checksums (see
+// engine.Verify), quarantining any that fail. The per-shard reports come
+// back in shard order; the first hard verification error (not a
+// quarantine — those are reported, not returned) is the error.
+func (s *Sharded) Verify() ([]engine.VerifyReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	reps := make([]engine.VerifyReport, len(s.engines))
+	var firstErr error
+	for i, e := range s.engines {
+		rep, err := e.Verify()
+		reps[i] = rep
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return reps, firstErr
 }
 
 // Stats returns a point-in-time summary of every shard plus totals.

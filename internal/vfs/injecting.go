@@ -1,0 +1,454 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+var (
+	// ErrInjected reports a fault injected by an Injecting filesystem.
+	// Every injected failure wraps it, so callers (and tests) can
+	// distinguish deliberate faults from real ones with errors.Is.
+	ErrInjected = errors.New("vfs: injected fault")
+	// ErrCrashed reports an operation attempted after an injected crash:
+	// the filesystem's view is frozen at the crash point and every later
+	// operation fails, the way a dead process can no longer touch disk.
+	ErrCrashed = errors.New("vfs: filesystem crashed")
+)
+
+// Op classifies a filesystem operation for fault matching.
+type Op uint8
+
+const (
+	// OpAny matches every operation.
+	OpAny Op = iota
+	OpOpen
+	OpCreate
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpReadDir
+	OpMkdir
+	OpSyncDir
+	opCount
+)
+
+var opNames = [...]string{"any", "open", "create", "read", "write", "sync",
+	"rename", "remove", "readdir", "mkdir", "syncdir"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Kind is the failure mode an injected fault produces.
+type Kind uint8
+
+const (
+	// KindFail makes the operation fail with ErrInjected; nothing is
+	// written or read.
+	KindFail Kind = iota
+	// KindNoSpace makes the operation fail with an error satisfying both
+	// errors.Is(err, ErrInjected) and errors.Is(err, syscall.ENOSPC).
+	KindNoSpace
+	// KindShortWrite writes only the first half of the buffer, then
+	// fails — a torn write.
+	KindShortWrite
+	// KindSyncLoss makes Sync fail AND discards every byte written since
+	// the last successful Sync (fsyncgate semantics: after a failed
+	// fsync the dirty pages are gone, and retrying the fsync cannot
+	// bring them back).
+	KindSyncLoss
+	// KindCorrupt lets a read succeed but flips bits in the returned
+	// buffer — silent on-the-wire corruption the reader must detect
+	// itself (checksums), because no error is reported.
+	KindCorrupt
+	// KindCrash simulates process death at this operation: the operation
+	// fails, every unsynced byte of every open file is discarded, and
+	// all later operations fail with ErrCrashed. The surviving file
+	// state is exactly what a post-crash reopen would find.
+	KindCrash
+	kindCount
+)
+
+var kindNames = [...]string{"fail", "enospc", "shortwrite", "syncloss", "corrupt", "crash"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one injection rule: the Kind fires on the Nth operation
+// matching Op and Path.
+type Fault struct {
+	// Op restricts the rule to one operation class (OpAny matches all).
+	Op Op
+	// Path restricts the rule to paths containing this substring ("" =
+	// every path).
+	Path string
+	// N fires the rule on the Nth (1-based) matching operation. N <= 0
+	// never fires — the rule only counts, which is how a fault matrix
+	// enumerates its injection points before iterating over them.
+	N int64
+	// Repeat re-fires the rule on every further multiple of N (soak
+	// mode: every Nth matching operation fails).
+	Repeat bool
+	// Kind is the failure mode.
+	Kind Kind
+}
+
+// Injecting wraps a base filesystem and injects deterministic faults.
+// All methods are safe for concurrent use; operations are counted in a
+// single serialized order, so a fixed workload enumerates fault points
+// reproducibly.
+type Injecting struct {
+	base FS
+
+	mu       sync.Mutex
+	rules    []faultState
+	crashed  atomic.Bool // mirrors the latch for lock-free re-checks
+	injected [kindCount]int64
+	open     map[*injFile]struct{}
+}
+
+type faultState struct {
+	Fault
+	matched int64
+}
+
+// NewInjecting wraps base with no active faults: every operation passes
+// through (and is counted once rules are set).
+func NewInjecting(base FS) *Injecting {
+	return &Injecting{base: base, open: map[*injFile]struct{}{}}
+}
+
+// SetFaults replaces the active rules and resets their match counters.
+// The crash latch is NOT reset — a crashed filesystem stays crashed.
+func (i *Injecting) SetFaults(faults ...Fault) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = i.rules[:0]
+	for _, f := range faults {
+		i.rules = append(i.rules, faultState{Fault: f})
+	}
+}
+
+// Matched returns how many operations rule r has matched since
+// SetFaults — with N <= 0 rules, the enumeration count of a recorded
+// workload's fault points.
+func (i *Injecting) Matched(r int) int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if r < 0 || r >= len(i.rules) {
+		return 0
+	}
+	return i.rules[r].matched
+}
+
+// Injected returns how many faults of each kind have fired.
+func (i *Injecting) Injected() map[Kind]int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Kind]int64)
+	for k := Kind(0); k < kindCount; k++ {
+		if i.injected[k] > 0 {
+			out[k] = i.injected[k]
+		}
+	}
+	return out
+}
+
+// Crashed reports whether an injected crash has fired.
+func (i *Injecting) Crashed() bool { return i.crashed.Load() }
+
+// decide serializes one operation: it returns the fault kind to inject
+// (ok=false for a clean passthrough), or an error if the filesystem has
+// already crashed. A firing KindCrash latches the crash and discards
+// unsynced data of every open file before returning.
+func (i *Injecting) decide(op Op, path string) (Kind, bool, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed.Load() {
+		return 0, false, fmt.Errorf("%w: %s %s", ErrCrashed, op, path)
+	}
+	fire := -1
+	for r := range i.rules {
+		rule := &i.rules[r]
+		if rule.Op != OpAny && rule.Op != op {
+			continue
+		}
+		if rule.Path != "" && !strings.Contains(path, rule.Path) {
+			continue
+		}
+		rule.matched++
+		if rule.N > 0 && fire < 0 {
+			if rule.matched == rule.N || (rule.Repeat && rule.matched%rule.N == 0) {
+				fire = r
+			}
+		}
+	}
+	if fire < 0 {
+		return 0, false, nil
+	}
+	k := i.rules[fire].Kind
+	i.injected[k]++
+	if k == KindCrash {
+		i.crashed.Store(true)
+		for f := range i.open {
+			f.crashDrop()
+		}
+	}
+	return k, true, nil
+}
+
+func failErr(k Kind, op Op, path string) error {
+	if k == KindNoSpace {
+		return fmt.Errorf("%s %s: %w", op, path, errors.Join(ErrInjected, syscall.ENOSPC))
+	}
+	if k == KindCrash {
+		return fmt.Errorf("%s %s: %w", op, path, errors.Join(ErrInjected, ErrCrashed))
+	}
+	return fmt.Errorf("%s %s: %w", op, path, ErrInjected)
+}
+
+func (i *Injecting) Open(name string) (File, error) {
+	k, hit, err := i.decide(OpOpen, name)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		return nil, failErr(k, OpOpen, name)
+	}
+	f, err := i.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return i.track(f, name, false), nil
+}
+
+func (i *Injecting) Create(name string) (File, error) {
+	k, hit, err := i.decide(OpCreate, name)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		return nil, failErr(k, OpCreate, name)
+	}
+	f, err := i.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return i.track(f, name, true), nil
+}
+
+func (i *Injecting) track(f File, name string, writable bool) *injFile {
+	inf := &injFile{fs: i, f: f, path: name, writable: writable}
+	i.mu.Lock()
+	i.open[inf] = struct{}{}
+	i.mu.Unlock()
+	return inf
+}
+
+func (i *Injecting) Rename(oldname, newname string) error {
+	k, hit, err := i.decide(OpRename, newname)
+	if err != nil {
+		return err
+	}
+	if hit {
+		return failErr(k, OpRename, newname)
+	}
+	return i.base.Rename(oldname, newname)
+}
+
+func (i *Injecting) Remove(name string) error {
+	k, hit, err := i.decide(OpRemove, name)
+	if err != nil {
+		return err
+	}
+	if hit {
+		return failErr(k, OpRemove, name)
+	}
+	return i.base.Remove(name)
+}
+
+func (i *Injecting) ReadDir(name string) ([]os.DirEntry, error) {
+	k, hit, err := i.decide(OpReadDir, name)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		return nil, failErr(k, OpReadDir, name)
+	}
+	return i.base.ReadDir(name)
+}
+
+func (i *Injecting) MkdirAll(name string, perm os.FileMode) error {
+	k, hit, err := i.decide(OpMkdir, name)
+	if err != nil {
+		return err
+	}
+	if hit {
+		return failErr(k, OpMkdir, name)
+	}
+	return i.base.MkdirAll(name, perm)
+}
+
+func (i *Injecting) SyncDir(name string) error {
+	k, hit, err := i.decide(OpSyncDir, name)
+	if err != nil {
+		return err
+	}
+	if hit {
+		return failErr(k, OpSyncDir, name)
+	}
+	return i.base.SyncDir(name)
+}
+
+// injFile wraps a file with fault decisions and the synced-byte
+// tracking the unsynced-loss model needs. Writes in this stack are
+// sequential appends, so "unsynced data" is exactly the byte range
+// between the last successful Sync and the current size.
+type injFile struct {
+	fs       *Injecting
+	f        File
+	path     string
+	writable bool
+
+	wmu    sync.Mutex // serializes size accounting (callers already serialize writes)
+	size   int64
+	synced int64
+}
+
+// dropUnsyncedLocked truncates the file back to its last durable size.
+// Caller holds wmu.
+func (f *injFile) dropUnsyncedLocked() {
+	if !f.writable || f.size == f.synced {
+		return
+	}
+	// Best effort: the underlying file still works after an injected
+	// crash — only the modeled filesystem is dead.
+	if err := f.f.Truncate(f.synced); err == nil {
+		f.size = f.synced
+	}
+}
+
+// crashDrop applies the crash latch's unsynced-data loss to one open
+// file. Safe to call while the Injecting lock is held: file methods
+// never wait on that lock while holding wmu.
+func (f *injFile) crashDrop() {
+	f.wmu.Lock()
+	f.dropUnsyncedLocked()
+	f.wmu.Unlock()
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	k, hit, err := f.fs.decide(OpWrite, f.path)
+	if err != nil {
+		return 0, err
+	}
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if f.fs.crashed.Load() {
+		// The crash latch fired between the decision and the write; a
+		// dead process cannot write.
+		return 0, fmt.Errorf("%w: write %s", ErrCrashed, f.path)
+	}
+	if hit {
+		switch k {
+		case KindShortWrite:
+			n, werr := f.f.Write(p[:len(p)/2])
+			f.size += int64(n)
+			if werr != nil {
+				return n, werr
+			}
+			return n, failErr(KindShortWrite, OpWrite, f.path)
+		case KindCrash:
+			// The crash latch already dropped unsynced data; this write
+			// never lands.
+			return 0, failErr(k, OpWrite, f.path)
+		default:
+			return 0, failErr(k, OpWrite, f.path)
+		}
+	}
+	n, err := f.f.Write(p)
+	f.size += int64(n)
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	k, hit, err := f.fs.decide(OpSync, f.path)
+	if err != nil {
+		return err
+	}
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if f.fs.crashed.Load() {
+		return fmt.Errorf("%w: sync %s", ErrCrashed, f.path)
+	}
+	if hit {
+		if k == KindSyncLoss || k == KindCrash {
+			f.dropUnsyncedLocked()
+		}
+		return failErr(k, OpSync, f.path)
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.synced = f.size
+	return nil
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	k, hit, err := f.fs.decide(OpRead, f.path)
+	if err != nil {
+		return 0, err
+	}
+	if hit && k != KindCorrupt {
+		return 0, failErr(k, OpRead, f.path)
+	}
+	n, err := f.f.ReadAt(p, off)
+	if hit && k == KindCorrupt && n > 0 {
+		// Silent corruption: flip bits across the returned buffer. No
+		// error — detecting this is the reader's job.
+		for i := 0; i < n; i += 61 {
+			p[i] ^= 0xa5
+		}
+	}
+	return n, err
+}
+
+func (f *injFile) Truncate(size int64) error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	if f.synced > size {
+		f.synced = size
+	}
+	return nil
+}
+
+func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+
+// Close always releases the underlying descriptor — even after a crash,
+// so abandoned engines do not leak file handles — and is not a fault
+// point.
+func (f *injFile) Close() error {
+	f.fs.mu.Lock()
+	delete(f.fs.open, f)
+	f.fs.mu.Unlock()
+	return f.f.Close()
+}

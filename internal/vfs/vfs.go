@@ -1,0 +1,103 @@
+// Package vfs is the storage stack's seam to the filesystem: a small
+// interface over the handful of operations the engine, the paged store
+// and the shard manifest actually perform, with a passthrough OS
+// implementation for production and an Injecting implementation that
+// turns every operation into a deterministic fault point — fail the Nth
+// operation, run out of space, tear a write short, lose unsynced bytes
+// on a failed fsync (fsyncgate semantics), flip bits on the read path,
+// or crash the process's view of the disk outright.
+//
+// The interface is deliberately narrow. Everything above it is
+// append-or-replace: files are written sequentially and fsynced, then
+// read with positioned reads; directories change by create, atomic
+// rename and remove, made durable with a directory fsync. Those are the
+// only primitives a crash-consistent store needs, and the only ones a
+// fault matrix needs to enumerate.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is an open file. Writers append sequentially with Write and make
+// the data durable with Sync; readers use positioned ReadAt calls (no
+// shared offset, safe for concurrent use). Truncate exists for the
+// fault injector's unsynced-data loss model; production code never
+// calls it.
+type File interface {
+	io.ReaderAt
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// FS is the filesystem surface of the storage stack.
+type FS interface {
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making its entry updates (renames,
+	// removes, creates) durable.
+	SyncDir(name string) error
+}
+
+// OS is the passthrough production filesystem.
+type OS struct{}
+
+func (OS) Open(name string) (File, error)   { return os.Open(name) }
+func (OS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+func (OS) Rename(oldname, newname string) error      { return os.Rename(oldname, newname) }
+func (OS) Remove(name string) error                  { return os.Remove(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReadFile reads the whole file at name through fs.
+func ReadFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Or returns fs, or the passthrough OS filesystem when fs is nil — the
+// idiom option structs use to make the zero value production-ready.
+func Or(fs FS) FS {
+	if fs == nil {
+		return OS{}
+	}
+	return fs
+}

@@ -157,10 +157,39 @@ type (
 	// ShardedEngineStats summarizes a sharded engine's shape: per-shard
 	// engine summaries plus totals.
 	ShardedEngineStats = shard.EngineStats
+	// EngineHealth is an Engine's monotonic degradation state: Healthy,
+	// Degraded (a segment was quarantined or compaction keeps failing),
+	// ReadOnly (the write path is compromised; queries keep serving) or
+	// Failed (a fault could not be contained).
+	EngineHealth = engine.Health
+	// VerifyReport summarizes one Engine.Verify scrub pass: segments
+	// checked and any quarantined as corrupt, with the curve-key
+	// interval each quarantine takes out of service.
+	VerifyReport = engine.VerifyReport
+	// QuarantinedSegment describes one corrupt segment pulled from
+	// service: where its file went and the key interval no longer
+	// served.
+	QuarantinedSegment = engine.QuarantinedSegment
+	// ShardHealth is one shard's degradation state within a
+	// ShardedEngine.
+	ShardHealth = shard.ShardHealth
+	// ShardedQueryPolicy selects how a sharded query treats shards that
+	// cannot answer: the zero value is strict (any shard failure fails
+	// the query); Partial serves what the healthy shards can and
+	// reports the gap in ShardedQueryStats.Degraded/FailedShards.
+	ShardedQueryPolicy = shard.QueryPolicy
 )
 
-// Sentinel errors of the sharded query service, for errors.Is checks at
-// the serving layer.
+// Engine health states (see EngineHealth).
+const (
+	EngineHealthy  = engine.Healthy
+	EngineDegraded = engine.Degraded
+	EngineReadOnly = engine.ReadOnly
+	EngineFailed   = engine.Failed
+)
+
+// Sentinel errors of the storage stack, for errors.Is checks at the
+// serving layer.
 var (
 	// ErrShardBudget reports a query rejected by admission control: its
 	// single planner call produced more cluster ranges than
@@ -169,6 +198,14 @@ var (
 	// ErrShardManifest reports a sharded engine directory opened with a
 	// shard count or curve different from the one it was created with.
 	ErrShardManifest = shard.ErrManifest
+	// ErrReadOnly reports a write rejected because its engine (or the
+	// shard owning the written key) degraded to ReadOnly after a WAL
+	// failure or ENOSPC; the driving cause stays on the error chain.
+	ErrReadOnly = engine.ErrReadOnly
+	// ErrCorrupt reports on-disk corruption detected by a checksum:
+	// queries touching a damaged page return it, and the background
+	// scrub quarantines the segment so later queries stop seeing it.
+	ErrCorrupt = engine.ErrCorrupt
 )
 
 // NewUniverse validates and constructs a dims-dimensional grid of
