@@ -11,6 +11,8 @@
 //	loadgen -cache 0,262144,8388608          # throughput vs cache budget
 //	loadgen -sync                            # group-committed durable writes
 //	loadgen -faults enospc:sync:200:wal-     # every 200th WAL fsync hits ENOSPC
+//	loadgen -snapshot-every 2s               # incremental snapshots under load
+//	loadgen -faults corrupt:read:500 -repair # corrupt reads, then repair + recover
 package main
 
 import (
@@ -49,6 +51,9 @@ var faultOps = map[string]vfs.Op{
 // each kind:op:n[:path] — every nth operation matching op (and the
 // optional path substring) fails with kind.
 func parseFaults(spec string) ([]vfs.Fault, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
 	var out []vfs.Fault
 	for _, entry := range strings.Split(spec, ",") {
 		parts := strings.SplitN(strings.TrimSpace(entry), ":", 4)
@@ -141,6 +146,8 @@ func main() {
 		preload  = flag.Int("preload", 100_000, "records ingested before the measurement window")
 		dir      = flag.String("dir", "", "engine directory (default: a fresh temp dir per run)")
 		faultStr = flag.String("faults", "", "comma-separated soak faults kind:op:n[:path], e.g. enospc:sync:200:wal- (activated after preload)")
+		snapEvery = flag.Duration("snapshot-every", 0, "take a composite snapshot at this interval during the window, incremental after the first; the last one is restored and verified after the run (0 disables)")
+		repair    = flag.Bool("repair", false, "after the window, repair quarantined segments from the latest snapshot and attempt health recovery")
 	)
 	flag.Parse()
 	faults, err := parseFaults(*faultStr)
@@ -180,7 +187,7 @@ func main() {
 		"shards", "cacheB", "writes/s", "queries/s", "avg seeks/q", "records/q", "hit%", "allocs/q")
 	for _, cfg := range configs {
 		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *writers, *readers, *duration,
-			uint32(*side), uint32(*qside), *preload, *dir, faults)
+			uint32(*side), uint32(*qside), *preload, *dir, faults, *snapEvery, *repair)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -189,6 +196,11 @@ func main() {
 			m.seeksPerQuery, m.recordsPerQuery, 100*m.hitRate, m.allocsPerQuery)
 		printTallies("write errors", m.writeErrs)
 		printTallies("query errors", m.queryErrs)
+		printTallies("maintenance errors", m.maintErrs)
+		if m.snapshots > 0 || m.salvaged > 0 || m.restored > 0 || m.repaired > 0 {
+			fmt.Printf("         recovery: snapshots=%d repaired=%d salvaged=%d restored=%d\n",
+				m.snapshots, m.repaired, m.salvaged, m.restored)
+		}
 		if m.degradedQueries > 0 {
 			fmt.Printf("         %d queries served partial results\n", m.degradedQueries)
 		}
@@ -226,13 +238,23 @@ type metrics struct {
 	allocsPerQuery  float64
 	writeErrs       map[string]int64
 	queryErrs       map[string]int64
+	maintErrs       map[string]int64
 	degradedQueries int64
 	health          []onion.ShardHealth
+	// Recovery tallies: snapshots committed during the window, files
+	// repaired out of quarantine, records salvaged + back-filled by
+	// repair, and records verified present in a restore of the last
+	// snapshot.
+	snapshots int64
+	repaired  int64
+	salvaged  int64
+	restored  int64
 }
 
 // run measures one (shard count, cache budget) configuration.
 func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d time.Duration,
-	side, qside uint32, preload int, dir string, faults []vfs.Fault) (metrics, error) {
+	side, qside uint32, preload int, dir string, faults []vfs.Fault,
+	snapEvery time.Duration, repair bool) (metrics, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "onion-loadgen")
 		if err != nil {
@@ -284,7 +306,8 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	}
 
 	var writes, queries, seeks, results, degraded atomic.Int64
-	var writeErrs, queryErrs errTally
+	var writeErrs, queryErrs, maintErrs errTally
+	m := metrics{}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	var before, after runtime.MemStats
@@ -361,29 +384,94 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 			}
 		}(r)
 	}
+	// Online backup: the maintenance goroutine snapshots the live service
+	// on a fixed cadence — full first, then incremental against the
+	// previous — through the same (possibly fault-injected) filesystem
+	// the engines use. Failures are tallied, not fatal: an export must
+	// never hurt the serving path.
+	snapRoot := dir + "-snapshots"
+	lastSnap := ""
+	if snapEvery > 0 {
+		defer os.RemoveAll(snapRoot)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(snapEvery)
+			defer tick.Stop()
+			for n := 1; ; n++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				sd := filepath.Join(snapRoot, fmt.Sprintf("snap-%04d", n))
+				var err error
+				if lastSnap == "" {
+					_, err = s.Snapshot(sd)
+				} else {
+					_, err = s.SnapshotSince(sd, lastSnap)
+				}
+				if err != nil {
+					maintErrs.add(err)
+					continue
+				}
+				lastSnap = sd
+				m.snapshots++
+			}
+		}()
+	}
 	time.Sleep(d)
 	close(stop)
 	wg.Wait()
 	runtime.ReadMemStats(&after)
+
+	if repair {
+		// Heal what the hostile window broke: quarantined segments repair
+		// from the latest snapshot (pure salvage without one), then every
+		// shard attempts guarded de-escalation back to Healthy.
+		reps, err := s.Repair(lastSnap)
+		if err != nil {
+			maintErrs.add(err)
+		}
+		for _, r := range reps {
+			m.repaired += int64(r.Repaired)
+			m.salvaged += int64(r.Salvaged + r.Backfilled)
+		}
+		s.TryRecover()
+	}
+	if lastSnap != "" {
+		// Verify the backup chain end-to-end: restore the last committed
+		// snapshot (plus archived WALs) on the real filesystem and count
+		// what comes back.
+		cleanOpts := opts
+		cleanOpts.FS = nil
+		reps, err := onion.RestoreShardedEngine(lastSnap, filepath.Join(snapRoot, "restored"), -1, o, cleanOpts)
+		if err != nil {
+			maintErrs.add(err)
+		}
+		for _, r := range reps {
+			m.restored += int64(r.Records)
+		}
+	}
 	secs := d.Seconds()
 	qn := float64(queries.Load())
 	if qn == 0 {
 		qn = 1
 	}
 	cst := s.CacheStats()
-	return metrics{
-		writesPerSec:    float64(writes.Load()) / secs,
-		queriesPerSec:   float64(queries.Load()) / secs,
-		seeksPerQuery:   float64(seeks.Load()) / qn,
-		recordsPerQuery: float64(results.Load()) / qn,
-		hitRate:         cst.HitRate(),
-		// Mallocs across the window covers writers, flushes and the
-		// router; per query it is the end-to-end allocation pressure of
-		// serving, not just the engine's (zero-alloc) merge path.
-		allocsPerQuery:  float64(after.Mallocs-before.Mallocs) / qn,
-		writeErrs:       writeErrs.snapshot(),
-		queryErrs:       queryErrs.snapshot(),
-		degradedQueries: degraded.Load(),
-		health:          s.Health(),
-	}, nil
+	m.writesPerSec = float64(writes.Load()) / secs
+	m.queriesPerSec = float64(queries.Load()) / secs
+	m.seeksPerQuery = float64(seeks.Load()) / qn
+	m.recordsPerQuery = float64(results.Load()) / qn
+	m.hitRate = cst.HitRate()
+	// Mallocs across the window covers writers, flushes and the
+	// router; per query it is the end-to-end allocation pressure of
+	// serving, not just the engine's (zero-alloc) merge path.
+	m.allocsPerQuery = float64(after.Mallocs-before.Mallocs) / qn
+	m.writeErrs = writeErrs.snapshot()
+	m.queryErrs = queryErrs.snapshot()
+	m.maintErrs = maintErrs.snapshot()
+	m.degradedQueries = degraded.Load()
+	m.health = s.Health()
+	return m, nil
 }

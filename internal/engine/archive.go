@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+
+	"github.com/onioncurve/onion/internal/vfs"
+)
+
+// archiveDirName is the subdirectory of an engine dir that holds retired
+// WALs. scanDir skips directories, so archived logs are invisible to the
+// normal Open path; Restore replays them for point-in-time recovery.
+const archiveDirName = "archive"
+
+func archiveDir(dir string) string { return filepath.Join(dir, archiveDirName) }
+
+// archiveWAL retires the WAL of generation g. With retention < 0 the log
+// is deleted outright (the pre-archiving behavior); otherwise it moves
+// into dir/archive/ under its own name — rename is atomic, so a crash
+// leaves the log in exactly one of the two directories and replay finds
+// it either way — and, with retention > 0, the oldest archived logs
+// beyond the cap are pruned.
+//
+// The engine-dir fsync makes the unlink durable only after the archive
+// entry exists; the archive-dir fsync then pins the new entry. Ordering
+// matters: persisting the removal without the archive entry would lose
+// the log.
+func archiveWAL(fsys vfs.FS, dir string, g uint64, retention int) error {
+	if retention < 0 {
+		if err := fsys.Remove(walPath(dir, g)); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		return nil
+	}
+	adir := archiveDir(dir)
+	if err := fsys.MkdirAll(adir, 0o755); err != nil {
+		return fmt.Errorf("engine: archive: %w", err)
+	}
+	src := walPath(dir, g)
+	dst := filepath.Join(adir, filepath.Base(src))
+	if err := fsys.Rename(src, dst); err != nil {
+		return fmt.Errorf("engine: archive: %w", err)
+	}
+	if err := fsys.SyncDir(adir); err != nil {
+		return fmt.Errorf("engine: archive: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("engine: archive: %w", err)
+	}
+	if retention > 0 {
+		return pruneArchive(fsys, adir, retention)
+	}
+	return nil
+}
+
+// pruneArchive enforces the retention cap: keep the newest `keep`
+// archived WALs, remove the rest (oldest first). Pruned history limits
+// how far back point-in-time restore can reach; the default retention of
+// 0 (keep everything) never gets here.
+func pruneArchive(fsys vfs.FS, adir string, keep int) error {
+	gens, err := archivedWALs(fsys, adir)
+	if err != nil {
+		return err
+	}
+	if len(gens) <= keep {
+		return nil
+	}
+	for _, g := range gens[:len(gens)-keep] {
+		if err := fsys.Remove(filepath.Join(adir, filepath.Base(walPath(adir, g)))); err != nil {
+			return fmt.Errorf("engine: archive: %w", err)
+		}
+	}
+	return syncDir(fsys, adir)
+}
+
+// archivedWALs lists the WAL generations present in the archive
+// directory, ascending. A missing archive directory is an empty history,
+// not an error.
+func archivedWALs(fsys vfs.FS, adir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(adir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil // archive never created: empty history
+		}
+		return nil, fmt.Errorf("engine: archive: %w", err)
+	}
+	var gens []uint64
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		var g uint64
+		name := ent.Name()
+		if n, _ := fmt.Sscanf(name, "wal-%d.log", &g); n == 1 &&
+			name == filepath.Base(walPath(adir, g)) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(a, b int) bool { return gens[a] < gens[b] })
+	return gens, nil
+}

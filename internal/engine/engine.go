@@ -59,6 +59,19 @@ type Options struct {
 	// every WAL append, fsync, segment install and directory operation
 	// into a deterministic fault point.
 	FS vfs.FS
+	// WALRetention controls what happens to a WAL once its data reaches a
+	// segment. 0 (the default) archives every retired log under
+	// dir/archive/ and keeps them all — the history point-in-time restore
+	// replays. A positive value archives but caps the archive at that
+	// many logs, pruning oldest-first (bounding how far back Restore can
+	// reach). A negative value disables archiving and deletes retired
+	// logs outright, the pre-archiving behavior.
+	WALRetention int
+	// ScrubPagesPerSec, when positive, runs a background scrubber that
+	// verifies segment pages at most this fast (CRC + key order, the same
+	// checks Verify performs), quarantining corruption before a query
+	// trips over it. 0 disables the scrubber.
+	ScrubPagesPerSec int
 
 	// noGroupCommit reverts SyncWrites to one fsync per write — the
 	// pre-group-commit behavior, kept for benchmark baselines.
@@ -206,9 +219,10 @@ type Engine struct {
 	flushes     atomic.Uint64
 	compactions atomic.Uint64
 
-	bg     chan struct{} // background flush/compact doorbell
-	bgStop chan struct{}
-	bgDone chan struct{}
+	bg        chan struct{} // background flush/compact doorbell
+	bgStop    chan struct{}
+	bgDone    chan struct{}
+	scrubDone chan struct{} // nil unless the rate-limited scrubber runs
 }
 
 // Open opens (creating if needed) the engine rooted at dir, clustered by
@@ -288,9 +302,9 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 		e.flushes.Add(1)
 	}
 	for _, g := range walGens {
-		if err := fsys.Remove(walPath(dir, g)); err != nil {
+		if err := archiveWAL(fsys, dir, g, opts.WALRetention); err != nil {
 			e.releaseSegments()
-			return nil, fmt.Errorf("engine: %w", err)
+			return nil, err
 		}
 	}
 	e.mem, err = newMemtable(c, opts.Shards, e.gen)
@@ -308,6 +322,10 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	e.bgStop = make(chan struct{})
 	e.bgDone = make(chan struct{})
 	go e.background()
+	if opts.ScrubPagesPerSec > 0 {
+		e.scrubDone = make(chan struct{})
+		go e.scrubLoop()
+	}
 	return e, nil
 }
 
@@ -959,8 +977,8 @@ func (e *Engine) flushLocked() error {
 			}
 		}
 		e.mu.Unlock()
-		if err := e.fs.Remove(walPath(e.dir, m.gen)); err != nil {
-			return fmt.Errorf("engine: %w", err)
+		if err := archiveWAL(e.fs, e.dir, m.gen, e.opts.WALRetention); err != nil {
+			return err
 		}
 		e.flushes.Add(1)
 	}
@@ -1014,6 +1032,9 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	close(e.bgStop)
 	<-e.bgDone
+	if e.scrubDone != nil {
+		<-e.scrubDone
+	}
 	// flushMu serializes the teardown against any in-flight Flush or
 	// Compact body, so segment stores are never closed under a running
 	// merge.

@@ -3,16 +3,23 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/onioncurve/onion/internal/pagedstore"
 )
 
-// Health is the engine's degradation state. States only escalate — an
-// engine never silently heals — and a fresh Open always starts Healthy:
-// recovery is an explicit reopen, never a background guess.
+// Health is the engine's degradation state. States escalate on faults —
+// an engine never silently heals — and lower only through the explicit,
+// guarded recovery paths: TryRecover probes the write path and lowers
+// ReadOnly once a probe write and a WAL rotation succeed, and Repair
+// (or TryRecover after an out-of-band repair) lowers Degraded once the
+// quarantine is empty and a fresh Verify passes. Failed is terminal —
+// recovery from a containment failure is a reopen, never a guess. A
+// fresh Open always starts Healthy.
 //
 //	Healthy  — full service.
 //	Degraded — serving reads and writes, but something was lost at the
@@ -77,7 +84,7 @@ func (h *healthState) get() (Health, error) {
 }
 
 // escalate raises the state to at least s, recording cause if the state
-// actually rose. Lowering never happens.
+// actually rose. Lowering goes through recoverTo, never through here.
 func (h *healthState) escalate(s Health, cause error) {
 	h.mu.Lock()
 	if Health(h.state.Load()) < s {
@@ -85,6 +92,26 @@ func (h *healthState) escalate(s Health, cause error) {
 		h.cause = cause
 	}
 	h.mu.Unlock()
+}
+
+// recoverTo lowers the state to s, reporting whether it moved. Failed is
+// terminal and raising is escalate's job, so anything else is a no-op.
+// Reaching Healthy clears the cause; a partial recovery (ReadOnly down
+// to Degraded, say) records why the engine is still impaired.
+func (h *healthState) recoverTo(s Health, cause error) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur := Health(h.state.Load())
+	if cur == Failed || cur <= s {
+		return false
+	}
+	h.state.Store(int32(s))
+	if s == Healthy {
+		h.cause = nil
+	} else {
+		h.cause = cause
+	}
+	return true
 }
 
 // Health returns the engine's degradation state and the error that drove
@@ -163,6 +190,18 @@ func (e *Engine) Verify() (VerifyReport, error) {
 		q := e.quarantine(s, verr)
 		rep.Quarantined = append(rep.Quarantined, q)
 	}
+	// Deterministic report order: by key interval, not scan order, so
+	// reports and goldens are stable however the segment list shuffles.
+	sort.Slice(rep.Quarantined, func(a, b int) bool {
+		qa, qb := rep.Quarantined[a], rep.Quarantined[b]
+		if qa.Lo != qb.Lo {
+			return qa.Lo < qb.Lo
+		}
+		if qa.Hi != qb.Hi {
+			return qa.Hi < qb.Hi
+		}
+		return qa.Path < qb.Path
+	})
 	return rep, firstErr
 }
 
@@ -204,4 +243,152 @@ func (e *Engine) quarantine(s *segment, cause error) QuarantinedSegment {
 	q.Path = dest
 	e.degrade(Degraded, fmt.Errorf("engine: quarantined %s: %w", filepath.Base(s.path), cause))
 	return q
+}
+
+// quarantinePath returns the engine's quarantine directory.
+func (e *Engine) quarantinePath() string { return filepath.Join(e.dir, "quarantine") }
+
+// quarantineEmpty reports whether the quarantine directory holds no
+// condemned segment files (a never-created directory counts as empty).
+func (e *Engine) quarantineEmpty() (bool, error) {
+	ents, err := e.fs.ReadDir(e.quarantinePath())
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return true, nil
+		}
+		return false, fmt.Errorf("engine: %w", err)
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// probeWrite proves the write path works again: a throwaway file is
+// created, written, fsynced and removed in the engine directory through
+// the engine's filesystem. ENOSPC, a dead disk or a failing fsync all
+// surface here instead of on the next acknowledged write.
+func (e *Engine) probeWrite() error {
+	p := filepath.Join(e.dir, "health-probe.tmp")
+	f, err := e.fs.Create(p)
+	if err == nil {
+		_, err = f.Write([]byte("onion health probe"))
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = e.fs.Remove(p)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: recovery probe: %w", err)
+	}
+	return nil
+}
+
+// recoverRotateLocked (flushMu held) retires the possibly-poisoned WAL:
+// a fresh log and memtable swap in, the old memtable (holding every
+// acknowledged write of the old log) freezes for flushing, and the old
+// log file is condemned — its close errors are expected and ignored,
+// because the frozen memtable is about to persist its content to a
+// segment. An empty old log (no acknowledged writes) is deleted so a
+// reopen cannot resurrect frames of failed, unacknowledged appends.
+func (e *Engine) recoverRotateLocked() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	dims := e.c.Universe().Dims()
+	nw, err := createWAL(e.fs, walPath(e.dir, e.gen), dims)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	nm, err := newMemtable(e.c, e.opts.Shards, e.gen)
+	if err != nil {
+		nw.close()                         //nolint:errcheck
+		e.fs.Remove(walPath(e.dir, e.gen)) //nolint:errcheck
+		e.mu.Unlock()
+		return err
+	}
+	old, oldMem := e.wal, e.mem
+	e.wal, e.mem = nw, nm
+	frozen := oldMem.entries.Load() > 0
+	if frozen {
+		e.imm = append(e.imm, oldMem)
+	}
+	e.gen++
+	e.mu.Unlock()
+	old.f.Close() //nolint:errcheck // condemned log; sync errors expected
+	if !frozen {
+		if err := e.fs.Remove(walPath(e.dir, oldMem.gen)); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+	}
+	// Flush the frozen memtables — the one just rotated out plus any
+	// stranded by earlier failed flushes. Each success writes a segment
+	// and retires its WAL into the archive.
+	return e.flushLocked()
+}
+
+// TryRecover attempts guarded health de-escalation and returns the state
+// the engine settled in.
+//
+//   - Failed is terminal: TryRecover never touches it (reopen instead).
+//   - ReadOnly: a probe write proves the disk accepts durable writes
+//     again, then the poisoned WAL rotates out and every stranded
+//     memtable flushes. Only after all of that succeeds does the state
+//     lower — to Healthy, or to Degraded if quarantined segments remain.
+//   - Degraded: a full Verify re-scrubs the live segments; the state
+//     lowers to Healthy only if nothing new is condemned and the
+//     quarantine directory is empty (Repair empties it).
+//
+// TryRecover is safe to call at any time; a failed attempt changes
+// nothing and returns the reason.
+func (e *Engine) TryRecover() (Health, error) {
+	h, cause := e.health.get()
+	switch h {
+	case Healthy:
+		return Healthy, nil
+	case Failed:
+		return Failed, cause
+	case ReadOnly:
+		if err := e.probeWrite(); err != nil {
+			return ReadOnly, err
+		}
+		e.flushMu.Lock()
+		err := e.recoverRotateLocked()
+		e.flushMu.Unlock()
+		if err != nil {
+			return ReadOnly, err
+		}
+	case Degraded:
+		rep, err := e.Verify()
+		if err != nil {
+			h, _ := e.health.get()
+			return h, err
+		}
+		if len(rep.Quarantined) > 0 {
+			h, cause := e.health.get()
+			return h, cause
+		}
+	}
+	empty, err := e.quarantineEmpty()
+	if err != nil {
+		h, _ := e.health.get()
+		return h, err
+	}
+	if empty {
+		e.health.recoverTo(Healthy, nil)
+	} else {
+		e.health.recoverTo(Degraded, fmt.Errorf("engine: quarantine not empty; Repair can salvage it"))
+	}
+	h, cause = e.health.get()
+	return h, cause
 }

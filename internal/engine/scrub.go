@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"github.com/onioncurve/onion/internal/pagedstore"
+)
+
+// scrubLoop is the background scrubber: one page verified per tick, the
+// tick rate capped at Options.ScrubPagesPerSec, cycling forever over the
+// live segments. Verification is the same check Verify performs (page
+// checksum + key invariants, read straight from disk past the cache), so
+// rotting bytes are condemned on the scrubber's schedule instead of a
+// query's — the query path then never serves, or trips over, the damage.
+func (e *Engine) scrubLoop() {
+	defer close(e.scrubDone)
+	interval := time.Second / time.Duration(e.opts.ScrubPagesPerSec)
+	if interval < time.Microsecond {
+		interval = time.Microsecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var segIdx, pageIdx int
+	var buf []byte
+	for {
+		select {
+		case <-e.bgStop:
+			return
+		case <-t.C:
+			e.scrubStep(&segIdx, &pageIdx, &buf)
+		}
+	}
+}
+
+// scrubStep verifies one page. flushMu serializes it with flushes,
+// compactions, Verify and Repair, so the segment under scrutiny cannot
+// be retired mid-check; the position is (segment index, page index) and
+// tolerates the list shifting between steps — a scrubber only needs to
+// keep cycling, not to enumerate a frozen set.
+func (e *Engine) scrubStep(segIdx, pageIdx *int, buf *[]byte) {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.mu.RLock()
+	if e.closed || len(e.segs) == 0 {
+		e.mu.RUnlock()
+		*segIdx, *pageIdx = 0, 0
+		return
+	}
+	if *segIdx >= len(e.segs) {
+		*segIdx, *pageIdx = 0, 0
+	}
+	s := e.segs[*segIdx]
+	e.mu.RUnlock()
+	if *pageIdx >= s.st.Pages() {
+		*segIdx++
+		*pageIdx = 0
+		return
+	}
+	if pb := s.st.PageBytes(); len(*buf) < pb {
+		*buf = make([]byte, pb)
+	}
+	err := s.st.VerifyPage(*pageIdx, *buf)
+	*pageIdx++
+	if err == nil {
+		return
+	}
+	if errors.Is(err, pagedstore.ErrCorrupt) {
+		// Condemn it now, exactly as Verify would: out of the live list,
+		// into quarantine/, engine Degraded.
+		e.quarantine(s, err)
+		*segIdx = 0
+		*pageIdx = 0
+		return
+	}
+	e.setBgErr(err)
+}

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/onioncurve/onion/internal/vfs"
+)
+
+// ErrSnapshot reports a malformed, missing or mismatched snapshot
+// manifest.
+var ErrSnapshot = errors.New("engine: invalid snapshot")
+
+// snapshotManifestName is the file whose atomic appearance commits a
+// snapshot: a snapshot directory without it is garbage from an
+// interrupted export and is never read.
+const snapshotManifestName = "SNAPSHOT"
+
+// SnapshotReport summarizes one snapshot export.
+type SnapshotReport struct {
+	Dir      string // the snapshot directory
+	Epoch    uint64 // 1 for a full snapshot, parent epoch + 1 for incremental
+	Segments int    // segments in the snapshot's full set
+	Copied   int    // segment files byte-copied this export
+	Linked   int    // segment files hardlinked this export
+	Reused   int    // segment files inherited from the parent snapshot
+	Records  int    // records across the snapshot's segments (incl. tombstones)
+}
+
+// snapSeg is one segment line of a snapshot manifest.
+type snapSeg struct {
+	name string
+	size int64
+	recs int
+}
+
+// snapManifest is a parsed snapshot manifest. The segment list is the
+// snapshot's FULL segment set; incremental snapshots store only the
+// set-difference against the parent on disk, so resolving a segment file
+// walks the parent chain.
+type snapManifest struct {
+	curveName  string
+	dims, side int
+	epoch      uint64
+	parent     string // parent snapshot dir, "" for a full snapshot
+	archive    string // source engine's WAL archive dir (for PITR)
+	segs       []snapSeg
+}
+
+func (m *snapManifest) body() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "onion-snapshot v1\ncurve %s\ndims %d\nside %d\nepoch %d\n",
+		m.curveName, m.dims, m.side, m.epoch)
+	parent := m.parent
+	if parent == "" {
+		parent = "-"
+	}
+	fmt.Fprintf(&b, "parent %s\narchive %s\nsegments %d\n", parent, m.archive, len(m.segs))
+	for _, s := range m.segs {
+		fmt.Fprintf(&b, "%s %d %d\n", s.name, s.size, s.recs)
+	}
+	return b.String()
+}
+
+func parseSnapshotManifest(data []byte) (*snapManifest, error) {
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	bad := func(what string) error {
+		return fmt.Errorf("%w: manifest %s", ErrSnapshot, what)
+	}
+	if len(lines) < 7 || lines[0] != "onion-snapshot v1" {
+		return nil, bad("header")
+	}
+	m := &snapManifest{}
+	if _, err := fmt.Sscanf(lines[1], "curve %s", &m.curveName); err != nil {
+		return nil, bad("curve line")
+	}
+	if _, err := fmt.Sscanf(lines[2], "dims %d", &m.dims); err != nil {
+		return nil, bad("dims line")
+	}
+	if _, err := fmt.Sscanf(lines[3], "side %d", &m.side); err != nil {
+		return nil, bad("side line")
+	}
+	if _, err := fmt.Sscanf(lines[4], "epoch %d", &m.epoch); err != nil {
+		return nil, bad("epoch line")
+	}
+	// parent and archive are paths (may contain spaces): everything after
+	// the first space is the value.
+	key, val, ok := strings.Cut(lines[5], " ")
+	if !ok || key != "parent" {
+		return nil, bad("parent line")
+	}
+	if val != "-" {
+		m.parent = val
+	}
+	key, val, ok = strings.Cut(lines[6], " ")
+	if !ok || key != "archive" {
+		return nil, bad("archive line")
+	}
+	m.archive = val
+	var n int
+	if len(lines) < 8 {
+		return nil, bad("segments line")
+	}
+	if _, err := fmt.Sscanf(lines[7], "segments %d", &n); err != nil {
+		return nil, bad("segments line")
+	}
+	if len(lines) != 8+n {
+		return nil, bad("segment count")
+	}
+	for _, ln := range lines[8:] {
+		var s snapSeg
+		if _, err := fmt.Sscanf(ln, "%s %d %d", &s.name, &s.size, &s.recs); err != nil {
+			return nil, bad("segment line")
+		}
+		var lo, hi, epoch uint64
+		if n, _ := fmt.Sscanf(s.name, "seg-%d-%d-%d.pst", &lo, &hi, &epoch); n != 3 ||
+			s.name != filepath.Base(segPath(".", lo, hi, epoch)) {
+			return nil, bad("segment name")
+		}
+		m.segs = append(m.segs, s)
+	}
+	return m, nil
+}
+
+// readSnapshotManifest loads and parses dir's SNAPSHOT manifest.
+func readSnapshotManifest(fsys vfs.FS, dir string) (*snapManifest, error) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, snapshotManifestName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: no manifest in %s (interrupted export?)", ErrSnapshot, dir)
+		}
+		return nil, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	return parseSnapshotManifest(data)
+}
+
+// copyFileOrLink materializes src at dst: a hardlink when the filesystem
+// offers vfs.Linker (same bytes, no copy — segments are immutable so
+// sharing is safe), a byte copy otherwise. Any pre-existing dst (debris
+// of an interrupted export) is replaced.
+func copyFileOrLink(fsys vfs.FS, src, dst string) (linked bool, size int64, err error) {
+	if err := fsys.Remove(dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return false, 0, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if l, ok := fsys.(vfs.Linker); ok {
+		if err := l.Link(src, dst); err == nil {
+			f, err := fsys.Open(dst)
+			if err != nil {
+				return true, 0, fmt.Errorf("engine: snapshot: %w", err)
+			}
+			fi, err := f.Stat()
+			f.Close()
+			if err != nil {
+				return true, 0, fmt.Errorf("engine: snapshot: %w", err)
+			}
+			return true, fi.Size(), nil
+		}
+		// Link can fail across devices or filesystems: fall through to a
+		// byte copy.
+	}
+	size, err = copyFile(fsys, src, dst)
+	return false, size, err
+}
+
+func copyFile(fsys vfs.FS, src, dst string) (int64, error) {
+	in, err := fsys.Open(src)
+	if err != nil {
+		return 0, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	defer in.Close()
+	out, err := fsys.Create(dst)
+	if err != nil {
+		return 0, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	buf := make([]byte, 1<<16)
+	var off int64
+	for {
+		n, rerr := in.ReadAt(buf, off)
+		if n > 0 {
+			if _, werr := out.Write(buf[:n]); werr != nil {
+				out.Close()
+				return 0, fmt.Errorf("engine: snapshot: %w", werr)
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			out.Close()
+			return 0, fmt.Errorf("engine: snapshot: %w", rerr)
+		}
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return 0, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return 0, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	return off, nil
+}
+
+// Snapshot exports a full, consistent snapshot of the engine into dir:
+// every live segment plus a manifest. The export is crash-atomic — the
+// manifest is written tmp + fsync + rename + directory fsync as the last
+// step, so an interrupted export leaves a directory without a manifest,
+// which Restore refuses; the source engine is never modified beyond a
+// leading flush. Writes proceed concurrently; the snapshot captures
+// exactly the writes acknowledged before the call's internal flush.
+func (e *Engine) Snapshot(dir string) (SnapshotReport, error) {
+	return e.SnapshotSince(dir, "")
+}
+
+// SnapshotSince is Snapshot with incremental export: segments already
+// listed in the parent snapshot's manifest are referenced, not copied, so
+// the new snapshot directory holds only the set-difference. Restoring an
+// incremental snapshot resolves segment files through the parent chain,
+// so parents must outlive their children. An empty parent selects a full
+// export.
+func (e *Engine) SnapshotSince(dir, parent string) (SnapshotReport, error) {
+	// flushMu freezes the segment set: flush and compaction bodies hold it
+	// for their whole duration, so the live segment list cannot change
+	// under the export.
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	// Flush first: the snapshot then contains every write acknowledged
+	// before this point, and the active WAL rotates into the archive where
+	// point-in-time restore can replay it.
+	if err := e.flushLocked(); err != nil {
+		return SnapshotReport{}, err
+	}
+
+	var parentMan *snapManifest
+	parentSegs := map[string]snapSeg{}
+	if parent != "" {
+		var err error
+		parentMan, err = readSnapshotManifest(e.fs, parent)
+		if err != nil {
+			return SnapshotReport{}, err
+		}
+		u := e.c.Universe()
+		if parentMan.curveName != e.c.Name() || parentMan.dims != u.Dims() || parentMan.side != int(u.Side()) {
+			return SnapshotReport{}, fmt.Errorf("%w: parent %s is of a different store (curve %s dims %d side %d)",
+				ErrSnapshot, parent, parentMan.curveName, parentMan.dims, parentMan.side)
+		}
+		for _, s := range parentMan.segs {
+			parentSegs[s.name] = s
+		}
+	}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return SnapshotReport{}, ErrClosed
+	}
+	segs := append([]*segment{}, e.segs...)
+	e.mu.RUnlock()
+
+	if err := e.fs.MkdirAll(dir, 0o755); err != nil {
+		return SnapshotReport{}, fmt.Errorf("engine: snapshot: %w", err)
+	}
+	u := e.c.Universe()
+	man := &snapManifest{
+		curveName: e.c.Name(),
+		dims:      u.Dims(),
+		side:      int(u.Side()),
+		epoch:     1,
+		parent:    parent,
+		archive:   archiveDir(e.dir),
+	}
+	if parentMan != nil {
+		man.epoch = parentMan.epoch + 1
+	}
+	rep := SnapshotReport{Dir: dir, Epoch: man.epoch}
+	for _, s := range segs {
+		name := filepath.Base(s.path)
+		if ps, ok := parentSegs[name]; ok {
+			man.segs = append(man.segs, ps)
+			rep.Reused++
+			rep.Records += ps.recs
+			continue
+		}
+		linked, size, err := copyFileOrLink(e.fs, s.path, filepath.Join(dir, name))
+		if err != nil {
+			return SnapshotReport{}, err
+		}
+		if linked {
+			rep.Linked++
+		} else {
+			rep.Copied++
+		}
+		man.segs = append(man.segs, snapSeg{name: name, size: size, recs: s.recs})
+		rep.Records += s.recs
+	}
+	sort.Slice(man.segs, func(a, b int) bool { return man.segs[a].name < man.segs[b].name })
+	rep.Segments = len(man.segs)
+	// Make the segment copies durable before the manifest that references
+	// them can appear.
+	if err := syncDir(e.fs, dir); err != nil {
+		return SnapshotReport{}, err
+	}
+	if err := writeSnapshotManifest(e.fs, dir, man); err != nil {
+		return SnapshotReport{}, err
+	}
+	return rep, nil
+}
+
+// writeSnapshotManifest commits the manifest: tmp + fsync + rename +
+// directory fsync, the same discipline as every other install in the
+// store. The rename is the snapshot's commit point.
+func writeSnapshotManifest(fsys vfs.FS, dir string, m *snapManifest) error {
+	path := filepath.Join(dir, snapshotManifestName)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if _, err := f.Write([]byte(m.body())); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	return syncDir(fsys, dir)
+}
+
+// resolveSnapshotSegment finds the file backing a manifest segment: the
+// snapshot's own directory first, then the parent chain (incremental
+// snapshots store only their delta). The size check catches a truncated
+// copy or a mismatched parent.
+func resolveSnapshotSegment(fsys vfs.FS, dir string, man *snapManifest, want snapSeg) (string, error) {
+	for {
+		p := filepath.Join(dir, want.name)
+		if f, err := fsys.Open(p); err == nil {
+			fi, serr := f.Stat()
+			f.Close()
+			if serr != nil {
+				return "", fmt.Errorf("engine: snapshot: %w", serr)
+			}
+			if fi.Size() != want.size {
+				return "", fmt.Errorf("%w: %s is %d bytes, manifest records %d",
+					ErrSnapshot, p, fi.Size(), want.size)
+			}
+			return p, nil
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return "", fmt.Errorf("engine: snapshot: %w", err)
+		}
+		if man.parent == "" {
+			return "", fmt.Errorf("%w: segment %s not found in snapshot chain", ErrSnapshot, want.name)
+		}
+		var err error
+		dir = man.parent
+		man, err = readSnapshotManifest(fsys, dir)
+		if err != nil {
+			return "", err
+		}
+	}
+}

@@ -905,3 +905,130 @@ func (s *Store) VerifyPages() error {
 	}
 	return nil
 }
+
+// Pages returns the number of data pages — the granularity VerifyPage
+// (and the engine's rate-limited scrubber) works at.
+func (s *Store) Pages() int { return len(s.firstKeys) }
+
+// VerifyPage checks one page directly from disk (bypassing the cache):
+// the v4 checksum, in-page key order, and the page-bounds invariant.
+// buf is an optional scratch buffer of at least PageBytes; pass nil to
+// allocate. It runs the same checks VerifyPages does for that page, so a
+// store whose every page passes VerifyPage is clean.
+func (s *Store) VerifyPage(p int, buf []byte) error {
+	if p < 0 || p >= len(s.firstKeys) {
+		return nil
+	}
+	if len(buf) < s.pageBytes {
+		buf = make([]byte, s.pageBytes)
+	}
+	buf = buf[:s.pageBytes]
+	if _, err := s.f.ReadAt(buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
+		return pageReadErr(p, err)
+	}
+	return s.checkPage(p, buf)
+}
+
+// PageBytes returns the store's page size.
+func (s *Store) PageBytes() int { return s.pageBytes }
+
+// checkPage validates one materialized page against its checksum and
+// key invariants.
+func (s *Store) checkPage(p int, buf []byte) error {
+	if s.pageSums != nil && crc32.Checksum(buf, pageCRC) != s.pageSums[p] {
+		return fmt.Errorf("%w: page %d: checksum mismatch", ErrCorrupt, p)
+	}
+	rs := recordSize(s.dims)
+	prev := uint64(0)
+	for i := 0; i < s.residentCount(p); i++ {
+		key := binary.LittleEndian.Uint64(buf[i*rs:])
+		if i > 0 && key < prev {
+			return fmt.Errorf("%w: page %d: keys out of order", ErrCorrupt, p)
+		}
+		if key < s.firstKeys[p] || key > s.pageMaxBound(p) {
+			return fmt.Errorf("%w: page %d: key outside page bounds", ErrCorrupt, p)
+		}
+		prev = key
+	}
+	return nil
+}
+
+// Salvage is the result of tolerantly reading a damaged store file:
+// everything provably intact, plus the key intervals that may have been
+// lost. Because records cluster along the curve, the damage of any one
+// page is a single contiguous key interval — repair is interval
+// arithmetic, not a table scan.
+type Salvage struct {
+	// MetaOK reports whether the file's metadata (header, page index,
+	// fences, checksums) verified. When false nothing was salvaged and
+	// Damaged spans the whole key space.
+	MetaOK bool
+	// Pages and BadPages count the data pages examined and failed.
+	Pages, BadPages int
+	// Records, Keys and Marked are the records of every CRC-clean page in
+	// key order: the record, its curve key, and its tombstone mark.
+	Records []Record
+	Keys    []uint64
+	Marked  []bool
+	// Damaged is the sorted, disjoint set of inclusive key intervals
+	// whose records may be lost — the bounds of every failed page, with
+	// adjacent intervals merged.
+	Damaged []curve.KeyRange
+}
+
+// SalvageFS reads the store file at path as tolerantly as possible. A
+// file whose metadata fails verification yields MetaOK == false and a
+// Damaged set covering the entire key space; otherwise each data page is
+// checked exactly as VerifyPages would, clean pages contribute their
+// records and damaged pages contribute their fence interval to Damaged.
+// The error return reports only I/O failures reaching the file at all —
+// corruption is data, not an error, here.
+func SalvageFS(fsys vfs.FS, path string, c curve.Curve) (Salvage, error) {
+	full := Salvage{Damaged: []curve.KeyRange{{Lo: 0, Hi: c.Universe().Size() - 1}}}
+	s, err := OpenCachedFS(fsys, path, c, nil)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrMismatch) {
+			return full, nil
+		}
+		return Salvage{}, err
+	}
+	defer s.Close()
+	sv := Salvage{MetaOK: true, Pages: len(s.firstKeys)}
+	buf := make([]byte, s.pageBytes)
+	rs := recordSize(s.dims)
+	for p := range s.firstKeys {
+		pageErr := error(nil)
+		if _, err := s.f.ReadAt(buf, s.dataOff+int64(p)*int64(s.pageBytes)); err != nil {
+			pageErr = pageReadErr(p, err)
+			if !errors.Is(pageErr, ErrCorrupt) {
+				return Salvage{}, pageErr // I/O trouble, not damage: report it
+			}
+		} else {
+			pageErr = s.checkPage(p, buf)
+		}
+		if pageErr != nil {
+			sv.BadPages++
+			lo, hi := s.firstKeys[p], s.pageMaxBound(p)
+			if n := len(sv.Damaged); n > 0 && (sv.Damaged[n-1].Hi == ^uint64(0) || lo <= sv.Damaged[n-1].Hi+1) {
+				if hi > sv.Damaged[n-1].Hi {
+					sv.Damaged[n-1].Hi = hi
+				}
+			} else {
+				sv.Damaged = append(sv.Damaged, curve.KeyRange{Lo: lo, Hi: hi})
+			}
+			continue
+		}
+		for i := 0; i < s.residentCount(p); i++ {
+			off := i * rs
+			key := binary.LittleEndian.Uint64(buf[off:])
+			pt := make(geom.Point, s.dims)
+			for d := 0; d < s.dims; d++ {
+				pt[d] = binary.LittleEndian.Uint32(buf[off+8+4*d:])
+			}
+			sv.Records = append(sv.Records, Record{Point: pt, Payload: binary.LittleEndian.Uint64(buf[off+8+4*s.dims:])})
+			sv.Keys = append(sv.Keys, key)
+			sv.Marked = append(sv.Marked, s.isMarked(p*s.perPage+i))
+		}
+	}
+	return sv, nil
+}

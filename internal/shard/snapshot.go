@@ -1,0 +1,289 @@
+// Sharded recovery: epoch-stamped composite snapshots, point-in-time
+// restore and quarantine repair, composed shard by shard from the
+// engine's primitives. A sharded snapshot is one directory holding a
+// per-shard engine snapshot under shard-<i>/ plus a top-level manifest
+// whose atomic appearance commits the whole composite — an interrupted
+// export leaves per-shard debris but no manifest, which Restore refuses.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/engine"
+	"github.com/onioncurve/onion/internal/vfs"
+)
+
+// ErrSnapshot reports a malformed, missing or mismatched sharded
+// snapshot manifest.
+var ErrSnapshot = errors.New("shard: invalid snapshot")
+
+const snapshotManifestName = "SNAPSHOT"
+
+// SnapshotReport summarizes one composite snapshot export.
+type SnapshotReport struct {
+	Dir      string
+	Epoch    uint64 // 1 for a full snapshot, parent epoch + 1 for incremental
+	PerShard []engine.SnapshotReport
+	Segments int
+	Copied   int
+	Linked   int
+	Reused   int
+	Records  int
+}
+
+// snapshotManifestBody stamps the composite: the epoch orders snapshots
+// of one store, and the embedded configuration identity (the same body
+// the directory MANIFEST records) pins which store the snapshot is of.
+func snapshotManifestBody(c curve.Curve, shards int, epoch uint64) string {
+	return fmt.Sprintf("onion-sharded-snapshot v1\nepoch %d\n%s", epoch, manifestBody(c, shards))
+}
+
+// readSnapshotEpoch validates dir as a snapshot of this configuration
+// and returns its epoch.
+func readSnapshotEpoch(fsys vfs.FS, dir string, c curve.Curve, shards int) (uint64, error) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, snapshotManifestName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, fmt.Errorf("%w: no manifest in %s (interrupted export?)", ErrSnapshot, dir)
+		}
+		return 0, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	var epoch uint64
+	lines := strings.SplitN(string(data), "\n", 3)
+	if len(lines) != 3 || lines[0] != "onion-sharded-snapshot v1" {
+		return 0, fmt.Errorf("%w: manifest header", ErrSnapshot)
+	}
+	if _, err := fmt.Sscanf(lines[1], "epoch %d", &epoch); err != nil {
+		return 0, fmt.Errorf("%w: manifest epoch", ErrSnapshot)
+	}
+	if lines[2] != manifestBody(c, shards) {
+		return 0, fmt.Errorf("%w: %s is of a different store or partition", ErrSnapshot, dir)
+	}
+	return epoch, nil
+}
+
+// Snapshot exports a full, consistent composite snapshot into dir: every
+// shard engine snapshots into dir/shard-<i> (concurrently — each shard's
+// snapshot is consistent with its own acknowledged writes), and one
+// epoch-stamped top-level manifest commits the composite atomically as
+// the last step.
+func (s *Sharded) Snapshot(dir string) (SnapshotReport, error) {
+	return s.SnapshotSince(dir, "")
+}
+
+// SnapshotSince is Snapshot with incremental export against a prior
+// composite snapshot: each shard exports only its set-difference against
+// the matching shard of the parent (see engine.SnapshotSince). The new
+// epoch is the parent's plus one.
+func (s *Sharded) SnapshotSince(dir, parent string) (SnapshotReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rep := SnapshotReport{Dir: dir, Epoch: 1}
+	if s.closed {
+		return rep, ErrClosed
+	}
+	fsys := vfs.Or(s.opts.FS)
+	if parent != "" {
+		pe, err := readSnapshotEpoch(fsys, parent, s.c, len(s.engines))
+		if err != nil {
+			return rep, err
+		}
+		rep.Epoch = pe + 1
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return rep, fmt.Errorf("shard: snapshot: %w", err)
+	}
+	rep.PerShard = make([]engine.SnapshotReport, len(s.engines))
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			pshard := ""
+			if parent != "" {
+				pshard = shardDir(parent, i)
+			}
+			rep.PerShard[i], errs[i] = e.SnapshotSince(shardDir(dir, i), pshard)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return rep, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	for _, pr := range rep.PerShard {
+		rep.Segments += pr.Segments
+		rep.Copied += pr.Copied
+		rep.Linked += pr.Linked
+		rep.Reused += pr.Reused
+		rep.Records += pr.Records
+	}
+	if err := writeFileAtomic(fsys, dir, snapshotManifestName,
+		snapshotManifestBody(s.c, len(s.engines), rep.Epoch)); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// writeFileAtomic commits name under dir with the store's install
+// discipline: tmp + fsync + rename + directory fsync.
+func writeFileAtomic(fsys vfs.FS, dir, name, body string) error {
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if _, err := f.Write([]byte(body)); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore materializes a fresh sharded directory at targetDir from the
+// composite snapshot at snapshotDir: each shard restores independently
+// (snapshot segments + archived-WAL replay, see engine.Restore), with
+// upTo bounding the records replayed PER SHARD (upTo < 0 replays
+// everything). The build happens in a staging sibling renamed into place
+// last, so targetDir is atomically absent-or-complete; targetDir must
+// not exist. Open the result with the same curve and shard count.
+func Restore(snapshotDir, targetDir string, upTo int, c curve.Curve, opts Options) ([]engine.RestoreReport, error) {
+	opts = opts.withDefaults()
+	fsys := vfs.Or(opts.FS)
+	if _, err := readSnapshotEpoch(fsys, snapshotDir, c, opts.Shards); err != nil {
+		return nil, err
+	}
+	if _, err := fsys.ReadDir(targetDir); err == nil {
+		return nil, fmt.Errorf("shard: restore: target %s already exists", targetDir)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("shard: restore: %w", err)
+	}
+	tmp := targetDir + ".restore-tmp"
+	if err := fsys.MkdirAll(tmp, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: restore: %w", err)
+	}
+	engOpts := opts.Engine
+	if engOpts.FS == nil {
+		engOpts.FS = opts.FS
+	}
+	reps := make([]engine.RestoreReport, opts.Shards)
+	errs := make([]error, opts.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Clear per-shard debris of an earlier interrupted restore:
+			// engine.Restore demands an absent target.
+			sdir := shardDir(tmp, i)
+			if ents, err := fsys.ReadDir(sdir); err == nil {
+				for _, ent := range ents {
+					if err := fsys.Remove(filepath.Join(sdir, ent.Name())); err != nil {
+						errs[i] = fmt.Errorf("shard: restore: %w", err)
+						return
+					}
+				}
+				if err := fsys.Remove(sdir); err != nil {
+					errs[i] = fmt.Errorf("shard: restore: %w", err)
+					return
+				}
+			}
+			reps[i], errs[i] = engine.Restore(shardDir(snapshotDir, i), sdir, upTo, c, engOpts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return reps, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	// Stamp the directory MANIFEST so the restored service reopens with
+	// the identity it was snapshotted with, then commit the whole tree.
+	if err := writeFileAtomic(fsys, tmp, manifestName, manifestBody(c, opts.Shards)); err != nil {
+		return reps, err
+	}
+	if err := fsys.Rename(tmp, targetDir); err != nil {
+		return reps, fmt.Errorf("shard: restore: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(targetDir)); err != nil {
+		return reps, fmt.Errorf("shard: restore: %w", err)
+	}
+	return reps, nil
+}
+
+// Repair fans engine.Repair out to every shard against the matching
+// shard of the composite snapshot (empty snapshotDir limits every shard
+// to pure salvage), then reports per-shard results in shard order. The
+// first hard error is returned; irreparable files are reported in the
+// per-shard Unrepaired lists, not as errors.
+func (s *Sharded) Repair(snapshotDir string) ([]engine.RepairReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	reps := make([]engine.RepairReport, len(s.engines))
+	errs := make([]error, len(s.engines))
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			sdir := ""
+			if snapshotDir != "" {
+				sdir = shardDir(snapshotDir, i)
+			}
+			reps[i], errs[i] = e.Repair(sdir)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return reps, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return reps, nil
+}
+
+// TryRecover attempts guarded health de-escalation on every shard (see
+// engine.TryRecover) and returns the resulting states in shard order.
+// Recovery failures ride in each ShardHealth's Err; the service-level
+// call never fails outright.
+func (s *Sharded) TryRecover() []ShardHealth {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ShardHealth, len(s.engines))
+	var wg sync.WaitGroup
+	for i, e := range s.engines {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			st, err := e.TryRecover()
+			out[i] = ShardHealth{Shard: i, State: st, Err: err}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
+}

@@ -53,6 +53,16 @@ type FS interface {
 	SyncDir(name string) error
 }
 
+// Linker is the optional hardlink capability of an FS. Snapshot export
+// links segments into the snapshot directory when the filesystem offers
+// it (same-device, copy-free) and falls back to a byte copy when it
+// doesn't. The fault injector deliberately does not implement Linker, so
+// fault-matrix tests always exercise the fully injectable copy path.
+type Linker interface {
+	// Link creates newname as a hard link to oldname.
+	Link(oldname, newname string) error
+}
+
 // OS is the passthrough production filesystem.
 type OS struct{}
 
@@ -61,6 +71,7 @@ func (OS) Create(name string) (File, error) {
 	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 }
 func (OS) Rename(oldname, newname string) error      { return os.Rename(oldname, newname) }
+func (OS) Link(oldname, newname string) error        { return os.Link(oldname, newname) }
 func (OS) Remove(name string) error                  { return os.Remove(name) }
 func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
 func (OS) MkdirAll(name string, perm os.FileMode) error {

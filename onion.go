@@ -178,6 +178,22 @@ type (
 	// the query); Partial serves what the healthy shards can and
 	// reports the gap in ShardedQueryStats.Degraded/FailedShards.
 	ShardedQueryPolicy = shard.QueryPolicy
+	// EngineSnapshotReport summarizes one Engine.Snapshot or
+	// Engine.SnapshotSince export: the snapshot epoch and how many
+	// segment files were copied, hardlinked or reused from the parent.
+	EngineSnapshotReport = engine.SnapshotReport
+	// EngineRestoreReport summarizes one RestoreEngine run: segments
+	// materialized from the snapshot chain and archived-WAL records
+	// replayed past the snapshot boundary.
+	EngineRestoreReport = engine.RestoreReport
+	// EngineRepairReport summarizes one Engine.Repair pass over the
+	// quarantine: files repaired, records salvaged from CRC-clean pages,
+	// records back-filled from the snapshot, and the engine's resulting
+	// health.
+	EngineRepairReport = engine.RepairReport
+	// ShardedSnapshotReport summarizes one ShardedEngine.Snapshot
+	// composite export: the epoch, per-shard engine reports and totals.
+	ShardedSnapshotReport = shard.SnapshotReport
 )
 
 // Engine health states (see EngineHealth).
@@ -206,6 +222,13 @@ var (
 	// queries touching a damaged page return it, and the background
 	// scrub quarantines the segment so later queries stop seeing it.
 	ErrCorrupt = engine.ErrCorrupt
+	// ErrSnapshot reports a malformed, missing or mismatched Engine
+	// snapshot: an interrupted export (no manifest), a snapshot of a
+	// different store, or a broken parent chain.
+	ErrSnapshot = engine.ErrSnapshot
+	// ErrShardedSnapshot is ErrSnapshot's composite counterpart for
+	// ShardedEngine snapshots.
+	ErrShardedSnapshot = shard.ErrSnapshot
 )
 
 // NewUniverse validates and constructs a dims-dimensional grid of
@@ -475,6 +498,41 @@ func OpenEngine(dir string, c Curve, opts EngineOptions) (*Engine, error) {
 // concurrent use.
 func OpenShardedEngine(dir string, c Curve, opts ShardedEngineOptions) (*ShardedEngine, error) {
 	return shard.Open(dir, c, opts)
+}
+
+// RestoreEngine materializes a fresh engine directory at targetDir from
+// the snapshot at snapshotDir (written by Engine.Snapshot or
+// Engine.SnapshotSince) plus the source engine's archived WALs — the
+// point-in-time restore path.
+//
+// The snapshot's segments are copied (or hardlinked), then every
+// archived WAL the segment set does not already cover is replayed in
+// acknowledgement order and the first upTo replayed records are folded
+// into one extra segment: upTo < 0 restores to latest, upTo == 0
+// restores the snapshot boundary alone, and any value in between is a
+// point-in-time boundary — record j of the replay stream is the j-th
+// write acknowledged after the snapshot's flush point. How far back the
+// archive reaches is bounded by EngineOptions.WALRetention on the
+// source engine (the default keeps every retired WAL).
+//
+// targetDir must not exist; the build is staged in a sibling directory
+// renamed into place last, so a crash or failure at any point leaves
+// targetDir atomically absent — never a half-built engine — and never
+// modifies the snapshot or the source. Open the result with OpenEngine
+// and the same curve.
+func RestoreEngine(snapshotDir, targetDir string, upTo int, c Curve, opts EngineOptions) (EngineRestoreReport, error) {
+	return engine.Restore(snapshotDir, targetDir, upTo, c, opts)
+}
+
+// RestoreShardedEngine is RestoreEngine's composite counterpart: it
+// validates the epoch-stamped manifest a ShardedEngine.Snapshot wrote,
+// restores every shard independently (upTo bounds the replayed records
+// PER SHARD; upTo < 0 restores to latest), stamps the directory
+// manifest, and commits the whole tree with one atomic rename. Open the
+// result with OpenShardedEngine, the same curve and the same shard
+// count.
+func RestoreShardedEngine(snapshotDir, targetDir string, upTo int, c Curve, opts ShardedEngineOptions) ([]EngineRestoreReport, error) {
+	return shard.Restore(snapshotDir, targetDir, upTo, c, opts)
 }
 
 // SortPoints orders points in place by their curve keys — the clustered
