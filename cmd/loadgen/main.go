@@ -13,6 +13,9 @@
 //	loadgen -faults enospc:sync:200:wal-     # every 200th WAL fsync hits ENOSPC
 //	loadgen -snapshot-every 2s               # incremental snapshots under load
 //	loadgen -faults corrupt:read:500 -repair # corrupt reads, then repair + recover
+//	loadgen -metrics-addr :9090              # live /metrics + /telemetry.json endpoint
+//	loadgen -status-every 1s                 # periodic live status line
+//	loadgen -telemetry-out run.json          # final snapshot (+ run.json.prom)
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -134,20 +139,23 @@ func parseInts(s, flagName string) []int64 {
 
 func main() {
 	var (
-		shards   = flag.Int("shards", 4, "shard count (ignored with -sweep)")
-		sweep    = flag.String("sweep", "", "comma-separated shard counts to sweep, e.g. 1,2,4,8")
-		cache    = flag.String("cache", "", "comma-separated page-cache byte budgets to sweep, e.g. 0,262144,8388608")
-		sync     = flag.Bool("sync", false, "fsync every write (group-committed)")
-		writers  = flag.Int("writers", 4, "concurrent writer goroutines")
-		readers  = flag.Int("readers", 4, "concurrent reader goroutines")
-		duration = flag.Duration("duration", 5*time.Second, "measurement window per configuration")
-		side     = flag.Uint("side", 1024, "universe side (side x side grid)")
-		qside    = flag.Uint("qside", 64, "query rectangle side")
-		preload  = flag.Int("preload", 100_000, "records ingested before the measurement window")
-		dir      = flag.String("dir", "", "engine directory (default: a fresh temp dir per run)")
-		faultStr = flag.String("faults", "", "comma-separated soak faults kind:op:n[:path], e.g. enospc:sync:200:wal- (activated after preload)")
-		snapEvery = flag.Duration("snapshot-every", 0, "take a composite snapshot at this interval during the window, incremental after the first; the last one is restored and verified after the run (0 disables)")
-		repair    = flag.Bool("repair", false, "after the window, repair quarantined segments from the latest snapshot and attempt health recovery")
+		shards       = flag.Int("shards", 4, "shard count (ignored with -sweep)")
+		sweep        = flag.String("sweep", "", "comma-separated shard counts to sweep, e.g. 1,2,4,8")
+		cache        = flag.String("cache", "", "comma-separated page-cache byte budgets to sweep, e.g. 0,262144,8388608")
+		sync         = flag.Bool("sync", false, "fsync every write (group-committed)")
+		writers      = flag.Int("writers", 4, "concurrent writer goroutines")
+		readers      = flag.Int("readers", 4, "concurrent reader goroutines")
+		duration     = flag.Duration("duration", 5*time.Second, "measurement window per configuration")
+		side         = flag.Uint("side", 1024, "universe side (side x side grid)")
+		qside        = flag.Uint("qside", 64, "query rectangle side")
+		preload      = flag.Int("preload", 100_000, "records ingested before the measurement window")
+		dir          = flag.String("dir", "", "engine directory (default: a fresh temp dir per run)")
+		faultStr     = flag.String("faults", "", "comma-separated soak faults kind:op:n[:path], e.g. enospc:sync:200:wal- (activated after preload)")
+		snapEvery    = flag.Duration("snapshot-every", 0, "take a composite snapshot at this interval during the window, incremental after the first; the last one is restored and verified after the run (0 disables)")
+		repair       = flag.Bool("repair", false, "after the window, repair quarantined segments from the latest snapshot and attempt health recovery")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the live telemetry roll-up over HTTP at this address: /metrics (Prometheus text) and /telemetry.json (empty disables)")
+		statusEvery  = flag.Duration("status-every", 0, "print a live status line (qps, latency percentiles, cache hit rate, per-shard health, in-flight maintenance) at this interval (0 disables)")
+		telemetryOut = flag.String("telemetry-out", "", "after each run, write the final telemetry snapshot as JSON to this path and Prometheus text to path+\".prom\"")
 	)
 	flag.Parse()
 	faults, err := parseFaults(*faultStr)
@@ -185,9 +193,10 @@ func main() {
 		*side, *side, *writers, *readers, *sync, *duration)
 	fmt.Printf("%7s  %10s  %12s  %12s  %12s  %10s  %7s  %9s\n",
 		"shards", "cacheB", "writes/s", "queries/s", "avg seeks/q", "records/q", "hit%", "allocs/q")
+	tele := teleOpts{addr: *metricsAddr, statusEvery: *statusEvery, out: *telemetryOut}
 	for _, cfg := range configs {
 		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *writers, *readers, *duration,
-			uint32(*side), uint32(*qside), *preload, *dir, faults, *snapEvery, *repair)
+			uint32(*side), uint32(*qside), *preload, *dir, faults, *snapEvery, *repair, tele)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -251,10 +260,82 @@ type metrics struct {
 	restored  int64
 }
 
+// teleOpts is the observability surface of one run: the live HTTP
+// endpoint, the periodic status line, and the final snapshot files.
+type teleOpts struct {
+	addr        string
+	statusEvery time.Duration
+	out         string
+}
+
+// serveTelemetry exposes the service's live telemetry roll-up over HTTP:
+// GET /metrics renders Prometheus text exposition, GET /telemetry.json
+// the expvar-style JSON document. The returned closer shuts the listener
+// down.
+func serveTelemetry(addr string, s *onion.ShardedEngine) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := s.TelemetrySnapshot().WritePrometheus(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.TelemetrySnapshot().WriteJSON(w); err != nil {
+			log.Printf("telemetry.json: %v", err)
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed on shutdown
+	log.Printf("telemetry at http://%s/metrics and /telemetry.json", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// histDelta subtracts prev from cur bucket-wise — the window's own
+// latency distribution, independent of everything recorded before it.
+func histDelta(cur, prev *onion.TelemetryHistogram) onion.TelemetryHistogram {
+	if cur == nil {
+		return onion.TelemetryHistogram{}
+	}
+	d := *cur
+	if prev != nil {
+		for i := range d.Buckets {
+			d.Buckets[i] -= prev.Buckets[i]
+		}
+		d.Count -= prev.Count
+		d.Sum -= prev.Sum
+	}
+	return d
+}
+
+// healthLetters renders per-shard health as one letter per shard
+// (H/D/R/F), the status line's most compact useful form.
+func healthLetters(hs []onion.ShardHealth) string {
+	var b strings.Builder
+	for _, h := range hs {
+		switch h.State {
+		case onion.EngineHealthy:
+			b.WriteByte('H')
+		case onion.EngineDegraded:
+			b.WriteByte('D')
+		case onion.EngineReadOnly:
+			b.WriteByte('R')
+		default:
+			b.WriteByte('F')
+		}
+	}
+	return b.String()
+}
+
 // run measures one (shard count, cache budget) configuration.
 func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d time.Duration,
 	side, qside uint32, preload int, dir string, faults []vfs.Fault,
-	snapEvery time.Duration, repair bool) (metrics, error) {
+	snapEvery time.Duration, repair bool, tele teleOpts) (metrics, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "onion-loadgen")
 		if err != nil {
@@ -290,6 +371,13 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 			log.Printf("close: %v", cerr)
 		}
 	}()
+	if tele.addr != "" {
+		closeSrv, err := serveTelemetry(tele.addr, s)
+		if err != nil {
+			return metrics{}, err
+		}
+		defer closeSrv()
+	}
 
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < preload; i++ {
@@ -384,6 +472,52 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 			}
 		}(r)
 	}
+	// Live status: one line per tick with the window's own rates and
+	// latency distribution (counter and bucket deltas against the
+	// previous tick), the cache hit rate, per-shard health letters, and
+	// how much maintenance is in flight right now.
+	if tele.statusEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(tele.statusEvery)
+			defer tick.Stop()
+			start := time.Now()
+			var prevW, prevQ int64
+			prev := s.Telemetry().Snapshot()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				cur := s.Telemetry().Snapshot()
+				w, q := writes.Load(), queries.Load()
+				lat := histDelta(cur.Hist("router_query_latency_us"), prev.Hist("router_query_latency_us"))
+				hits := cur.Counter("cache_hits_total") - prev.Counter("cache_hits_total")
+				misses := cur.Counter("cache_misses_total") - prev.Counter("cache_misses_total")
+				hitPct := 0.0
+				if hits+misses > 0 {
+					hitPct = 100 * float64(hits) / float64(hits+misses)
+				}
+				inflight := 0
+				for i := 0; i < s.Shards(); i++ {
+					ev := s.Events(i)
+					inflight += ev.InFlight(onion.EventFlush) + ev.InFlight(onion.EventCompaction) +
+						ev.InFlight(onion.EventSnapshot) + ev.InFlight(onion.EventRepair)
+				}
+				per := tele.statusEvery.Seconds()
+				fmt.Printf("  [%5.1fs] %7.0f q/s %7.0f w/s  p50=%v p99=%v p999=%v  cache %5.1f%%  health %s  maint in-flight %d\n",
+					time.Since(start).Seconds(),
+					float64(q-prevQ)/per, float64(w-prevW)/per,
+					time.Duration(lat.Quantile(0.50))*time.Microsecond,
+					time.Duration(lat.Quantile(0.99))*time.Microsecond,
+					time.Duration(lat.Quantile(0.999))*time.Microsecond,
+					hitPct, healthLetters(s.Health()), inflight)
+				prev, prevW, prevQ = cur, w, q
+			}
+		}()
+	}
 	// Online backup: the maintenance goroutine snapshots the live service
 	// on a fixed cadence — full first, then incremental against the
 	// previous — through the same (possibly fault-injected) filesystem
@@ -424,6 +558,21 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	close(stop)
 	wg.Wait()
 	runtime.ReadMemStats(&after)
+
+	// End-of-window maintenance sweep: a final flush, full compaction and
+	// verify pass, so every run's telemetry carries at least one flush,
+	// compaction and scrub event and the final snapshot describes a
+	// settled store. Failures are tallied like any other maintenance
+	// error — under injected faults they are expected output.
+	if err := s.Flush(); err != nil {
+		maintErrs.add(err)
+	}
+	if err := s.Compact(); err != nil {
+		maintErrs.add(err)
+	}
+	if _, err := s.Verify(); err != nil {
+		maintErrs.add(err)
+	}
 
 	if repair {
 		// Heal what the hostile window broke: quarantined segments repair
@@ -473,5 +622,35 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	m.maintErrs = maintErrs.snapshot()
 	m.degradedQueries = degraded.Load()
 	m.health = s.Health()
+	if tele.out != "" {
+		if err := writeTelemetry(tele.out, s.TelemetrySnapshot()); err != nil {
+			return metrics{}, err
+		}
+	}
 	return m, nil
+}
+
+// writeTelemetry renders the final roll-up twice: the JSON document at
+// path, the Prometheus text exposition at path+".prom".
+func writeTelemetry(path string, snap onion.TelemetrySnapshot) error {
+	jf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(path + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
 }

@@ -142,10 +142,19 @@ func BenchmarkEngineIngestSyncGroup(b *testing.B) { benchSyncIngest(b, false) }
 // physical page fetches alongside the logical page reads. With allocs/op
 // at 0 the entire per-query cost is compute plus whatever physical I/O
 // the budget could not absorb.
-func BenchmarkEngineQueryCached(b *testing.B) {
+func BenchmarkEngineQueryCached(b *testing.B) { benchQueryCached(b, false) }
+
+// BenchmarkEngineQueryCachedNoTelemetry is the identical workload with
+// metric recording compiled out (Options.noTelemetry): the delta against
+// BenchmarkEngineQueryCached is the true hot-path cost of telemetry,
+// which CI gates at 5%. Both variants must stay at 0 allocs/op.
+func BenchmarkEngineQueryCachedNoTelemetry(b *testing.B) { benchQueryCached(b, true) }
+
+func benchQueryCached(b *testing.B, noTelemetry bool) {
 	for _, budget := range []int64{0, 256 << 10, 8 << 20} {
 		b.Run(fmt.Sprintf("cache=%d", budget), func(b *testing.B) {
-			e := benchEngine(b, Options{PageBytes: 4096, FlushEntries: -1, CompactFanout: -1, CacheBytes: budget})
+			e := benchEngine(b, Options{PageBytes: 4096, FlushEntries: -1, CompactFanout: -1,
+				CacheBytes: budget, noTelemetry: noTelemetry})
 			side := int32(e.c.Universe().Side())
 			rng := rand.New(rand.NewSource(3))
 			for i := 0; i < 100_000; i++ {

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/telemetry"
 )
 
 // pickCompaction applies the size-tiered policy to the segment record
@@ -59,10 +61,12 @@ func pickCompaction(recs []int, fanout, sizeRatio int) (lo, hi int) {
 type compactSink struct {
 	out            []memEntry
 	dropTombstones bool
+	dropped        int // tombstones garbage-collected (dropTombstones only)
 }
 
 func (cs *compactSink) emit(win *mergeSource) {
 	if win.del && cs.dropTombstones {
+		cs.dropped++
 		return
 	}
 	cs.out = append(cs.out, memEntry{key: win.key, pt: win.pt.Clone(), payload: win.pay, del: win.del})
@@ -74,7 +78,7 @@ func (cs *compactSink) emit(win *mergeSource) {
 // dropTombstones is set (legal only when the run includes the engine's
 // oldest segment, so nothing older could be shadowed); otherwise they are
 // carried into the output.
-func mergeSegments(c curve.Curve, segs []*segment, dropTombstones bool) ([]memEntry, error) {
+func mergeSegments(c curve.Curve, segs []*segment, dropTombstones bool) ([]memEntry, int, error) {
 	full := curve.KeyRange{Lo: 0, Hi: c.Universe().Size() - 1}
 	srcs := make([]*mergeSource, len(segs))
 	for i, s := range segs {
@@ -85,9 +89,9 @@ func mergeSegments(c curve.Curve, segs []*segment, dropTombstones bool) ([]memEn
 	sink := &compactSink{dropTombstones: dropTombstones}
 	var scratch []*mergeSource
 	if err := mergeSources(srcs, &scratch, sink, nil); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return sink.out, nil
+	return sink.out, sink.dropped, nil
 }
 
 // maybeCompact applies the size-tiered policy once and merges the chosen
@@ -152,10 +156,31 @@ func (e *Engine) compactRun(lo, hi int) error {
 	}
 	run := append([]*segment{}, e.segs[lo:hi]...)
 	e.mu.RUnlock()
+	recsIn := 0
+	for _, s := range run {
+		recsIn += s.recs
+	}
+	start := time.Now()
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvCompaction, Phase: telemetry.PhaseStart,
+		Records: int64(recsIn), Detail: fmt.Sprintf("%d segments", len(run))})
+	outRecs, err := e.compactMerge(lo, hi, run, recsIn)
+	dur := time.Since(start)
+	if tel := e.tel; tel != nil && err == nil {
+		tel.compactUS.Record(uint64(dur.Microseconds()))
+	}
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvCompaction, Phase: telemetry.PhaseEnd,
+		Dur: dur, Records: int64(outRecs), Err: errString(err)})
+	return err
+}
+
+// compactMerge is compactRun's body: merge the run, install the output,
+// retire the inputs. It returns the number of records in the merged
+// output.
+func (e *Engine) compactMerge(lo, hi int, run []*segment, recsIn int) (int, error) {
 	dropTombstones := lo == 0
-	merged, err := mergeSegments(e.c, run, dropTombstones)
+	merged, dropped, err := mergeSegments(e.c, run, dropTombstones)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	id := segID{lo: run[0].lo, hi: run[len(run)-1].hi}
 	if len(run) == 1 {
@@ -168,7 +193,7 @@ func (e *Engine) compactRun(lo, hi int) error {
 	if len(merged) > 0 {
 		out, err = writeSegment(e.fs, e.dir, e.c, id, merged, e.opts.PageBytes, e.cache)
 		if err != nil {
-			return err
+			return 0, err
 		}
 	}
 	// Install: replace the run with the merged segment.
@@ -188,7 +213,13 @@ func (e *Engine) compactRun(lo, hi int) error {
 		}
 	}
 	e.compactions.Add(1)
-	return firstErr
+	if tel := e.tel; tel != nil {
+		tel.compactSegsIn.Add(uint64(len(run)))
+		tel.compactRecordsIn.Add(uint64(recsIn))
+		tel.compactRecordsOut.Add(uint64(len(merged)))
+		tel.compactTombsGC.Add(uint64(dropped))
+	}
+	return len(merged), firstErr
 }
 
 func segList(s *segment) []*segment {

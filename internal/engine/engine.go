@@ -14,6 +14,7 @@ import (
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/telemetry"
 	"github.com/onioncurve/onion/internal/vfs"
 )
 
@@ -76,6 +77,11 @@ type Options struct {
 	// noGroupCommit reverts SyncWrites to one fsync per write — the
 	// pre-group-commit behavior, kept for benchmark baselines.
 	noGroupCommit bool
+
+	// noTelemetry disables hot-path metric recording (the registry stays,
+	// empty). Unexported: only the benchmark baseline that quantifies the
+	// telemetry overhead sets it.
+	noTelemetry bool
 
 	// Background-failure backoff: a failed background flush or compaction
 	// is retried retryAttempts times with exponential delay from
@@ -195,6 +201,14 @@ type Engine struct {
 	health healthState // monotonic degradation state (health.go)
 	scrub  atomic.Bool // a query hit ErrCorrupt; background Verify pending
 
+	// reg/events/tel are the observability layer (telemetry.go): reg and
+	// events are always non-nil after Open; tel is nil only under the
+	// benchmark-only noTelemetry option, and every hot-path record site
+	// guards on that.
+	reg    *telemetry.Registry
+	events *telemetry.Events
+	tel    *engineTelemetry
+
 	walMu sync.Mutex
 	wal   *wal
 	seq   uint64 // last assigned sequence number (under walMu)
@@ -243,6 +257,15 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	e.cache = opts.Cache
 	if e.cache == nil && opts.CacheBytes > 0 {
 		e.cache = pagedstore.NewCache(opts.CacheBytes)
+	}
+	e.reg = telemetry.NewRegistry()
+	e.events = telemetry.NewEvents(0)
+	if !opts.noTelemetry {
+		e.tel = newEngineTelemetry(e.reg)
+		// Export the cache only when this engine created it: a shared
+		// cache (Options.Cache) is exported once by whoever owns it, so
+		// per-shard roll-ups never multiply its counters.
+		e.registerSampledTelemetry(opts.Cache == nil && e.cache != nil)
 	}
 	e.com.done = make(map[uint64]struct{})
 	for _, id := range segIDs {
@@ -394,6 +417,9 @@ func (e *Engine) retryBg(op func() error, fallback Health) error {
 		if attempt == e.opts.retryAttempts-1 {
 			break
 		}
+		if tel := e.tel; tel != nil {
+			tel.bgRetries.Inc()
+		}
 		d := delay/2 + rand.N(delay)
 		if delay *= 2; delay > e.opts.retryCap {
 			delay = e.opts.retryCap
@@ -475,10 +501,11 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 	e.seq++
 	seq := e.seq
 	w := e.wal
+	prevN := w.n
 	err := w.append(walOp{pt: p, payload: payload, del: del})
 	pos := w.n
 	if err == nil && e.opts.SyncWrites && e.opts.noGroupCommit {
-		err = w.sync()
+		err = e.timedWALSync(w)
 	}
 	e.walMu.Unlock()
 	if err == nil && e.opts.SyncWrites && !e.opts.noGroupCommit {
@@ -509,6 +536,10 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 	e.com.commit(seq)
 	entries := mem.entries.Load()
 	e.mu.RUnlock()
+	if tel := e.tel; tel != nil {
+		tel.walAppends.Inc()
+		tel.walAppendBytes.Add(uint64(pos - prevN))
+	}
 	if e.opts.FlushEntries > 0 && entries >= int64(e.opts.FlushEntries) {
 		select {
 		case e.bg <- struct{}{}:
@@ -556,14 +587,23 @@ func (e *Engine) groupCommit(w *wal, pos int64) error {
 
 		e.walMu.Lock()
 		target := w.n
+		targetFrames := w.frames
 		err := w.flushBuf()
 		e.walMu.Unlock()
+		tel := e.tel
 		if err == nil {
+			var syncStart time.Time
+			if tel != nil {
+				syncStart = time.Now()
+			}
 			if serr := w.f.Sync(); serr != nil {
 				err = fmt.Errorf("%w: %w", ErrWAL, serr)
 				e.walMu.Lock()
 				w.failed = true
 				e.walMu.Unlock()
+			} else if tel != nil {
+				tel.walFsyncs.Inc()
+				tel.walFsyncUS.Record(uint64(time.Since(syncStart).Microseconds()))
 			}
 		}
 
@@ -576,7 +616,14 @@ func (e *Engine) groupCommit(w *wal, pos int64) error {
 			// in a fresh log.
 			g.err = err
 		} else if target > g.synced {
+			// The batch this single fsync made durable is every frame
+			// appended since the previous watermark — the group-commit
+			// batch size distribution.
+			if tel != nil && targetFrames > g.syncedFrames {
+				tel.walBatch.Record(uint64(targetFrames - g.syncedFrames))
+			}
 			g.synced = target
+			g.syncedFrames = targetFrames
 		}
 		g.wake.Broadcast()
 	}
@@ -592,7 +639,7 @@ func (e *Engine) Sync() error {
 		return ErrClosed
 	}
 	e.walMu.Lock()
-	err := e.wal.sync()
+	err := e.timedWALSync(e.wal)
 	e.walMu.Unlock()
 	e.mu.RUnlock()
 	if err != nil {
@@ -689,6 +736,11 @@ func (e *Engine) Query(r geom.Rect) ([]Record, Stats, error) {
 // steady-state query path allocates nothing. Stats.Results counts only
 // the records this call appended.
 func (e *Engine) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error) {
+	tel := e.tel
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
 	// One planner call per rectangle — the whole query costs
 	// O(clusters) planning regardless of its volume.
 	qs := qsPool.Get().(*queryState)
@@ -696,11 +748,17 @@ func (e *Engine) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error)
 	qs.plan, err = ranges.DecomposeAppend(e.c, r, 0, qs.plan)
 	if err != nil {
 		qsPool.Put(qs)
+		if tel != nil {
+			tel.queryErrors.Inc()
+		}
 		return dst, Stats{}, fmt.Errorf("engine: %w", err)
 	}
 	out, st, err := e.queryRanges(context.Background(), qs, dst, qs.plan)
 	st.Planned = len(qs.plan)
 	qsPool.Put(qs)
+	if tel != nil {
+		tel.recordQuery(start, st, err)
+	}
 	return out, st, err
 }
 
@@ -727,6 +785,11 @@ func (e *Engine) QueryRangesAppend(dst []Record, krs []curve.KeyRange) ([]Record
 // scans, so a timeout or cancellation stops the worker promptly and
 // returns ctx.Err() with whatever statistics had accumulated.
 func (e *Engine) QueryRangesAppendContext(ctx context.Context, dst []Record, krs []curve.KeyRange) ([]Record, Stats, error) {
+	tel := e.tel
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
 	n := e.c.Universe().Size()
 	for i, kr := range krs {
 		if kr.Lo > kr.Hi || kr.Hi >= n {
@@ -739,6 +802,12 @@ func (e *Engine) QueryRangesAppendContext(ctx context.Context, dst []Record, krs
 	qs := qsPool.Get().(*queryState)
 	out, st, err := e.queryRanges(ctx, qs, dst, krs)
 	qsPool.Put(qs)
+	if tel != nil {
+		// Planned stays 0 on the pre-planned path (the caller planned),
+		// so recordQuery skips the planned-ranges and seek-amplification
+		// series and tallies latency and the logical counters.
+		tel.recordQuery(start, st, err)
+	}
 	return out, st, err
 }
 
@@ -955,17 +1024,41 @@ func (e *Engine) flushLocked() error {
 	frozen := append([]*memtable{}, e.imm...)
 	e.mu.Unlock()
 
+	if oldWal == nil && len(frozen) == 0 {
+		return nil
+	}
+	if tel := e.tel; tel != nil && oldWal != nil {
+		tel.walRotations.Inc()
+	}
+	start := time.Now()
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvFlush, Phase: telemetry.PhaseStart})
+	recs, err := e.flushFrozen(oldWal, frozen)
+	dur := time.Since(start)
+	if tel := e.tel; tel != nil && err == nil {
+		tel.flushUS.Record(uint64(dur.Microseconds()))
+		tel.flushRecords.Add(uint64(recs))
+	}
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvFlush, Phase: telemetry.PhaseEnd,
+		Dur: dur, Records: int64(recs), Err: errString(err)})
+	return err
+}
+
+// flushFrozen retires the rotated-out WAL and writes every frozen
+// memtable to a segment, returning how many records reached disk.
+func (e *Engine) flushFrozen(oldWal *wal, frozen []*memtable) (int, error) {
 	if oldWal != nil {
 		if err := oldWal.close(); err != nil {
-			return err
+			return 0, err
 		}
 	}
+	recs := 0
 	for _, m := range frozen {
 		// Write the segment outside any lock: queries keep reading the
 		// frozen memtable from e.imm meanwhile.
-		seg, err := writeSegment(e.fs, e.dir, e.c, segID{lo: m.gen, hi: m.gen}, m.flushEntries(), e.opts.PageBytes, e.cache)
+		ents := m.flushEntries()
+		seg, err := writeSegment(e.fs, e.dir, e.c, segID{lo: m.gen, hi: m.gen}, ents, e.opts.PageBytes, e.cache)
 		if err != nil {
-			return err
+			return recs, err
 		}
 		// Install the segment, retire the frozen memtable and its WAL.
 		e.mu.Lock()
@@ -978,11 +1071,12 @@ func (e *Engine) flushLocked() error {
 		}
 		e.mu.Unlock()
 		if err := archiveWAL(e.fs, e.dir, m.gen, e.opts.WALRetention); err != nil {
-			return err
+			return recs, err
 		}
 		e.flushes.Add(1)
+		recs += len(ents)
 	}
-	return nil
+	return recs, nil
 }
 
 // Stats returns a point-in-time summary of the engine's shape.

@@ -8,8 +8,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/onioncurve/onion/internal/pagedstore"
+	"github.com/onioncurve/onion/internal/telemetry"
 )
 
 // Health is the engine's degradation state. States escalate on faults —
@@ -84,14 +86,17 @@ func (h *healthState) get() (Health, error) {
 }
 
 // escalate raises the state to at least s, recording cause if the state
-// actually rose. Lowering goes through recoverTo, never through here.
-func (h *healthState) escalate(s Health, cause error) {
+// actually rose, and reports whether it did. Lowering goes through
+// recoverTo, never through here.
+func (h *healthState) escalate(s Health, cause error) bool {
 	h.mu.Lock()
-	if Health(h.state.Load()) < s {
+	rose := Health(h.state.Load()) < s
+	if rose {
 		h.state.Store(int32(s))
 		h.cause = cause
 	}
 	h.mu.Unlock()
+	return rose
 }
 
 // recoverTo lowers the state to s, reporting whether it moved. Failed is
@@ -119,8 +124,32 @@ func (h *healthState) recoverTo(s Health, cause error) bool {
 // each state.
 func (e *Engine) Health() (Health, error) { return e.health.get() }
 
-// degrade escalates the engine's health; see healthState.escalate.
-func (e *Engine) degrade(s Health, cause error) { e.health.escalate(s, cause) }
+// degrade escalates the engine's health; see healthState.escalate. An
+// actual transition counts toward the labeled transition counter and
+// lands in the event stream with its cause.
+func (e *Engine) degrade(s Health, cause error) {
+	if !e.health.escalate(s, cause) {
+		return
+	}
+	e.noteHealthTransition(s, cause)
+}
+
+// recoverHealth lowers the engine's health through the guarded
+// recoverTo, emitting the transition when the state actually moved.
+func (e *Engine) recoverHealth(s Health, cause error) {
+	if !e.health.recoverTo(s, cause) {
+		return
+	}
+	e.noteHealthTransition(s, cause)
+}
+
+func (e *Engine) noteHealthTransition(s Health, cause error) {
+	if tel := e.tel; tel != nil {
+		tel.healthTo[s].Inc()
+	}
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvHealth, Phase: telemetry.PhasePoint,
+		Err: errString(cause), Detail: "-> " + s.String()})
+}
 
 // readOnlyErr builds the error a rejected write returns: ErrReadOnly
 // wrapping whatever drove the engine out of service.
@@ -174,6 +203,9 @@ func (e *Engine) Verify() (VerifyReport, error) {
 	}
 	segs := append([]*segment{}, e.segs...)
 	e.mu.RUnlock()
+	start := time.Now()
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvScrub, Phase: telemetry.PhaseStart,
+		Detail: fmt.Sprintf("verify %d segments", len(segs))})
 	var firstErr error
 	for _, s := range segs {
 		rep.SegmentsChecked++
@@ -202,6 +234,12 @@ func (e *Engine) Verify() (VerifyReport, error) {
 		}
 		return qa.Path < qb.Path
 	})
+	if tel := e.tel; tel != nil {
+		tel.verifyPasses.Inc()
+	}
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvScrub, Phase: telemetry.PhaseEnd,
+		Dur: time.Since(start), Err: errString(firstErr),
+		Detail: fmt.Sprintf("%d checked, %d quarantined", rep.SegmentsChecked, len(rep.Quarantined))})
 	return rep, firstErr
 }
 
@@ -215,6 +253,12 @@ func (e *Engine) quarantine(s *segment, cause error) QuarantinedSegment {
 	var ok bool
 	q.Lo, q.Hi, ok = s.st.KeySpan()
 	q.Empty = !ok
+	if tel := e.tel; tel != nil {
+		tel.quarantines.Inc()
+	}
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvScrub, Phase: telemetry.PhasePoint,
+		Err: errString(cause), Records: int64(s.recs),
+		Detail: "quarantined " + filepath.Base(s.path)})
 	e.mu.Lock()
 	for i, t := range e.segs {
 		if t == s {
@@ -385,9 +429,9 @@ func (e *Engine) TryRecover() (Health, error) {
 		return h, err
 	}
 	if empty {
-		e.health.recoverTo(Healthy, nil)
+		e.recoverHealth(Healthy, nil)
 	} else {
-		e.health.recoverTo(Degraded, fmt.Errorf("engine: quarantine not empty; Repair can salvage it"))
+		e.recoverHealth(Degraded, fmt.Errorf("engine: quarantine not empty; Repair can salvage it"))
 	}
 	h, cause = e.health.get()
 	return h, cause

@@ -6,9 +6,11 @@ import (
 	"io/fs"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/pagedstore"
+	"github.com/onioncurve/onion/internal/telemetry"
 )
 
 // RepairReport summarizes one Repair pass over the quarantine.
@@ -42,10 +44,20 @@ type RepairReport struct {
 // After the pass Repair re-runs Verify and, when the quarantine is empty
 // and the scrub is clean, lowers Degraded back to Healthy.
 func (e *Engine) Repair(snapshotDir string) (RepairReport, error) {
+	start := time.Now()
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvRepair, Phase: telemetry.PhaseStart, Detail: snapshotDir})
 	e.flushMu.Lock()
 	rep, err := e.repairLocked(snapshotDir)
 	e.flushMu.Unlock()
+	if tel := e.tel; tel != nil && err == nil {
+		tel.repairs.Inc()
+		tel.repairUS.Record(uint64(time.Since(start).Microseconds()))
+		tel.salvaged.Add(uint64(rep.Salvaged))
+		tel.backfilled.Add(uint64(rep.Backfilled))
+	}
 	if err != nil {
+		e.emitEvent(telemetry.Event{Kind: telemetry.EvRepair, Phase: telemetry.PhaseEnd,
+			Dur: time.Since(start), Err: errString(err)})
 		rep.Health, _ = e.health.get()
 		return rep, err
 	}
@@ -57,6 +69,10 @@ func (e *Engine) Repair(snapshotDir string) (RepairReport, error) {
 		e.TryRecover() //nolint:errcheck
 	}
 	rep.Health, _ = e.health.get()
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvRepair, Phase: telemetry.PhaseEnd,
+		Dur: time.Since(start), Records: int64(rep.Salvaged + rep.Backfilled),
+		Detail: fmt.Sprintf("%d/%d repaired, %d salvaged, %d backfilled",
+			rep.Repaired, rep.Attempted, rep.Salvaged, rep.Backfilled)})
 	return rep, err
 }
 
@@ -273,7 +289,7 @@ func (e *Engine) backfill(snapshotDir string, man *snapManifest, covering []segI
 		}
 		segs = append(segs, &segment{st: st, path: src, lo: id.lo, hi: id.hi, epoch: id.epoch, recs: st.Len()})
 	}
-	merged, err := mergeSegments(e.c, segs, false)
+	merged, _, err := mergeSegments(e.c, segs, false)
 	if err != nil {
 		return nil, err
 	}

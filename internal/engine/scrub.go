@@ -62,6 +62,9 @@ func (e *Engine) scrubStep(segIdx, pageIdx *int, buf *[]byte) {
 	}
 	err := s.st.VerifyPage(*pageIdx, *buf)
 	*pageIdx++
+	if tel := e.tel; tel != nil {
+		tel.scrubPages.Inc()
+	}
 	if err == nil {
 		return
 	}

@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"github.com/onioncurve/onion/internal/telemetry"
 	"github.com/onioncurve/onion/internal/vfs"
 )
 
@@ -229,6 +231,23 @@ func (e *Engine) SnapshotSince(dir, parent string) (SnapshotReport, error) {
 	// under the export.
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
+	start := time.Now()
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvSnapshot, Phase: telemetry.PhaseStart, Detail: dir})
+	rep, err := e.snapshotSinceLocked(dir, parent)
+	dur := time.Since(start)
+	if tel := e.tel; tel != nil && err == nil {
+		tel.snapshots.Inc()
+		tel.snapshotUS.Record(uint64(dur.Microseconds()))
+	}
+	e.emitEvent(telemetry.Event{Kind: telemetry.EvSnapshot, Phase: telemetry.PhaseEnd,
+		Dur: dur, Records: int64(rep.Records), Err: errString(err),
+		Detail: fmt.Sprintf("%d segments (%d copied, %d linked, %d reused)",
+			rep.Segments, rep.Copied, rep.Linked, rep.Reused)})
+	return rep, err
+}
+
+// snapshotSinceLocked is SnapshotSince's body; the caller holds flushMu.
+func (e *Engine) snapshotSinceLocked(dir, parent string) (SnapshotReport, error) {
 	// Flush first: the snapshot then contains every write acknowledged
 	// before this point, and the active WAL rotates into the archive where
 	// point-in-time restore can replay it.

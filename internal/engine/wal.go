@@ -63,11 +63,12 @@ func walPayloadSize(dims int, del bool) int {
 // The caller serializes append/sync/close (the engine holds its WAL mutex
 // so that log order equals sequence-number order).
 type wal struct {
-	f    vfs.File
-	w    *bufio.Writer
-	dims int
-	buf  []byte
-	n    int64 // bytes appended (including buffered)
+	f      vfs.File
+	w      *bufio.Writer
+	dims   int
+	buf    []byte
+	n      int64 // bytes appended (including buffered)
+	frames int64 // ops appended; group commit diffs it per fsync
 	// failed latches after any write or sync error: the log's tail is in
 	// an unknown state, and frames appended after a torn region would be
 	// unreachable to recovery (replay stops at the first bad frame). The
@@ -86,11 +87,12 @@ type wal struct {
 // fsync amortizes over the whole pile — one disk barrier per batch
 // instead of one per write.
 type groupState struct {
-	mu      sync.Mutex
-	wake    sync.Cond
-	synced  int64 // bytes of the log durably synced
-	syncing bool  // a leader's flush+fsync is in flight
-	err     error // sticky: a failed group sync poisons the log until rotation
+	mu           sync.Mutex
+	wake         sync.Cond
+	synced       int64 // bytes of the log durably synced
+	syncedFrames int64 // frames covered by fsyncs so far (batch-size telemetry)
+	syncing      bool  // a leader's flush+fsync is in flight
+	err          error // sticky: a failed group sync poisons the log until rotation
 }
 
 func createWAL(fsys vfs.FS, path string, dims int) (*wal, error) {
@@ -133,6 +135,7 @@ func (l *wal) append(op walOp) error {
 		return fmt.Errorf("%w: %w", ErrWAL, err)
 	}
 	l.n += int64(8 + pl)
+	l.frames++
 	return nil
 }
 

@@ -23,18 +23,28 @@ import (
 // clustering number), whether the page bytes come from disk or from the
 // cache. Only IOStats — the physical counters — change.
 type Cache struct {
-	shards       []cacheShard
-	hits, misses atomic.Uint64
+	shards           []cacheShard
+	hits, misses     atomic.Uint64
+	evictions        atomic.Uint64
+	admissionRejects atomic.Uint64
 }
 
-// CacheStats is a point-in-time summary of a Cache.
+// CacheStats is a point-in-time snapshot of a Cache: a struct copy with
+// no reset or delta semantics of its own. Hits, Misses, Evictions and
+// AdmissionRejects are monotonic counters over the cache's lifetime —
+// subtract two snapshots to get a rate — while Pages and Bytes describe
+// the resident set at the moment of the call. The same counters are
+// exported live through the engine's telemetry registry
+// (cache_hits_total etc.), so a snapshot here and a registry scrape
+// read the same underlying atomics and cannot drift apart.
 type CacheStats struct {
-	Hits      uint64 // page requests served from memory
-	Misses    uint64 // page requests that went to disk
-	Evictions uint64 // pages dropped to stay inside the budget
-	Pages     int    // resident pages
-	Bytes     int64  // resident bytes
-	Budget    int64  // configured byte budget
+	Hits             uint64 // page requests served from memory
+	Misses           uint64 // page requests that went to disk
+	Evictions        uint64 // pages dropped to stay inside the budget
+	AdmissionRejects uint64 // candidate inserts refused by the pressure gate
+	Pages            int    // resident pages
+	Bytes            int64  // resident bytes
+	Budget           int64  // configured byte budget
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any request.
@@ -61,15 +71,14 @@ type cacheSlot struct {
 }
 
 type cacheShard struct {
-	mu        sync.Mutex
-	index     map[cacheKey]int // key -> slot
-	slots     []cacheSlot
-	free      []int // dead slot indices
-	hand      int   // clock hand over slots
-	bytes     int64
-	budget    int64
-	tick      uint64 // admission counter while the shard is full
-	evictions uint64
+	mu     sync.Mutex
+	index  map[cacheKey]int // key -> slot
+	slots  []cacheSlot
+	free   []int // dead slot indices
+	hand   int   // clock hand over slots
+	bytes  int64
+	budget int64
+	tick   uint64 // admission counter while the shard is full
 }
 
 // storeIDs hands every opened Store a process-unique cache identity.
@@ -145,18 +154,22 @@ func (c *Cache) addCopy(store uint64, page int, buf []byte) {
 	}
 	need := int64(len(buf))
 	if need > sh.budget {
+		c.admissionRejects.Add(1)
 		return
 	}
 	if sh.bytes+need > sh.budget {
 		sh.tick++
 		if sh.tick&7 != 0 {
+			c.admissionRejects.Add(1)
 			return
 		}
 	}
 	for sh.bytes+need > sh.budget {
 		if !sh.evictOne() {
+			c.admissionRejects.Add(1)
 			return
 		}
+		c.evictions.Add(1)
 	}
 	cp := make([]byte, len(buf))
 	copy(cp, buf)
@@ -196,7 +209,6 @@ func (sh *cacheShard) evictOne() bool {
 		delete(sh.index, s.key)
 		*s = cacheSlot{}
 		sh.free = append(sh.free, i)
-		sh.evictions++
 		return true
 	}
 	return false
@@ -224,19 +236,24 @@ func (c *Cache) purge(store uint64) {
 	}
 }
 
-// Stats sums the shard states plus the global hit/miss counters.
+// Stats sums the shard states plus the global monotonic counters.
 func (c *Cache) Stats() CacheStats {
 	var st CacheStats
-	st.Hits = c.hits.Load()
-	st.Misses = c.misses.Load()
+	st.Hits, st.Misses, st.Evictions, st.AdmissionRejects = c.Counters()
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		st.Budget += sh.budget
 		st.Bytes += sh.bytes
 		st.Pages += len(sh.index)
-		st.Evictions += sh.evictions
 		sh.mu.Unlock()
 	}
 	return st
+}
+
+// Counters returns the monotonic lifetime counters without touching any
+// shard lock, so telemetry can sample them on every scrape at no cost
+// to concurrent readers.
+func (c *Cache) Counters() (hits, misses, evictions, admissionRejects uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), c.admissionRejects.Load()
 }

@@ -298,3 +298,71 @@ func TestCachedParallelQueryRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheMonotonicCounters pins the counter semantics of CacheStats:
+// hits/misses/evictions/admission-rejects only ever grow, stay
+// consistent under concurrent access, and the lock-free Counters()
+// accessor reads the same values as a full Stats() snapshot.
+func TestCacheMonotonicCounters(t *testing.T) {
+	c := NewCache(cacheShardCount * 64) // one tiny 64-byte budget per shard
+	page := make([]byte, 64)
+
+	// Miss then hit on the same key.
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.addCopy(1, 0, page)
+	if _, ok := c.get(1, 0); !ok {
+		t.Fatal("expected hit after addCopy")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+
+	// Oversized pages are rejected by admission, not silently dropped.
+	big := make([]byte, 1024)
+	c.addCopy(1, 99, big)
+	if got := c.Stats().AdmissionRejects; got == 0 {
+		t.Fatalf("oversized insert should count as admission reject")
+	}
+
+	// Hammer one shard's budget: every insert beyond capacity either
+	// evicts (counter grows) or is gated (reject counter grows).
+	for i := 0; i < 1000; i++ {
+		c.addCopy(2, i, page)
+	}
+	st = c.Stats()
+	if st.Evictions+st.AdmissionRejects < 900 {
+		t.Fatalf("expected ~1000 evictions+rejects under pressure, got %d+%d",
+			st.Evictions, st.AdmissionRejects)
+	}
+
+	// Counters() and Stats() read the same atomics.
+	h, m, e, a := c.Counters()
+	st = c.Stats()
+	if h != st.Hits || m != st.Misses || e != st.Evictions || a != st.AdmissionRejects {
+		t.Fatalf("Counters() = %d/%d/%d/%d, Stats = %+v", h, m, e, a, st)
+	}
+
+	// Monotonic under concurrency: sample repeatedly while another
+	// goroutine churns the cache.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.addCopy(3, i, page)
+			c.get(3, i)
+		}
+	}()
+	var prev CacheStats
+	for i := 0; i < 1000; i++ {
+		cur := c.Stats()
+		if cur.Hits < prev.Hits || cur.Misses < prev.Misses ||
+			cur.Evictions < prev.Evictions || cur.AdmissionRejects < prev.AdmissionRejects {
+			t.Fatalf("counters went backwards: %+v then %+v", prev, cur)
+		}
+		prev = cur
+	}
+	<-done
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/onioncurve/onion/internal/curve"
 	"github.com/onioncurve/onion/internal/engine"
@@ -219,6 +220,11 @@ func (s *Sharded) QueryAppend(dst []Record, r geom.Rect) ([]Record, Stats, error
 // amortized — inside ranges), and pol selects strict versus partial
 // results when shards fail.
 func (s *Sharded) QueryAppendContext(ctx context.Context, dst []Record, r geom.Rect, pol QueryPolicy) ([]Record, Stats, error) {
+	rtel := s.rtel
+	var start time.Time
+	if rtel != nil {
+		start = time.Now()
+	}
 	// Admission: take an in-flight slot before any work; give up if the
 	// caller does.
 	select {
@@ -227,6 +233,9 @@ func (s *Sharded) QueryAppendContext(ctx context.Context, dst []Record, r geom.R
 		return dst, Stats{}, ctx.Err()
 	}
 	defer func() { <-s.admit }()
+	if rtel != nil {
+		rtel.admissionWaitUS.Record(uint64(time.Since(start).Microseconds()))
+	}
 	if s.yield {
 		defer runtime.Gosched()
 	}
@@ -251,6 +260,9 @@ func (s *Sharded) QueryAppendContext(ctx context.Context, dst []Record, r geom.R
 		planned := len(q.plan)
 		q.s, q.ctx = nil, nil
 		rqPool.Put(q)
+		if rtel != nil {
+			rtel.budgetRejects.Inc()
+		}
 		return dst, st, fmt.Errorf("%w: %d ranges > %d", ErrBudget, planned, s.opts.MaxPlannedRanges)
 	}
 	q.flat, q.parts = splitPlanFlat(s.part, q.plan, q.flat, q.parts)
@@ -285,6 +297,9 @@ func (s *Sharded) QueryAppendContext(ctx context.Context, dst []Record, r geom.R
 			err := fmt.Errorf("shard %d: %w", q.parts[i].shard, perr)
 			q.s, q.ctx = nil, nil
 			rqPool.Put(q)
+			if rtel != nil {
+				rtel.shardFailures.Inc()
+			}
 			return dst, st, err
 		}
 		st.Degraded = true
@@ -319,5 +334,15 @@ func (s *Sharded) QueryAppendContext(ctx context.Context, dst []Record, r geom.R
 	st.Results = len(dst) - base
 	q.s, q.ctx = nil, nil
 	rqPool.Put(q)
+	if rtel != nil {
+		rtel.queries.Inc()
+		rtel.queryLatencyUS.Record(uint64(time.Since(start).Microseconds()))
+		rtel.fanoutShards.Record(uint64(st.ShardsTouched))
+		rtel.subRanges.Record(uint64(st.SubRanges))
+		if st.Degraded {
+			rtel.partialQueries.Inc()
+			rtel.shardFailures.Add(uint64(len(st.FailedShards)))
+		}
+	}
 	return dst, st, nil
 }

@@ -35,6 +35,7 @@ import (
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
+	"github.com/onioncurve/onion/internal/telemetry"
 	"github.com/onioncurve/onion/internal/vfs"
 )
 
@@ -125,6 +126,9 @@ type Sharded struct {
 	opts    Options
 	cache   *pagedstore.Cache // shared across shard engines; nil when disabled
 
+	reg  *telemetry.Registry // router-level metrics (fan-out, admission, shared cache)
+	rtel *routerTelemetry
+
 	tasks   chan task // bounded worker pool feed
 	workers sync.WaitGroup
 	admit   chan struct{} // admission slots, one per in-flight query
@@ -187,6 +191,9 @@ func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
 	// direct channel rendezvous (see Query's scheduling note).
 	s.tasks = make(chan task, opts.Workers)
 	s.admit = make(chan struct{}, opts.MaxInFlight)
+	s.reg = telemetry.NewRegistry()
+	s.rtel = newRouterTelemetry(s.reg)
+	s.registerRouterTelemetry(opts.Engine.Cache == nil && s.cache != nil)
 	for i := 0; i < opts.Workers; i++ {
 		s.workers.Add(1)
 		go func() {

@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"sort"
+
+	"github.com/onioncurve/onion/internal/engine"
+	"github.com/onioncurve/onion/internal/telemetry"
+)
+
+// routerTelemetry holds pre-resolved handles into the router's own metric
+// registry — the service-level counters that exist above any one shard
+// engine: fan-out shape, admission control, degraded serving. Per-shard
+// storage metrics live in each engine's registry and are rolled up by
+// TelemetrySnapshot.
+type routerTelemetry struct {
+	queries         *telemetry.Counter
+	queryLatencyUS  *telemetry.Histogram
+	fanoutShards    *telemetry.Histogram
+	subRanges       *telemetry.Histogram
+	admissionWaitUS *telemetry.Histogram
+	budgetRejects   *telemetry.Counter
+	partialQueries  *telemetry.Counter
+	shardFailures   *telemetry.Counter
+}
+
+func newRouterTelemetry(reg *telemetry.Registry) *routerTelemetry {
+	return &routerTelemetry{
+		queries:         reg.Counter("router_queries_total"),
+		queryLatencyUS:  reg.Histogram("router_query_latency_us"),
+		fanoutShards:    reg.Histogram("router_fanout_shards"),
+		subRanges:       reg.Histogram("router_subranges"),
+		admissionWaitUS: reg.Histogram("router_admission_wait_us"),
+		budgetRejects:   reg.Counter("router_budget_rejects_total"),
+		partialQueries:  reg.Counter("router_partial_queries_total"),
+		shardFailures:   reg.Counter("router_shard_failures_total"),
+	}
+}
+
+// Telemetry returns the router's own metric registry: fan-out, admission
+// and degradation counters, plus the shared page cache series when the
+// router created the cache. Per-shard engine metrics are NOT here — use
+// TelemetrySnapshot for the full labeled roll-up.
+func (s *Sharded) Telemetry() *telemetry.Registry { return s.reg }
+
+// TelemetrySnapshot snapshots the whole service: every shard engine's
+// registry rolled into per-metric aggregates (counters and histograms
+// sum; gauges sum; float gauges average) plus per-shard labeled copies
+// (shard="0", ...), the router's own metrics, and the per-shard
+// maintenance event streams merged into one time-ordered stream with
+// Event.Shard rewritten to the owning shard's index.
+func (s *Sharded) TelemetrySnapshot() telemetry.Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snaps := make([]telemetry.Snapshot, len(s.engines))
+	for i, e := range s.engines {
+		snaps[i] = e.Telemetry().Snapshot()
+	}
+	out := telemetry.Rollup("shard", snaps)
+	own := s.reg.Snapshot()
+	out.Metrics = append(out.Metrics, own.Metrics...)
+	sort.Slice(out.Metrics, func(a, b int) bool { return out.Metrics[a].Name < out.Metrics[b].Name })
+
+	var evs []telemetry.Event
+	for i, e := range s.engines {
+		for _, ev := range e.Events().Recent(nil) {
+			ev.Shard = i
+			evs = append(evs, ev)
+		}
+	}
+	telemetry.SortEventsByTime(evs)
+	out.Events = evs
+	return out
+}
+
+// Events returns shard i's maintenance event stream (Event.Shard is -1
+// on the per-engine stream; TelemetrySnapshot rewrites it when merging).
+func (s *Sharded) Events(i int) *telemetry.Events { return s.engines[i].Events() }
+
+// EngineTelemetry returns shard i's engine registry, for callers that
+// want one shard's view rather than the roll-up.
+func (s *Sharded) EngineTelemetry(i int) *telemetry.Registry { return s.engines[i].Telemetry() }
+
+// registerRouterTelemetry wires the router registry's sampled series:
+// admission occupancy and, when the router owns the shared page cache,
+// the cache counters — exported here exactly once rather than once per
+// shard engine (the engines detect the shared cache and skip it).
+func (s *Sharded) registerRouterTelemetry(ownedCache bool) {
+	s.reg.GaugeFunc("router_inflight_queries", func() int64 { return int64(len(s.admit)) })
+	s.reg.GaugeFunc("router_shards", func() int64 { return int64(len(s.engines)) })
+	if ownedCache {
+		engine.RegisterCacheTelemetry(s.reg, s.cache)
+	}
+}

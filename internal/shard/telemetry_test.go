@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/onioncurve/onion/internal/core"
+	"github.com/onioncurve/onion/internal/geom"
+	"github.com/onioncurve/onion/internal/telemetry"
+)
+
+// TestShardedTelemetryRollup drives a two-shard store through writes,
+// queries and the full maintenance lifecycle, then checks the roll-up
+// contract: every aggregate equals the sum (or merge) of its per-shard
+// labeled copies, the shared cache is exported exactly once, and the
+// merged event stream is time-ordered with Shard rewritten.
+func TestShardedTelemetryRollup(t *testing.T) {
+	c, err := core.NewOnion2D(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, c, manualShardOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for x := uint32(0); x < 32; x += 2 {
+		for y := uint32(0); y < 32; y += 2 {
+			if err := s.Put(geom.Point{x, y}, uint64(x)<<8|uint64(y)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint32(1); x < 32; x += 4 {
+		if err := s.Put(geom.Point{x, x}, uint64(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(filepath.Join(t.TempDir(), "snap")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := s.Query(geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{31, 31}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := s.TelemetrySnapshot()
+
+	// Counter roll-up: aggregate == sum of labeled per-shard copies, and
+	// the underlying activity actually happened.
+	for _, name := range []string{
+		"engine_flushes_total", "engine_compactions_total",
+		"engine_wal_appends_total", "engine_queries_total",
+		"engine_verify_passes_total", "engine_snapshots_total",
+	} {
+		agg := snap.Counter(name)
+		sum := snap.Counter(telemetry.WithLabel(name, "shard", "0")) +
+			snap.Counter(telemetry.WithLabel(name, "shard", "1"))
+		if agg == 0 {
+			t.Errorf("%s: aggregate is 0, expected activity", name)
+		}
+		if agg != sum {
+			t.Errorf("%s: aggregate %d != per-shard sum %d", name, agg, sum)
+		}
+	}
+
+	// Histogram roll-up: merged count and sum equal the per-shard totals.
+	aggH := snap.Hist("engine_query_latency_us")
+	if aggH == nil {
+		t.Fatal("missing engine_query_latency_us aggregate")
+	}
+	h0 := snap.Hist(`engine_query_latency_us{shard="0"}`)
+	h1 := snap.Hist(`engine_query_latency_us{shard="1"}`)
+	if h0 == nil || h1 == nil {
+		t.Fatal("missing per-shard latency histograms")
+	}
+	if aggH.Count != h0.Count+h1.Count || aggH.Sum != h0.Sum+h1.Sum {
+		t.Errorf("latency roll-up: count %d vs %d+%d, sum %d vs %d+%d",
+			aggH.Count, h0.Count, h1.Count, aggH.Sum, h0.Sum, h1.Sum)
+	}
+
+	// The shared page cache belongs to the router: exported once, never
+	// multiplied through the per-shard roll-up.
+	if _, ok := snap.Metric("cache_hits_total"); !ok {
+		t.Error("shared cache_hits_total missing from router registry")
+	}
+	if _, ok := snap.Metric(`cache_hits_total{shard="0"}`); ok {
+		t.Error("shared cache exported per-shard: roll-up would double-count it")
+	}
+	if snap.Counter("cache_hits_total")+snap.Counter("cache_misses_total") == 0 {
+		t.Error("cache counters flat after cached queries")
+	}
+
+	// Router-level series exist and saw the traffic.
+	if got := snap.Counter("router_queries_total"); got < 8 {
+		t.Errorf("router_queries_total = %d, want >= 8", got)
+	}
+	if h := snap.Hist("router_fanout_shards"); h == nil || h.Count == 0 {
+		t.Error("router_fanout_shards histogram empty")
+	}
+
+	// Event merge: Shard rewritten to the owning index, time-ordered, and
+	// the lifecycle left at least one flush, compaction and scrub event.
+	if len(snap.Events) == 0 {
+		t.Fatal("merged event stream is empty")
+	}
+	seen := map[telemetry.EventKind]bool{}
+	for i, ev := range snap.Events {
+		if ev.Shard < 0 || ev.Shard >= 2 {
+			t.Fatalf("event %d: Shard = %d, want 0 or 1", i, ev.Shard)
+		}
+		if i > 0 && ev.Time.Before(snap.Events[i-1].Time) {
+			t.Fatalf("event %d out of time order", i)
+		}
+		seen[ev.Kind] = true
+	}
+	for _, k := range []telemetry.EventKind{telemetry.EvFlush, telemetry.EvCompaction, telemetry.EvScrub, telemetry.EvSnapshot} {
+		if !seen[k] {
+			t.Errorf("no %s event in merged stream", k)
+		}
+	}
+
+	// The exporters accept the roll-up: labeled series render as valid
+	// Prometheus text (one TYPE line per base name) and JSON.
+	var prom bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	if !strings.Contains(out, `engine_flushes_total{shard="0"}`) {
+		t.Error("Prometheus output missing labeled per-shard series")
+	}
+	if got := strings.Count(out, "# TYPE engine_flushes_total "); got != 1 {
+		t.Errorf("TYPE line for engine_flushes_total appears %d times, want 1", got)
+	}
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "router_queries_total") {
+		t.Error("JSON output missing router series")
+	}
+}

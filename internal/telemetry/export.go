@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteJSON writes the snapshot as a single expvar-style JSON object:
+//
+//	{"metrics": {"name": value | {histogram...}, ...}, "events": [...]}
+//
+// Metric order follows the snapshot (sorted by name) so output is
+// stable across runs. Histograms render as
+// {"count", "sum", "mean", "p50", "p99", "p999"}.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n  \"metrics\": {")
+	for i, m := range s.Metrics {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n    ")
+		bw.WriteString(strconv.Quote(m.Name))
+		bw.WriteString(": ")
+		switch m.Kind {
+		case KindCounter:
+			bw.WriteString(strconv.FormatUint(m.Value, 10))
+		case KindGauge:
+			bw.WriteString(strconv.FormatInt(m.Int, 10))
+		case KindFloatGauge:
+			bw.WriteString(formatFloat(m.Float))
+		case KindHistogram:
+			writeHistJSON(bw, m.Hist)
+		}
+	}
+	bw.WriteString("\n  },\n  \"events\": [")
+	for i := range s.Events {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n    ")
+		writeEventJSON(bw, &s.Events[i])
+	}
+	bw.WriteString("\n  ]\n}\n")
+	return bw.Flush()
+}
+
+func writeHistJSON(bw *bufio.Writer, h *HistogramSnapshot) {
+	if h == nil {
+		bw.WriteString("null")
+		return
+	}
+	bw.WriteString(`{"count": `)
+	bw.WriteString(strconv.FormatUint(h.Count, 10))
+	bw.WriteString(`, "sum": `)
+	bw.WriteString(strconv.FormatUint(h.Sum, 10))
+	bw.WriteString(`, "mean": `)
+	bw.WriteString(formatFloat(h.Mean()))
+	bw.WriteString(`, "p50": `)
+	bw.WriteString(strconv.FormatUint(h.Quantile(0.50), 10))
+	bw.WriteString(`, "p99": `)
+	bw.WriteString(strconv.FormatUint(h.Quantile(0.99), 10))
+	bw.WriteString(`, "p999": `)
+	bw.WriteString(strconv.FormatUint(h.Quantile(0.999), 10))
+	bw.WriteByte('}')
+}
+
+func writeEventJSON(bw *bufio.Writer, e *Event) {
+	bw.WriteString(`{"seq": `)
+	bw.WriteString(strconv.FormatUint(e.Seq, 10))
+	bw.WriteString(`, "time": `)
+	bw.WriteString(strconv.Quote(e.Time.Format(time.RFC3339Nano)))
+	bw.WriteString(`, "kind": `)
+	bw.WriteString(strconv.Quote(e.Kind.String()))
+	bw.WriteString(`, "phase": `)
+	bw.WriteString(strconv.Quote(e.Phase.String()))
+	bw.WriteString(`, "shard": `)
+	bw.WriteString(strconv.Itoa(e.Shard))
+	bw.WriteString(`, "dur_us": `)
+	bw.WriteString(strconv.FormatInt(e.Dur.Microseconds(), 10))
+	if e.Records != 0 {
+		bw.WriteString(`, "records": `)
+		bw.WriteString(strconv.FormatInt(e.Records, 10))
+	}
+	if e.Bytes != 0 {
+		bw.WriteString(`, "bytes": `)
+		bw.WriteString(strconv.FormatInt(e.Bytes, 10))
+	}
+	if e.Err != "" {
+		bw.WriteString(`, "err": `)
+		bw.WriteString(strconv.Quote(e.Err))
+	}
+	if e.Detail != "" {
+		bw.WriteString(`, "detail": `)
+		bw.WriteString(strconv.Quote(e.Detail))
+	}
+	bw.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// WritePrometheus writes the snapshot's metrics in Prometheus text
+// exposition format (version 0.0.4). Counters and gauges become single
+// samples; histograms become the conventional _bucket/_sum/_count
+// series with cumulative `le` bounds (only occupied buckets plus +Inf
+// are emitted to keep the output compact). Events are not exported
+// here — they are a stream, not a scrape target.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Group series by base name so each gets exactly one TYPE line even
+	// when labeled variants are interleaved in sorted order.
+	typed := make(map[string]bool)
+	writeType := func(base, typ string) {
+		if typed[base] {
+			return
+		}
+		typed[base] = true
+		bw.WriteString("# TYPE ")
+		bw.WriteString(base)
+		bw.WriteByte(' ')
+		bw.WriteString(typ)
+		bw.WriteByte('\n')
+	}
+	for _, m := range s.Metrics {
+		base, lbl := splitName(m.Name)
+		switch m.Kind {
+		case KindCounter:
+			writeType(base, "counter")
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(m.Value, 10))
+			bw.WriteByte('\n')
+		case KindGauge:
+			writeType(base, "gauge")
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.Int, 10))
+			bw.WriteByte('\n')
+		case KindFloatGauge:
+			writeType(base, "gauge")
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(m.Float))
+			bw.WriteByte('\n')
+		case KindHistogram:
+			if m.Hist == nil {
+				continue
+			}
+			writeType(base, "histogram")
+			writePromHist(bw, base, lbl, m.Hist)
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHist(bw *bufio.Writer, base, lbl string, h *HistogramSnapshot) {
+	writeSeries := func(suffix, extraLabel, value string) {
+		bw.WriteString(base)
+		bw.WriteString(suffix)
+		if lbl != "" || extraLabel != "" {
+			bw.WriteByte('{')
+			bw.WriteString(lbl)
+			if lbl != "" && extraLabel != "" {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraLabel)
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(value)
+		bw.WriteByte('\n')
+	}
+	var cum uint64
+	for i := range h.Buckets {
+		if h.Buckets[i] == 0 {
+			continue
+		}
+		cum += h.Buckets[i]
+		le := `le="` + strconv.FormatUint(BucketBound(i), 10) + `"`
+		writeSeries("_bucket", le, strconv.FormatUint(cum, 10))
+	}
+	writeSeries("_bucket", `le="+Inf"`, strconv.FormatUint(h.Count, 10))
+	writeSeries("_sum", "", strconv.FormatUint(h.Sum, 10))
+	writeSeries("_count", "", strconv.FormatUint(h.Count, 10))
+}
+
+// SortEventsByTime orders events by timestamp (stable, sequence number
+// as tie-break) — used when merging per-shard streams whose sequence
+// numbers are not comparable across shards.
+func SortEventsByTime(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time.Equal(events[j].Time) {
+			return events[i].Seq < events[j].Seq
+		}
+		return events[i].Time.Before(events[j].Time)
+	})
+}

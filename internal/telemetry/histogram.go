@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// The histogram covers the full uint64 range with a fixed bucket
+// layout: values 0..3 get exact buckets, and every octave [2^o, 2^(o+1))
+// for o >= 2 is split into 4 sub-buckets, bounding the relative
+// quantile error at 25% while keeping the array small enough to embed
+// everywhere. 4 exact + 4*62 octave buckets = 252 total.
+const (
+	histExact   = 4
+	histOctaves = 62 // o = 2..63
+	HistBuckets = histExact + 4*histOctaves
+)
+
+// Histogram is a fixed-bucket log-scale histogram of uint64 samples
+// (latencies in microseconds, sizes in bytes, counts — anything
+// non-negative). Record is lock-free and allocation-free. The zero
+// value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketIndex maps a sample to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histExact {
+		return int(v)
+	}
+	o := bits.Len64(v) - 1          // 2..63
+	sub := (v >> (uint(o) - 2)) & 3 // top two bits below the leading one
+	return histExact + 4*(o-2) + int(sub)
+}
+
+// BucketBound returns the inclusive upper bound of bucket i. Reported
+// quantiles are bucket upper bounds, so they over-estimate by at most
+// 25%.
+func BucketBound(i int) uint64 {
+	if i < histExact {
+		return uint64(i)
+	}
+	i -= histExact
+	o := uint(2 + i/4)
+	sub := uint64(i % 4)
+	lo := uint64(1)<<o + sub<<(o-2)
+	return lo + uint64(1)<<(o-2) - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns a copy of the current bucket counts. Count is
+// derived from the buckets, so Count always equals the sum of Buckets
+// even when snapped concurrently with Record; Sum may lag or lead by
+// the in-flight samples.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state,
+// mergeable with other snapshots of the same layout.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Merge adds other's samples into s.
+func (s *HistogramSnapshot) Merge(other *HistogramSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Quantile returns the value at quantile q in [0, 1] as the upper bound
+// of the bucket holding that rank, or 0 for an empty histogram.
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the recorded samples, or 0 for an
+// empty histogram.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -51,6 +51,7 @@ import (
 	"github.com/onioncurve/onion/internal/ranges"
 	"github.com/onioncurve/onion/internal/shard"
 	"github.com/onioncurve/onion/internal/stats"
+	"github.com/onioncurve/onion/internal/telemetry"
 	"github.com/onioncurve/onion/internal/theory"
 	"github.com/onioncurve/onion/internal/viz"
 )
@@ -194,6 +195,32 @@ type (
 	// ShardedSnapshotReport summarizes one ShardedEngine.Snapshot
 	// composite export: the epoch, per-shard engine reports and totals.
 	ShardedSnapshotReport = shard.SnapshotReport
+	// TelemetryRegistry is a process-local metric registry: atomic
+	// counters and gauges plus lock-free log-scale histograms, recorded
+	// allocation-free on the hot path and exported as stable-sorted
+	// snapshots. Engine.Telemetry and ShardedEngine.Telemetry return the
+	// storage stack's registries; see the README's Observability section
+	// for the metric name contract.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time export of a registry (plus any
+	// attached maintenance events): render it with WriteJSON (expvar-style)
+	// or WritePrometheus (text exposition format).
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryMetric is one exported series of a TelemetrySnapshot.
+	TelemetryMetric = telemetry.Metric
+	// TelemetryHistogram is a mergeable fixed-bucket log-scale histogram
+	// snapshot (<= 25% relative bucket error) with quantile estimation.
+	TelemetryHistogram = telemetry.HistogramSnapshot
+	// MaintenanceEvent is one lifecycle event of the storage stack's
+	// background machinery: flush, compaction, snapshot, restore, repair,
+	// scrub or health transition, with start/end phases and outcome.
+	MaintenanceEvent = telemetry.Event
+	// MaintenanceEvents is a bounded in-memory ring of MaintenanceEvents
+	// with an optional synchronous listener; Engine.Events returns the
+	// engine's stream.
+	MaintenanceEvents = telemetry.Events
+	// MaintenanceEventKind discriminates MaintenanceEvent kinds.
+	MaintenanceEventKind = telemetry.EventKind
 )
 
 // Engine health states (see EngineHealth).
@@ -202,6 +229,17 @@ const (
 	EngineDegraded = engine.Degraded
 	EngineReadOnly = engine.ReadOnly
 	EngineFailed   = engine.Failed
+)
+
+// Maintenance event kinds (see MaintenanceEvent).
+const (
+	EventFlush      = telemetry.EvFlush
+	EventCompaction = telemetry.EvCompaction
+	EventSnapshot   = telemetry.EvSnapshot
+	EventRestore    = telemetry.EvRestore
+	EventRepair     = telemetry.EvRepair
+	EventScrub      = telemetry.EvScrub
+	EventHealth     = telemetry.EvHealth
 )
 
 // Sentinel errors of the storage stack, for errors.Is checks at the
