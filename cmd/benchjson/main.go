@@ -83,14 +83,21 @@ func parseLine(line string) (Result, bool) {
 				r.AllocsPerOp = &a
 			}
 		default:
-			// Custom ReportMetric units end in "/op" by convention.
-			if strings.HasSuffix(unit, "/op") {
-				if v, err := strconv.ParseFloat(val, 64); err == nil {
-					if r.Extra == nil {
-						r.Extra = map[string]float64{}
-					}
-					r.Extra[unit] = v
+			// Custom ReportMetric units are rates by convention — usually
+			// "x/op", but batching benchmarks also report per-batch shapes
+			// ("ops/batch") and tail latencies ("p99ack-us"), so accept any
+			// unit-looking token after a number that is not itself a number.
+			if !strings.ContainsAny(unit, "/-") {
+				continue
+			}
+			if _, err := strconv.ParseFloat(unit, 64); err == nil {
+				continue // a bare number is a value, not a unit
+			}
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
 				}
+				r.Extra[unit] = v
 			}
 		}
 	}

@@ -10,6 +10,7 @@
 //	loadgen -sweep 1,2,4,8 -duration 5s      # throughput vs shard count
 //	loadgen -cache 0,262144,8388608          # throughput vs cache budget
 //	loadgen -sync                            # group-committed durable writes
+//	loadgen -arrival-rate 50000 -sync        # open-loop Poisson arrivals via async ingest
 //	loadgen -faults enospc:sync:200:wal-     # every 200th WAL fsync hits ENOSPC
 //	loadgen -snapshot-every 2s               # incremental snapshots under load
 //	loadgen -faults corrupt:read:500 -repair # corrupt reads, then repair + recover
@@ -96,6 +97,8 @@ type errTally struct {
 func (t *errTally) add(err error) {
 	cat := "other"
 	switch {
+	case errors.Is(err, onion.ErrIngestBackpressure):
+		cat = "backpressure"
 	case errors.Is(err, onion.ErrReadOnly):
 		cat = "readonly"
 	case errors.Is(err, onion.ErrCorrupt):
@@ -143,6 +146,9 @@ func main() {
 		sweep        = flag.String("sweep", "", "comma-separated shard counts to sweep, e.g. 1,2,4,8")
 		cache        = flag.String("cache", "", "comma-separated page-cache byte budgets to sweep, e.g. 0,262144,8388608")
 		sync         = flag.Bool("sync", false, "fsync every write (group-committed)")
+		arrivalRate  = flag.Float64("arrival-rate", 0, "open-loop write arrivals per second (Poisson) through the async ingest pipeline; overload surfaces as enqueue-wait and ack tail latency (0 = closed-loop writers)")
+		ingestRing   = flag.Int("ingest-ring", 0, "ingest ring capacity for -arrival-rate mode (0 = pipeline default); smaller rings trade ack latency for earlier backpressure")
+		ingestBatch  = flag.Int("ingest-batch", 0, "max ops per coalesced ingest batch for -arrival-rate mode (0 = pipeline default)")
 		writers      = flag.Int("writers", 4, "concurrent writer goroutines")
 		readers      = flag.Int("readers", 4, "concurrent reader goroutines")
 		duration     = flag.Duration("duration", 5*time.Second, "measurement window per configuration")
@@ -195,14 +201,21 @@ func main() {
 		"shards", "cacheB", "writes/s", "queries/s", "avg seeks/q", "records/q", "hit%", "allocs/q")
 	tele := teleOpts{addr: *metricsAddr, statusEvery: *statusEvery, out: *telemetryOut}
 	for _, cfg := range configs {
-		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *writers, *readers, *duration,
-			uint32(*side), uint32(*qside), *preload, *dir, faults, *snapEvery, *repair, tele)
+		ing := onion.IngestConfig{Ring: *ingestRing, MaxBatch: *ingestBatch}
+		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *arrivalRate, ing, *writers, *readers,
+			*duration, uint32(*side), uint32(*qside), *preload, *dir, faults, *snapEvery, *repair, tele)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%7d  %10d  %12.0f  %12.0f  %12.1f  %10.0f  %7.1f  %9.1f\n",
 			cfg.shards, cfg.cacheBytes, m.writesPerSec, m.queriesPerSec,
 			m.seeksPerQuery, m.recordsPerQuery, 100*m.hitRate, m.allocsPerQuery)
+		if ig := m.ingest; ig != nil {
+			fmt.Printf("         ingest: offered=%.0f/s acked=%d shed=%d ackerrs=%d ops/batch=%.1f coalesced=%d\n",
+				*arrivalRate, ig.acked, ig.shed, ig.ackErrs, ig.opsPerBatch, ig.coalesced)
+			fmt.Printf("         ingest: enqueue-wait p50=%v p99=%v p999=%v  ack p50=%v p99=%v p999=%v\n",
+				ig.enqP50, ig.enqP99, ig.enqP999, ig.ackP50, ig.ackP99, ig.ackP999)
+		}
 		printTallies("write errors", m.writeErrs)
 		printTallies("query errors", m.queryErrs)
 		printTallies("maintenance errors", m.maintErrs)
@@ -258,6 +271,27 @@ type metrics struct {
 	repaired  int64
 	salvaged  int64
 	restored  int64
+	// ingest is set only in open-loop (-arrival-rate) mode.
+	ingest *ingestReport
+}
+
+// ingestReport is the open-loop mode's tail-latency readout, pulled from
+// the pipeline's own telemetry histograms after the window closes:
+// enqueue-wait (time a blocking producer would have stalled for ring
+// space — 0 for every uncontended arrival) and end-to-end ack latency
+// (enqueue to post-fsync completion fan-out).
+type ingestReport struct {
+	acked       int64
+	shed        int64
+	ackErrs     int64
+	coalesced   int64
+	opsPerBatch float64
+	enqP50      time.Duration
+	enqP99      time.Duration
+	enqP999     time.Duration
+	ackP50      time.Duration
+	ackP99      time.Duration
+	ackP999     time.Duration
 }
 
 // teleOpts is the observability surface of one run: the live HTTP
@@ -333,9 +367,9 @@ func healthLetters(hs []onion.ShardHealth) string {
 }
 
 // run measures one (shard count, cache budget) configuration.
-func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d time.Duration,
-	side, qside uint32, preload int, dir string, faults []vfs.Fault,
-	snapEvery time.Duration, repair bool, tele teleOpts) (metrics, error) {
+func run(shards int, cacheBytes int64, syncWrites bool, arrivalRate float64, ing onion.IngestConfig,
+	writers, readers int, d time.Duration, side, qside uint32, preload int, dir string,
+	faults []vfs.Fault, snapEvery time.Duration, repair bool, tele teleOpts) (metrics, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "onion-loadgen")
 		if err != nil {
@@ -400,23 +434,70 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	var wg sync.WaitGroup
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	// Open-loop mode: writes arrive on a Poisson process at -arrival-rate
+	// per second through the async ingest pipeline instead of closed-loop
+	// as-fast-as-acked workers. Arrival times are independent of service
+	// time — a generator that falls behind schedule fires immediately
+	// until it catches up — so overload cannot silently throttle the
+	// offered load the way a closed loop does: it shows up in the
+	// pipeline's own histograms as enqueue-wait (time stalled for ring
+	// space) and end-to-end ack tail latency.
+	var pipe *onion.IngestPipeline
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	if arrivalRate > 0 {
+		pipe, err = s.NewIngest(ing)
+		if err != nil {
+			return metrics{}, err
+		}
+	}
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
+			// Per-generator rate: superposed Poisson processes are one
+			// Poisson process at the summed rate.
+			lambda := arrivalRate / float64(writers)
+			next := time.Now()
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
+				if pipe != nil {
+					// Exponential inter-arrival, scheduled against the
+					// previous arrival time, not "now": a generator that
+					// falls behind fires immediately until it catches up,
+					// preserving the offered rate.
+					next = next.Add(time.Duration(rng.ExpFloat64() / lambda * float64(time.Second)))
+					if wait := time.Until(next); wait > 0 {
+						select {
+						case <-stop:
+							return
+						case <-time.After(wait):
+						}
+					}
+				}
 				pt := onion.Point{uint32(rng.Intn(int(side))), uint32(rng.Intn(int(side)))}
 				var err error
-				if rng.Intn(10) == 0 {
+				// Open-loop enqueues are fire-and-forget: the ack fans back
+				// through the handle the pipeline is timing anyway, so the
+				// generator never waits on service time, only (under
+				// backpressure) on ring space.
+				switch {
+				case pipe != nil && rng.Intn(10) == 0:
+					_, err = pipe.DeleteAsync(wctx, pt)
+				case pipe != nil:
+					_, err = pipe.PutAsync(wctx, pt, rng.Uint64())
+				case rng.Intn(10) == 0:
 					err = s.Delete(pt)
-				} else {
+				default:
 					err = s.Put(pt, rng.Uint64())
+				}
+				if errors.Is(err, context.Canceled) {
+					return // the window closed while we were stalled
 				}
 				if err != nil {
 					// Degradation is data, not a reason to stop: count
@@ -556,8 +637,46 @@ func run(shards int, cacheBytes int64, syncWrites bool, writers, readers int, d 
 	}
 	time.Sleep(d)
 	close(stop)
+	wcancel() // release generators stalled in a blocking enqueue
 	wg.Wait()
 	runtime.ReadMemStats(&after)
+
+	if pipe != nil {
+		// Producers have stopped; drain the ring so every accepted arrival
+		// is acknowledged before reading the histograms, then fold the
+		// pipeline's telemetry into the run report. A failed batch is a
+		// write error like any other.
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := pipe.Drain(dctx); err != nil {
+			maintErrs.add(err)
+		}
+		cancel()
+		if err := pipe.Close(); err != nil {
+			writeErrs.add(err)
+		}
+		snap := pipe.Telemetry().Snapshot()
+		ig := &ingestReport{
+			acked:     int64(snap.Counter("ingest_acked_total")),
+			shed:      int64(snap.Counter("ingest_backpressure_rejects_total")),
+			ackErrs:   int64(snap.Counter("ingest_ack_errors_total")),
+			coalesced: int64(snap.Counter("ingest_coalesced_total")),
+		}
+		if b := snap.Counter("ingest_batches_total"); b > 0 {
+			ig.opsPerBatch = float64(snap.Counter("ingest_acked_total")+
+				snap.Counter("ingest_ack_errors_total")) / float64(b)
+		}
+		if h := snap.Hist("ingest_enqueue_wait_us"); h != nil && h.Count > 0 {
+			ig.enqP50 = time.Duration(h.Quantile(0.50)) * time.Microsecond
+			ig.enqP99 = time.Duration(h.Quantile(0.99)) * time.Microsecond
+			ig.enqP999 = time.Duration(h.Quantile(0.999)) * time.Microsecond
+		}
+		if h := snap.Hist("ingest_ack_latency_us"); h != nil && h.Count > 0 {
+			ig.ackP50 = time.Duration(h.Quantile(0.50)) * time.Microsecond
+			ig.ackP99 = time.Duration(h.Quantile(0.99)) * time.Microsecond
+			ig.ackP999 = time.Duration(h.Quantile(0.999)) * time.Microsecond
+		}
+		m.ingest = ig
+	}
 
 	// End-of-window maintenance sweep: a final flush, full compaction and
 	// verify pass, so every run's telemetry carries at least one flush,

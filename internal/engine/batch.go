@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/geom"
+)
+
+// BatchOp is one logical write inside a PutBatch: a put of (Point,
+// Payload) or, with Del set, a blind tombstone at Point. PutBatch does
+// not retain the ops or their Points; callers may reuse both.
+type BatchOp struct {
+	Point   geom.Point
+	Payload uint64
+	Del     bool
+}
+
+// PutBatch applies ops as one WAL unit: every op is framed into the log
+// under a single WAL-mutex hold — so the batch occupies one contiguous
+// sequence-number interval in log order — and, with Options.SyncWrites,
+// the whole batch rides one group-commit rendezvous, amortizing a single
+// fsync over every op (and over any concurrent writers that landed in the
+// same commit window). The memtable inserts still fan out across the
+// memtable's key-band shards.
+//
+// Acknowledgement is all-or-nothing: a nil return means every op is
+// acknowledged under the same durability rules as Put. On error no op is
+// acknowledged; ops already framed before the failure have indeterminate
+// durability, exactly like a single failed Put — each frame is CRC-guarded,
+// so recovery keeps a clean per-op prefix of the batch and never a torn op.
+//
+// An op whose Point lies outside the universe rejects the whole batch
+// before anything is written.
+func (e *Engine) PutBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	for i := range ops {
+		if !e.c.Universe().Contains(ops[i].Point) {
+			return fmt.Errorf("%w: %v in %v", ErrPoint, ops[i].Point, e.c.Universe())
+		}
+	}
+	if Health(e.health.state.Load()) >= ReadOnly {
+		return e.readOnlyErr()
+	}
+	e.mu.RLock()
+	if e.closed || e.closing {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	// One walMu hold for the whole batch: sequence order equals log order
+	// equals slice order, and concurrent writers see the batch as one
+	// contiguous block.
+	e.walMu.Lock()
+	w := e.wal
+	prevN := w.n
+	firstSeq := e.seq + 1
+	var err error
+	for i := range ops {
+		e.seq++
+		if err = w.append(walOp{pt: ops[i].Point, payload: ops[i].Payload, del: ops[i].Del}); err != nil {
+			// Frames after a failed append would sit beyond a torn region
+			// recovery cannot cross; stop framing here. The sequence
+			// numbers already assigned are committed below so the
+			// visibility watermark never wedges.
+			break
+		}
+	}
+	lastSeq := e.seq
+	pos := w.n
+	if err == nil && e.opts.SyncWrites && e.opts.noGroupCommit {
+		err = e.timedWALSync(w)
+	}
+	e.walMu.Unlock()
+	if err == nil && e.opts.SyncWrites && !e.opts.noGroupCommit {
+		// One rendezvous for the batch: the leader's single fsync covers
+		// every frame up to pos — the whole batch, plus whatever other
+		// writers appended in the window.
+		err = e.groupCommit(w, pos)
+	}
+	if err != nil {
+		for s := firstSeq; s <= lastSeq; s++ {
+			e.com.commit(s)
+		}
+		e.mu.RUnlock()
+		if errors.Is(err, ErrWAL) {
+			e.degrade(ReadOnly, err)
+			return fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
+		return err
+	}
+	mem := e.mem
+	for i := range ops {
+		seq := firstSeq + uint64(i)
+		mem.put(e.c.Index(ops[i].Point), ops[i].Point, ops[i].Payload, seq, ops[i].Del)
+		e.com.commit(seq)
+	}
+	entries := mem.entries.Load()
+	e.mu.RUnlock()
+	if tel := e.tel; tel != nil {
+		tel.walAppends.Add(uint64(len(ops)))
+		tel.walAppendBytes.Add(uint64(pos - prevN))
+	}
+	if e.opts.FlushEntries > 0 && entries >= int64(e.opts.FlushEntries) {
+		select {
+		case e.bg <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Curve returns the curve the engine clusters by — the one passed to
+// Open. Ingest pipelines use it to route ops by curve key before the
+// engine sees them.
+func (e *Engine) Curve() curve.Curve { return e.c }

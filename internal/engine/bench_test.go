@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -131,10 +132,48 @@ func benchSyncIngest(b *testing.B, noGroup bool) {
 // durable write pays its own fsync.
 func BenchmarkEngineIngestSyncSolo(b *testing.B) { benchSyncIngest(b, true) }
 
+// benchSyncIngestProducers drives exactly b.N durable puts split across
+// an explicit number of producer goroutines, each blocking on its own
+// write — the closed-loop synchronous baseline the async ingest pipeline
+// is gated against at matching producer counts.
+func benchSyncIngestProducers(b *testing.B, producers int) {
+	opts := benchOpts()
+	opts.SyncWrites = true
+	e := benchEngine(b, opts)
+	side := int32(e.c.Universe().Side())
+	base, extra := b.N/producers, b.N%producers
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		n := base
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < n; i++ {
+				pt := geom.Point{uint32(rng.Int31n(side)), uint32(rng.Int31n(side))}
+				if err := e.Put(pt, rng.Uint64()); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
 // BenchmarkEngineIngestSyncGroup batches concurrent durable writes into
-// one flush + fsync per group; with >= 4 writers the throughput gain
-// over Solo is the number of frames a disk barrier amortizes across.
-func BenchmarkEngineIngestSyncGroup(b *testing.B) { benchSyncIngest(b, false) }
+// one flush + fsync per group; the throughput gain over Solo is the
+// number of frames a disk barrier amortizes across, growing with the
+// producer count.
+func BenchmarkEngineIngestSyncGroup(b *testing.B) {
+	for _, p := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) { benchSyncIngestProducers(b, p) })
+	}
+}
 
 // BenchmarkEngineQueryCached measures the steady-state cached read path
 // at increasing cache budgets on a compacted 100k-record engine: 64x64

@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"sync/atomic"
+)
+
+// ring is a bounded lock-free multi-producer multi-consumer queue of ops
+// (Dmitry Vyukov's bounded MPMC algorithm). Each slot carries a sequence
+// number that encodes its state relative to the enqueue/dequeue cursors:
+// a producer may claim a slot when slot.seq equals the enqueue position,
+// a consumer when it equals position+1. The atomic sequence store that
+// publishes a slot is also the happens-before edge that makes the op
+// payload visible, so the data path needs no locks at all.
+//
+// Capacity is a power of two fixed at construction: the ring IS the
+// ingest pipeline's memory bound, so it never grows.
+type ring struct {
+	mask  uint64
+	slots []rslot
+
+	_   [56]byte // keep the hot cursors on separate cache lines
+	enq atomic.Uint64
+	_   [56]byte
+	deq atomic.Uint64
+	_   [56]byte
+
+	// space wakes one blocked producer per dequeue; items wakes the idle
+	// consumer on enqueue. Both are capacity-1 edge signals: a lost send
+	// just means the other side was already awake (or re-arms via the
+	// waiters' poll fallback).
+	space chan struct{}
+	items chan struct{}
+}
+
+type rslot struct {
+	seq atomic.Uint64
+	op  op
+	_   [8]byte // pad to discourage false sharing between adjacent slots
+}
+
+// newRing builds a ring with capacity rounded up to a power of two, at
+// least 2.
+func newRing(capacity int) *ring {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	r := &ring{
+		mask:  n - 1,
+		slots: make([]rslot, n),
+		space: make(chan struct{}, 1),
+		items: make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// cap returns the ring's fixed capacity.
+func (r *ring) cap() int { return len(r.slots) }
+
+// len approximates the current queue depth (racy by nature; exact only
+// when producers and consumers are quiescent).
+func (r *ring) len() int {
+	d := int64(r.enq.Load()) - int64(r.deq.Load())
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(len(r.slots)) {
+		d = int64(len(r.slots))
+	}
+	return int(d)
+}
+
+// tryEnqueue claims the next slot and publishes v. It fails (false) only
+// when the ring is full.
+func (r *ring) tryEnqueue(v op) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch dif := int64(s.seq.Load()) - int64(pos); {
+		case dif == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.op = v
+				s.seq.Store(pos + 1)
+				// Edge-signal the consumer; a full channel means it is
+				// already scheduled to wake.
+				select {
+				case r.items <- struct{}{}:
+				default:
+				}
+				return true
+			}
+			pos = r.enq.Load()
+		case dif < 0:
+			// The slot still holds an unconsumed op a full lap behind:
+			// the ring is full.
+			return false
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// tryDequeue pops the oldest op into out. It fails (false) only when the
+// ring is empty.
+func (r *ring) tryDequeue(out *op) bool {
+	pos := r.deq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch dif := int64(s.seq.Load()) - int64(pos+1); {
+		case dif == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				*out = s.op
+				s.op = op{} // drop references so acked ops are collectable
+				s.seq.Store(pos + r.mask + 1)
+				select {
+				case r.space <- struct{}{}:
+				default:
+				}
+				return true
+			}
+			pos = r.deq.Load()
+		case dif < 0:
+			return false
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"github.com/onioncurve/onion/internal/engine"
 	"github.com/onioncurve/onion/internal/geom"
 	"github.com/onioncurve/onion/internal/index"
+	"github.com/onioncurve/onion/internal/ingest"
 	"github.com/onioncurve/onion/internal/metrics"
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
@@ -195,6 +196,24 @@ type (
 	// ShardedSnapshotReport summarizes one ShardedEngine.Snapshot
 	// composite export: the epoch, per-shard engine reports and totals.
 	ShardedSnapshotReport = shard.SnapshotReport
+	// EngineBatchOp is one logical write inside Engine.PutBatch: a put of
+	// (Point, Payload) or, with Del set, a blind tombstone at Point. The
+	// whole batch rides one WAL group-commit fsync.
+	EngineBatchOp = engine.BatchOp
+	// IngestPipeline is the asynchronous write front-end: a bounded
+	// lock-free MPMC ring feeding a striped per-shard batcher that
+	// coalesces ops (last-write-wins per key, curve order per batch) into
+	// PutBatch calls, with explicit backpressure and per-op completion
+	// handles. Build one with NewIngest (single engine) or
+	// ShardedEngine.NewIngest (one stripe per shard). See the README's
+	// "Async ingest" section for the ack-durability contract.
+	IngestPipeline = ingest.Pipeline
+	// IngestConfig tunes an IngestPipeline: ring capacity (the memory
+	// bound and backpressure threshold) and max batch size.
+	IngestConfig = ingest.Config
+	// IngestHandle is the completion side of one asynchronously enqueued
+	// op: Wait blocks until the op's batch durably commits or fails.
+	IngestHandle = ingest.Handle
 	// TelemetryRegistry is a process-local metric registry: atomic
 	// counters and gauges plus lock-free log-scale histograms, recorded
 	// allocation-free on the hot path and exported as stable-sorted
@@ -267,7 +286,23 @@ var (
 	// ErrShardedSnapshot is ErrSnapshot's composite counterpart for
 	// ShardedEngine snapshots.
 	ErrShardedSnapshot = shard.ErrSnapshot
+	// ErrIngestBackpressure reports a non-blocking ingest enqueue rejected
+	// because the ring is full: the pipeline sheds load instead of growing
+	// its memory footprint. Retry, drop, or use the blocking form.
+	ErrIngestBackpressure = ingest.ErrBackpressure
+	// ErrIngestClosed reports an ingest enqueue after the pipeline closed.
+	ErrIngestClosed = ingest.ErrClosed
 )
+
+// NewIngest builds and starts an asynchronous ingest pipeline over a
+// single engine: ops enqueue into a bounded MPMC ring, a batcher
+// coalesces them, and each batch rides one WAL group-commit fsync through
+// Engine.PutBatch. Close the pipeline before closing the engine. For a
+// ShardedEngine use its NewIngest method, which stripes batches per
+// shard.
+func NewIngest(e *Engine, cfg IngestConfig) (*IngestPipeline, error) {
+	return ingest.NewEngine(e, cfg)
+}
 
 // NewUniverse validates and constructs a dims-dimensional grid of
 // side^dims cells.
