@@ -12,6 +12,8 @@
 //	loadgen -sync                            # group-committed durable writes
 //	loadgen -arrival-rate 50000 -sync        # open-loop Poisson arrivals via async ingest
 //	loadgen -faults enospc:sync:200:wal-     # every 200th WAL fsync hits ENOSPC
+//	loadgen -replicas 2                      # quorum-replicated writes, 2 followers/shard
+//	loadgen -replicas 2 -repl-faults drop:50 # every 50th replica append is lost
 //	loadgen -snapshot-every 2s               # incremental snapshots under load
 //	loadgen -faults corrupt:read:500 -repair # corrupt reads, then repair + recover
 //	loadgen -metrics-addr :9090              # live /metrics + /telemetry.json endpoint
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	onion "github.com/onioncurve/onion"
+	"github.com/onioncurve/onion/internal/repl"
 	"github.com/onioncurve/onion/internal/vfs"
 )
 
@@ -87,6 +90,38 @@ func parseFaults(spec string) ([]vfs.Fault, error) {
 	return out, nil
 }
 
+var replFaultKinds = map[string]repl.FaultKind{
+	"drop": repl.KindDrop, "dropack": repl.KindDropAck, "dup": repl.KindDup,
+	"stale": repl.KindStale, "delay": repl.KindDelay, "crash": repl.KindCrash,
+	"crashack": repl.KindCrashAck,
+}
+
+// parseReplFaults parses a comma-separated list of replication
+// transport fault rules, each kind:n — every nth append to a follower
+// suffers kind (drop, dropack, dup, stale, delay, crash, crashack).
+func parseReplFaults(spec string) ([]repl.Fault, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []repl.Fault
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("repl fault %q: want kind:n", entry)
+		}
+		kind, ok := replFaultKinds[parts[0]]
+		if !ok {
+			return nil, fmt.Errorf("repl fault %q: unknown kind %q", entry, parts[0])
+		}
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("repl fault %q: bad interval %q", entry, parts[1])
+		}
+		out = append(out, repl.Fault{Op: repl.FaultAppend, Kind: kind, N: n, Repeat: true})
+	}
+	return out, nil
+}
+
 // errTally counts worker errors by failure category instead of killing
 // the run: under injected faults, errors are the expected output.
 type errTally struct {
@@ -99,6 +134,8 @@ func (t *errTally) add(err error) {
 	switch {
 	case errors.Is(err, onion.ErrIngestBackpressure):
 		cat = "backpressure"
+	case errors.Is(err, onion.ErrQuorum):
+		cat = "quorum"
 	case errors.Is(err, onion.ErrReadOnly):
 		cat = "readonly"
 	case errors.Is(err, onion.ErrCorrupt):
@@ -157,6 +194,8 @@ func main() {
 		preload      = flag.Int("preload", 100_000, "records ingested before the measurement window")
 		dir          = flag.String("dir", "", "engine directory (default: a fresh temp dir per run)")
 		faultStr     = flag.String("faults", "", "comma-separated soak faults kind:op:n[:path], e.g. enospc:sync:200:wal- (activated after preload)")
+		replicas     = flag.Int("replicas", 0, "followers per shard behind an in-process transport; every write quorum-commits and implies durable (-sync) writes (0 disables replication)")
+		replFaultStr = flag.String("repl-faults", "", "comma-separated replication transport faults kind:n, e.g. drop:50 (kinds: drop, dropack, dup, stale, delay, crash, crashack; activated after preload; needs -replicas)")
 		snapEvery    = flag.Duration("snapshot-every", 0, "take a composite snapshot at this interval during the window, incremental after the first; the last one is restored and verified after the run (0 disables)")
 		repair       = flag.Bool("repair", false, "after the window, repair quarantined segments from the latest snapshot and attempt health recovery")
 		metricsAddr  = flag.String("metrics-addr", "", "serve the live telemetry roll-up over HTTP at this address: /metrics (Prometheus text) and /telemetry.json (empty disables)")
@@ -167,6 +206,13 @@ func main() {
 	faults, err := parseFaults(*faultStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	replFaults, err := parseReplFaults(*replFaultStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(replFaults) > 0 && *replicas < 1 {
+		log.Fatal("-repl-faults needs -replicas > 0")
 	}
 	if *qside >= *side {
 		log.Fatalf("-qside (%d) must be smaller than -side (%d)", *qside, *side)
@@ -203,7 +249,8 @@ func main() {
 	for _, cfg := range configs {
 		ing := onion.IngestConfig{Ring: *ingestRing, MaxBatch: *ingestBatch}
 		m, err := run(cfg.shards, cfg.cacheBytes, *sync, *arrivalRate, ing, *writers, *readers,
-			*duration, uint32(*side), uint32(*qside), *preload, *dir, faults, *snapEvery, *repair, tele)
+			*duration, uint32(*side), uint32(*qside), *preload, *dir, faults,
+			*replicas, replFaults, *snapEvery, *repair, tele)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -215,6 +262,10 @@ func main() {
 				*arrivalRate, ig.acked, ig.shed, ig.ackErrs, ig.opsPerBatch, ig.coalesced)
 			fmt.Printf("         ingest: enqueue-wait p50=%v p99=%v p999=%v  ack p50=%v p99=%v p999=%v\n",
 				ig.enqP50, ig.enqP99, ig.enqP999, ig.ackP50, ig.ackP99, ig.ackP999)
+		}
+		if rp := m.repl; rp != nil {
+			fmt.Printf("         repl: %d replicas/shard  batches=%d seeds=%d quorum-lost=%d failovers=%d  lag end=%d final=%d\n",
+				rp.replicas, rp.batches, rp.seeds, rp.quorumLost, rp.failovers, rp.lagEnd, rp.lagFinal)
 		}
 		printTallies("write errors", m.writeErrs)
 		printTallies("query errors", m.queryErrs)
@@ -273,6 +324,34 @@ type metrics struct {
 	restored  int64
 	// ingest is set only in open-loop (-arrival-rate) mode.
 	ingest *ingestReport
+	// repl is set only in replicated (-replicas) mode.
+	repl *replReport
+}
+
+// replReport is the replicated mode's readout: how much the followers
+// trailed the leaders when the window closed (before the end-of-run
+// heal), whether they converged after it (lagFinal), and the lifetime
+// replication counters — quorum losses and failovers being the ones a
+// hostile -repl-faults run is trying to provoke.
+type replReport struct {
+	replicas   int
+	lagEnd     uint64
+	lagFinal   uint64
+	batches    int64
+	seeds      int64
+	quorumLost int64
+	failovers  int64
+}
+
+// maxLag reduces a per-peer lag map to its worst entry.
+func maxLag(m map[string]uint64) uint64 {
+	var worst uint64
+	for _, v := range m {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
 }
 
 // ingestReport is the open-loop mode's tail-latency readout, pulled from
@@ -302,11 +381,18 @@ type teleOpts struct {
 	out         string
 }
 
+// telemetrySource is anything that can export a telemetry roll-up —
+// the sharded engine, or its replicated wrapper (whose snapshot adds
+// the repl_* series).
+type telemetrySource interface {
+	TelemetrySnapshot() onion.TelemetrySnapshot
+}
+
 // serveTelemetry exposes the service's live telemetry roll-up over HTTP:
 // GET /metrics renders Prometheus text exposition, GET /telemetry.json
 // the expvar-style JSON document. The returned closer shuts the listener
 // down.
-func serveTelemetry(addr string, s *onion.ShardedEngine) (func(), error) {
+func serveTelemetry(addr string, s telemetrySource) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -369,7 +455,8 @@ func healthLetters(hs []onion.ShardHealth) string {
 // run measures one (shard count, cache budget) configuration.
 func run(shards int, cacheBytes int64, syncWrites bool, arrivalRate float64, ing onion.IngestConfig,
 	writers, readers int, d time.Duration, side, qside uint32, preload int, dir string,
-	faults []vfs.Fault, snapEvery time.Duration, repair bool, tele teleOpts) (metrics, error) {
+	faults []vfs.Fault, replicas int, replFaults []repl.Fault,
+	snapEvery time.Duration, repair bool, tele teleOpts) (metrics, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "onion-loadgen")
 		if err != nil {
@@ -396,17 +483,72 @@ func run(shards int, cacheBytes int64, syncWrites bool, arrivalRate float64, ing
 		inj = vfs.NewInjecting(vfs.OS{})
 		opts.FS = inj
 	}
-	s, err := onion.OpenShardedEngine(dir, o, opts)
-	if err != nil {
-		return metrics{}, err
+	// With -replicas, every shard leads an in-process replica set: N
+	// followers per shard behind a loopback transport (wrapped for fault
+	// injection), and a write ack means "fsynced on a quorum of that
+	// shard's replicas". The follower directories live next to the
+	// service's so a temp-dir run cleans everything up together.
+	var (
+		r         *onion.ReplicatedShardedEngine
+		rtr       *repl.Injecting
+		followers []*repl.Follower
+	)
+	defer func() {
+		for _, fo := range followers {
+			fo.Close() //nolint:errcheck // best-effort teardown
+		}
+	}()
+	var s *onion.ShardedEngine
+	if replicas > 0 {
+		lb := onion.NewReplLoopback()
+		rtr = repl.NewInjectingTransport(lb)
+		fe := opts.Engine
+		fe.SyncWrites = true
+		peerIDs := make([][]string, shards)
+		for sh := 0; sh < shards; sh++ {
+			for f := 1; f <= replicas; f++ {
+				id := fmt.Sprintf("s%d-f%d", sh, f)
+				fo, err := repl.OpenFollower(id, filepath.Join(dir, "replica-"+id), o,
+					repl.FollowerOptions{Engine: fe})
+				if err != nil {
+					return metrics{}, err
+				}
+				followers = append(followers, fo)
+				lb.Register(id, fo)
+				peerIDs[sh] = append(peerIDs[sh], id)
+			}
+		}
+		r, err = onion.OpenReplicatedShardedEngine(filepath.Join(dir, "service"), o, opts,
+			func(sh int) onion.ReplConfig {
+				return onion.ReplConfig{ID: fmt.Sprintf("shard-%d", sh), Peers: peerIDs[sh], Transport: rtr}
+			})
+		if err != nil {
+			return metrics{}, err
+		}
+		s = r.Sharded
+	} else {
+		s, err = onion.OpenShardedEngine(dir, o, opts)
+		if err != nil {
+			return metrics{}, err
+		}
 	}
 	defer func() {
-		if cerr := s.Close(); cerr != nil {
+		var cerr error
+		if r != nil {
+			cerr = r.Close()
+		} else {
+			cerr = s.Close()
+		}
+		if cerr != nil {
 			log.Printf("close: %v", cerr)
 		}
 	}()
 	if tele.addr != "" {
-		closeSrv, err := serveTelemetry(tele.addr, s)
+		var src telemetrySource = s
+		if r != nil {
+			src = r
+		}
+		closeSrv, err := serveTelemetry(tele.addr, src)
 		if err != nil {
 			return metrics{}, err
 		}
@@ -425,6 +567,9 @@ func run(shards int, cacheBytes int64, syncWrites bool, arrivalRate float64, ing
 	}
 	if inj != nil {
 		inj.SetFaults(faults...)
+	}
+	if rtr != nil && len(replFaults) > 0 {
+		rtr.SetFaults(replFaults...)
 	}
 
 	var writes, queries, seeks, results, degraded atomic.Int64
@@ -678,6 +823,31 @@ func run(shards int, cacheBytes int64, syncWrites bool, arrivalRate float64, ing
 		m.ingest = ig
 	}
 
+	if r != nil {
+		// End the hostile window for replication too: record how far the
+		// followers trailed, then heal the transport (clearing rules and
+		// reviving a crash-latched one), recover any quorum-degraded
+		// shard, and drive catch-up to convergence. lagFinal should read
+		// 0 — a residue here means catch-up itself is broken.
+		lagEnd := maxLag(r.Lag())
+		rtr.SetFaults()
+		rtr.Revive()
+		if err := r.TryRecover(); err != nil {
+			maintErrs.add(err)
+		}
+		r.Heartbeat()
+		snap := r.TelemetrySnapshot()
+		m.repl = &replReport{
+			replicas:   replicas,
+			lagEnd:     lagEnd,
+			lagFinal:   maxLag(r.Lag()),
+			batches:    int64(snap.Counter("repl_batches_total")),
+			seeds:      int64(snap.Counter("repl_seeds_total")),
+			quorumLost: int64(snap.Counter("repl_quorum_lost_total")),
+			failovers:  int64(snap.Counter("repl_failovers_total")),
+		}
+	}
+
 	// End-of-window maintenance sweep: a final flush, full compaction and
 	// verify pass, so every run's telemetry carries at least one flush,
 	// compaction and scrub event and the final snapshot describes a
@@ -742,7 +912,11 @@ func run(shards int, cacheBytes int64, syncWrites bool, arrivalRate float64, ing
 	m.degradedQueries = degraded.Load()
 	m.health = s.Health()
 	if tele.out != "" {
-		if err := writeTelemetry(tele.out, s.TelemetrySnapshot()); err != nil {
+		snap := s.TelemetrySnapshot()
+		if r != nil {
+			snap = r.TelemetrySnapshot()
+		}
+		if err := writeTelemetry(tele.out, snap); err != nil {
 			return metrics{}, err
 		}
 	}

@@ -67,6 +67,9 @@ func (e *Engine) PutBatch(ops []BatchOp) error {
 			// visibility watermark never wedges.
 			break
 		}
+		if h := e.hook; h != nil {
+			h.Append(e.seq, ops[i])
+		}
 	}
 	lastSeq := e.seq
 	pos := w.n
@@ -85,7 +88,7 @@ func (e *Engine) PutBatch(ops []BatchOp) error {
 			e.com.commit(s)
 		}
 		e.mu.RUnlock()
-		if errors.Is(err, ErrWAL) {
+		if errors.Is(err, ErrWAL) || errors.Is(err, ErrQuorum) {
 			e.degrade(ReadOnly, err)
 			return fmt.Errorf("%w: %w", ErrReadOnly, err)
 		}

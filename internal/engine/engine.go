@@ -73,6 +73,11 @@ type Options struct {
 	// checks Verify performs), quarantining corruption before a query
 	// trips over it. 0 disables the scrubber.
 	ScrubPagesPerSec int
+	// CommitHook, when non-nil, observes every framed op and gates the
+	// group-commit rendezvous on the hook's Commit — the seam WAL
+	// replication hangs off. See the CommitHook contract; it is only
+	// meaningful together with SyncWrites.
+	CommitHook CommitHook
 
 	// noGroupCommit reverts SyncWrites to one fsync per write — the
 	// pre-group-commit behavior, kept for benchmark baselines.
@@ -213,6 +218,7 @@ type Engine struct {
 	wal   *wal
 	seq   uint64 // last assigned sequence number (under walMu)
 	com   committer
+	hook  CommitHook // replication seam; nil for a standalone engine
 
 	// mu guards the engine's structure: memtable identity, segment list,
 	// closed flag. Writers and queries hold it shared; flush, compaction
@@ -253,7 +259,7 @@ func Open(dir string, c curve.Curve, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{dir: dir, c: c, opts: opts, fs: fsys}
+	e := &Engine{dir: dir, c: c, opts: opts, fs: fsys, hook: opts.CommitHook}
 	e.cache = opts.Cache
 	if e.cache == nil && opts.CacheBytes > 0 {
 		e.cache = pagedstore.NewCache(opts.CacheBytes)
@@ -504,6 +510,11 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 	prevN := w.n
 	err := w.append(walOp{pt: p, payload: payload, del: del})
 	pos := w.n
+	if err == nil {
+		if h := e.hook; h != nil {
+			h.Append(seq, BatchOp{Point: p, Payload: payload, Del: del})
+		}
+	}
 	if err == nil && e.opts.SyncWrites && e.opts.noGroupCommit {
 		err = e.timedWALSync(w)
 	}
@@ -520,12 +531,14 @@ func (e *Engine) write(p geom.Point, payload uint64, del bool) error {
 		// watermark is not wedged below every later successful write.
 		e.com.commit(seq)
 		e.mu.RUnlock()
-		if errors.Is(err, ErrWAL) {
+		if errors.Is(err, ErrWAL) || errors.Is(err, ErrQuorum) {
 			// The log's tail is unknowable (failed append, failed fsync,
-			// or a group-commit batch poisoned by either): acknowledging
-			// any further write would be lying about durability. Degrade
-			// to ReadOnly — sticky until a reopen — and surface the
-			// transition on this error, cause attached.
+			// or a group-commit batch poisoned by either), or the batch
+			// is durable here but stranded off a replication quorum:
+			// acknowledging any further write would be lying about
+			// durability. Degrade to ReadOnly — sticky until a guarded
+			// recovery — and surface the transition on this error, cause
+			// attached.
 			e.degrade(ReadOnly, err)
 			return fmt.Errorf("%w: %w", ErrReadOnly, err)
 		}
@@ -588,9 +601,19 @@ func (e *Engine) groupCommit(w *wal, pos int64) error {
 		e.walMu.Lock()
 		target := w.n
 		targetFrames := w.frames
+		seqTarget := e.seq
 		err := w.flushBuf()
 		e.walMu.Unlock()
 		tel := e.tel
+		if err == nil {
+			if h, ok := e.hook.(PreCommitHook); ok {
+				// Overlap the replicas' barriers with ours: the batch is
+				// fully framed in the OS buffer, so the hook can start
+				// shipping it now and Commit below finds the quorum acks
+				// already (or nearly) in place.
+				h.PreCommit(seqTarget)
+			}
+		}
 		if err == nil {
 			var syncStart time.Time
 			if tel != nil {
@@ -604,6 +627,18 @@ func (e *Engine) groupCommit(w *wal, pos int64) error {
 			} else if tel != nil {
 				tel.walFsyncs.Inc()
 				tel.walFsyncUS.Record(uint64(time.Since(syncStart).Microseconds()))
+			}
+		}
+		if err == nil {
+			if h := e.hook; h != nil {
+				// Replication rides the same rendezvous: the batch this
+				// fsync covered is released only once it is also durable
+				// on a quorum, so the single round-trip amortizes over
+				// the whole pile exactly like the single disk barrier. A
+				// hook failure poisons the log like a failed fsync — the
+				// local tail is fine, but acks would overstate
+				// replication.
+				err = h.Commit(seqTarget)
 			}
 		}
 

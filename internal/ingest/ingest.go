@@ -136,6 +136,7 @@ type Pipeline struct {
 
 	enqueued  atomic.Uint64
 	completed atomic.Uint64
+	doneSig   *signal // broadcast on completion progress, for Drain waiters
 
 	closed  atomic.Bool
 	stop    chan struct{}
@@ -163,6 +164,7 @@ func New(c curve.Curve, target Target, cfg Config) (*Pipeline, error) {
 		handoff: make([]chan []op, n),
 		stop:    make(chan struct{}),
 		routerD: make(chan struct{}),
+		doneSig: newSignal(),
 	}
 	p.batchBuf.New = func() any { return make([]op, 0, cfg.MaxBatch) }
 	p.tel = newIngestTelemetry(p.reg)
@@ -261,19 +263,15 @@ func (p *Pipeline) enqueue(ctx context.Context, pt geom.Point, payload uint64, d
 		p.tel.rejects.Inc()
 		return nil, ErrBackpressure
 	}
+	// Park until a slot frees: register as a waiter, arm the space
+	// signal, re-try, and only then block. Arming before the re-try
+	// closes the lost-wakeup window — a dequeue after our failed try
+	// sees the waiter registration and broadcasts the armed generation.
 	waitStart := time.Now()
+	p.ring.space.waiters.Add(1)
+	defer p.ring.space.waiters.Add(-1)
 	for {
-		select {
-		case <-ctx.Done():
-			p.tel.rejects.Inc()
-			return nil, ctx.Err()
-		case <-p.stop:
-			return nil, ErrClosed
-		case <-p.ring.space:
-		case <-time.After(200 * time.Microsecond):
-			// Wakeup tokens are edge signals that can be consumed by a
-			// faster producer; the poll keeps a parked producer live.
-		}
+		wake := p.ring.space.arm()
 		if p.closed.Load() {
 			return nil, ErrClosed
 		}
@@ -282,6 +280,14 @@ func (p *Pipeline) enqueue(ctx context.Context, pt geom.Point, payload uint64, d
 			p.tel.enqueued.Inc()
 			p.tel.enqueueWaitUS.Record(uint64(time.Since(waitStart).Microseconds()))
 			return o.h, nil
+		}
+		select {
+		case <-ctx.Done():
+			p.tel.rejects.Inc()
+			return nil, ctx.Err()
+		case <-p.stop:
+			return nil, ErrClosed
+		case <-wake:
 		}
 	}
 }
@@ -384,6 +390,7 @@ func (p *Pipeline) runBatch(batch []op, ops []engine.BatchOp) []engine.BatchOp {
 		batch[i] = op{} // release the point and handle
 	}
 	p.completed.Add(uint64(len(batch)))
+	p.doneSig.notify()
 	tel := p.tel
 	tel.batches.Inc()
 	tel.batchOps.Record(uint64(len(batch)))
@@ -417,14 +424,17 @@ func (p *Pipeline) Err() error {
 // failed). It is a quiescence barrier: meaningful only once concurrent
 // producers have stopped, since later enqueues extend the goal.
 func (p *Pipeline) Drain(ctx context.Context) error {
+	p.doneSig.waiters.Add(1)
+	defer p.doneSig.waiters.Add(-1)
 	for {
+		wake := p.doneSig.arm()
 		if p.completed.Load() >= p.enqueued.Load() {
 			return nil
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(200 * time.Microsecond):
+		case <-wake:
 		}
 	}
 }
@@ -456,5 +466,6 @@ func (p *Pipeline) Close() error {
 		o.h.ch <- ErrClosed
 		p.completed.Add(1)
 	}
+	p.doneSig.notify()
 	return p.Err()
 }

@@ -397,3 +397,72 @@ func TestIngestApplyErrorFansOut(t *testing.T) {
 		t.Fatal("close after batch failure = nil, want the sticky error")
 	}
 }
+
+// TestIngestBackpressureWakeup: producers parked on a full ring wake the
+// moment a slot frees. The wait path is an armed broadcast signal with
+// no poll fallback, so this test is sharp: a lost wakeup does not cost
+// 200µs of latency, it hangs a producer forever and times the test out.
+// The sink releases one batch at a time, freeing slots one dequeue at a
+// time — every parked producer must ride one of those edges.
+func TestIngestBackpressureWakeup(t *testing.T) {
+	o := igCurve(t)
+	gate := &gateTarget{release: make(chan struct{})}
+	p, err := New(o, gate, Config{Ring: 2, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const producers = 16
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	errs := make(chan error, producers)
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- p.Put(ctx, igPoint(i), uint64(i))
+		}(i)
+	}
+
+	// Wait until producers are actually parked on the space signal, so
+	// the drip below exercises wake-on-dequeue rather than a fast path.
+	for deadline := time.Now().Add(5 * time.Second); p.ring.space.waiters.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("no producer ever parked on the full ring")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	// Drip-release batches one at a time; each ApplyBatch return frees
+	// ring slots one dequeue at a time. Close the gate at the end so any
+	// residual batches drain unimpeded.
+	go func() {
+		for i := 0; i < producers; i++ {
+			select {
+			case gate.release <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		close(gate.release)
+	}()
+
+	wg.Wait()
+	for i := 0; i < producers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("parked producer failed: %v", err)
+		}
+	}
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hist := p.Telemetry().Snapshot().Hist("ingest_enqueue_wait_us")
+	if hist == nil || hist.Count == 0 {
+		t.Fatal("no enqueue waits recorded: the test never parked a producer")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,11 +24,12 @@ type ring struct {
 	deq atomic.Uint64
 	_   [56]byte
 
-	// space wakes one blocked producer per dequeue; items wakes the idle
-	// consumer on enqueue. Both are capacity-1 edge signals: a lost send
-	// just means the other side was already awake (or re-arms via the
-	// waiters' poll fallback).
-	space chan struct{}
+	// space wakes producers blocked on a full ring: a broadcast
+	// edge-signal notified on every dequeue while waiters are parked, so
+	// a blocked producer wakes the moment a slot frees — no poll. items
+	// wakes the idle consumer on enqueue; with a single consumer (the
+	// router) a capacity-1 token cannot lose a wakeup.
+	space *signal
 	items chan struct{}
 }
 
@@ -48,7 +49,7 @@ func newRing(capacity int) *ring {
 	r := &ring{
 		mask:  n - 1,
 		slots: make([]rslot, n),
-		space: make(chan struct{}, 1),
+		space: newSignal(),
 		items: make(chan struct{}, 1),
 	}
 	for i := range r.slots {
@@ -115,10 +116,9 @@ func (r *ring) tryDequeue(out *op) bool {
 				*out = s.op
 				s.op = op{} // drop references so acked ops are collectable
 				s.seq.Store(pos + r.mask + 1)
-				select {
-				case r.space <- struct{}{}:
-				default:
-				}
+				// The slot is free (seq published above); wake parked
+				// producers. A no-op unless someone is actually waiting.
+				r.space.notify()
 				return true
 			}
 			pos = r.deq.Load()

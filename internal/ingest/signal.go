@@ -1,0 +1,50 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// signal is a broadcast edge-signal for wait-until-predicate loops. A
+// waiter registers (waiters.Add(1)), arms the current generation channel,
+// re-checks its predicate, and only then blocks on the armed channel; a
+// notifier that changes the predicate closes the current generation,
+// waking every armed waiter at once. Because the waiter arms before the
+// re-check, any state change after the check necessarily happens after
+// the arm and broadcasts the armed generation — there is no window for a
+// lost wakeup, so waiters need no poll fallback.
+//
+// notify is cheap when nobody waits: a single atomic load. Broadcast
+// wakes all waiters rather than one, trading a thundering herd (bounded
+// by the producer count) for the guarantee that the waiter the freed
+// resource was meant for is among the woken.
+type signal struct {
+	waiters atomic.Int32
+
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newSignal() *signal { return &signal{ch: make(chan struct{})} }
+
+// arm returns the channel the current generation closes. Arm before
+// re-checking the predicate; block on the result only after the re-check
+// fails.
+func (s *signal) arm() <-chan struct{} {
+	s.mu.Lock()
+	ch := s.ch
+	s.mu.Unlock()
+	return ch
+}
+
+// notify broadcasts to the armed generation if anyone is waiting.
+// Callers must change the waited-on state before notifying.
+func (s *signal) notify() {
+	if s.waiters.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	close(s.ch)
+	s.ch = make(chan struct{})
+	s.mu.Unlock()
+}

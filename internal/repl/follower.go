@@ -1,0 +1,398 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/onioncurve/onion/internal/curve"
+	"github.com/onioncurve/onion/internal/engine"
+	"github.com/onioncurve/onion/internal/telemetry"
+)
+
+// Follower holds a replica: a durable replication log (the follower's
+// ground truth — an entry is acknowledged once it is fsynced there) and
+// an engine the quorum-committed prefix is applied to. The engine runs
+// without SyncWrites; its durability comes from the log, which replays
+// idempotently after a crash (puts and tombstones are last-writer-wins
+// by key, so re-applying an already-applied entry is a no-op in effect).
+//
+// A Follower is driven entirely by its Handler methods; register it
+// with the group's transport under its peer id.
+type Follower struct {
+	id   string
+	dir  string
+	c    curve.Curve
+	opts FollowerOptions
+
+	mu      sync.Mutex
+	eng     *engine.Engine
+	log     *replLog
+	st      nodeState
+	applied uint64 // in-memory apply watermark; >= st.applied, persisted lazily
+	// mustSeed latches when the durable state says this node was a
+	// leader: its engine holds writes no quorum may have acknowledged,
+	// and an LSM cannot truncate, so the only way back into the group is
+	// a full re-seed. Every Append is answered NeedSeed until then.
+	mustSeed bool
+	closed   bool
+	seeds    uint64
+}
+
+// FollowerStatus is a point-in-time view for lag accounting and tests.
+type FollowerStatus struct {
+	ID       string
+	Epoch    uint64
+	Base     uint64
+	Applied  uint64
+	Last     uint64 // highest index held durably in the replication log
+	MustSeed bool
+	Seeds    uint64 // completed snapshot seeds
+}
+
+// OpenFollower opens (or creates) a replica at dir. The id is the peer
+// id the leader routes to; the curve must match the leader's.
+func OpenFollower(id, dir string, c curve.Curve, opts FollowerOptions) (*Follower, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repl: follower %s: %w", id, err)
+	}
+	st, ok, err := readState(dir)
+	if err != nil {
+		return nil, err
+	}
+	mustSeed := false
+	if ok && st.role == "leader" {
+		// An ex-leader's engine may hold a divergent, un-acknowledged
+		// suffix; latch until the current leader re-seeds us.
+		mustSeed = true
+		st = nodeState{role: "follower", epoch: st.epoch}
+	}
+	if !ok {
+		st = nodeState{role: "follower"}
+	}
+	log, err := openReplLog(dir)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Open(dir, c, opts.Engine)
+	if err != nil {
+		log.close() //nolint:errcheck
+		return nil, err
+	}
+	return &Follower{
+		id: id, dir: dir, c: c, opts: opts,
+		eng: eng, log: log, st: st,
+		applied:  st.applied,
+		mustSeed: mustSeed,
+	}, nil
+}
+
+// Engine exposes the replica's engine for reads. Treat it as read-only:
+// local writes would diverge from the leader.
+func (f *Follower) Engine() *engine.Engine { return f.eng }
+
+// Status reports the replica's durable position.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	last := f.st.base
+	if li, _, ok := f.log.last(); ok {
+		last = li
+	}
+	return FollowerStatus{
+		ID: f.id, Epoch: f.st.epoch, Base: f.st.base,
+		Applied: f.applied, Last: last, MustSeed: f.mustSeed, Seeds: f.seeds,
+	}
+}
+
+// Close syncs the applied prefix into the engine and closes it.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	err := f.eng.Close()
+	if f.applied > f.st.applied {
+		f.st.applied = f.applied
+		if serr := writeState(f.dir, f.st); err == nil {
+			err = serr
+		}
+	}
+	if cerr := f.log.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// HandleAppend implements the follower half of log shipping.
+//
+// Epoch fencing first: a request from a stale epoch is refused (the
+// response's higher epoch tells the old leader it is deposed); a higher
+// epoch is adopted durably before anything else. Then the consistency
+// check: the follower's log after PrevIndex must be a prefix of the
+// shipped run. Held entries that match shipped ones are skipped
+// (duplicate delivery); at the first divergence the un-applied suffix
+// is truncated and the shipped entries take its place — unless the
+// divergence reaches into the applied prefix, which an LSM cannot take
+// back, in which case the reply asks for a seed. Acknowledged entries
+// are fsynced in the replication log before the response is built; the
+// quorum-committed prefix (capped at what this follower holds) is
+// folded into the engine in amortized batches, driven by the leader's
+// bare watermark pushes and the log-compaction threshold rather than
+// by every entry-bearing append.
+func (f *Follower) HandleAppend(req AppendRequest) (AppendResponse, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return AppendResponse{}, ErrClosed
+	}
+	if req.Epoch < f.st.epoch {
+		return AppendResponse{Epoch: f.st.epoch}, nil
+	}
+	if req.Epoch > f.st.epoch {
+		f.st.epoch = req.Epoch
+		if err := writeState(f.dir, f.persistable()); err != nil {
+			return AppendResponse{}, err
+		}
+	}
+	if f.mustSeed {
+		return AppendResponse{Epoch: f.st.epoch, NeedSeed: true}, nil
+	}
+
+	last := f.st.base
+	if li, _, ok := f.log.last(); ok {
+		last = li
+	}
+
+	// Locate PrevIndex in our history.
+	prevEpoch, held := f.epochAt(req.PrevIndex)
+	if !held {
+		if req.PrevIndex < f.st.base {
+			// Below our compacted horizon: either a stale re-delivery
+			// (harmless — the resend hint recovers) or a leader whose
+			// history diverges under our applied state; the resend from
+			// our ack will tell which.
+			return AppendResponse{Epoch: f.st.epoch, Ack: last}, nil
+		}
+		// Behind: we never saw PrevIndex. Hint a resend from our ack.
+		return AppendResponse{Epoch: f.st.epoch, Ack: last}, nil
+	}
+	if prevEpoch != req.PrevEpoch {
+		// We hold a different history at PrevIndex itself.
+		if f.applied >= req.PrevIndex {
+			return AppendResponse{Epoch: f.st.epoch, NeedSeed: true}, nil
+		}
+		if err := f.log.truncateAfter(req.PrevIndex - 1); err != nil {
+			return AppendResponse{}, err
+		}
+		last = f.lastIndex()
+		return AppendResponse{Epoch: f.st.epoch, Ack: last}, nil
+	}
+
+	// Tandem walk: our entries after PrevIndex against the shipped run.
+	// Matching (index, epoch) pairs are duplicates already durable; the
+	// first divergence truncates our suffix in favor of the leader's.
+	pos := f.log.search(req.PrevIndex + 1)
+	i := 0
+	prevMatched := req.PrevIndex
+	for i < len(req.Entries) && pos < len(f.log.entries) {
+		h, s := f.log.entries[pos], req.Entries[i]
+		if h.Index == s.Index && h.Epoch == s.Epoch {
+			prevMatched = h.Index
+			pos++
+			i++
+			continue
+		}
+		// Divergence: drop everything we hold past the last matched
+		// point (this also removes orphans occupying indices the leader
+		// abandoned, so the commit watermark can never apply them).
+		if f.applied > prevMatched {
+			return AppendResponse{Epoch: f.st.epoch, NeedSeed: true}, nil
+		}
+		if err := f.log.truncateAfter(prevMatched); err != nil {
+			return AppendResponse{}, err
+		}
+		break
+	}
+	if fresh := req.Entries[i:]; len(fresh) > 0 {
+		// Durable clones: the request's entries alias transport buffers.
+		es := make([]Entry, len(fresh))
+		for j, e := range fresh {
+			es[j] = Entry{Index: e.Index, Epoch: e.Epoch, Op: append([]byte(nil), e.Op...)}
+		}
+		if err := f.log.append(es); err != nil {
+			return AppendResponse{}, err
+		}
+	}
+	last = f.lastIndex()
+
+	// The ack means log durability; folding the committed prefix into
+	// the engine is kept off the entry-bearing path, where it would put
+	// a decode-and-insert pass on every quorum round trip. The leader's
+	// periodic bare watermark push (and the compaction threshold) picks
+	// the backlog up in one amortized batch instead, so a replica's
+	// engine trails its log by at most the catch-up interval.
+	if len(req.Entries) == 0 || len(f.log.entries) > f.opts.MaxLogEntries {
+		if err := f.applyCommitted(min(req.Commit, last)); err != nil {
+			return AppendResponse{}, err
+		}
+	}
+	if len(f.log.entries) > f.opts.MaxLogEntries {
+		if err := f.compact(); err != nil {
+			return AppendResponse{}, err
+		}
+	}
+	return AppendResponse{Epoch: f.st.epoch, Ok: true, Ack: last}, nil
+}
+
+// persistable is the durable state with the lazily-tracked applied
+// watermark folded in (never ahead of what the log can replay).
+func (f *Follower) persistable() nodeState {
+	st := f.st
+	if f.applied > st.applied {
+		st.applied = f.applied
+	}
+	return st
+}
+
+func (f *Follower) lastIndex() uint64 {
+	if li, _, ok := f.log.last(); ok {
+		return li
+	}
+	return f.st.base
+}
+
+// epochAt resolves the epoch of index in our history: the base point,
+// a held log entry, or genesis (index 0 when our history starts there).
+func (f *Follower) epochAt(index uint64) (uint64, bool) {
+	if index == f.st.base {
+		return f.st.baseEpoch, true
+	}
+	if index == 0 {
+		return 0, f.st.base == 0
+	}
+	return f.log.at(index)
+}
+
+// applyCommitted folds held entries in (applied, upTo] into the engine.
+// The caller has verified every held entry <= upTo matches the leader.
+func (f *Follower) applyCommitted(upTo uint64) error {
+	if upTo <= f.applied {
+		return nil
+	}
+	dims := f.c.Universe().Dims()
+	es := f.log.slice(f.applied, upTo)
+	ops := make([]engine.BatchOp, 0, len(es))
+	for _, e := range es {
+		op, err := engine.DecodeOp(e.Op, dims)
+		if err != nil {
+			return fmt.Errorf("repl: follower %s: entry %d: %w", f.id, e.Index, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := f.eng.PutBatch(ops); err != nil {
+		return fmt.Errorf("repl: follower %s: apply: %w", f.id, err)
+	}
+	f.applied = upTo
+	return nil
+}
+
+// compact makes the applied prefix durable in the engine, then drops it
+// from the replication log and advances the base.
+func (f *Follower) compact() error {
+	if f.applied <= f.st.base {
+		return nil
+	}
+	if err := f.eng.Sync(); err != nil {
+		return fmt.Errorf("repl: follower %s: compact: %w", f.id, err)
+	}
+	baseEpoch, ok := f.log.at(f.applied)
+	if !ok {
+		baseEpoch = f.st.baseEpoch
+	}
+	if err := f.log.compactThrough(f.applied); err != nil {
+		return err
+	}
+	f.st.base = f.applied
+	f.st.baseEpoch = baseEpoch
+	f.st.applied = f.applied
+	return writeState(f.dir, f.st)
+}
+
+// HandleSeed wipes the replica and restores it from the leader's
+// snapshot: engine.Restore copies the snapshot's segments and replays
+// the source's archived WALs, so the rebuilt engine holds everything
+// through req.Base (and possibly a little beyond; re-application is
+// idempotent). The replication log restarts empty at base = req.Base.
+//
+// The wipe-and-rename is not crash-atomic; a process crash mid-seed
+// leaves a fresh follower that simply seeds again.
+func (f *Follower) HandleSeed(req SeedRequest) (SeedResponse, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return SeedResponse{}, ErrClosed
+	}
+	if req.Epoch < f.st.epoch {
+		return SeedResponse{Epoch: f.st.epoch}, nil
+	}
+	if err := f.eng.Close(); err != nil {
+		return SeedResponse{}, fmt.Errorf("repl: follower %s: seed: %w", f.id, err)
+	}
+	f.log.close() //nolint:errcheck
+	restored := f.dir + ".seed-restore"
+	os.RemoveAll(restored) //nolint:errcheck // debris from an interrupted seed
+	if _, err := engine.Restore(req.Snapshot, restored, -1, f.c, f.opts.Engine); err != nil {
+		return SeedResponse{}, f.reopen(fmt.Errorf("repl: follower %s: seed restore: %w", f.id, err))
+	}
+	if err := os.RemoveAll(f.dir); err != nil {
+		return SeedResponse{}, fmt.Errorf("repl: follower %s: seed: %w", f.id, err)
+	}
+	if err := os.Rename(restored, f.dir); err != nil {
+		return SeedResponse{}, fmt.Errorf("repl: follower %s: seed: %w", f.id, err)
+	}
+	f.st = nodeState{
+		role: "follower", epoch: req.Epoch,
+		base: req.Base, baseEpoch: req.BaseEpoch, applied: req.Base,
+	}
+	f.applied = req.Base
+	if err := writeState(f.dir, f.st); err != nil {
+		return SeedResponse{}, err
+	}
+	if err := f.reopen(nil); err != nil {
+		return SeedResponse{}, err
+	}
+	f.mustSeed = false
+	f.seeds++
+	f.eng.Events().Emit(telemetry.Event{
+		Kind: telemetry.EvRepl, Phase: telemetry.PhasePoint, Shard: -1,
+		Detail: fmt.Sprintf("seeded from %s through index %d epoch %d", req.LeaderID, req.Base, req.Epoch),
+	})
+	return SeedResponse{Epoch: f.st.epoch, Ok: true, Ack: req.Base}, nil
+}
+
+// reopen rebuilds the log and engine handles after a seed (or restores
+// them after a failed one, keeping the passed error primary).
+func (f *Follower) reopen(prior error) error {
+	log, err := openReplLog(f.dir)
+	if err != nil {
+		if prior != nil {
+			return prior
+		}
+		return err
+	}
+	eng, err := engine.Open(f.dir, f.c, f.opts.Engine)
+	if err != nil {
+		log.close() //nolint:errcheck
+		if prior != nil {
+			return prior
+		}
+		return err
+	}
+	f.log = log
+	f.eng = eng
+	return prior
+}

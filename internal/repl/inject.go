@@ -1,0 +1,310 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjected reports a fault injected by an Injecting transport. Every
+// injected failure wraps it, so tests can distinguish deliberate faults
+// from real transport errors with errors.Is.
+var ErrInjected = errors.New("repl: injected fault")
+
+// FaultOp classifies a transport operation for fault matching.
+type FaultOp uint8
+
+const (
+	// FaultAny matches every operation.
+	FaultAny FaultOp = iota
+	FaultAppend
+	FaultSeed
+	FaultProbe
+)
+
+var faultOpNames = [...]string{"any", "append", "seed", "probe"}
+
+func (o FaultOp) String() string {
+	if int(o) < len(faultOpNames) {
+		return faultOpNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// FaultKind is the failure mode an injected transport fault produces.
+type FaultKind uint8
+
+const (
+	// KindDrop loses the request: the follower never sees it and the
+	// leader gets an ErrInjected error.
+	KindDrop FaultKind = iota
+	// KindDropAck delivers the request but loses the response: the
+	// follower holds the entries, the leader sees an error and retries —
+	// the duplicate-delivery case followers must absorb idempotently.
+	KindDropAck
+	// KindDup delivers the request twice back to back; the second
+	// response wins. Exercises exact re-delivery.
+	KindDup
+	// KindStale re-delivers the previous request to the same peer after
+	// the current one — an old packet arriving late, out of order.
+	KindStale
+	// KindDelay stalls the send briefly before delivering, simulating a
+	// slow link without losing anything.
+	KindDelay
+	// KindCrash latches the transport dead: this send and every later
+	// one fails, the way a killed leader stops reaching anyone. The
+	// fault-matrix uses it to model leader death before a delivery.
+	KindCrash
+	// KindCrashAck delivers this request, loses its response, and then
+	// latches the transport dead — leader death one instant after the
+	// follower made the entries durable.
+	KindCrashAck
+	faultKindCount
+)
+
+var faultKindNames = [...]string{"drop", "dropack", "dup", "stale", "delay", "crash", "crashack"}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one injection rule: the Kind fires on the Nth transport
+// operation matching Op and Peer.
+type Fault struct {
+	// Op restricts the rule to one operation class (FaultAny matches all).
+	Op FaultOp
+	// Peer restricts the rule to one destination ("" = every peer).
+	Peer string
+	// N fires the rule on the Nth (1-based) matching operation. N <= 0
+	// never fires — the rule only counts, which is how a fault matrix
+	// enumerates its injection points before iterating over them.
+	N int64
+	// Repeat re-fires the rule on every further multiple of N.
+	Repeat bool
+	// Kind is the failure mode.
+	Kind FaultKind
+}
+
+// Injecting wraps a base transport and injects deterministic faults:
+// dropped requests, lost acks, duplicated and reordered deliveries,
+// delays, and named-peer partitions. Operations are counted in a single
+// serialized order, so a fixed workload enumerates fault points
+// reproducibly — the transport-level analogue of the vfs Injecting
+// filesystem.
+type Injecting struct {
+	base Transport
+
+	mu          sync.Mutex
+	rules       []transportFaultState
+	partitioned map[string]bool
+	crashed     bool
+	lastAppend  map[string]*AppendRequest // previous request per peer, for KindStale
+	injected    [faultKindCount]int64
+
+	// Delay is how long KindDelay stalls a send. Defaults to 1ms.
+	Delay time.Duration
+}
+
+type transportFaultState struct {
+	Fault
+	matched int64
+}
+
+// NewInjectingTransport wraps base with no active faults.
+func NewInjectingTransport(base Transport) *Injecting {
+	return &Injecting{
+		base:        base,
+		partitioned: make(map[string]bool),
+		lastAppend:  make(map[string]*AppendRequest),
+		Delay:       time.Millisecond,
+	}
+}
+
+// SetFaults replaces the active rules and resets their match counters.
+// Partitions are unaffected.
+func (t *Injecting) SetFaults(faults ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = t.rules[:0]
+	for _, f := range faults {
+		t.rules = append(t.rules, transportFaultState{Fault: f})
+	}
+}
+
+// Matched returns how many operations rule r has matched since
+// SetFaults — with N <= 0 rules, the enumeration count of a recorded
+// workload's fault points.
+func (t *Injecting) Matched(r int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r < 0 || r >= len(t.rules) {
+		return 0
+	}
+	return t.rules[r].matched
+}
+
+// Injected returns how many faults of each kind have fired.
+func (t *Injecting) Injected() map[FaultKind]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[FaultKind]int64)
+	for k := FaultKind(0); k < faultKindCount; k++ {
+		if t.injected[k] > 0 {
+			out[k] = t.injected[k]
+		}
+	}
+	return out
+}
+
+// Partition cuts the named peers off: every send to them (and Probe)
+// fails with ErrPartitioned until Heal.
+func (t *Injecting) Partition(peers ...string) {
+	t.mu.Lock()
+	for _, p := range peers {
+		t.partitioned[p] = true
+	}
+	t.mu.Unlock()
+}
+
+// Heal reconnects the named peers; with no arguments it heals all.
+func (t *Injecting) Heal(peers ...string) {
+	t.mu.Lock()
+	if len(peers) == 0 {
+		t.partitioned = make(map[string]bool)
+	} else {
+		for _, p := range peers {
+			delete(t.partitioned, p)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// decide serializes one operation and returns the fault to inject
+// (fire=false for a clean passthrough) or the partition error.
+func (t *Injecting) decide(op FaultOp, peer string) (FaultKind, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.crashed {
+		return 0, false, fmt.Errorf("%w: transport crashed", ErrInjected)
+	}
+	if t.partitioned[peer] {
+		return 0, false, fmt.Errorf("%w: %q", ErrPartitioned, peer)
+	}
+	fire := -1
+	for r := range t.rules {
+		rule := &t.rules[r]
+		if rule.Op != FaultAny && rule.Op != op {
+			continue
+		}
+		if rule.Peer != "" && rule.Peer != peer {
+			continue
+		}
+		rule.matched++
+		if rule.N > 0 && fire < 0 {
+			if rule.matched == rule.N || (rule.Repeat && rule.matched%rule.N == 0) {
+				fire = r
+			}
+		}
+	}
+	if fire < 0 {
+		return 0, false, nil
+	}
+	k := t.rules[fire].Kind
+	t.injected[k]++
+	if k == KindCrash || k == KindCrashAck {
+		t.crashed = true
+	}
+	return k, true, nil
+}
+
+// Crashed reports whether a crash fault has latched the transport dead.
+func (t *Injecting) Crashed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crashed
+}
+
+// Revive clears the crash latch (a new process takes over the link).
+// The fault-matrix revives the transport for the promoted leader.
+func (t *Injecting) Revive() {
+	t.mu.Lock()
+	t.crashed = false
+	t.mu.Unlock()
+}
+
+// Append applies the fault decision around the base send.
+func (t *Injecting) Append(peer string, req AppendRequest) (AppendResponse, error) {
+	k, hit, err := t.decide(FaultAppend, peer)
+	if err != nil {
+		return AppendResponse{}, err
+	}
+	var prev *AppendRequest
+	if hit && k == KindStale {
+		t.mu.Lock()
+		prev = t.lastAppend[peer]
+		t.mu.Unlock()
+	}
+	t.mu.Lock()
+	cp := req
+	cp.Entries = append([]Entry(nil), req.Entries...)
+	t.lastAppend[peer] = &cp
+	t.mu.Unlock()
+	if hit {
+		switch k {
+		case KindDrop, KindCrash:
+			return AppendResponse{}, fmt.Errorf("%w: %s append to %q", ErrInjected, k, peer)
+		case KindDropAck, KindCrashAck:
+			t.base.Append(peer, req) //nolint:errcheck // delivered; ack lost
+			return AppendResponse{}, fmt.Errorf("%w: drop ack from %q", ErrInjected, peer)
+		case KindDup:
+			t.base.Append(peer, req) //nolint:errcheck
+			return t.base.Append(peer, req)
+		case KindStale:
+			resp, err := t.base.Append(peer, req)
+			if prev != nil {
+				t.base.Append(peer, *prev) //nolint:errcheck // late re-delivery
+			}
+			return resp, err
+		case KindDelay:
+			time.Sleep(t.Delay)
+		}
+	}
+	return t.base.Append(peer, req)
+}
+
+// Seed applies the fault decision around the base send. Dup, stale and
+// delay degrade to plain delivery — seeding is already idempotent.
+func (t *Injecting) Seed(peer string, req SeedRequest) (SeedResponse, error) {
+	k, hit, err := t.decide(FaultSeed, peer)
+	if err != nil {
+		return SeedResponse{}, err
+	}
+	if hit {
+		switch k {
+		case KindDrop, KindCrash:
+			return SeedResponse{}, fmt.Errorf("%w: %s seed to %q", ErrInjected, k, peer)
+		case KindDropAck, KindCrashAck:
+			t.base.Seed(peer, req) //nolint:errcheck
+			return SeedResponse{}, fmt.Errorf("%w: drop ack from %q", ErrInjected, peer)
+		case KindDelay:
+			time.Sleep(t.Delay)
+		}
+	}
+	return t.base.Seed(peer, req)
+}
+
+// Probe respects partitions and drop faults.
+func (t *Injecting) Probe(peer string) error {
+	k, hit, err := t.decide(FaultProbe, peer)
+	if err != nil {
+		return err
+	}
+	if hit && k != KindDup && k != KindStale && k != KindDelay {
+		return fmt.Errorf("%w: %s probe to %q", ErrInjected, k, peer)
+	}
+	return t.base.Probe(peer)
+}

@@ -1,0 +1,314 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The follower's replication log is a single append-only file of
+// CRC-framed entries:
+//
+//	entry := index(8 LE) | epoch(8 LE) | len(4 LE) | crc32c(4 LE, payload) | payload
+//
+// Replay keeps the longest valid prefix and truncates torn tails, the
+// same rule the engine WAL applies, so an entry acknowledged to the
+// leader (appended + fsynced) always survives and a torn entry never
+// resurrects partially. Truncation and compaction rewrite the file
+// through a tmp + rename, so the log is always either the old or the
+// new version.
+
+const (
+	logName   = "REPL_LOG"
+	stateName = "REPL_STATE"
+
+	entryHeader = 8 + 8 + 4 + 4
+)
+
+var logCRC = crc32.MakeTable(crc32.Castagnoli)
+
+var errLog = errors.New("repl: replication log failure")
+
+// replLog is the durable entry store plus its in-memory index. The
+// caller (Follower) serializes access.
+type replLog struct {
+	path    string
+	f       *os.File
+	entries []Entry // in log order; indices strictly increasing, gaps legal
+}
+
+func openReplLog(dir string) (*replLog, error) {
+	l := &replLog{path: filepath.Join(dir, logName)}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errLog, err)
+	}
+	l.f = f
+	valid, err := l.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn tail now, so appends land after the last valid entry.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %w", errLog, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %w", errLog, err)
+	}
+	return l, nil
+}
+
+// replay loads every intact entry and returns the byte offset of the end
+// of the valid prefix.
+func (l *replLog) replay() (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("%w: %w", errLog, err)
+	}
+	r := bufio.NewReader(l.f)
+	head := make([]byte, entryHeader)
+	var off int64
+	for {
+		if _, err := io.ReadFull(r, head); err != nil {
+			return off, nil // clean EOF or torn header
+		}
+		pl := int(binary.LittleEndian.Uint32(head[16:]))
+		if pl <= 0 || pl > 1<<20 {
+			return off, nil // garbage length: torn tail
+		}
+		body := make([]byte, pl)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.Checksum(body, logCRC) != binary.LittleEndian.Uint32(head[20:]) {
+			return off, nil // corrupt payload
+		}
+		e := Entry{
+			Index: binary.LittleEndian.Uint64(head[0:]),
+			Epoch: binary.LittleEndian.Uint64(head[8:]),
+			Op:    body,
+		}
+		if n := len(l.entries); n > 0 && e.Index <= l.entries[n-1].Index {
+			return off, nil // ordering violation: treat as tail damage
+		}
+		l.entries = append(l.entries, e)
+		off += int64(entryHeader + pl)
+	}
+}
+
+// append frames the entries and fsyncs; on return every entry is durable.
+func (l *replLog) append(es []Entry) error {
+	if len(es) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, e := range es {
+		var h [entryHeader]byte
+		binary.LittleEndian.PutUint64(h[0:], e.Index)
+		binary.LittleEndian.PutUint64(h[8:], e.Epoch)
+		binary.LittleEndian.PutUint32(h[16:], uint32(len(e.Op)))
+		binary.LittleEndian.PutUint32(h[20:], crc32.Checksum(e.Op, logCRC))
+		buf = append(buf, h[:]...)
+		buf = append(buf, e.Op...)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	l.entries = append(l.entries, es...)
+	return nil
+}
+
+// last returns the final entry's (index, epoch), or (0, 0, false) when
+// the log is empty.
+func (l *replLog) last() (uint64, uint64, bool) {
+	if len(l.entries) == 0 {
+		return 0, 0, false
+	}
+	e := l.entries[len(l.entries)-1]
+	return e.Index, e.Epoch, true
+}
+
+// at returns the epoch of the entry with the exact index, if present.
+func (l *replLog) at(index uint64) (uint64, bool) {
+	i := l.search(index)
+	if i < len(l.entries) && l.entries[i].Index == index {
+		return l.entries[i].Epoch, true
+	}
+	return 0, false
+}
+
+// search returns the position of the first entry with Index >= index.
+func (l *replLog) search(index uint64) int {
+	lo, hi := 0, len(l.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.entries[mid].Index < index {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// slice returns the entries with lo < Index <= hi, aliasing the log's
+// backing store (valid until the next mutation).
+func (l *replLog) slice(lo, hi uint64) []Entry {
+	i := l.search(lo + 1)
+	j := l.search(hi + 1)
+	return l.entries[i:j]
+}
+
+// rewrite replaces the log's content with keep via tmp + fsync + rename.
+func (l *replLog) rewrite(keep []Entry) error {
+	tmp := l.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	nl := &replLog{path: tmp, f: f}
+	if err := nl.append(keep); err != nil {
+		f.Close()
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		return err
+	}
+	old := l.f
+	f, err = os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	old.Close() //nolint:errcheck
+	l.f = f
+	l.entries = append(l.entries[:0], keep...)
+	return nil
+}
+
+// truncateAfter drops every entry with Index > index.
+func (l *replLog) truncateAfter(index uint64) error {
+	i := l.search(index + 1)
+	if i == len(l.entries) {
+		return nil
+	}
+	return l.rewrite(append([]Entry{}, l.entries[:i]...))
+}
+
+// compactThrough drops every entry with Index <= index (the caller has
+// made their effect durable in the engine).
+func (l *replLog) compactThrough(index uint64) error {
+	i := l.search(index + 1)
+	if i == 0 {
+		return nil
+	}
+	return l.rewrite(append([]Entry{}, l.entries[i:]...))
+}
+
+func (l *replLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %w", errLog, err)
+	}
+	return nil
+}
+
+// nodeState is the small durable identity record both roles keep inside
+// the engine directory: who we last were, under which epoch, and (for
+// followers) how the replication log relates to the engine. It is
+// written through tmp + fsync + rename on role and epoch changes and on
+// log compaction — never on the per-batch path.
+type nodeState struct {
+	role      string // "leader" | "follower"
+	epoch     uint64
+	base      uint64 // entries <= base are durably applied in the engine
+	baseEpoch uint64
+	applied   uint64 // highest index applied (may lag after a crash; re-apply is idempotent)
+}
+
+func statePath(dir string) string { return filepath.Join(dir, stateName) }
+
+func readState(dir string) (nodeState, bool, error) {
+	b, err := os.ReadFile(statePath(dir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nodeState{}, false, nil
+		}
+		return nodeState{}, false, fmt.Errorf("repl: state: %w", err)
+	}
+	var st nodeState
+	var header string
+	n, err := fmt.Sscanf(string(b), "onion repl state v1\nrole %s\nepoch %d\nbase %d\nbaseEpoch %d\napplied %d\n",
+		&header, &st.epoch, &st.base, &st.baseEpoch, &st.applied)
+	if err != nil || n != 5 {
+		return nodeState{}, false, fmt.Errorf("repl: state %s: malformed", statePath(dir))
+	}
+	st.role = header
+	if st.role != "leader" && st.role != "follower" {
+		return nodeState{}, false, fmt.Errorf("repl: state %s: unknown role %q", statePath(dir), st.role)
+	}
+	return st, true, nil
+}
+
+func writeState(dir string, st nodeState) error {
+	body := fmt.Sprintf("onion repl state v1\nrole %s\nepoch %d\nbase %d\nbaseEpoch %d\napplied %d\n",
+		st.role, st.epoch, st.base, st.baseEpoch, st.applied)
+	tmp := statePath(dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("repl: state: %w", err)
+	}
+	if _, err = f.WriteString(body); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, statePath(dir))
+	}
+	if err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("repl: state: %w", err)
+	}
+	return nil
+}

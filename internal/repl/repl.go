@@ -1,0 +1,174 @@
+// Package repl replicates an engine's write-ahead log to a set of
+// followers with quorum acknowledgment — the durability half of the
+// distributed serving tier.
+//
+// The leader is an ordinary engine whose CommitHook tees every framed op
+// into an in-memory replication log and gates the group-commit
+// rendezvous on quorum: the leader's single fsync and a single
+// round-trip to the followers cover the whole batch, so an acknowledged
+// synchronous write means "fsynced on a majority". Followers persist the
+// shipped entries in their own CRC-framed replication log (fsynced
+// before acknowledging) and apply the quorum-committed prefix to their
+// engine through the same op encoding WAL replay uses, so a follower's
+// engine converges bit-identically to the leader's.
+//
+// Entries carry explicit (index, epoch) pairs. Epochs fence leadership:
+// a follower rejects traffic from a stale epoch, and promotion bumps the
+// epoch so a deposed leader cannot ack. Indices may have gaps — a batch
+// that failed its quorum round occupies indices the leader abandons when
+// it recovers — and the follower-side consistency check (match at
+// PrevIndex/PrevEpoch, truncate un-applied conflicting suffixes) repairs
+// followers that received such orphans. A node whose *applied* state
+// diverges — canonically an ex-leader rejoining with writes no quorum
+// ever acknowledged — cannot truncate its engine, so it re-seeds: the
+// leader ships a snapshot (engine.Snapshot + engine.Restore, which also
+// replays the leader's archived WALs), wiping the divergent history
+// rather than resurrecting it.
+//
+// Failover is deterministic and externally driven: the controller (a
+// test, an operator, a future consensus layer) picks the reachable
+// follower with the longest log — which holds every quorum-acknowledged
+// entry, by the quorum intersection argument — and Promote turns it into
+// a leader under a higher epoch.
+//
+// Losing quorum degrades, never corrupts: the commit hook retries with
+// capped jittered backoff, then fails the batch with engine.ErrQuorum;
+// the engine latches ReadOnly (reads keep serving) and Group.TryRecover
+// re-probes the peers, drops the un-acked orphan suffix, and rotates the
+// engine's log once a quorum is reachable again.
+//
+// Transports are pluggable. The in-process Loopback transport serves
+// single-process replica sets (and every test, wrapped in the
+// fault-injecting Injecting transport); an RPC transport is the planned
+// other half of the distributed tier.
+package repl
+
+import (
+	"errors"
+	"time"
+
+	"github.com/onioncurve/onion/internal/engine"
+)
+
+var (
+	// ErrClosed reports use of a closed Group or Follower.
+	ErrClosed = errors.New("repl: closed")
+	// ErrFenced reports a request carrying a stale epoch: a newer leader
+	// exists and the sender must stop acknowledging writes.
+	ErrFenced = errors.New("repl: stale epoch (fenced)")
+	// ErrUnknownPeer reports a transport send to a peer id the transport
+	// has no route for.
+	ErrUnknownPeer = errors.New("repl: unknown peer")
+	// ErrPartitioned reports a send dropped by an injected network
+	// partition.
+	ErrPartitioned = errors.New("repl: peer partitioned")
+)
+
+// Entry is one replicated op: the leader-assigned log index, the epoch
+// the entry was appended under, and the engine's WAL payload encoding of
+// the op (engine.EncodeOp / engine.DecodeOp).
+type Entry struct {
+	Index uint64
+	Epoch uint64
+	Op    []byte
+}
+
+// Config tunes a leader Group. The zero value of every optional field
+// selects a default.
+type Config struct {
+	// ID is this node's identity, echoed in requests so followers know
+	// their leader.
+	ID string
+	// Peers are the follower ids writes must reach. Quorum counts the
+	// leader itself, so N peers form an N+1-replica group.
+	Peers []string
+	// Transport routes requests to peers. Required when Peers is
+	// non-empty.
+	Transport Transport
+	// Quorum is how many replicas (leader included) must hold a batch
+	// durably before it acknowledges. Default: majority of 1+len(Peers).
+	Quorum int
+	// Engine tunes the leader engine for Lead and Promote (SyncWrites is
+	// forced on — replication rides the group-commit path).
+	Engine engine.Options
+	// HistoryEntries bounds the in-memory resend window. A follower
+	// whose ack falls behind the window is caught up by snapshot seed
+	// instead of resend. Default 1 << 14.
+	HistoryEntries int
+	// MaxBatchEntries caps entries per Append request during catch-up
+	// streaming. Default 512.
+	MaxBatchEntries int
+	// SeedRefreshEntries re-exports the catch-up seed snapshot once the
+	// leader has moved this many entries past it. With a WAL retention
+	// cap the seed is always refreshed, since the archived gap a stale
+	// seed depends on may have been pruned. Default HistoryEntries.
+	SeedRefreshEntries int
+	// Epoch is the starting epoch (Promote passes the successor epoch;
+	// a fresh group starts at 1).
+	Epoch uint64
+	// RetryBase/RetryCap/RetryAttempts shape the quorum retry: failed
+	// rounds back off exponentially from RetryBase, capped at RetryCap,
+	// jittered ±50%, for RetryAttempts rounds before the batch fails
+	// with engine.ErrQuorum. Defaults: 2ms, 20ms, 3.
+	RetryBase     time.Duration
+	RetryCap      time.Duration
+	RetryAttempts int
+	// CatchUpInterval is the coalescing window of the catch-up loop: how
+	// long the loop sits on a rung bell before serving the lagging tail,
+	// so that one resend run (one follower log fsync) covers every batch
+	// that landed in the window. Longer windows keep catch-up barrier
+	// traffic off the device the commit path is fsyncing; shorter windows
+	// bound the lag replicas' staleness tighter. Default 10ms.
+	CatchUpInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quorum <= 0 {
+		c.Quorum = (1+len(c.Peers))/2 + 1
+	}
+	if c.HistoryEntries <= 0 {
+		c.HistoryEntries = 1 << 14
+	}
+	if c.MaxBatchEntries <= 0 {
+		c.MaxBatchEntries = 512
+	}
+	if c.SeedRefreshEntries <= 0 {
+		c.SeedRefreshEntries = c.HistoryEntries
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 20 * time.Millisecond
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	if c.CatchUpInterval <= 0 {
+		c.CatchUpInterval = 10 * time.Millisecond
+	}
+	c.Engine.SyncWrites = true
+	return c
+}
+
+// FollowerOptions tunes a Follower.
+type FollowerOptions struct {
+	// Engine tunes the follower's engine. SyncWrites stays off by
+	// default: the follower's durable truth is its replication log, and
+	// the engine catches up on compaction and close.
+	Engine engine.Options
+	// MaxLogEntries triggers replication-log compaction: once the log
+	// holds more than this many entries, the applied prefix is synced
+	// into the engine and dropped. Default 1 << 14.
+	MaxLogEntries int
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.MaxLogEntries <= 0 {
+		o.MaxLogEntries = 1 << 14
+	}
+	return o
+}

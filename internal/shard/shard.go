@@ -84,6 +84,12 @@ type Options struct {
 	// Nil selects the real filesystem; fault-injection tests pass a
 	// vfs.Injecting. (Engine.FS, when set, still wins for the engines.)
 	FS vfs.FS
+	// CommitHook, when set, installs a per-shard commit hook into each
+	// shard engine (overriding Engine.CommitHook): shard i's engine gets
+	// CommitHook(i). This is the seam OpenReplicated threads per-shard
+	// replication through; it is exported so other write-path observers
+	// can ride the same hook without a second Options field.
+	CommitHook func(shard int) engine.CommitHook
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +183,9 @@ func Open(dir string, c curve.Curve, opts Options) (*Sharded, error) {
 	}
 	s.cache = engOpts.Cache
 	for i := 0; i < opts.Shards; i++ {
+		if opts.CommitHook != nil {
+			engOpts.CommitHook = opts.CommitHook(i)
+		}
 		e, err := engine.Open(shardDir(dir, i), c, engOpts)
 		if err != nil {
 			for _, open := range s.engines {

@@ -16,7 +16,8 @@ const (
 	EvRepair
 	EvScrub
 	EvHealth
-	NumEventKinds = 7
+	EvRepl
+	NumEventKinds = 8
 )
 
 func (k EventKind) String() string {
@@ -35,6 +36,8 @@ func (k EventKind) String() string {
 		return "scrub"
 	case EvHealth:
 		return "health"
+	case EvRepl:
+		return "repl"
 	}
 	return "unknown"
 }

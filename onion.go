@@ -50,6 +50,7 @@ import (
 	"github.com/onioncurve/onion/internal/pagedstore"
 	"github.com/onioncurve/onion/internal/partition"
 	"github.com/onioncurve/onion/internal/ranges"
+	"github.com/onioncurve/onion/internal/repl"
 	"github.com/onioncurve/onion/internal/shard"
 	"github.com/onioncurve/onion/internal/stats"
 	"github.com/onioncurve/onion/internal/telemetry"
@@ -240,6 +241,26 @@ type (
 	MaintenanceEvents = telemetry.Events
 	// MaintenanceEventKind discriminates MaintenanceEvent kinds.
 	MaintenanceEventKind = telemetry.EventKind
+	// ReplGroup is a replication leader: an Engine whose WAL ships to a
+	// set of followers with quorum acknowledgment. Open one with
+	// LeadReplicated, or promote a follower with PromoteReplica.
+	ReplGroup = repl.Group
+	// ReplConfig tunes a ReplGroup: peer ids, transport, quorum size,
+	// resend window, seed refresh and retry shape.
+	ReplConfig = repl.Config
+	// ReplFollower is the replica side: it persists shipped entries in a
+	// CRC-framed replication log and applies the quorum-committed prefix
+	// to its engine. Open one with OpenReplFollower.
+	ReplFollower = repl.Follower
+	// ReplFollowerOptions tunes an OpenReplFollower call.
+	ReplFollowerOptions = repl.FollowerOptions
+	// ReplTransport routes replication requests to followers by peer id;
+	// NewReplLoopback serves in-process replica sets, an RPC transport is
+	// the planned other half of the distributed tier.
+	ReplTransport = repl.Transport
+	// ReplicatedShardedEngine is a ShardedEngine whose every shard is a
+	// replication leader; open one with OpenReplicatedShardedEngine.
+	ReplicatedShardedEngine = shard.Replicated
 )
 
 // Engine health states (see EngineHealth).
@@ -292,6 +313,14 @@ var (
 	ErrIngestBackpressure = ingest.ErrBackpressure
 	// ErrIngestClosed reports an ingest enqueue after the pipeline closed.
 	ErrIngestClosed = ingest.ErrClosed
+	// ErrQuorum reports a replicated write that could not reach a durable
+	// quorum: the batch is refused, the engine latches read-only (reads
+	// keep serving), and ReplGroup.TryRecover re-arms writes once a
+	// quorum of followers is reachable again.
+	ErrQuorum = engine.ErrQuorum
+	// ErrReplFenced reports a deposed leader: a newer epoch exists and
+	// this node must rejoin as a follower.
+	ErrReplFenced = repl.ErrFenced
 )
 
 // NewIngest builds and starts an asynchronous ingest pipeline over a
@@ -571,6 +600,57 @@ func OpenEngine(dir string, c Curve, opts EngineOptions) (*Engine, error) {
 // concurrent use.
 func OpenShardedEngine(dir string, c Curve, opts ShardedEngineOptions) (*ShardedEngine, error) {
 	return shard.Open(dir, c, opts)
+}
+
+// LeadReplicated opens an engine at dir as a replication leader: every
+// write's WAL frames tee into a replication log shipped to cfg.Peers,
+// and a synchronous write acknowledges only once a quorum (leader
+// included) holds it durably — so an acknowledged Put means "fsynced on
+// a majority". Losing quorum degrades, never corrupts: writes fail with
+// ErrQuorum, the engine latches read-only, and ReplGroup.TryRecover
+// re-arms once peers are reachable. A directory that already led an
+// epoch refuses to lead again — rejoin it as a follower (its divergent
+// suffix is shed by a snapshot re-seed) and promote a clean replica.
+func LeadReplicated(dir string, c Curve, cfg ReplConfig) (*ReplGroup, error) {
+	return repl.Lead(dir, c, cfg)
+}
+
+// OpenReplFollower opens (creating or rejoining) a follower replica.
+// Register it on the transport under id so the leader can reach it.
+func OpenReplFollower(id, dir string, c Curve, opts ReplFollowerOptions) (*ReplFollower, error) {
+	return repl.OpenFollower(id, dir, c, opts)
+}
+
+// NewReplLoopback builds the in-process replication transport: followers
+// register under their peer id, leaders send by id. Wrap it in a
+// fault-injecting transport (internal to the repl tests) or use it
+// directly for single-process replica sets.
+func NewReplLoopback() *repl.Loopback { return repl.NewLoopback() }
+
+// ReplQuorumWatermark computes the highest log index guaranteed to
+// contain every quorum-acknowledged entry, given the last indices of the
+// reachable followers — the truncation point for PromoteReplica.
+func ReplQuorumWatermark(lasts []uint64, quorum int) uint64 {
+	return repl.QuorumWatermark(lasts, quorum)
+}
+
+// PromoteReplica turns a follower into the leader of a new epoch:
+// its log is truncated to upTo (a ReplQuorumWatermark), fully applied,
+// and the node restarts as a leader whose history lets surviving
+// followers catch up by resend. The follower is consumed. Failover is
+// externally driven: the caller picks the reachable follower with the
+// longest log, which by quorum intersection holds every acknowledged
+// entry.
+func PromoteReplica(f *ReplFollower, upTo uint64, cfg ReplConfig) (*ReplGroup, error) {
+	return repl.Promote(f, upTo, cfg)
+}
+
+// OpenReplicatedShardedEngine opens a sharded engine with per-shard
+// replication: shard i's engine leads the replica set cfg(i) describes.
+// Replication degrades shard by shard — a shard that loses quorum
+// latches read-only while the others keep accepting writes.
+func OpenReplicatedShardedEngine(dir string, c Curve, opts ShardedEngineOptions, cfg func(shard int) ReplConfig) (*ReplicatedShardedEngine, error) {
+	return shard.OpenReplicated(dir, c, opts, cfg)
 }
 
 // RestoreEngine materializes a fresh engine directory at targetDir from
