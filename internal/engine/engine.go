@@ -1138,6 +1138,14 @@ func (e *Engine) Stats() EngineStats {
 	return st
 }
 
+// WALRetention reports the archived-WAL retention cap this engine was
+// opened with (see Options.WALRetention). Subsystems whose correctness
+// depends on archived WALs surviving — a replication seed snapshot
+// chains its restore through the archive — must read the live value
+// here rather than trust a configuration copy that may not match the
+// options the engine was actually opened with.
+func (e *Engine) WALRetention() int { return e.opts.WALRetention }
+
 // CacheStats summarizes the engine's segment page cache: hit/miss
 // counts, resident bytes and evictions. It is zero when caching is
 // disabled; with a shared cache (Options.Cache) the numbers span every

@@ -143,10 +143,12 @@ type Group struct {
 }
 
 // Lead opens a fresh leader engine at dir and starts replicating to
-// cfg.Peers. The directory may hold an existing engine, but not one
-// that was already a replication leader — a deposed or crashed leader
-// may hold writes no quorum acknowledged, and rejoins as a follower
-// (OpenFollower re-seeds it) instead of resuming.
+// cfg.Peers. The directory may hold an existing engine — its
+// pre-existing dataset never flows through the commit hook, so every
+// peer is seeded with a snapshot before the group serves writes — but
+// not one that was already a replication leader: a deposed or crashed
+// leader may hold writes no quorum acknowledged, and rejoins as a
+// follower (OpenFollower re-seeds it) instead of resuming.
 func Lead(dir string, c curve.Curve, cfg Config) (*Group, error) {
 	cfg = cfg.withDefaults()
 	st, ok, err := readState(dir)
@@ -163,7 +165,7 @@ func Lead(dir string, c curve.Curve, cfg Config) (*Group, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := newGroup(eng, dir, hook, cfg, groupInit{epoch: cfg.Epoch})
+	g, err := newGroup(eng, dir, hook, cfg, groupInit{epoch: cfg.Epoch, seedPeers: engineNonEmpty(eng)})
 	if err != nil {
 		eng.Close() //nolint:errcheck
 		return nil, err
@@ -173,9 +175,17 @@ func Lead(dir string, c curve.Curve, cfg Config) (*Group, error) {
 }
 
 // LeadEngine binds an already-open engine to a new Group. The engine
-// must have been opened with hook as its Options.CommitHook and must
-// not have served writes yet. The caller keeps ownership of the engine
-// (Close does not close it).
+// must have been opened with hook as its Options.CommitHook. The caller
+// keeps ownership of the engine (Close does not close it).
+//
+// The engine may hold pre-existing data — including the reopen path,
+// where an ex-leader directory is re-led under a higher cfg.Epoch. In
+// both cases the replication index namespace starts at zero and the
+// engine's existing dataset never flows through the commit hook, so
+// every peer is flagged for a snapshot seed and seeded (synchronously,
+// for the peers that are reachable) before LeadEngine returns: a
+// follower holding old-epoch indices must be wiped and re-based, never
+// trusted to already cover the restarted namespace.
 func LeadEngine(eng *engine.Engine, dir string, hook *Hook, cfg Config) (*Group, error) {
 	cfg = cfg.withDefaults()
 	st, ok, err := readState(dir)
@@ -185,7 +195,15 @@ func LeadEngine(eng *engine.Engine, dir string, hook *Hook, cfg Config) (*Group,
 	if ok && st.role == "leader" && st.epoch >= cfg.Epoch {
 		return nil, fmt.Errorf("repl: %s already led epoch %d; rejoin as a follower and promote instead", dir, st.epoch)
 	}
-	return newGroup(eng, dir, hook, cfg, groupInit{epoch: cfg.Epoch})
+	return newGroup(eng, dir, hook, cfg, groupInit{epoch: cfg.Epoch, seedPeers: ok || engineNonEmpty(eng)})
+}
+
+// engineNonEmpty reports whether the engine holds data (or has assigned
+// sequence numbers) at group-creation time. Such data predates the
+// commit hook and can only reach followers by snapshot seed.
+func engineNonEmpty(e *engine.Engine) bool {
+	st := e.Stats()
+	return st.MemEntries > 0 || st.ImmMemtables > 0 || st.Segments > 0 || st.LastSeq > 0
 }
 
 // groupInit seeds the replication state (Promote preloads history).
@@ -197,6 +215,13 @@ type groupInit struct {
 	histBase  uint64
 	marks     []epochMark
 	failover  bool
+	// seedPeers flags every peer for a snapshot seed at creation: set
+	// when the engine holds data that never passed through the commit
+	// hook (a pre-existing dataset, or an ex-leader reopen restarting
+	// the index namespace), which resend can never deliver. Promote
+	// leaves it unset — its preloaded history lets survivors resync by
+	// resend.
+	seedPeers bool
 }
 
 func newGroup(eng *engine.Engine, dir string, hook *Hook, cfg Config, init groupInit) (*Group, error) {
@@ -221,7 +246,7 @@ func newGroup(eng *engine.Engine, dir string, hook *Hook, cfg Config, init group
 		// first response (or NeedSeed) resynchronizes them. Starting
 		// from the history base forces a resend-or-seed conversation
 		// rather than assuming they hold anything.
-		g.peers = append(g.peers, &peerState{id: id, ack: init.histBase})
+		g.peers = append(g.peers, &peerState{id: id, ack: init.histBase, needSeed: init.seedPeers})
 	}
 	g.tel = newGroupTelemetry(g)
 	if init.failover {
@@ -230,6 +255,15 @@ func newGroup(eng *engine.Engine, dir string, hook *Hook, cfg Config, init group
 	hook.bind(g)
 	g.wg.Add(1)
 	go g.catchUpLoop()
+	if init.seedPeers {
+		// Seed reachable peers before returning: no write is in flight
+		// yet, so the snapshot export cannot block behind one, and the
+		// first write after open finds real followers instead of racing
+		// the seed and latching ReadOnly on a fake quorum loss. Peers
+		// that are unreachable now keep their needSeed flag and are
+		// seeded by the catch-up loop when they return.
+		g.Heartbeat()
+	}
 	g.ring()
 	return g, nil
 }
@@ -285,8 +319,21 @@ func (g *Group) appendOp(eseq uint64, op []byte) {
 	})
 	if len(g.hist) > g.cfg.HistoryEntries {
 		drop := len(g.hist) - g.cfg.HistoryEntries
-		g.histBase = g.hist[drop-1].e.Index
-		g.hist = append(g.hist[:0:0], g.hist[drop:]...)
+		// Only the quorum-committed prefix is trimmable. An uncommitted
+		// entry is the rendezvous target of an in-flight (or imminent)
+		// commit round: trimming it would force its followers into a
+		// snapshot seed that cannot be exported while the write is still
+		// holding the WAL path, so the round would exhaust its retries
+		// against healthy replicas. The window may therefore exceed
+		// HistoryEntries transiently (one batch larger than the window);
+		// it snaps back once the commit watermark passes.
+		if committed := g.histSearch(g.commit + 1); drop > committed {
+			drop = committed
+		}
+		if drop > 0 {
+			g.histBase = g.hist[drop-1].e.Index
+			g.hist = append(g.hist[:0:0], g.hist[drop:]...)
+		}
 	}
 	g.mu.Unlock()
 }
@@ -339,8 +386,12 @@ func (g *Group) commitSeq(seq uint64) error {
 	// Last entry with eseq <= seq; entries are appended in eseq order.
 	i := sort.Search(len(g.hist), func(i int) bool { return g.hist[i].eseq > seq })
 	if i == 0 {
+		// Nothing of ours in this rendezvous window. Safe even when the
+		// front of hist has been trimmed: appendOp never trims above
+		// g.commit, so any trimmed entry was already quorum-durable and
+		// needs no rendezvous of its own.
 		g.mu.Unlock()
-		return nil // nothing of ours in this rendezvous window
+		return nil
 	}
 	target := g.hist[i-1].e.Index
 	if target <= g.commit {
@@ -574,9 +625,21 @@ func (g *Group) shipLocked(p *peerState, target uint64) bool {
 			g.mu.Unlock()
 			continue
 		}
-		// Resend hint. No forward progress twice in a row means the
-		// conversation is stuck (e.g. repeated truncation); give up and
-		// let the retry/backoff or catch-up loop take over.
+		// Resend hint. Never adopt an ack beyond our own history: a
+		// follower reporting indices this leader never assigned holds a
+		// divergent namespace (canonically old-epoch entries from before
+		// a leader reopen restarted the index space) that resend cannot
+		// repair — adopting it would satisfy ack >= target and fake a
+		// quorum ack for entries the follower does not hold. Re-seed.
+		if resp.Ack > g.lastEntryIndex() {
+			p.needSeed = true
+			g.mu.Unlock()
+			g.ring()
+			return false
+		}
+		// No forward progress twice in a row means the conversation is
+		// stuck (e.g. repeated truncation); give up and let the
+		// retry/backoff or catch-up loop take over.
 		p.ack = resp.Ack
 		g.mu.Unlock()
 		if resp.Ack == lastAck {
@@ -803,7 +866,9 @@ func (g *Group) seedPeerLocked(p *peerState, dir string, base, baseEpoch uint64)
 // follower. A cached seed is reused only while the leader runs with
 // unbounded WAL retention: with a retention cap, the archived WALs a
 // stale snapshot's restore depends on may have been pruned, so every
-// seed is exported fresh.
+// seed is exported fresh. The retention is read from the engine itself,
+// not from cfg.Engine — with LeadEngine the engine was opened by the
+// caller and cfg.Engine may not reflect its real options.
 func (g *Group) ensureSeed() (string, uint64, uint64, error) {
 	g.seedMu.Lock()
 	defer g.seedMu.Unlock()
@@ -818,7 +883,7 @@ func (g *Group) ensureSeed() (string, uint64, uint64, error) {
 	// seed) and the archived history it depends on cannot have been
 	// pruned (unbounded WAL retention).
 	if g.seedDir != "" && g.seedEpoch == epoch &&
-		g.cfg.Engine.WALRetention == 0 &&
+		g.eng.WALRetention() == 0 &&
 		g.seedBase >= histBase &&
 		last-g.seedBase < uint64(g.cfg.SeedRefreshEntries) {
 		g.mu.Lock()

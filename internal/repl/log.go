@@ -108,6 +108,9 @@ func (l *replLog) append(es []Entry) error {
 	if len(es) == 0 {
 		return nil
 	}
+	if l.f == nil {
+		return fmt.Errorf("%w: log handle lost by a failed rewrite", errLog)
+	}
 	var buf []byte
 	for _, e := range es {
 		var h [entryHeader]byte
@@ -189,17 +192,22 @@ func (l *replLog) rewrite(keep []Entry) error {
 	if err := os.Rename(tmp, l.path); err != nil {
 		return fmt.Errorf("%w: %w", errLog, err)
 	}
+	// The rename replaced the path: the old handle now points at an
+	// unlinked inode, where appends (and their fsyncs) would "succeed"
+	// invisibly and the acknowledged entries would vanish on restart.
+	// Drop it before anything else can fail, so an error below leaves
+	// l.f nil and later appends fail loudly instead of lying.
+	l.f.Close() //nolint:errcheck
+	l.f = nil
+	l.entries = append(l.entries[:0], keep...)
 	if err := syncDir(filepath.Dir(l.path)); err != nil {
 		return err
 	}
-	old := l.f
 	f, err = os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("%w: %w", errLog, err)
 	}
-	old.Close() //nolint:errcheck
 	l.f = f
-	l.entries = append(l.entries[:0], keep...)
 	return nil
 }
 

@@ -27,7 +27,10 @@ type Replicated struct {
 // quorum, retry shape); SyncWrites is forced on for every shard engine,
 // since a quorum ack is only meaningful on top of a durable local
 // append. Reopening a directory that already led an epoch requires a
-// higher cfg(i).Epoch, the same fencing rule repl.LeadEngine enforces.
+// higher cfg(i).Epoch, the same fencing rule repl.LeadEngine enforces;
+// the reopened shards' followers are re-seeded by snapshot at open,
+// since the reopened replication index namespace restarts at zero and a
+// follower's old-epoch log cannot attest to anything in it.
 func OpenReplicated(dir string, c curve.Curve, opts Options, cfg func(shard int) repl.Config) (*Replicated, error) {
 	opts = opts.withDefaults()
 	dims := c.Universe().Dims()
